@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared driver for the decode-latency figures (Fig. 14/15/16): per-token
+ * decode latency across batch sizes for several models and frameworks on
+ * one device.
+ */
+#ifndef RELAX_BENCH_DECODE_FIGURE_H_
+#define RELAX_BENCH_DECODE_FIGURE_H_
+
+#include "common.h"
+
+namespace relax {
+namespace bench {
+
+inline void
+runDecodeFigure(const std::string& title, const device::DeviceSpec& spec,
+                const std::vector<frontend::LlamaConfig>& models,
+                const std::vector<baselines::FrameworkTraits>& frameworks,
+                const std::vector<int64_t>& batches = {1, 16, 32, 64})
+{
+    std::cout << "=== " << title << " ===\n";
+    std::cout << "Decode token latency (ms/tok), 32 tokens, KV start 128\n\n";
+    for (const auto& model : models) {
+        TablePrinter table([&] {
+            std::vector<std::string> header{model.name + " | batch"};
+            for (int64_t b : batches) header.push_back(std::to_string(b));
+            return header;
+        }());
+        for (const auto& traits : frameworks) {
+            if (!baselines::supportsBackend(traits, spec)) continue;
+            std::vector<std::string> row{traits.name};
+            for (int64_t batch : batches) {
+                row.push_back(TablePrinter::fmt(baselineDecodeMsPerToken(
+                    model, spec, traits, batch)));
+            }
+            table.addRow(std::move(row));
+        }
+        {
+            std::vector<std::string> row{"Relax (Ours)"};
+            for (int64_t batch : batches) {
+                frontend::LlamaConfig per_batch = model;
+                per_batch.fixedBatch = batch;
+                CompiledModel compiled = compileModel(per_batch, spec);
+                row.push_back(TablePrinter::fmt(
+                    relaxDecodeMsPerToken(compiled, batch)));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print();
+        std::cout << "\n";
+    }
+}
+
+} // namespace bench
+} // namespace relax
+
+#endif // RELAX_BENCH_DECODE_FIGURE_H_

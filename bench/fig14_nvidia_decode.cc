@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 14: inference performance of Llama3-8B, Gemma1.1-7B and Qwen2-7B
+ * on NVIDIA RTX 4090 across batch sizes, against HF Transformers (eager
+ * and torch.compile), vLLM and llama.cpp.
+ */
+#include "decode_figure.h"
+
+int
+main()
+{
+    using namespace relax;
+    using namespace relax::bench;
+    runDecodeFigure(
+        "Figure 14: NVIDIA RTX 4090 decode latency",
+        device::rtx4090(),
+        {frontend::LlamaConfig::llama3_8b(),
+         frontend::LlamaConfig::gemma1_1_7b(),
+         frontend::LlamaConfig::qwen2_7b()},
+        {baselines::hfTransformers(), baselines::hfTorchCompile(),
+         baselines::vllm(), baselines::llamaCpp()});
+    return 0;
+}

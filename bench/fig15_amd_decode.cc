@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 15: decode latency on AMD Radeon 7900 XTX. The paper highlights
+ * up to 1.50x at batch size 1, where rocBLAS-based baselines cannot match
+ * the compiler-generated matrix-vector kernels.
+ */
+#include "decode_figure.h"
+
+int
+main()
+{
+    using namespace relax;
+    using namespace relax::bench;
+    runDecodeFigure(
+        "Figure 15: AMD Radeon 7900 XTX decode latency",
+        device::radeon7900xtx(),
+        {frontend::LlamaConfig::llama3_8b(),
+         frontend::LlamaConfig::gemma1_1_7b(),
+         frontend::LlamaConfig::qwen2_7b()},
+        {baselines::hfTransformers(), baselines::hfTorchCompile(),
+         baselines::vllm(), baselines::llamaCpp()});
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 16: decode latency on Apple M2 Ultra. Only HF Transformers and
+ * llama.cpp support Apple GPUs (vLLM / torch.compile are skipped
+ * automatically, §5.1); llama.cpp's hand-written Metal kernels make it
+ * the strong baseline here.
+ */
+#include "decode_figure.h"
+
+int
+main()
+{
+    using namespace relax;
+    using namespace relax::bench;
+    auto llamacpp = relax::baselines::llamaCpp();
+    // llama.cpp Metal kernels are the best hand-tuned option (§5.1).
+    llamacpp.gemvEfficiencyOverride = 0.82;
+    llamacpp.gemmEfficiencyOverride = 0.60;
+    runDecodeFigure(
+        "Figure 16: Apple M2 Ultra decode latency",
+        device::appleM2Ultra(),
+        {frontend::LlamaConfig::llama3_8b(),
+         frontend::LlamaConfig::gemma1_1_7b(),
+         frontend::LlamaConfig::qwen2_7b()},
+        {baselines::hfTransformers(), baselines::hfTorchCompile(),
+         baselines::vllm(), llamacpp});
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 17: ablation of the composable optimizations on Llama3-8B /
+ * RTX 4090 — starting from no fusion / no library lowering / no graph
+ * offloading and adding one optimization at a time (§5.2).
+ */
+#include "common.h"
+
+int
+main()
+{
+    using namespace relax;
+    using namespace relax::bench;
+    auto spec = device::rtx4090();
+    std::vector<int64_t> batches{1, 16, 32, 64};
+    std::cout << "=== Figure 17: optimization ablation, Llama3-8B on RTX 4090"
+              << " ===\nDecode token latency (ms/tok)\n\n";
+    TablePrinter table({"configuration", "1", "16", "32", "64"});
+
+    struct Setting
+    {
+        const char* label;
+        bool fusion, lib, graph;
+    };
+    std::vector<Setting> settings = {
+        {"Relax w/o fusion, lib lowering, CUDA graph", false, false, false},
+        {"+ operator fusion", true, false, false},
+        {"+ partial library lowering", true, true, false},
+        {"+ CUDA graph offloading", true, true, true},
+    };
+    for (const auto& setting : settings) {
+        std::vector<std::string> row{setting.label};
+        for (int64_t batch : batches) {
+            frontend::LlamaConfig config =
+                frontend::LlamaConfig::llama3_8b();
+            config.fixedBatch = batch;
+            frontend::CompileOptions options;
+            options.enableFusion = setting.fusion;
+            options.enableLibraryLowering = setting.lib;
+            options.enableGraphOffload = setting.graph;
+            CompiledModel model = compileModel(config, spec, options);
+            row.push_back(
+                TablePrinter::fmt(relaxDecodeMsPerToken(model, batch)));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+    return 0;
+}

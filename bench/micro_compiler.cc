@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark micro measurements of compiler infrastructure: forward
+ * shape deduction, canonical simplification / equality proof, and the
+ * full pipeline on a transformer module — the "deduction runs for every
+ * pass" efficiency concern of §4.1.
+ */
+#include <benchmark/benchmark.h>
+
+#include "arith/analyzer.h"
+#include "frontend/compile.h"
+#include "frontend/llama.h"
+#include "op/ops.h"
+#include "shape/block_builder.h"
+
+namespace {
+
+using namespace relax;
+
+void
+BM_SimplifyPolynomial(benchmark::State& state)
+{
+    Var n = var("n");
+    Var m = var("m");
+    PrimExpr e = mul(add(mul(n, intImm(4)), m), sub(mul(m, intImm(2)), n));
+    Analyzer analyzer;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyzer.simplify(e));
+    }
+}
+BENCHMARK(BM_SimplifyPolynomial);
+
+void
+BM_ProveEqual(benchmark::State& state)
+{
+    Var n = var("n");
+    PrimExpr a = mul(mul(n, intImm(2)), intImm(2));
+    PrimExpr b = mul(intImm(4), n);
+    Analyzer analyzer;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyzer.proveEqual(a, b));
+    }
+}
+BENCHMARK(BM_ProveEqual);
+
+void
+BM_ForwardDeduction(benchmark::State& state)
+{
+    auto module = ir::IRModule::create();
+    Var n = var("n");
+    ir::Var x = ir::makeVar(
+        "x", ir::tensorSInfo({PrimExpr(n), intImm(128)}, DataType::f32()));
+    ir::Var w = ir::makeVar(
+        "w", ir::tensorSInfo({intImm(128), intImm(256)}, DataType::f32()));
+    ir::Call call = op::matmul(x, w);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(shape::deduceStructInfo(call, module));
+    }
+}
+BENCHMARK(BM_ForwardDeduction);
+
+void
+BM_CompileTinyLlama(benchmark::State& state)
+{
+    frontend::LlamaConfig config = frontend::LlamaConfig::tiny();
+    frontend::CompileOptions options;
+    options.device = device::rtx4090();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            frontend::compile(frontend::buildLlama(config), options));
+    }
+}
+BENCHMARK(BM_CompileTinyLlama)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileLlama8BModule(benchmark::State& state)
+{
+    // Full 32-layer module: the AOT compilation cost a deployment pays.
+    frontend::LlamaConfig config = frontend::LlamaConfig::llama3_8b();
+    config.fixedBatch = 1;
+    frontend::CompileOptions options;
+    options.device = device::rtx4090();
+    options.bounds = {{"b", 64}, {"n", 1024}, {"m", 192}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            frontend::compile(frontend::buildLlama(config), options));
+    }
+}
+BENCHMARK(BM_CompileLlama8BModule)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // namespace
+
+BENCHMARK_MAIN();

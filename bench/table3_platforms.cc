@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 3: single-sequence throughput (tokens/s) of 4-bit quantized
+ * models on the emerging platforms of §5.3. Following the paper's
+ * footnote, phones run Llama2-7B (3-bit on iPhone, 4-bit on S23) so the
+ * weights fit the VRAM budget; other devices run 4-bit Llama3-8B.
+ */
+#include "common.h"
+
+int
+main()
+{
+    using namespace relax;
+    using namespace relax::bench;
+    using frontend::LlamaConfig;
+    using frontend::Quant;
+
+    struct Platform
+    {
+        device::DeviceSpec spec;
+        LlamaConfig llama;
+        const char* note;
+    };
+    std::vector<Platform> platforms = {
+        {device::iphone14Pro(),
+         LlamaConfig::llama2_7b().withQuant(Quant::kQ3), "3-bit Llama2-7B"},
+        {device::samsungS23(),
+         LlamaConfig::llama2_7b().withQuant(Quant::kQ4), "4-bit Llama2-7B"},
+        {device::orangePi5(),
+         LlamaConfig::llama3_8b().withQuant(Quant::kQ4), ""},
+        {device::steamDeck(),
+         LlamaConfig::llama3_8b().withQuant(Quant::kQ4), ""},
+        {device::jetsonOrin(),
+         LlamaConfig::llama3_8b().withQuant(Quant::kQ4), ""},
+        {device::webgpuM3Max(),
+         LlamaConfig::llama3_8b().withQuant(Quant::kQ4), ""},
+    };
+
+    std::cout << "=== Table 3: throughput (tok/s) of 4-bit quantized models "
+              << "on emerging platforms ===\n\n";
+    TablePrinter table({"Device", "Backend", "Llama", "Phi3", "RedPajama",
+                        "note"});
+    for (auto& platform : platforms) {
+        // Feasibility check first: the paper substitutes smaller models
+        // when weights exceed the memory budget.
+        RELAX_ICHECK(platform.llama.weightBytes() <
+                     platform.spec.vramBytes)
+            << platform.spec.name << " cannot hold "
+            << platform.llama.name;
+        std::vector<std::string> row{platform.spec.name,
+                                     platform.spec.backend};
+        for (LlamaConfig config :
+             {platform.llama,
+              LlamaConfig::phi3_mini().withQuant(Quant::kQ4),
+              LlamaConfig::redpajama_3b().withQuant(Quant::kQ4)}) {
+            config.fixedBatch = 1;
+            CompiledModel model = compileModel(config, platform.spec);
+            row.push_back(
+                TablePrinter::fmt(relaxDecodeTokensPerSec(model), 1));
+        }
+        row.push_back(platform.note);
+        table.addRow(std::move(row));
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: build a dynamic-shape Relax program with the BlockBuilder,
+ * inspect its first-class symbolic shape annotations, compile it through
+ * the full pipeline, and execute it on real data — the same program
+ * compiled once serves every value of n.
+ */
+#include <iostream>
+
+#include "frontend/compile.h"
+#include "op/ops.h"
+#include "shape/block_builder.h"
+#include "vm/vm.h"
+
+int
+main()
+{
+    using namespace relax;
+
+    // main(x: Tensor((n, 4), "f32")) = relu(x @ W + b)
+    auto module = ir::IRModule::create();
+    shape::BlockBuilder builder(module);
+    Var n = var("n");
+    ir::Var x = ir::makeVar(
+        "x", ir::tensorSInfo({PrimExpr(n), intImm(4)}, DataType::f32()));
+    NDArray weight = NDArray::fromVector(
+        {4, 2}, DataType::f32(), {1, 0, 0, 1, 1, 0, 0, 1});
+    NDArray bias = NDArray::fromVector({2}, DataType::f32(), {0.5, -0.5});
+
+    builder.beginDataflowBlock();
+    ir::Var mm = builder.emit(op::matmul(x, ir::makeConstant(weight)));
+    ir::Var biased = builder.emit(op::add(mm, ir::makeConstant(bias)));
+    ir::Var out = builder.emitOutput(op::relu(biased));
+    builder.endBlock();
+    module->addFunction("main", ir::makeFunction({x}, builder.finish(out),
+                                                 out->structInfo()));
+
+    std::cout << "=== Relax IR (note the symbolic shapes) ===\n"
+              << module->toString() << "\n";
+
+    // Compile once; the executable serves any n.
+    frontend::CompileOptions options;
+    options.device.name = "host";
+    options.device.backend = "cpu";
+    auto exec = frontend::compile(module, options);
+    auto dev = std::make_shared<device::SimDevice>(options.device);
+    vm::VirtualMachine machine(exec, dev, /*data_mode=*/true);
+
+    for (int64_t rows : {1, 3}) {
+        NDArray input = NDArray::zeros({rows, 4}, DataType::f32());
+        for (int64_t i = 0; i < input.numel(); ++i) {
+            input.set(i, (double)(i % 5) - 2.0);
+        }
+        NDArray result =
+            std::get<NDArray>(machine.invoke("main", {input}));
+        std::cout << "n = " << rows << " -> output shape ("
+                  << result.shape()[0] << ", " << result.shape()[1]
+                  << "), first value " << result.at(0) << "\n";
+    }
+    std::cout << "quickstart: OK\n";
+    return 0;
+}

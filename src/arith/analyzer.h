@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Symbolic arithmetic analyzer: canonical simplification, equality proof,
+ * inequality proof via interval bounds, and static upper-bound evaluation.
+ *
+ * This component backs every dynamic shape-aware optimization in the paper:
+ *  - reshape/flatten deduction proves element-count equalities (§3.2),
+ *  - memory planning proves storage-size equalities and takes symbolic upper
+ *    bounds for static pre-allocation (§4.3, Algorithm 3),
+ *  - fusion and workspace lifting preserve and compare symbolic extents.
+ */
+#ifndef RELAX_ARITH_ANALYZER_H_
+#define RELAX_ARITH_ANALYZER_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "arith/expr.h"
+
+namespace relax {
+
+/** Inclusive integer interval with +/- infinity sentinels. */
+struct ConstIntBound
+{
+    static constexpr int64_t kNegInf = std::numeric_limits<int64_t>::min();
+    static constexpr int64_t kPosInf = std::numeric_limits<int64_t>::max();
+
+    int64_t minValue = kNegInf;
+    int64_t maxValue = kPosInf;
+
+    static ConstIntBound everything() { return {kNegInf, kPosInf}; }
+    static ConstIntBound point(int64_t v) { return {v, v}; }
+    /** Shape dimensions are non-negative by construction. */
+    static ConstIntBound nonNegative() { return {0, kPosInf}; }
+
+    bool isPoint() const { return minValue == maxValue; }
+};
+
+/**
+ * Stateful analyzer over symbolic integer expressions.
+ *
+ * Variable range facts are registered with bindVarBound (e.g. the user
+ * annotating the LLM context-length upper bound) and drive both inequality
+ * proofs and static upper-bound computation.
+ */
+class Analyzer
+{
+  public:
+    /** Registers (or tightens) the known range of a symbolic variable. */
+    void bindVarBound(const Var& v, int64_t min_value, int64_t max_value);
+
+    /** Registers `v := expr`, so occurrences of v simplify into expr. */
+    void bindVarValue(const Var& v, const PrimExpr& expr);
+
+    /**
+     * Canonically simplifies an integer expression: expands products over
+     * sums, merges like terms, folds constants, resolves floordiv/mod with
+     * constant divisors when divisibility can be shown, and resolves min/max
+     * when one side provably dominates.
+     */
+    PrimExpr simplify(const PrimExpr& expr);
+
+    /** Proves a == b by canonicalizing a - b to zero. */
+    bool proveEqual(const PrimExpr& a, const PrimExpr& b);
+
+    /** Proves expr >= 0 using canonical form plus interval bounds. */
+    bool proveNonNegative(const PrimExpr& expr);
+
+    /** Proves a >= b. */
+    bool proveGE(const PrimExpr& a, const PrimExpr& b);
+
+    /** Proves a > b. */
+    bool proveGT(const PrimExpr& a, const PrimExpr& b);
+
+    /** Computes an interval bound for the expression. */
+    ConstIntBound constIntBound(const PrimExpr& expr);
+
+    /**
+     * Static upper bound of the expression if one exists given the registered
+     * variable ranges; nullopt when unbounded. Used by the memory planner to
+     * pre-allocate for the worst case (§4.3).
+     */
+    std::optional<int64_t> upperBound(const PrimExpr& expr);
+
+  private:
+    std::unordered_map<const VarNode*, ConstIntBound> var_bounds_;
+    std::unordered_map<const VarNode*, PrimExpr> var_values_;
+};
+
+} // namespace relax
+
+#endif // RELAX_ARITH_ANALYZER_H_

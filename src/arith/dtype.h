@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Scalar data types used by tensors, buffers and scalar expressions.
+ */
+#ifndef RELAX_ARITH_DTYPE_H_
+#define RELAX_ARITH_DTYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+
+namespace relax {
+
+/**
+ * A scalar data type: a type code plus a bit width.
+ *
+ * The textual form matches the paper's annotations: "f32", "f16", "i64",
+ * "u32", "bool". Float16 values are stored as float in the reference
+ * interpreter; the bit width only affects memory accounting.
+ */
+class DataType
+{
+  public:
+    enum class Code : uint8_t { kInt, kUInt, kFloat, kBool, kVoid };
+
+    constexpr DataType() : code_(Code::kVoid), bits_(0) {}
+    constexpr DataType(Code code, int bits) : code_(code), bits_(bits) {}
+
+    constexpr Code code() const { return code_; }
+    constexpr int bits() const { return bits_; }
+    constexpr bool isFloat() const { return code_ == Code::kFloat; }
+    constexpr bool isInt() const { return code_ == Code::kInt; }
+    constexpr bool isUInt() const { return code_ == Code::kUInt; }
+    constexpr bool isBool() const { return code_ == Code::kBool; }
+    constexpr bool isVoid() const { return code_ == Code::kVoid; }
+
+    /** Number of bytes one scalar of this type occupies. */
+    constexpr int64_t bytes() const { return (bits_ + 7) / 8; }
+
+    constexpr bool
+    operator==(const DataType& other) const
+    {
+        return code_ == other.code_ && bits_ == other.bits_;
+    }
+    constexpr bool operator!=(const DataType& other) const
+    {
+        return !(*this == other);
+    }
+
+    static constexpr DataType f64() { return {Code::kFloat, 64}; }
+    static constexpr DataType f32() { return {Code::kFloat, 32}; }
+    static constexpr DataType f16() { return {Code::kFloat, 16}; }
+    static constexpr DataType i64() { return {Code::kInt, 64}; }
+    static constexpr DataType i32() { return {Code::kInt, 32}; }
+    static constexpr DataType i8() { return {Code::kInt, 8}; }
+    static constexpr DataType u32() { return {Code::kUInt, 32}; }
+    static constexpr DataType u8() { return {Code::kUInt, 8}; }
+    /** 4-bit unsigned, used by quantized weight packing accounting. */
+    static constexpr DataType u4() { return {Code::kUInt, 4}; }
+    static constexpr DataType boolean() { return {Code::kBool, 1}; }
+    static constexpr DataType void_() { return {}; }
+
+    /** Renders e.g. "f16", "i64", "bool". */
+    std::string
+    toString() const
+    {
+        switch (code_) {
+          case Code::kInt: return "i" + std::to_string(bits_);
+          case Code::kUInt: return "u" + std::to_string(bits_);
+          case Code::kFloat: return "f" + std::to_string(bits_);
+          case Code::kBool: return "bool";
+          case Code::kVoid: return "void";
+        }
+        return "?";
+    }
+
+    /** Parses the textual form; throws TypeError on malformed input. */
+    static DataType
+    fromString(const std::string& text)
+    {
+        if (text == "bool") return boolean();
+        if (text == "void") return void_();
+        if (text.size() < 2) RELAX_THROW(TypeError) << "bad dtype: " << text;
+        Code code;
+        switch (text[0]) {
+          case 'i': code = Code::kInt; break;
+          case 'u': code = Code::kUInt; break;
+          case 'f': code = Code::kFloat; break;
+          default: RELAX_THROW(TypeError) << "bad dtype: " << text;
+        }
+        int bits = std::stoi(text.substr(1));
+        return {code, bits};
+    }
+
+  private:
+    Code code_;
+    int bits_;
+};
+
+} // namespace relax
+
+#endif // RELAX_ARITH_DTYPE_H_

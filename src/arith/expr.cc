@@ -1,0 +1,392 @@
+#include "arith/expr.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace relax {
+
+namespace {
+
+/** Floor division matching python semantics for negative operands. */
+int64_t
+floordivImpl(int64_t a, int64_t b)
+{
+    RELAX_ICHECK(b != 0) << "floordiv by zero";
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+    return q;
+}
+
+int64_t
+floormodImpl(int64_t a, int64_t b)
+{
+    return a - floordivImpl(a, b) * b;
+}
+
+PrimExpr
+makeBinary(ExprKind kind, PrimExpr a, PrimExpr b)
+{
+    DataType dtype = a->dtype();
+    switch (kind) {
+      case ExprKind::kEQ:
+      case ExprKind::kNE:
+      case ExprKind::kLT:
+      case ExprKind::kLE:
+      case ExprKind::kGT:
+      case ExprKind::kGE:
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+        dtype = DataType::boolean();
+        break;
+      default:
+        break;
+    }
+    return std::make_shared<BinaryNode>(kind, std::move(a), std::move(b),
+                                        dtype);
+}
+
+/** Constant folds integer binaries when both sides are immediates. */
+const PrimExpr*
+tryFoldInt(ExprKind kind, const PrimExpr& a, const PrimExpr& b,
+           PrimExpr* result)
+{
+    const int64_t* va = asIntImm(a);
+    const int64_t* vb = asIntImm(b);
+    if (!va || !vb) return nullptr;
+    int64_t value = 0;
+    switch (kind) {
+      case ExprKind::kAdd: value = *va + *vb; break;
+      case ExprKind::kSub: value = *va - *vb; break;
+      case ExprKind::kMul: value = *va * *vb; break;
+      case ExprKind::kFloorDiv: value = floordivImpl(*va, *vb); break;
+      case ExprKind::kFloorMod: value = floormodImpl(*va, *vb); break;
+      case ExprKind::kMin: value = std::min(*va, *vb); break;
+      case ExprKind::kMax: value = std::max(*va, *vb); break;
+      default: return nullptr;
+    }
+    *result = intImm(value, a->dtype());
+    return result;
+}
+
+} // namespace
+
+PrimExpr
+intImm(int64_t value, DataType dtype)
+{
+    return std::make_shared<IntImmNode>(value, dtype);
+}
+
+PrimExpr
+floatImm(double value, DataType dtype)
+{
+    return std::make_shared<FloatImmNode>(value, dtype);
+}
+
+Var
+var(const std::string& name, DataType dtype)
+{
+    return std::make_shared<VarNode>(name, dtype);
+}
+
+PrimExpr
+add(PrimExpr a, PrimExpr b)
+{
+    PrimExpr folded;
+    if (tryFoldInt(ExprKind::kAdd, a, b, &folded)) return folded;
+    if (isConstInt(a, 0)) return b;
+    if (isConstInt(b, 0)) return a;
+    return makeBinary(ExprKind::kAdd, std::move(a), std::move(b));
+}
+
+PrimExpr
+sub(PrimExpr a, PrimExpr b)
+{
+    PrimExpr folded;
+    if (tryFoldInt(ExprKind::kSub, a, b, &folded)) return folded;
+    if (isConstInt(b, 0)) return a;
+    return makeBinary(ExprKind::kSub, std::move(a), std::move(b));
+}
+
+PrimExpr
+mul(PrimExpr a, PrimExpr b)
+{
+    PrimExpr folded;
+    if (tryFoldInt(ExprKind::kMul, a, b, &folded)) return folded;
+    if (isConstInt(a, 1)) return b;
+    if (isConstInt(b, 1)) return a;
+    if (isConstInt(a, 0)) return a;
+    if (isConstInt(b, 0)) return b;
+    return makeBinary(ExprKind::kMul, std::move(a), std::move(b));
+}
+
+PrimExpr
+floordiv(PrimExpr a, PrimExpr b)
+{
+    PrimExpr folded;
+    if (tryFoldInt(ExprKind::kFloorDiv, a, b, &folded)) return folded;
+    if (isConstInt(b, 1)) return a;
+    return makeBinary(ExprKind::kFloorDiv, std::move(a), std::move(b));
+}
+
+PrimExpr
+floormod(PrimExpr a, PrimExpr b)
+{
+    PrimExpr folded;
+    if (tryFoldInt(ExprKind::kFloorMod, a, b, &folded)) return folded;
+    if (isConstInt(b, 1)) return intImm(0, a->dtype());
+    return makeBinary(ExprKind::kFloorMod, std::move(a), std::move(b));
+}
+
+PrimExpr
+div(PrimExpr a, PrimExpr b)
+{
+    return makeBinary(ExprKind::kDiv, std::move(a), std::move(b));
+}
+
+PrimExpr
+minExpr(PrimExpr a, PrimExpr b)
+{
+    PrimExpr folded;
+    if (tryFoldInt(ExprKind::kMin, a, b, &folded)) return folded;
+    return makeBinary(ExprKind::kMin, std::move(a), std::move(b));
+}
+
+PrimExpr
+maxExpr(PrimExpr a, PrimExpr b)
+{
+    PrimExpr folded;
+    if (tryFoldInt(ExprKind::kMax, a, b, &folded)) return folded;
+    return makeBinary(ExprKind::kMax, std::move(a), std::move(b));
+}
+
+PrimExpr eq(PrimExpr a, PrimExpr b)
+{
+    return makeBinary(ExprKind::kEQ, std::move(a), std::move(b));
+}
+PrimExpr ne(PrimExpr a, PrimExpr b)
+{
+    return makeBinary(ExprKind::kNE, std::move(a), std::move(b));
+}
+PrimExpr lt(PrimExpr a, PrimExpr b)
+{
+    return makeBinary(ExprKind::kLT, std::move(a), std::move(b));
+}
+PrimExpr le(PrimExpr a, PrimExpr b)
+{
+    return makeBinary(ExprKind::kLE, std::move(a), std::move(b));
+}
+PrimExpr gt(PrimExpr a, PrimExpr b)
+{
+    return makeBinary(ExprKind::kGT, std::move(a), std::move(b));
+}
+PrimExpr ge(PrimExpr a, PrimExpr b)
+{
+    return makeBinary(ExprKind::kGE, std::move(a), std::move(b));
+}
+PrimExpr logicalAnd(PrimExpr a, PrimExpr b)
+{
+    return makeBinary(ExprKind::kAnd, std::move(a), std::move(b));
+}
+PrimExpr logicalOr(PrimExpr a, PrimExpr b)
+{
+    return makeBinary(ExprKind::kOr, std::move(a), std::move(b));
+}
+
+PrimExpr
+logicalNot(PrimExpr a)
+{
+    return std::make_shared<UnaryNode>(ExprKind::kNot, std::move(a),
+                                       DataType::boolean());
+}
+
+PrimExpr
+select(PrimExpr cond, PrimExpr tv, PrimExpr fv)
+{
+    return std::make_shared<SelectNode>(std::move(cond), std::move(tv),
+                                        std::move(fv));
+}
+
+PrimExpr
+cast(PrimExpr value, DataType dtype)
+{
+    if (value->dtype() == dtype) return value;
+    if (const int64_t* v = asIntImm(value); v && dtype.isInt()) {
+        return intImm(*v, dtype);
+    }
+    return std::make_shared<UnaryNode>(ExprKind::kCast, std::move(value),
+                                       dtype);
+}
+
+PrimExpr
+callIntrin(const std::string& op, std::vector<PrimExpr> args, DataType dtype)
+{
+    return std::make_shared<CallNode>(op, std::move(args), dtype);
+}
+
+const int64_t*
+asIntImm(const PrimExpr& expr)
+{
+    if (expr && expr->kind() == ExprKind::kIntImm) {
+        return &static_cast<const IntImmNode*>(expr.get())->value;
+    }
+    return nullptr;
+}
+
+bool
+isConstInt(const PrimExpr& expr, int64_t value)
+{
+    const int64_t* v = asIntImm(expr);
+    return v && *v == value;
+}
+
+namespace {
+
+/** Operator precedence for minimal-parenthesis printing. */
+int
+precedence(ExprKind kind)
+{
+    switch (kind) {
+      case ExprKind::kMul:
+      case ExprKind::kDiv:
+      case ExprKind::kFloorDiv:
+      case ExprKind::kFloorMod:
+        return 3;
+      case ExprKind::kAdd:
+      case ExprKind::kSub:
+        return 2;
+      case ExprKind::kEQ:
+      case ExprKind::kNE:
+      case ExprKind::kLT:
+      case ExprKind::kLE:
+      case ExprKind::kGT:
+      case ExprKind::kGE:
+        return 1;
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+        return 0;
+      default:
+        return 4;
+    }
+}
+
+const char*
+opSymbol(ExprKind kind)
+{
+    switch (kind) {
+      case ExprKind::kAdd: return " + ";
+      case ExprKind::kSub: return " - ";
+      case ExprKind::kMul: return " * ";
+      case ExprKind::kDiv: return " / ";
+      case ExprKind::kFloorDiv: return " // ";
+      case ExprKind::kFloorMod: return " % ";
+      case ExprKind::kEQ: return " == ";
+      case ExprKind::kNE: return " != ";
+      case ExprKind::kLT: return " < ";
+      case ExprKind::kLE: return " <= ";
+      case ExprKind::kGT: return " > ";
+      case ExprKind::kGE: return " >= ";
+      case ExprKind::kAnd: return " and ";
+      case ExprKind::kOr: return " or ";
+      default: return " ? ";
+    }
+}
+
+void
+printExpr(std::ostream& os, const PrimExpr& expr, int parent_prec)
+{
+    switch (expr->kind()) {
+      case ExprKind::kIntImm:
+        os << static_cast<const IntImmNode*>(expr.get())->value;
+        return;
+      case ExprKind::kFloatImm:
+        os << static_cast<const FloatImmNode*>(expr.get())->value;
+        return;
+      case ExprKind::kVar:
+        os << static_cast<const VarNode*>(expr.get())->name;
+        return;
+      case ExprKind::kMin:
+      case ExprKind::kMax: {
+        const auto* node = static_cast<const BinaryNode*>(expr.get());
+        os << (expr->kind() == ExprKind::kMin ? "min(" : "max(");
+        printExpr(os, node->a, 0);
+        os << ", ";
+        printExpr(os, node->b, 0);
+        os << ")";
+        return;
+      }
+      case ExprKind::kNot: {
+        os << "not ";
+        printExpr(os, static_cast<const UnaryNode*>(expr.get())->a, 4);
+        return;
+      }
+      case ExprKind::kCast: {
+        const auto* node = static_cast<const UnaryNode*>(expr.get());
+        os << expr->dtype().toString() << "(";
+        printExpr(os, node->a, 0);
+        os << ")";
+        return;
+      }
+      case ExprKind::kSelect: {
+        const auto* node = static_cast<const SelectNode*>(expr.get());
+        os << "select(";
+        printExpr(os, node->cond, 0);
+        os << ", ";
+        printExpr(os, node->trueValue, 0);
+        os << ", ";
+        printExpr(os, node->falseValue, 0);
+        os << ")";
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto* node = static_cast<const CallNode*>(expr.get());
+        os << node->op << "(";
+        for (size_t i = 0; i < node->args.size(); ++i) {
+            if (i) os << ", ";
+            printExpr(os, node->args[i], 0);
+        }
+        os << ")";
+        return;
+      }
+      case ExprKind::kBufferLoad:
+        // tir prints BufferLoad itself; fall back to opaque form here.
+        os << "<load>";
+        return;
+      default: {
+        const auto* node = static_cast<const BinaryNode*>(expr.get());
+        int prec = precedence(expr->kind());
+        bool paren = prec < parent_prec;
+        if (paren) os << "(";
+        printExpr(os, node->a, prec);
+        os << opSymbol(expr->kind());
+        printExpr(os, node->b, prec + 1);
+        if (paren) os << ")";
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+toString(const PrimExpr& expr)
+{
+    if (!expr) return "<null>";
+    std::ostringstream os;
+    printExpr(os, expr, 0);
+    return os.str();
+}
+
+std::string
+toString(const std::vector<PrimExpr>& shape)
+{
+    std::ostringstream os;
+    os << "(";
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (i) os << ", ";
+        os << toString(shape[i]);
+    }
+    os << ")";
+    return os.str();
+}
+
+} // namespace relax

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Scalar expression AST shared by symbolic shapes and tensor programs.
+ *
+ * Symbolic shape dimensions in Relax annotations (the paper's first-class
+ * symbolic shapes, §3.2) are PrimExprs of dtype i64: variables, constants and
+ * integer arithmetic over them. The same AST doubles as the scalar compute
+ * language of loop-level tensor programs (§3.3), where float immediates,
+ * comparisons, selects and math intrinsics also appear. This mirrors the
+ * paper's decision to "reuse the loop-level tensor program expression system"
+ * for shape annotations.
+ */
+#ifndef RELAX_ARITH_EXPR_H_
+#define RELAX_ARITH_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arith/dtype.h"
+#include "support/error.h"
+
+namespace relax {
+
+class PrimExprNode;
+
+/** Shared immutable handle to an expression node. */
+using PrimExpr = std::shared_ptr<const PrimExprNode>;
+
+/** Discriminator for every scalar expression node. */
+enum class ExprKind : uint8_t {
+    kIntImm,
+    kFloatImm,
+    kVar,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,      //!< float division
+    kFloorDiv, //!< integer floor division
+    kFloorMod, //!< integer floor modulo
+    kMin,
+    kMax,
+    kEQ,
+    kNE,
+    kLT,
+    kLE,
+    kGT,
+    kGE,
+    kAnd,
+    kOr,
+    kNot,
+    kSelect,
+    kCast,
+    kCall,      //!< math intrinsic call, e.g. exp/sqrt/erf
+    kBufferLoad //!< defined in tir/; reserved here so visitors can dispatch
+};
+
+/** Base class of all scalar expression nodes; immutable after creation. */
+class PrimExprNode : public std::enable_shared_from_this<PrimExprNode>
+{
+  public:
+    PrimExprNode(ExprKind kind, DataType dtype) : kind_(kind), dtype_(dtype) {}
+    virtual ~PrimExprNode() = default;
+
+    ExprKind kind() const { return kind_; }
+    DataType dtype() const { return dtype_; }
+
+    /** Recovers an owning handle from a raw node pointer (nodes are always
+     *  owned by shared_ptr). */
+    PrimExpr sharedFromThis() const { return shared_from_this(); }
+
+  private:
+    ExprKind kind_;
+    DataType dtype_;
+};
+
+/** Integer immediate. */
+class IntImmNode : public PrimExprNode
+{
+  public:
+    IntImmNode(int64_t value, DataType dtype)
+        : PrimExprNode(ExprKind::kIntImm, dtype), value(value) {}
+
+    int64_t value;
+};
+
+/** Floating-point immediate. */
+class FloatImmNode : public PrimExprNode
+{
+  public:
+    FloatImmNode(double value, DataType dtype)
+        : PrimExprNode(ExprKind::kFloatImm, dtype), value(value) {}
+
+    double value;
+};
+
+/**
+ * A scalar variable. Symbolic shape variables (the paper's `sym_var()`) are
+ * i64 Vars. Identity is by node address; two Vars with the same name are
+ * distinct variables.
+ */
+class VarNode : public PrimExprNode
+{
+  public:
+    VarNode(std::string name, DataType dtype)
+        : PrimExprNode(ExprKind::kVar, dtype), name(std::move(name)) {}
+
+    std::string name;
+};
+
+using Var = std::shared_ptr<const VarNode>;
+
+/** Binary operation; kind() distinguishes which one. */
+class BinaryNode : public PrimExprNode
+{
+  public:
+    BinaryNode(ExprKind kind, PrimExpr a, PrimExpr b, DataType dtype)
+        : PrimExprNode(kind, dtype), a(std::move(a)), b(std::move(b)) {}
+
+    PrimExpr a;
+    PrimExpr b;
+};
+
+/** Logical or arithmetic unary operation (kNot, kCast). */
+class UnaryNode : public PrimExprNode
+{
+  public:
+    UnaryNode(ExprKind kind, PrimExpr a, DataType dtype)
+        : PrimExprNode(kind, dtype), a(std::move(a)) {}
+
+    PrimExpr a;
+};
+
+/** Ternary select: cond ? true_value : false_value. */
+class SelectNode : public PrimExprNode
+{
+  public:
+    SelectNode(PrimExpr cond, PrimExpr tv, PrimExpr fv)
+        : PrimExprNode(ExprKind::kSelect, tv->dtype()), cond(std::move(cond)),
+          trueValue(std::move(tv)), falseValue(std::move(fv)) {}
+
+    PrimExpr cond;
+    PrimExpr trueValue;
+    PrimExpr falseValue;
+};
+
+/** Math intrinsic call by name (exp, sqrt, erf, tanh, log, sigmoid, ...). */
+class CallNode : public PrimExprNode
+{
+  public:
+    CallNode(std::string op, std::vector<PrimExpr> args, DataType dtype)
+        : PrimExprNode(ExprKind::kCall, dtype), op(std::move(op)),
+          args(std::move(args)) {}
+
+    std::string op;
+    std::vector<PrimExpr> args;
+};
+
+// ---------------------------------------------------------------------------
+// Factory helpers. Arithmetic factories constant-fold immediates eagerly.
+// ---------------------------------------------------------------------------
+
+/** Creates an i64 integer immediate. */
+PrimExpr intImm(int64_t value, DataType dtype = DataType::i64());
+
+/** Creates a float immediate. */
+PrimExpr floatImm(double value, DataType dtype = DataType::f32());
+
+/** Creates a fresh symbolic variable (i64 by default, as for shapes). */
+Var var(const std::string& name, DataType dtype = DataType::i64());
+
+PrimExpr add(PrimExpr a, PrimExpr b);
+PrimExpr sub(PrimExpr a, PrimExpr b);
+PrimExpr mul(PrimExpr a, PrimExpr b);
+PrimExpr floordiv(PrimExpr a, PrimExpr b);
+PrimExpr floormod(PrimExpr a, PrimExpr b);
+PrimExpr div(PrimExpr a, PrimExpr b);
+PrimExpr minExpr(PrimExpr a, PrimExpr b);
+PrimExpr maxExpr(PrimExpr a, PrimExpr b);
+PrimExpr eq(PrimExpr a, PrimExpr b);
+PrimExpr ne(PrimExpr a, PrimExpr b);
+PrimExpr lt(PrimExpr a, PrimExpr b);
+PrimExpr le(PrimExpr a, PrimExpr b);
+PrimExpr gt(PrimExpr a, PrimExpr b);
+PrimExpr ge(PrimExpr a, PrimExpr b);
+PrimExpr logicalAnd(PrimExpr a, PrimExpr b);
+PrimExpr logicalOr(PrimExpr a, PrimExpr b);
+PrimExpr logicalNot(PrimExpr a);
+PrimExpr select(PrimExpr cond, PrimExpr tv, PrimExpr fv);
+PrimExpr cast(PrimExpr value, DataType dtype);
+PrimExpr callIntrin(const std::string& op, std::vector<PrimExpr> args,
+                    DataType dtype);
+
+inline PrimExpr operator+(PrimExpr a, PrimExpr b) { return add(a, b); }
+inline PrimExpr operator-(PrimExpr a, PrimExpr b) { return sub(a, b); }
+inline PrimExpr operator*(PrimExpr a, PrimExpr b) { return mul(a, b); }
+inline PrimExpr operator+(PrimExpr a, int64_t b) { return add(a, intImm(b)); }
+inline PrimExpr operator-(PrimExpr a, int64_t b) { return sub(a, intImm(b)); }
+inline PrimExpr operator*(PrimExpr a, int64_t b) { return mul(a, intImm(b)); }
+inline PrimExpr operator*(int64_t a, PrimExpr b) { return mul(intImm(a), b); }
+
+/** Returns the value if the expression is an integer immediate. */
+const int64_t* asIntImm(const PrimExpr& expr);
+
+/** True iff the expression is the integer constant `value`. */
+bool isConstInt(const PrimExpr& expr, int64_t value);
+
+/** Renders the expression, e.g. "n * 4 + 1". */
+std::string toString(const PrimExpr& expr);
+
+/** Renders a shape tuple, e.g. "(n, 4)". */
+std::string toString(const std::vector<PrimExpr>& shape);
+
+} // namespace relax
+
+#endif // RELAX_ARITH_EXPR_H_

@@ -1,0 +1,109 @@
+#include "arith/structural.h"
+
+#include <functional>
+
+namespace relax {
+
+namespace {
+
+size_t
+hashCombine(size_t seed, size_t value)
+{
+    return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+} // namespace
+
+bool
+structuralEqual(const PrimExpr& a, const PrimExpr& b)
+{
+    if (a.get() == b.get()) return true;
+    if (!a || !b) return false;
+    if (a->kind() != b->kind() || a->dtype() != b->dtype()) return false;
+    switch (a->kind()) {
+      case ExprKind::kIntImm:
+        return static_cast<const IntImmNode*>(a.get())->value ==
+               static_cast<const IntImmNode*>(b.get())->value;
+      case ExprKind::kFloatImm:
+        return static_cast<const FloatImmNode*>(a.get())->value ==
+               static_cast<const FloatImmNode*>(b.get())->value;
+      case ExprKind::kVar:
+        return false; // identity compared above
+      case ExprKind::kNot:
+      case ExprKind::kCast: {
+        const auto* ua = static_cast<const UnaryNode*>(a.get());
+        const auto* ub = static_cast<const UnaryNode*>(b.get());
+        return structuralEqual(ua->a, ub->a);
+      }
+      case ExprKind::kSelect: {
+        const auto* sa = static_cast<const SelectNode*>(a.get());
+        const auto* sb = static_cast<const SelectNode*>(b.get());
+        return structuralEqual(sa->cond, sb->cond) &&
+               structuralEqual(sa->trueValue, sb->trueValue) &&
+               structuralEqual(sa->falseValue, sb->falseValue);
+      }
+      case ExprKind::kCall: {
+        const auto* ca = static_cast<const CallNode*>(a.get());
+        const auto* cb = static_cast<const CallNode*>(b.get());
+        if (ca->op != cb->op || ca->args.size() != cb->args.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < ca->args.size(); ++i) {
+            if (!structuralEqual(ca->args[i], cb->args[i])) return false;
+        }
+        return true;
+      }
+      case ExprKind::kBufferLoad:
+        return false; // identity only; tir loads are not shape expressions
+      default: {
+        const auto* ba = static_cast<const BinaryNode*>(a.get());
+        const auto* bb = static_cast<const BinaryNode*>(b.get());
+        return structuralEqual(ba->a, bb->a) && structuralEqual(ba->b, bb->b);
+      }
+    }
+}
+
+size_t
+structuralHash(const PrimExpr& expr)
+{
+    if (!expr) return 0;
+    size_t seed = hashCombine(static_cast<size_t>(expr->kind()),
+                              std::hash<int>()(expr->dtype().bits()));
+    switch (expr->kind()) {
+      case ExprKind::kIntImm:
+        return hashCombine(seed, std::hash<int64_t>()(
+            static_cast<const IntImmNode*>(expr.get())->value));
+      case ExprKind::kFloatImm:
+        return hashCombine(seed, std::hash<double>()(
+            static_cast<const FloatImmNode*>(expr.get())->value));
+      case ExprKind::kVar:
+      case ExprKind::kBufferLoad:
+        return hashCombine(seed, std::hash<const void*>()(expr.get()));
+      case ExprKind::kNot:
+      case ExprKind::kCast:
+        return hashCombine(
+            seed,
+            structuralHash(static_cast<const UnaryNode*>(expr.get())->a));
+      case ExprKind::kSelect: {
+        const auto* node = static_cast<const SelectNode*>(expr.get());
+        seed = hashCombine(seed, structuralHash(node->cond));
+        seed = hashCombine(seed, structuralHash(node->trueValue));
+        return hashCombine(seed, structuralHash(node->falseValue));
+      }
+      case ExprKind::kCall: {
+        const auto* node = static_cast<const CallNode*>(expr.get());
+        seed = hashCombine(seed, std::hash<std::string>()(node->op));
+        for (const auto& arg : node->args) {
+            seed = hashCombine(seed, structuralHash(arg));
+        }
+        return seed;
+      }
+      default: {
+        const auto* node = static_cast<const BinaryNode*>(expr.get());
+        seed = hashCombine(seed, structuralHash(node->a));
+        return hashCombine(seed, structuralHash(node->b));
+      }
+    }
+}
+
+} // namespace relax

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Structural equality and hashing for scalar expressions.
+ *
+ * Variables compare by node identity: two distinct Vars named "n" are
+ * different symbols. This matches the paper's semantics where symbolic
+ * variables are scoped to a function and related across functions only via
+ * explicit signature unification (§4.1).
+ */
+#ifndef RELAX_ARITH_STRUCTURAL_H_
+#define RELAX_ARITH_STRUCTURAL_H_
+
+#include <cstddef>
+
+#include "arith/expr.h"
+
+namespace relax {
+
+/** Deep structural equality; Vars compare by identity. */
+bool structuralEqual(const PrimExpr& a, const PrimExpr& b);
+
+/** Hash consistent with structuralEqual. */
+size_t structuralHash(const PrimExpr& expr);
+
+/** Hash functor for use in unordered containers keyed by PrimExpr. */
+struct PrimExprHash
+{
+    size_t operator()(const PrimExpr& e) const { return structuralHash(e); }
+};
+
+/** Equality functor matching PrimExprHash. */
+struct PrimExprEqual
+{
+    bool
+    operator()(const PrimExpr& a, const PrimExpr& b) const
+    {
+        return structuralEqual(a, b);
+    }
+};
+
+} // namespace relax
+
+#endif // RELAX_ARITH_STRUCTURAL_H_

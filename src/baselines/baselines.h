@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Analytic models of the comparison frameworks in §5: HuggingFace
+ * Transformers (eager and torch.compile), vLLM, llama.cpp, and the
+ * Whisper family. Each framework is characterized by its documented
+ * architectural traits — per-op dispatch overhead, elementwise fusion,
+ * library usage, attention implementation, and KV-cache policy — applied
+ * to the same roofline device model the Relax VM runs on. The paper's
+ * baseline gaps reduce to exactly these traits (see DESIGN.md §1).
+ */
+#ifndef RELAX_BASELINES_BASELINES_H_
+#define RELAX_BASELINES_BASELINES_H_
+
+#include <optional>
+#include <string>
+
+#include "device/device.h"
+#include "frontend/llama.h"
+
+namespace relax {
+namespace baselines {
+
+/** How a framework's KV cache behaves during decode. */
+enum class KvPolicy {
+    kReallocate, //!< torch.cat per step: copies the whole cache (HF eager)
+    kStaticMax,  //!< static cache padded to max length (torch.compile)
+    kInPlace     //!< paged / in-place append (vLLM, llama.cpp)
+};
+
+/** Architectural traits of one framework. */
+struct FrameworkTraits
+{
+    std::string name;
+    double perOpOverheadUs = 0.0; //!< host dispatch cost per kernel
+    double fixedStepOverheadUs = 0.0; //!< per-token overhead (sampling, glue)
+    bool fusesElementwise = false;
+    bool usesGemmLibrary = true;
+    bool fusedAttention = false; //!< FlashAttention / paged attention
+    KvPolicy kvPolicy = KvPolicy::kReallocate;
+    /** Hand-written kernel efficiency overrides (<0 keeps device default). */
+    double gemvEfficiencyOverride = -1.0;
+    double gemmEfficiencyOverride = -1.0;
+    /** Framework runs on CPU on this platform (llama.cpp on Android GPUs). */
+    bool cpuFallback = false;
+    /** Whether the framework supports the given backend at all. */
+    bool supportsCuda = true, supportsRocm = true, supportsMetal = true;
+};
+
+FrameworkTraits hfTransformers();
+FrameworkTraits hfTorchCompile();
+FrameworkTraits vllm();
+FrameworkTraits llamaCpp();
+
+/** One decode step workload. */
+struct DecodeWorkload
+{
+    frontend::LlamaConfig model;
+    int64_t batch = 1;
+    int64_t contextLen = 128; //!< KV length at this step
+};
+
+/** Latency of one decode step (all sequences), microseconds. */
+double decodeStepUs(const DecodeWorkload& workload,
+                    const device::DeviceSpec& spec,
+                    const FrameworkTraits& traits);
+
+/** Latency of a prefill over n tokens, microseconds. */
+double prefillUs(const frontend::LlamaConfig& model, int64_t batch,
+                 int64_t tokens, const device::DeviceSpec& spec,
+                 const FrameworkTraits& traits);
+
+/** True when the framework supports this device's backend. */
+bool supportsBackend(const FrameworkTraits& traits,
+                     const device::DeviceSpec& spec);
+
+} // namespace baselines
+} // namespace relax
+
+#endif // RELAX_BASELINES_BASELINES_H_

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Simulated device layer: stands in for the physical GPUs of the paper's
+ * evaluation (§5). Each device is described by a roofline model — memory
+ * bandwidth, FP16 throughput, kernel launch overhead — plus library
+ * availability and kernel-efficiency parameters calibrated to public
+ * spec sheets. Executing a kernel advances a virtual clock by
+ * max(bytes/bandwidth, flops/throughput)/efficiency + launch overhead;
+ * allocations are tracked for the memory study (Table 2).
+ *
+ * See DESIGN.md §1 for why a roofline simulator preserves the paper's
+ * relative comparisons (who wins, crossovers vs batch size).
+ */
+#ifndef RELAX_DEVICE_DEVICE_H_
+#define RELAX_DEVICE_DEVICE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.h"
+
+namespace relax {
+namespace device {
+
+/** Static description of a simulated device. */
+struct DeviceSpec
+{
+    std::string name;
+    std::string backend; //!< "cuda", "rocm", "metal", "opencl", "vulkan",
+                         //!< "webgpu", "cpu"
+
+    double memBandwidthGBs = 100.0; //!< device memory bandwidth
+    double fp16Tflops = 10.0;       //!< peak half-precision throughput
+    double fp32Tflops = 5.0;
+    double kernelLaunchUs = 5.0;    //!< per-kernel driver launch overhead
+    double graphReplayUs = 0.5;     //!< per-kernel cost inside graph replay
+    double graphCaptureUs = 50.0;   //!< one-time instantiation per graph
+    int64_t vramBytes = int64_t(8) << 30;
+
+    // Library availability (drives partial library lowering, §4.6).
+    bool hasGemmLibrary = false;      //!< cuBLAS / rocBLAS / MPS
+    bool hasAttentionLibrary = false; //!< FlashAttention
+    bool hasEpilogueLibrary = false;  //!< CUTLASS-style fused norms
+    bool supportsExecutionGraphs = false; //!< CUDA Graph equivalent
+
+    // Achieved fraction of roofline peak per kernel class.
+    double libGemmEfficiency = 0.85;  //!< vendor GEMM
+    double genGemmEfficiency = 0.45;  //!< compiler-generated GEMM
+    double genGemvEfficiency = 0.85;  //!< generated matrix-vector (bs=1)
+    double genElemwiseEfficiency = 0.80;
+    double libAttentionEfficiency = 0.80;
+};
+
+/** What one kernel launch costs. */
+struct KernelCost
+{
+    double flops = 0.0;
+    double bytes = 0.0;
+    /** Fraction of roofline peak this kernel achieves. */
+    double efficiency = 1.0;
+    /** Use FP32 peak instead of FP16. */
+    bool fp32 = false;
+};
+
+/**
+ * A simulated device instance: virtual clock + memory accounting +
+ * execution-graph state.
+ */
+class SimDevice
+{
+  public:
+    explicit SimDevice(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+    const DeviceSpec& spec() const { return spec_; }
+
+    /** Advances the clock for one kernel launch; returns its latency. */
+    double
+    launchKernel(const KernelCost& cost)
+    {
+        double compute_us =
+            cost.flops /
+            ((cost.fp32 ? spec_.fp32Tflops : spec_.fp16Tflops) * 1e6) /
+            std::max(cost.efficiency, 1e-6);
+        double memory_us = cost.bytes / (spec_.memBandwidthGBs * 1e3) /
+                           std::max(cost.efficiency, 1e-6);
+        double overhead_us = spec_.kernelLaunchUs;
+        if (replaying_) overhead_us = spec_.graphReplayUs;
+        double latency = std::max(compute_us, memory_us) + overhead_us;
+        clockUs_ += latency;
+        ++kernelLaunches_;
+        return latency;
+    }
+
+    /** Fixed host-side overhead (framework dispatch, python glue). */
+    void
+    hostOverhead(double us)
+    {
+        clockUs_ += us;
+    }
+
+    /** Allocates device memory; throws when VRAM is exhausted. */
+    void
+    alloc(int64_t bytes)
+    {
+        allocatedBytes_ += bytes;
+        totalAllocatedBytes_ += bytes;
+        peakBytes_ = std::max(peakBytes_, allocatedBytes_);
+        if (allocatedBytes_ > spec_.vramBytes) {
+            RELAX_THROW(RuntimeError)
+                << spec_.name << ": out of device memory (" << allocatedBytes_
+                << " bytes requested, " << spec_.vramBytes << " available)";
+        }
+    }
+
+    void
+    free(int64_t bytes)
+    {
+        allocatedBytes_ -= bytes;
+    }
+
+    // --- execution graph (CUDA Graph) state --------------------------------
+
+    /** Returns true when this (graph, shape signature) replays. */
+    bool
+    beginGraph(int64_t graph_id, const std::string& signature)
+    {
+        std::string key = std::to_string(graph_id) + "/" + signature;
+        replaying_ = capturedGraphs_.count(key) > 0;
+        capturing_ = !replaying_;
+        if (capturing_) {
+            capturedGraphs_.insert(key);
+            // One-time graph instantiation cost per captured graph.
+            clockUs_ += spec_.graphCaptureUs;
+        }
+        return replaying_;
+    }
+
+    void
+    endGraph()
+    {
+        replaying_ = false;
+        capturing_ = false;
+    }
+
+    // --- statistics ----------------------------------------------------------
+
+    double clockUs() const { return clockUs_; }
+    int64_t allocatedBytes() const { return allocatedBytes_; }
+    int64_t peakBytes() const { return peakBytes_; }
+    int64_t totalAllocatedBytes() const { return totalAllocatedBytes_; }
+    int64_t kernelLaunches() const { return kernelLaunches_; }
+
+    void
+    resetClock()
+    {
+        clockUs_ = 0.0;
+        kernelLaunches_ = 0;
+    }
+
+  private:
+    DeviceSpec spec_;
+    double clockUs_ = 0.0;
+    int64_t allocatedBytes_ = 0;
+    int64_t peakBytes_ = 0;
+    int64_t totalAllocatedBytes_ = 0;
+    int64_t kernelLaunches_ = 0;
+    bool capturing_ = false;
+    bool replaying_ = false;
+    std::set<std::string> capturedGraphs_;
+};
+
+/** Catalog of the devices used in the paper's evaluation (§5). */
+DeviceSpec rtx4090();
+DeviceSpec radeon7900xtx();
+DeviceSpec appleM2Ultra();
+DeviceSpec iphone14Pro();
+DeviceSpec samsungS23();
+DeviceSpec samsungS24();
+DeviceSpec orangePi5();
+DeviceSpec steamDeck();
+DeviceSpec jetsonOrin();
+DeviceSpec webgpuM3Max();
+
+/** Looks up a device spec by name; throws on unknown names. */
+DeviceSpec deviceByName(const std::string& name);
+
+} // namespace device
+} // namespace relax
+
+#endif // RELAX_DEVICE_DEVICE_H_

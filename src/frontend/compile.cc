@@ -1,0 +1,61 @@
+#include "frontend/compile.h"
+
+namespace relax {
+namespace frontend {
+
+passes::TargetInfo
+targetFromDevice(const device::DeviceSpec& spec,
+                 const CompileOptions& options)
+{
+    passes::TargetInfo target;
+    if (options.enableLibraryLowering && spec.hasGemmLibrary) {
+        if (spec.backend == "cuda") {
+            target.gemmLibrary = "cublas";
+        } else if (spec.backend == "rocm") {
+            target.gemmLibrary = "rocblas";
+        } else if (spec.backend == "metal") {
+            target.gemmLibrary = "mps";
+        }
+    }
+    if (options.enableLibraryLowering && spec.hasAttentionLibrary) {
+        target.attentionLibrary = "flashattn";
+    }
+    if (options.enableLibraryLowering && spec.hasEpilogueLibrary) {
+        target.epilogueLibrary = "cutlass";
+    }
+    target.supportsExecutionGraphs =
+        options.enableGraphOffload && spec.supportsExecutionGraphs;
+    target.libraryGemmMinRows = options.libraryGemmMinRows;
+    return target;
+}
+
+vm::ExecutablePtr
+compile(ir::IRModulePtr module, const CompileOptions& options)
+{
+    passes::TargetInfo target = targetFromDevice(options.device, options);
+    passes::Pipeline pipeline;
+    pipeline.add(passes::normalizePass()).add(passes::constantFoldPass());
+    if (options.enableLibraryLowering) {
+        pipeline.add(passes::partialLibraryLoweringPass(target));
+    }
+    pipeline.add(passes::legalizeOpsPass())
+        .add(passes::deadCodeEliminationPass())
+        .add(passes::annotateTIRPatternsPass());
+    if (options.enableFusion) {
+        pipeline.add(passes::fuseOpsPass())
+            .add(passes::fuseTensorIRPass());
+    }
+    pipeline.add(passes::workspaceLiftingPass())
+        .add(passes::lowerCallTIRPass());
+    if (options.enableMemoryPlanning) {
+        pipeline.add(passes::staticMemoryPlanPass(options.bounds));
+    }
+    if (target.supportsExecutionGraphs) {
+        pipeline.add(passes::graphOffloadPass(target));
+    }
+    module = pipeline.run(std::move(module), /*check_well_formed=*/false);
+    return vm::buildExecutable(module);
+}
+
+} // namespace frontend
+} // namespace relax

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * End-to-end compilation driver: runs the Fig. 13 pipeline for a target
+ * device and builds a VM executable. Individual optimizations can be
+ * toggled for the ablation study (Fig. 17).
+ */
+#ifndef RELAX_FRONTEND_COMPILE_H_
+#define RELAX_FRONTEND_COMPILE_H_
+
+#include "device/device.h"
+#include "passes/passes.h"
+#include "vm/exec.h"
+
+namespace relax {
+namespace frontend {
+
+/** Compilation options; defaults enable every optimization the target
+ *  supports. */
+struct CompileOptions
+{
+    device::DeviceSpec device;
+    passes::SymBounds bounds;
+    bool enableLibraryLowering = true;
+    bool enableFusion = true;
+    bool enableMemoryPlanning = true;
+    bool enableGraphOffload = true;
+    /** Minimum GEMM row count for library dispatch (see TargetInfo). */
+    int64_t libraryGemmMinRows = 2;
+};
+
+/** Derives the pass-facing target description from a device spec. */
+passes::TargetInfo targetFromDevice(const device::DeviceSpec& spec,
+                                    const CompileOptions& options);
+
+/** Optimizes and compiles the module into a VM executable. */
+vm::ExecutablePtr compile(ir::IRModulePtr module,
+                          const CompileOptions& options);
+
+} // namespace frontend
+} // namespace relax
+
+#endif // RELAX_FRONTEND_COMPILE_H_

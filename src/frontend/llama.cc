@@ -1,0 +1,444 @@
+#include "frontend/llama.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "op/ops.h"
+#include "op/tir_kernels.h"
+#include "shape/block_builder.h"
+
+namespace relax {
+namespace frontend {
+
+using namespace ir;
+using Var = ir::Var;
+
+int64_t
+LlamaConfig::weightBytes() const
+{
+    int64_t h = hiddenSize, f = ffnSize, v = vocabSize;
+    int64_t proj = numHeads * headDim;
+    int64_t per_layer_params = 4 * h * proj + 3 * h * f + 2 * h;
+    int64_t params = numLayers * per_layer_params + 2 * v * h + h;
+    switch (quant) {
+      case Quant::kF16: return params * 2;
+      case Quant::kQ4: return params / 2 + params / 16; // nibbles + scales
+      case Quant::kQ3: return params * 3 / 8 + params / 16;
+    }
+    return params * 2;
+}
+
+int64_t
+LlamaConfig::kvBytesPerToken() const
+{
+    return 2 * numLayers * numHeads * headDim * 2; // k+v, f16
+}
+
+LlamaConfig
+LlamaConfig::llama3_8b()
+{
+    LlamaConfig config;
+    config.name = "Llama3-8B";
+    config.hiddenSize = 4096;
+    config.numLayers = 32;
+    config.numHeads = 32;
+    config.headDim = 128;
+    config.ffnSize = 14336;
+    config.vocabSize = 128256;
+    config.maxContext = 8192;
+    return config;
+}
+
+LlamaConfig
+LlamaConfig::gemma1_1_7b()
+{
+    LlamaConfig config;
+    config.name = "Gemma1.1-7B";
+    config.hiddenSize = 3072;
+    config.numLayers = 28;
+    config.numHeads = 16;
+    config.headDim = 256;
+    config.ffnSize = 24576;
+    config.vocabSize = 256000;
+    config.maxContext = 8192;
+    config.activation = "gelu";
+    return config;
+}
+
+LlamaConfig
+LlamaConfig::qwen2_7b()
+{
+    LlamaConfig config;
+    config.name = "Qwen2-7B";
+    config.hiddenSize = 3584;
+    config.numLayers = 28;
+    config.numHeads = 28;
+    config.headDim = 128;
+    config.ffnSize = 18944;
+    config.vocabSize = 152064;
+    config.maxContext = 8192;
+    return config;
+}
+
+LlamaConfig
+LlamaConfig::llama2_7b()
+{
+    LlamaConfig config;
+    config.name = "Llama2-7B";
+    config.hiddenSize = 4096;
+    config.numLayers = 32;
+    config.numHeads = 32;
+    config.headDim = 128;
+    config.ffnSize = 11008;
+    config.vocabSize = 32000;
+    config.maxContext = 4096;
+    return config;
+}
+
+LlamaConfig
+LlamaConfig::phi3_mini()
+{
+    LlamaConfig config;
+    config.name = "Phi3-mini-4k";
+    config.hiddenSize = 3072;
+    config.numLayers = 32;
+    config.numHeads = 32;
+    config.headDim = 96;
+    config.ffnSize = 8192;
+    config.vocabSize = 32064;
+    config.maxContext = 4096;
+    return config;
+}
+
+LlamaConfig
+LlamaConfig::redpajama_3b()
+{
+    LlamaConfig config;
+    config.name = "RedPajama-3B";
+    config.hiddenSize = 2560;
+    config.numLayers = 32;
+    config.numHeads = 32;
+    config.headDim = 80;
+    config.ffnSize = 10240;
+    config.vocabSize = 50432;
+    config.maxContext = 2048;
+    return config;
+}
+
+LlamaConfig
+LlamaConfig::tiny()
+{
+    LlamaConfig config;
+    config.name = "tiny";
+    config.hiddenSize = 8;
+    config.numLayers = 2;
+    config.numHeads = 2;
+    config.headDim = 4;
+    config.ffnSize = 16;
+    config.vocabSize = 32;
+    config.maxContext = 64;
+    return config;
+}
+
+LlamaConfig
+LlamaConfig::withQuant(Quant q) const
+{
+    LlamaConfig config = *this;
+    config.quant = q;
+    std::string suffix = q == Quant::kQ4 ? "-q4" : q == Quant::kQ3 ? "-q3"
+                                                                    : "";
+    config.name += suffix;
+    return config;
+}
+
+namespace {
+
+/** Builder state shared between prefill and decode construction. */
+class LlamaBuilder
+{
+  public:
+    LlamaBuilder(const LlamaConfig& config, IRModulePtr module,
+                 std::vector<std::string>* weight_names)
+        : config_(config), module_(std::move(module)),
+          weightNames_(weight_names)
+    {
+        // The benchmark dtype: fp16 weights/activations; q4 packs weights.
+        dtype_ = DataType::f16();
+    }
+
+    /** Builds one function ("prefill" or "decode"). */
+    void
+    buildFunction(bool is_decode)
+    {
+        shape::BlockBuilder builder(module_);
+        weights_.clear();
+        params_.clear();
+
+        SymVar bvar = var("b");
+        PrimExpr b = config_.fixedBatch > 0
+                         ? PrimExpr(intImm(config_.fixedBatch))
+                         : PrimExpr(bvar);
+        SymVar n = is_decode ? SymVar() : var("n");
+        SymVar m = is_decode ? var("m") : SymVar();
+        PrimExpr seq = is_decode ? PrimExpr(intImm(1)) : PrimExpr(n);
+
+        Var ids = makeVar(
+            "ids", tensorSInfo({b, seq}, DataType::i64()));
+        params_.push_back(ids);
+        // Caches precede weights for decode.
+        std::vector<Var> k_caches, v_caches;
+        if (is_decode) {
+            for (int64_t layer = 0; layer < config_.numLayers; ++layer) {
+                k_caches.push_back(makeVar(
+                    "k_cache" + std::to_string(layer),
+                    tensorSInfo({b, intImm(config_.numHeads), m,
+                                 intImm(config_.headDim)},
+                                dtype_)));
+                v_caches.push_back(makeVar(
+                    "v_cache" + std::to_string(layer),
+                    tensorSInfo({b, intImm(config_.numHeads), m,
+                                 intImm(config_.headDim)},
+                                dtype_)));
+                params_.push_back(k_caches.back());
+                params_.push_back(v_caches.back());
+            }
+        }
+
+        builder.beginDataflowBlock();
+        Var embedding = weight("tok_embeddings",
+                               {config_.vocabSize, config_.hiddenSize});
+        Expr x = builder.emit(op::take(embedding, ids), "embed");
+
+        std::vector<Var> new_k, new_v;
+        for (int64_t layer = 0; layer < config_.numLayers; ++layer) {
+            x = buildLayer(builder, x, layer, is_decode, b, seq,
+                           is_decode ? Expr(k_caches[layer]) : Expr(),
+                           is_decode ? Expr(v_caches[layer]) : Expr(),
+                           &new_k, &new_v);
+        }
+        Var norm_w = weight("final_norm", {config_.hiddenSize});
+        Expr normed = builder.emit(op::rmsNorm(x, norm_w), "final_norm_out");
+        Var head = weight("lm_head", {config_.vocabSize,
+                                      config_.hiddenSize});
+        Var logits = builder.emitOutput(matmulWeight(builder, normed, head),
+                                        "logits");
+
+        // Outputs: logits plus the updated caches.
+        std::vector<Expr> outs{logits};
+        std::vector<Var> out_caches;
+        for (int64_t layer = 0; layer < config_.numLayers; ++layer) {
+            outs.push_back(new_k[layer]);
+            outs.push_back(new_v[layer]);
+        }
+        builder.endBlock();
+
+        builder.beginBindingBlock();
+        Var result = builder.emitOutput(makeTuple(outs), "result");
+        builder.endBlock();
+
+        params_.insert(params_.end(), weights_.begin(), weights_.end());
+        Function func = makeFunction(params_, builder.finish(result),
+                                     result->structInfo());
+        module_->addFunction(is_decode ? "decode" : "prefill", func);
+        if (weightNames_ && is_decode) {
+            weightNames_->clear();
+            for (const auto& w : weights_) weightNames_->push_back(w->name);
+        }
+    }
+
+  private:
+    /** Declares (or reuses) a named fp16 weight parameter. */
+    Var
+    weight(const std::string& name, std::vector<int64_t> dims)
+    {
+        std::vector<PrimExpr> shape;
+        for (int64_t d : dims) shape.push_back(intImm(d));
+        Var v = makeVar(name, tensorSInfo(std::move(shape), dtype_));
+        weights_.push_back(v);
+        return v;
+    }
+
+    /**
+     * x @ W^T for an [out, in] weight; under q4 quantization the weight is
+     * stored packed and decoded by the Fig. 9 custom tensor program that
+     * fusion later merges into the matmul.
+     */
+    Expr
+    matmulWeight(shape::BlockBuilder& builder, Expr x, Var w)
+    {
+        if (config_.quant == Quant::kF16) {
+            return builder.emit(op::matmul(x, w, /*transpose_b=*/true),
+                                w->name + "_mm");
+        }
+        // Quantized: w holds [out, in]; the packed params replace it.
+        const auto* tensor = asTensor(w->structInfo());
+        int64_t out_dim = *asIntImm((*tensor->shape)[0]);
+        int64_t in_dim = *asIntImm((*tensor->shape)[1]);
+        // Replace the fp16 weight with the packed params (erase by
+        // identity: other weights may have been declared since).
+        weights_.erase(std::find(weights_.begin(), weights_.end(), w));
+        Var wdata = makeVar(w->name + "_q4data",
+                            tensorSInfo({intImm(in_dim),
+                                         intImm((out_dim + 7) / 8)},
+                                        DataType::u32()));
+        Var wscale = makeVar(w->name + "_q4scale",
+                             tensorSInfo({intImm(in_dim),
+                                          intImm((out_dim + 31) / 32)},
+                                         dtype_));
+        weights_.push_back(wdata);
+        weights_.push_back(wscale);
+        std::string kernel_name = module_->uniqueName("decode_q4");
+        tir::PrimFunc decode = op::makeDecodeQ4Func(
+            kernel_name, intImm(in_dim), intImm(out_dim), dtype_);
+        GlobalVar gv = module_->addTIRFunc(decode);
+        Expr decoded = builder.emit(
+            callTIR(gv, {wdata, wscale},
+                    tensorSInfo({intImm(in_dim), intImm(out_dim)}, dtype_)),
+            w->name + "_deq");
+        return builder.emit(op::matmul(x, decoded), w->name + "_mm");
+    }
+
+    Expr
+    buildLayer(shape::BlockBuilder& builder, Expr x, int64_t layer,
+               bool is_decode, PrimExpr b, PrimExpr seq, Expr k_cache,
+               Expr v_cache, std::vector<Var>* new_k,
+               std::vector<Var>* new_v)
+    {
+        std::string prefix = "l" + std::to_string(layer) + "_";
+        int64_t h = config_.hiddenSize;
+        int64_t heads = config_.numHeads;
+        int64_t hd = config_.headDim;
+        int64_t proj = heads * hd;
+
+        Var attn_norm_w = weight(prefix + "attn_norm", {h});
+        Expr normed = builder.emit(op::rmsNorm(x, attn_norm_w),
+                                   prefix + "attn_norm_out");
+
+        auto project = [&](const std::string& name) {
+            Var w = weight(prefix + name, {proj, h});
+            Expr p = matmulWeight(builder, normed, w);
+            Expr reshaped = builder.emit(
+                op::reshape(p, makeShapeExpr({b, seq, intImm(heads),
+                                              intImm(hd)})),
+                prefix + name + "_r");
+            return builder.emit(op::permuteDims(reshaped, {0, 2, 1, 3}),
+                                prefix + name + "_t");
+        };
+        Expr q = project("wq");
+        Expr k = project("wk");
+        Expr v = project("wv");
+
+        Expr k_full = k, v_full = v;
+        if (is_decode) {
+            // Paged KV-cache append (runtime library, in-place semantics):
+            // avoids copying the whole cache per step like a functional
+            // concat would.
+            const auto* cache_info = asTensor(k_cache->structInfo());
+            PrimExpr m_plus = relax::add((*cache_info->shape)[2], intImm(1));
+            StructInfo appended = tensorSInfo(
+                {b, intImm(heads), m_plus, intImm(hd)}, dtype_);
+            k_full = builder.emit(
+                callDPSLibrary("kv.append", {k_cache, k}, appended),
+                prefix + "k_full");
+            v_full = builder.emit(
+                callDPSLibrary("kv.append", {v_cache, v}, appended),
+                prefix + "v_full");
+        }
+        new_k->push_back(builder.emitOutput(k_full, prefix + "k_out"));
+        new_v->push_back(builder.emitOutput(v_full, prefix + "v_out"));
+
+        double scale = 1.0 / std::sqrt((double)hd);
+        Expr attn = builder.emit(
+            op::attention(q, new_k->back(), new_v->back(), scale,
+                          /*causal=*/!is_decode),
+            prefix + "attn");
+        Expr attn_t = builder.emit(op::permuteDims(attn, {0, 2, 1, 3}),
+                                   prefix + "attn_t");
+        Expr attn_flat = builder.emit(
+            op::reshape(attn_t, makeShapeExpr({b, seq, intImm(proj)})),
+            prefix + "attn_flat");
+        Var wo = weight(prefix + "wo", {h, proj});
+        Expr o = matmulWeight(builder, attn_flat, wo);
+        Expr x1 = builder.emit(op::add(x, o), prefix + "resid1");
+
+        Var ffn_norm_w = weight(prefix + "ffn_norm", {h});
+        Expr h1 = builder.emit(op::rmsNorm(x1, ffn_norm_w),
+                               prefix + "ffn_norm_out");
+        Var w_gate = weight(prefix + "w_gate", {config_.ffnSize, h});
+        Var w_up = weight(prefix + "w_up", {config_.ffnSize, h});
+        Expr gate = matmulWeight(builder, h1, w_gate);
+        Expr up = matmulWeight(builder, h1, w_up);
+        Expr act = builder.emit(config_.activation == "gelu"
+                                    ? op::gelu(gate)
+                                    : op::silu(gate),
+                                prefix + "act");
+        Expr prod = builder.emit(op::multiply(act, up), prefix + "ffn_mul");
+        Var w_down = weight(prefix + "w_down", {h, config_.ffnSize});
+        Expr down = matmulWeight(builder, prod, w_down);
+        return builder.emit(op::add(x1, down), prefix + "resid2");
+    }
+
+    LlamaConfig config_;
+    IRModulePtr module_;
+    std::vector<std::string>* weightNames_;
+    DataType dtype_;
+    std::vector<Var> weights_;
+    std::vector<Var> params_;
+};
+
+} // namespace
+
+IRModulePtr
+buildLlama(const LlamaConfig& config, std::vector<std::string>* weight_names)
+{
+    auto module = IRModule::create();
+    LlamaBuilder builder(config, module, weight_names);
+    builder.buildFunction(/*is_decode=*/false);
+    builder.buildFunction(/*is_decode=*/true);
+    return module;
+}
+
+std::vector<NDArray>
+makeLlamaWeights(const LlamaConfig& config, bool with_data, unsigned seed)
+{
+    // Mirror the parameter order produced by the builder: embeddings,
+    // per-layer weights, final norm, lm head — introspected from the
+    // decode function to stay in sync.
+    std::vector<std::string> names;
+    IRModulePtr module = buildLlama(config, &names);
+    Function decode = module->getFunction("decode");
+    size_t skip = 1 + 2 * config.numLayers; // ids + caches
+    std::mt19937 rng(seed);
+    std::normal_distribution<double> dist(0.0, 0.05);
+    std::vector<NDArray> weights;
+    for (size_t i = skip; i < decode->params.size(); ++i) {
+        const auto* tensor = asTensor(decode->params[i]->structInfo());
+        std::vector<int64_t> shape;
+        for (const auto& dim : *tensor->shape) {
+            shape.push_back(*asIntImm(dim));
+        }
+        if (!with_data) {
+            weights.push_back(NDArray::metaOnly(shape, tensor->dtype));
+            continue;
+        }
+        NDArray array = NDArray::zeros(shape, tensor->dtype);
+        bool is_norm = decode->params[i]->name.find("norm") !=
+                       std::string::npos;
+        bool is_packed = tensor->dtype == DataType::u32();
+        for (int64_t j = 0; j < array.numel(); ++j) {
+            if (is_norm) {
+                array.set(j, 1.0);
+            } else if (is_packed) {
+                array.set(j, (double)(rng() & 0xFFFFFFFFu));
+            } else {
+                array.set(j, dist(rng));
+            }
+        }
+        weights.push_back(array);
+    }
+    return weights;
+}
+
+} // namespace frontend
+} // namespace relax

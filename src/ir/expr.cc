@@ -1,0 +1,378 @@
+#include "ir/expr.h"
+
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace relax {
+namespace ir {
+
+Var
+makeVar(const std::string& name, StructInfo sinfo, bool is_dataflow)
+{
+    auto v = std::make_shared<VarNode>(name, is_dataflow);
+    v->setStructInfo(std::move(sinfo));
+    return v;
+}
+
+Expr
+makeConstant(NDArray data)
+{
+    auto node = std::make_shared<ConstantNode>(std::move(data));
+    std::vector<PrimExpr> shape;
+    for (int64_t dim : node->data.shape()) shape.push_back(intImm(dim));
+    node->setStructInfo(tensorSInfo(std::move(shape), node->data.dtype()));
+    return node;
+}
+
+Expr
+makeShapeExpr(std::vector<PrimExpr> values)
+{
+    auto node = std::make_shared<ShapeExprNode>(std::move(values));
+    node->setStructInfo(shapeSInfo(node->values));
+    return node;
+}
+
+Expr
+makePrimValue(PrimExpr value)
+{
+    auto node = std::make_shared<PrimValueNode>(std::move(value));
+    node->setStructInfo(primSInfo(node->value->dtype(), node->value));
+    return node;
+}
+
+Expr
+makeTuple(std::vector<Expr> fields)
+{
+    auto node = std::make_shared<TupleNode>(std::move(fields));
+    std::vector<StructInfo> field_infos;
+    bool all_known = true;
+    for (const auto& field : node->fields) {
+        field_infos.push_back(field->structInfo());
+        all_known &= field->structInfo() != nullptr;
+    }
+    if (all_known) node->setStructInfo(tupleSInfo(std::move(field_infos)));
+    return node;
+}
+
+Expr
+makeTupleGetItem(Expr tuple, int index)
+{
+    auto node = std::make_shared<TupleGetItemNode>(std::move(tuple), index);
+    if (const auto* tuple_info = asTuple(node->tuple->structInfo())) {
+        if (index >= 0 && index < (int)tuple_info->fields.size()) {
+            node->setStructInfo(tuple_info->fields[index]);
+        }
+    }
+    return node;
+}
+
+GlobalVar
+makeGlobalVar(const std::string& name)
+{
+    return std::make_shared<GlobalVarNode>(name);
+}
+
+Expr
+makeExternFunc(const std::string& name)
+{
+    auto node = std::make_shared<ExternFuncNode>(name);
+    node->setStructInfo(opaqueCallableSInfo(objectSInfo()));
+    return node;
+}
+
+Call
+makeCall(Expr op, std::vector<Expr> args, Attrs attrs,
+         std::vector<StructInfo> sinfo_args)
+{
+    return std::make_shared<CallNode>(std::move(op), std::move(args),
+                                      std::move(attrs),
+                                      std::move(sinfo_args));
+}
+
+Expr
+makeIf(Expr cond, Expr then_branch, Expr else_branch)
+{
+    return std::make_shared<IfNode>(std::move(cond), std::move(then_branch),
+                                    std::move(else_branch));
+}
+
+SeqExpr
+makeSeqExpr(std::vector<BindingBlock> blocks, Expr body)
+{
+    auto node = std::make_shared<SeqExprNode>(std::move(blocks),
+                                              std::move(body));
+    if (node->body && node->body->structInfo()) {
+        node->setStructInfo(node->body->structInfo());
+    }
+    return node;
+}
+
+Function
+makeFunction(std::vector<Var> params, Expr body, StructInfo ret_sinfo)
+{
+    auto node = std::make_shared<FunctionNode>(std::move(params),
+                                               std::move(body), ret_sinfo);
+    std::vector<StructInfo> param_infos;
+    for (const auto& p : node->params) param_infos.push_back(p->structInfo());
+    node->setStructInfo(callableSInfo(std::move(param_infos),
+                                      std::move(ret_sinfo)));
+    return node;
+}
+
+Op
+getOp(const std::string& name)
+{
+    static std::mutex mutex;
+    static std::unordered_map<std::string, Op> registry;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = registry.emplace(name, nullptr);
+    if (inserted) it->second = std::make_shared<OpNode>(name);
+    return it->second;
+}
+
+Call
+callTIR(GlobalVar tir_func, std::vector<Expr> args, StructInfo out_sinfo,
+        std::vector<Expr> sym_args)
+{
+    std::vector<Expr> all_args;
+    all_args.push_back(std::move(tir_func));
+    all_args.insert(all_args.end(), args.begin(), args.end());
+    all_args.insert(all_args.end(), sym_args.begin(), sym_args.end());
+    Attrs attrs;
+    attrs["num_sym_args"] = (int64_t)sym_args.size();
+    Call call = makeCall(getOp("relax.call_tir"), std::move(all_args),
+                         std::move(attrs), {out_sinfo});
+    call->setStructInfo(out_sinfo);
+    return call;
+}
+
+Call
+callDPSLibrary(const std::string& func_name, std::vector<Expr> args,
+               StructInfo out_sinfo)
+{
+    std::vector<Expr> all_args;
+    all_args.push_back(makeExternFunc(func_name));
+    all_args.insert(all_args.end(), args.begin(), args.end());
+    Call call = makeCall(getOp("relax.call_dps_library"),
+                         std::move(all_args), {}, {out_sinfo});
+    call->setStructInfo(out_sinfo);
+    return call;
+}
+
+Call
+callPacked(const std::string& func_name, std::vector<Expr> args,
+           StructInfo out_sinfo)
+{
+    std::vector<Expr> all_args;
+    all_args.push_back(makeExternFunc(func_name));
+    all_args.insert(all_args.end(), args.begin(), args.end());
+    Call call = makeCall(getOp("relax.call_packed"), std::move(all_args), {},
+                         {out_sinfo});
+    call->setStructInfo(out_sinfo);
+    return call;
+}
+
+bool
+isOpCall(const Expr& expr, const std::string& op_name)
+{
+    if (!expr || expr->kind() != RxKind::kCall) return false;
+    const auto* call = static_cast<const CallNode*>(expr.get());
+    if (!call->op || call->op->kind() != RxKind::kOp) return false;
+    return static_cast<const OpNode*>(call->op.get())->name == op_name;
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void printExprInline(std::ostream& os, const Expr& expr);
+
+void
+printAttrValue(std::ostream& os, const AttrValue& value)
+{
+    if (std::holds_alternative<int64_t>(value)) {
+        os << std::get<int64_t>(value);
+    } else if (std::holds_alternative<double>(value)) {
+        os << std::get<double>(value);
+    } else if (std::holds_alternative<std::string>(value)) {
+        os << "\"" << std::get<std::string>(value) << "\"";
+    } else {
+        os << "[";
+        const auto& list = std::get<std::vector<int64_t>>(value);
+        for (size_t i = 0; i < list.size(); ++i) {
+            if (i) os << ", ";
+            os << list[i];
+        }
+        os << "]";
+    }
+}
+
+void
+printCall(std::ostream& os, const CallNode* call)
+{
+    printExprInline(os, call->op);
+    os << "(";
+    bool first = true;
+    for (const auto& arg : call->args) {
+        if (!first) os << ", ";
+        first = false;
+        printExprInline(os, arg);
+    }
+    for (const auto& [key, value] : call->attrs) {
+        if (key == "num_sym_args") continue;
+        if (!first) os << ", ";
+        first = false;
+        os << key << "=";
+        printAttrValue(os, value);
+    }
+    for (const auto& sinfo : call->sinfoArgs) {
+        if (!first) os << ", ";
+        first = false;
+        os << toString(sinfo);
+    }
+    os << ")";
+}
+
+void
+printExprInline(std::ostream& os, const Expr& expr)
+{
+    if (!expr) {
+        os << "<null>";
+        return;
+    }
+    switch (expr->kind()) {
+      case RxKind::kVar:
+        os << static_cast<const VarNode*>(expr.get())->name;
+        return;
+      case RxKind::kConstant: {
+        const auto& data = static_cast<const ConstantNode*>(expr.get())->data;
+        os << "const<";
+        for (size_t i = 0; i < data.shape().size(); ++i) {
+            if (i) os << "x";
+            os << data.shape()[i];
+        }
+        os << ", " << data.dtype().toString() << ">";
+        return;
+      }
+      case RxKind::kShapeExpr:
+        os << "shape"
+           << relax::toString(
+                  static_cast<const ShapeExprNode*>(expr.get())->values);
+        return;
+      case RxKind::kPrimValue:
+        os << relax::toString(
+            static_cast<const PrimValueNode*>(expr.get())->value);
+        return;
+      case RxKind::kTuple: {
+        os << "(";
+        const auto* node = static_cast<const TupleNode*>(expr.get());
+        for (size_t i = 0; i < node->fields.size(); ++i) {
+            if (i) os << ", ";
+            printExprInline(os, node->fields[i]);
+        }
+        os << ")";
+        return;
+      }
+      case RxKind::kTupleGetItem: {
+        const auto* node = static_cast<const TupleGetItemNode*>(expr.get());
+        printExprInline(os, node->tuple);
+        os << "[" << node->index << "]";
+        return;
+      }
+      case RxKind::kOp: {
+        std::string name = static_cast<const OpNode*>(expr.get())->name;
+        // Strip the "relax." prefix for readability, as in the paper.
+        if (name.rfind("relax.", 0) == 0) name = name.substr(6);
+        os << name;
+        return;
+      }
+      case RxKind::kGlobalVar:
+        os << "@" << static_cast<const GlobalVarNode*>(expr.get())->name;
+        return;
+      case RxKind::kExternFunc:
+        os << "\"" << static_cast<const ExternFuncNode*>(expr.get())->name
+           << "\"";
+        return;
+      case RxKind::kCall:
+        printCall(os, static_cast<const CallNode*>(expr.get()));
+        return;
+      default:
+        os << "<expr>";
+        return;
+    }
+}
+
+void
+printSeqBody(std::ostream& os, const Expr& body, int indent)
+{
+    std::string pad(indent * 2, ' ');
+    if (body->kind() == RxKind::kSeqExpr) {
+        const auto* seq = static_cast<const SeqExprNode*>(body.get());
+        for (const auto& block : seq->blocks) {
+            std::string inner_pad = pad;
+            if (block->isDataflow) {
+                os << pad << "with dataflow():\n";
+                inner_pad += "  ";
+            }
+            for (const auto& binding : block->bindings) {
+                os << inner_pad << binding.var->name;
+                if (binding.var->structInfo()) {
+                    os << ": " << toString(binding.var->structInfo());
+                }
+                os << " = ";
+                if (binding.isMatchCast) {
+                    os << "match_cast(";
+                    printExprInline(os, binding.value);
+                    os << ", " << toString(binding.castInfo) << ")";
+                } else if (binding.value->kind() == RxKind::kIf) {
+                    const auto* if_node =
+                        static_cast<const IfNode*>(binding.value.get());
+                    os << "if ";
+                    printExprInline(os, if_node->cond);
+                    os << " then ... else ...";
+                } else {
+                    printExprInline(os, binding.value);
+                }
+                os << "\n";
+            }
+        }
+        os << pad << "return ";
+        printExprInline(os, seq->body);
+        os << "\n";
+    } else {
+        os << pad << "return ";
+        printExprInline(os, body);
+        os << "\n";
+    }
+}
+
+} // namespace
+
+std::string
+toString(const Expr& expr, int indent)
+{
+    std::ostringstream os;
+    if (expr && expr->kind() == RxKind::kFunction) {
+        const auto* func = static_cast<const FunctionNode*>(expr.get());
+        std::string pad(indent * 2, ' ');
+        os << pad << "def fn(";
+        for (size_t i = 0; i < func->params.size(); ++i) {
+            if (i) os << ", ";
+            os << func->params[i]->name << ": "
+               << toString(func->params[i]->structInfo());
+        }
+        os << ")";
+        if (func->retSInfo) os << " -> " << toString(func->retSInfo);
+        os << ":\n";
+        printSeqBody(os, func->body, indent + 1);
+        return os.str();
+    }
+    printExprInline(os, expr);
+    return os.str();
+}
+
+} // namespace ir
+} // namespace relax

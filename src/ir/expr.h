@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Graph-level expressions of Relax (§3.1): variables, constants, shape
+ * expressions, tuples, calls (including the cross-level call_tir and
+ * call_dps_library primitives), dataflow blocks, match_cast bindings,
+ * conditionals and functions.
+ */
+#ifndef RELAX_IR_EXPR_H_
+#define RELAX_IR_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/struct_info.h"
+#include "tir/ndarray.h"
+
+namespace relax {
+namespace ir {
+
+class ExprNode;
+/** Handles are shared; nodes are immutable except for their annotation,
+ *  which deduction fills in after construction. */
+using Expr = std::shared_ptr<ExprNode>;
+
+/** Discriminator for graph-level expressions. */
+enum class RxKind : uint8_t {
+    kVar,
+    kConstant,
+    kShapeExpr,
+    kPrimValue,
+    kTuple,
+    kTupleGetItem,
+    kOp,
+    kGlobalVar,
+    kExternFunc,
+    kCall,
+    kIf,
+    kSeqExpr,
+    kFunction
+};
+
+/** Base class of graph-level expressions. */
+class ExprNode
+{
+  public:
+    explicit ExprNode(RxKind kind) : kind_(kind) {}
+    virtual ~ExprNode() = default;
+
+    RxKind kind() const { return kind_; }
+
+    /** The annotation; null until deduction assigns it. */
+    const StructInfo& structInfo() const { return structInfo_; }
+    void setStructInfo(StructInfo sinfo) { structInfo_ = std::move(sinfo); }
+
+  private:
+    RxKind kind_;
+    StructInfo structInfo_;
+};
+
+/**
+ * A graph-level variable. `isDataflow` marks variables scoped to a single
+ * dataflow block (not visible outside it).
+ */
+class VarNode : public ExprNode
+{
+  public:
+    VarNode(std::string name, bool is_dataflow)
+        : ExprNode(RxKind::kVar), name(std::move(name)),
+          isDataflow(is_dataflow) {}
+
+    std::string name;
+    bool isDataflow;
+};
+
+using Var = std::shared_ptr<VarNode>;
+
+/** A constant tensor (weights, lookup tables). */
+class ConstantNode : public ExprNode
+{
+  public:
+    explicit ConstantNode(NDArray data)
+        : ExprNode(RxKind::kConstant), data(std::move(data)) {}
+
+    NDArray data;
+};
+
+/** A first-class symbolic shape value, e.g. `shape(n, 4)` (§3.2). */
+class ShapeExprNode : public ExprNode
+{
+  public:
+    explicit ShapeExprNode(std::vector<PrimExpr> values)
+        : ExprNode(RxKind::kShapeExpr), values(std::move(values)) {}
+
+    std::vector<PrimExpr> values;
+};
+
+/** A scalar value lifted to the graph level. */
+class PrimValueNode : public ExprNode
+{
+  public:
+    explicit PrimValueNode(PrimExpr value)
+        : ExprNode(RxKind::kPrimValue), value(std::move(value)) {}
+
+    PrimExpr value;
+};
+
+/** Tuple construction. */
+class TupleNode : public ExprNode
+{
+  public:
+    explicit TupleNode(std::vector<Expr> fields)
+        : ExprNode(RxKind::kTuple), fields(std::move(fields)) {}
+
+    std::vector<Expr> fields;
+};
+
+/** Tuple projection. */
+class TupleGetItemNode : public ExprNode
+{
+  public:
+    TupleGetItemNode(Expr tuple, int index)
+        : ExprNode(RxKind::kTupleGetItem), tuple(std::move(tuple)),
+          index(index) {}
+
+    Expr tuple;
+    int index;
+};
+
+/** A registered high-level operator (e.g. "relax.matmul"). */
+class OpNode : public ExprNode
+{
+  public:
+    explicit OpNode(std::string name)
+        : ExprNode(RxKind::kOp), name(std::move(name)) {}
+
+    std::string name;
+};
+
+using Op = std::shared_ptr<OpNode>;
+
+/** Reference to a module-level function (graph- or tensor-level). */
+class GlobalVarNode : public ExprNode
+{
+  public:
+    explicit GlobalVarNode(std::string name)
+        : ExprNode(RxKind::kGlobalVar), name(std::move(name)) {}
+
+    std::string name;
+};
+
+using GlobalVar = std::shared_ptr<GlobalVarNode>;
+
+/** Reference to an external (library/builtin) function by name. */
+class ExternFuncNode : public ExprNode
+{
+  public:
+    explicit ExternFuncNode(std::string name)
+        : ExprNode(RxKind::kExternFunc), name(std::move(name)) {}
+
+    std::string name;
+};
+
+/** Attribute values attached to operator calls. */
+using AttrValue =
+    std::variant<int64_t, double, std::string, std::vector<int64_t>>;
+using Attrs = std::map<std::string, AttrValue>;
+
+/**
+ * A call. The callee may be an Op (high-level operator), a GlobalVar
+ * (subgraph function or, for call_tir, a tensor program), a Var holding a
+ * closure, or an ExternFunc.
+ *
+ * For the cross-level primitives (op "relax.call_tir" and
+ * "relax.call_dps_library"), `sinfoArgs` carries the output annotation —
+ * the paper's explicit shape information flowing from graph level into
+ * tensor programs (Fig. 4/5).
+ */
+class CallNode : public ExprNode
+{
+  public:
+    CallNode(Expr op, std::vector<Expr> args, Attrs attrs = {},
+             std::vector<StructInfo> sinfo_args = {})
+        : ExprNode(RxKind::kCall), op(std::move(op)), args(std::move(args)),
+          attrs(std::move(attrs)), sinfoArgs(std::move(sinfo_args)) {}
+
+    Expr op;
+    std::vector<Expr> args;
+    Attrs attrs;
+    std::vector<StructInfo> sinfoArgs;
+};
+
+using Call = std::shared_ptr<CallNode>;
+
+/**
+ * One binding `var = value`, or a match_cast
+ * `var = match_cast(value, struct_info)` which asserts the annotation at
+ * runtime and may introduce new symbolic variables (§3.2).
+ */
+struct Binding
+{
+    Var var;
+    Expr value;
+    bool isMatchCast = false;
+    StructInfo castInfo; //!< target annotation for match_cast
+};
+
+/**
+ * A straight-line sequence of bindings. When `isDataflow` is set the block
+ * is side effect-free and control-flow free (the paper's dataflow block),
+ * licensing aggressive rewrites such as DCE and fusion.
+ */
+class BindingBlockNode
+{
+  public:
+    explicit BindingBlockNode(bool is_dataflow) : isDataflow(is_dataflow) {}
+
+    bool isDataflow;
+    std::vector<Binding> bindings;
+};
+
+using BindingBlock = std::shared_ptr<BindingBlockNode>;
+
+/** Blocks followed by a result expression. */
+class SeqExprNode : public ExprNode
+{
+  public:
+    SeqExprNode(std::vector<BindingBlock> blocks, Expr body)
+        : ExprNode(RxKind::kSeqExpr), blocks(std::move(blocks)),
+          body(std::move(body)) {}
+
+    std::vector<BindingBlock> blocks;
+    Expr body;
+};
+
+using SeqExpr = std::shared_ptr<SeqExprNode>;
+
+/** Conditional expression; branches are sequences. */
+class IfNode : public ExprNode
+{
+  public:
+    IfNode(Expr cond, Expr then_branch, Expr else_branch)
+        : ExprNode(RxKind::kIf), cond(std::move(cond)),
+          thenBranch(std::move(then_branch)),
+          elseBranch(std::move(else_branch)) {}
+
+    Expr cond;
+    Expr thenBranch;
+    Expr elseBranch;
+};
+
+/** A graph-level function with annotated parameters and result (§4.1). */
+class FunctionNode : public ExprNode
+{
+  public:
+    FunctionNode(std::vector<Var> params, Expr body, StructInfo ret_sinfo)
+        : ExprNode(RxKind::kFunction), params(std::move(params)),
+          body(std::move(body)), retSInfo(std::move(ret_sinfo)) {}
+
+    std::vector<Var> params;
+    Expr body;
+    StructInfo retSInfo;
+    /** Free-form attributes (e.g. "is_subgraph" for fused functions). */
+    std::map<std::string, std::string> attrs;
+};
+
+using Function = std::shared_ptr<FunctionNode>;
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+Var makeVar(const std::string& name, StructInfo sinfo,
+            bool is_dataflow = false);
+Expr makeConstant(NDArray data);
+Expr makeShapeExpr(std::vector<PrimExpr> values);
+Expr makePrimValue(PrimExpr value);
+Expr makeTuple(std::vector<Expr> fields);
+Expr makeTupleGetItem(Expr tuple, int index);
+GlobalVar makeGlobalVar(const std::string& name);
+Expr makeExternFunc(const std::string& name);
+Call makeCall(Expr op, std::vector<Expr> args, Attrs attrs = {},
+              std::vector<StructInfo> sinfo_args = {});
+Expr makeIf(Expr cond, Expr then_branch, Expr else_branch);
+SeqExpr makeSeqExpr(std::vector<BindingBlock> blocks, Expr body);
+Function makeFunction(std::vector<Var> params, Expr body,
+                      StructInfo ret_sinfo);
+
+/** Interned operator handle; same name returns the same node. */
+Op getOp(const std::string& name);
+
+/** The cross-level call primitives (Fig. 4). */
+Call callTIR(GlobalVar tir_func, std::vector<Expr> args, StructInfo out_sinfo,
+             std::vector<Expr> sym_args = {});
+Call callDPSLibrary(const std::string& func_name, std::vector<Expr> args,
+                    StructInfo out_sinfo);
+
+/**
+ * Call into a runtime builtin that allocates its own result (used for
+ * data-dependent operators like unique, whose output size cannot be
+ * pre-allocated in destination-passing style).
+ */
+Call callPacked(const std::string& func_name, std::vector<Expr> args,
+                StructInfo out_sinfo);
+
+/** True if `call` invokes the given named op. */
+bool isOpCall(const Expr& expr, const std::string& op_name);
+
+/** Renders an expression in the paper's surface syntax. */
+std::string toString(const Expr& expr, int indent = 0);
+
+} // namespace ir
+} // namespace relax
+
+#endif // RELAX_IR_EXPR_H_

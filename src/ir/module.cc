@@ -1,0 +1,207 @@
+#include "ir/module.h"
+
+#include <functional>
+#include <sstream>
+#include <unordered_set>
+
+namespace relax {
+namespace ir {
+
+std::string
+IRModule::toString() const
+{
+    std::ostringstream os;
+    for (const auto& [name, func] : relaxFuncs_) {
+        std::string text = ir::toString(func);
+        // Replace the generic "fn" with the module-level name.
+        size_t pos = text.find("def fn(");
+        if (pos != std::string::npos) {
+            text = text.substr(0, pos) + "def " + name + "(" +
+                   text.substr(pos + 7);
+        }
+        os << text << "\n";
+    }
+    for (const auto& [name, func] : tirFuncs_) {
+        os << tir::toString(func) << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Per-function well-formedness state. */
+class Checker
+{
+  public:
+    Checker(const IRModulePtr& module, const std::string& func_name)
+        : module_(module), funcName_(func_name) {}
+
+    void
+    run(const Function& func)
+    {
+        for (const auto& param : func->params) {
+            if (!param->structInfo()) {
+                fail("parameter " + param->name + " lacks StructInfo");
+            }
+            define(param);
+        }
+        if (!func->body) fail("function has no body");
+        if (func->body->kind() != RxKind::kSeqExpr) {
+            fail("function body must be a SeqExpr");
+        }
+        checkSeq(std::static_pointer_cast<SeqExprNode>(func->body));
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& message)
+    {
+        RELAX_THROW(IRError) << funcName_ << ": " << message;
+    }
+
+    void define(const Var& v) { defined_.insert(v.get()); }
+
+    void
+    checkSeq(const SeqExpr& seq)
+    {
+        for (const auto& block : seq->blocks) {
+            std::unordered_set<const VarNode*> block_dataflow_vars;
+            for (const auto& binding : block->bindings) {
+                if (!binding.var) fail("binding without a variable");
+                if (!binding.var->structInfo()) {
+                    fail("binding " + binding.var->name +
+                         " lacks StructInfo");
+                }
+                if (binding.isMatchCast && !binding.castInfo) {
+                    fail("match_cast for " + binding.var->name +
+                         " lacks a target annotation");
+                }
+                if (block->isDataflow &&
+                    binding.value->kind() == RxKind::kIf) {
+                    fail("control flow inside dataflow block at " +
+                         binding.var->name);
+                }
+                checkValue(binding.value, block->isDataflow);
+                define(binding.var);
+                if (binding.var->isDataflow) {
+                    block_dataflow_vars.insert(binding.var.get());
+                    if (!block->isDataflow) {
+                        fail("dataflow var " + binding.var->name +
+                             " bound outside a dataflow block");
+                    }
+                }
+            }
+            // Dataflow vars must not escape: remove them from scope.
+            for (const auto* v : block_dataflow_vars) defined_.erase(v);
+        }
+        checkUses(seq->body, false);
+    }
+
+    void
+    checkValue(const Expr& value, bool in_dataflow)
+    {
+        if (isOpCall(value, "relax.call_tir")) {
+            const auto* call = static_cast<const CallNode*>(value.get());
+            if (call->args.empty() ||
+                call->args[0]->kind() != RxKind::kGlobalVar) {
+                fail("call_tir callee must be a GlobalVar");
+            }
+            const auto* gv =
+                static_cast<const GlobalVarNode*>(call->args[0].get());
+            if (!module_->getTIRFunc(gv->name)) {
+                fail("call_tir target @" + gv->name +
+                     " is not a tensor program in the module");
+            }
+            if (call->sinfoArgs.empty()) {
+                fail("call_tir requires an output annotation");
+            }
+        } else if (isOpCall(value, "relax.call_dps_library")) {
+            const auto* call = static_cast<const CallNode*>(value.get());
+            if (call->args.empty() ||
+                call->args[0]->kind() != RxKind::kExternFunc) {
+                fail("call_dps_library callee must be an ExternFunc");
+            }
+            if (call->sinfoArgs.empty()) {
+                fail("call_dps_library requires an output annotation");
+            }
+        }
+        checkUses(value, in_dataflow);
+    }
+
+    void
+    checkUses(const Expr& expr, bool in_dataflow)
+    {
+        if (!expr) return;
+        switch (expr->kind()) {
+          case RxKind::kVar: {
+            const auto* v = static_cast<const VarNode*>(expr.get());
+            if (!defined_.count(v)) {
+                fail("use of undefined variable " + v->name +
+                     (v->isDataflow ? " (dataflow var escaping its block?)"
+                                    : ""));
+            }
+            return;
+          }
+          case RxKind::kCall: {
+            const auto* call = static_cast<const CallNode*>(expr.get());
+            // The callee GlobalVar/Op/Extern is not a variable use.
+            for (const auto& arg : call->args) {
+                if (arg->kind() != RxKind::kGlobalVar) {
+                    checkUses(arg, in_dataflow);
+                }
+            }
+            return;
+          }
+          case RxKind::kTuple:
+            for (const auto& field :
+                 static_cast<const TupleNode*>(expr.get())->fields) {
+                checkUses(field, in_dataflow);
+            }
+            return;
+          case RxKind::kTupleGetItem:
+            checkUses(static_cast<const TupleGetItemNode*>(expr.get())->tuple,
+                      in_dataflow);
+            return;
+          case RxKind::kIf: {
+            const auto* node = static_cast<const IfNode*>(expr.get());
+            checkUses(node->cond, in_dataflow);
+            // Branch bodies are nested sequences; check recursively with a
+            // scoped copy of definitions.
+            auto checkBranch = [&](const Expr& branch) {
+                if (!branch) fail("If branch missing");
+                if (branch->kind() == RxKind::kSeqExpr) {
+                    Checker nested(module_, funcName_);
+                    nested.defined_ = defined_;
+                    nested.checkSeq(
+                        std::static_pointer_cast<SeqExprNode>(branch));
+                } else {
+                    checkUses(branch, in_dataflow);
+                }
+            };
+            checkBranch(node->thenBranch);
+            checkBranch(node->elseBranch);
+            return;
+          }
+          default:
+            return;
+        }
+    }
+
+    IRModulePtr module_;
+    std::string funcName_;
+    std::unordered_set<const VarNode*> defined_;
+};
+
+} // namespace
+
+void
+wellFormed(const IRModulePtr& module)
+{
+    for (const auto& [name, func] : module->functions()) {
+        Checker checker(module, name);
+        checker.run(func);
+    }
+}
+
+} // namespace ir
+} // namespace relax

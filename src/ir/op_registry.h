@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Registry of high-level tensor operators. Each operator registers a shape
+ * deduction rule (§4.1), a legalization to a loop-level tensor program
+ * (partial lowering, §4.6), and cost metadata used by baselines.
+ *
+ * The table lives in ir so both the deduction engine and the lowering
+ * passes can consult it; the actual operator definitions are populated by
+ * the op module.
+ */
+#ifndef RELAX_IR_OP_REGISTRY_H_
+#define RELAX_IR_OP_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "ir/expr.h"
+#include "tir/stmt.h"
+
+namespace relax {
+namespace ir {
+
+/** Deduces the result annotation of a call from its argument annotations. */
+using FInferStructInfo = std::function<StructInfo(const CallNode& call)>;
+
+/**
+ * Builds the loop-level tensor program implementing a call. The generated
+ * function follows DPS: inputs then one output buffer. `name` is the
+ * module-unique function name to use.
+ */
+using FLegalize =
+    std::function<tir::PrimFunc(const CallNode& call, const std::string& name)>;
+
+/** Metadata describing one registered operator. */
+struct OpInfo
+{
+    std::string name;
+    FInferStructInfo inferStructInfo;
+    FLegalize legalize;
+};
+
+/** Global operator table. */
+class OpRegistry
+{
+  public:
+    static OpRegistry&
+    global()
+    {
+        static OpRegistry instance;
+        return instance;
+    }
+
+    /** Registers (or updates) an operator; returns the record for chaining. */
+    OpInfo&
+    registerOp(const std::string& name)
+    {
+        OpInfo& info = table_[name];
+        info.name = name;
+        return info;
+    }
+
+    /** Finds an operator record; null when not registered. */
+    const OpInfo*
+    find(const std::string& name) const
+    {
+        auto it = table_.find(name);
+        return it == table_.end() ? nullptr : &it->second;
+    }
+
+  private:
+    std::unordered_map<std::string, OpInfo> table_;
+};
+
+} // namespace ir
+} // namespace relax
+
+#endif // RELAX_IR_OP_REGISTRY_H_

@@ -1,0 +1,400 @@
+#include "ir/struct_info.h"
+
+#include <sstream>
+
+#include "arith/structural.h"
+#include "arith/substitute.h"
+
+namespace relax {
+namespace ir {
+
+StructInfo
+objectSInfo()
+{
+    static StructInfo instance = std::make_shared<ObjectSInfoNode>();
+    return instance;
+}
+
+StructInfo
+primSInfo(DataType dtype, PrimExpr value)
+{
+    return std::make_shared<PrimSInfoNode>(dtype, std::move(value));
+}
+
+StructInfo
+shapeSInfo(std::vector<PrimExpr> values)
+{
+    int ndim = (int)values.size();
+    return std::make_shared<ShapeSInfoNode>(std::move(values), ndim);
+}
+
+StructInfo
+shapeSInfoNDim(int ndim)
+{
+    return std::make_shared<ShapeSInfoNode>(std::nullopt, ndim);
+}
+
+StructInfo
+tensorSInfo(std::vector<PrimExpr> shape, DataType dtype)
+{
+    int ndim = (int)shape.size();
+    return std::make_shared<TensorSInfoNode>(std::move(shape), ndim, dtype);
+}
+
+StructInfo
+tensorSInfoNDim(int ndim, DataType dtype)
+{
+    return std::make_shared<TensorSInfoNode>(std::nullopt, ndim, dtype);
+}
+
+StructInfo
+tupleSInfo(std::vector<StructInfo> fields)
+{
+    return std::make_shared<TupleSInfoNode>(std::move(fields));
+}
+
+StructInfo
+callableSInfo(std::vector<StructInfo> params, StructInfo ret)
+{
+    return std::make_shared<CallableSInfoNode>(std::move(params),
+                                               std::move(ret));
+}
+
+StructInfo
+opaqueCallableSInfo(StructInfo ret)
+{
+    return std::make_shared<CallableSInfoNode>(std::nullopt, std::move(ret));
+}
+
+const TensorSInfoNode*
+asTensor(const StructInfo& sinfo)
+{
+    return sinfo && sinfo->kind() == SInfoKind::kTensor
+               ? static_cast<const TensorSInfoNode*>(sinfo.get())
+               : nullptr;
+}
+
+const ShapeSInfoNode*
+asShape(const StructInfo& sinfo)
+{
+    return sinfo && sinfo->kind() == SInfoKind::kShape
+               ? static_cast<const ShapeSInfoNode*>(sinfo.get())
+               : nullptr;
+}
+
+const TupleSInfoNode*
+asTuple(const StructInfo& sinfo)
+{
+    return sinfo && sinfo->kind() == SInfoKind::kTuple
+               ? static_cast<const TupleSInfoNode*>(sinfo.get())
+               : nullptr;
+}
+
+const CallableSInfoNode*
+asCallable(const StructInfo& sinfo)
+{
+    return sinfo && sinfo->kind() == SInfoKind::kCallable
+               ? static_cast<const CallableSInfoNode*>(sinfo.get())
+               : nullptr;
+}
+
+const PrimSInfoNode*
+asPrim(const StructInfo& sinfo)
+{
+    return sinfo && sinfo->kind() == SInfoKind::kPrim
+               ? static_cast<const PrimSInfoNode*>(sinfo.get())
+               : nullptr;
+}
+
+namespace {
+
+bool
+dimsEqual(const std::optional<std::vector<PrimExpr>>& a,
+          const std::optional<std::vector<PrimExpr>>& b)
+{
+    if (a.has_value() != b.has_value()) return false;
+    if (!a) return true;
+    if (a->size() != b->size()) return false;
+    for (size_t i = 0; i < a->size(); ++i) {
+        if (!structuralEqual((*a)[i], (*b)[i])) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+sInfoEqual(const StructInfo& a, const StructInfo& b)
+{
+    if (a.get() == b.get()) return true;
+    if (!a || !b || a->kind() != b->kind()) return false;
+    switch (a->kind()) {
+      case SInfoKind::kObject:
+        return true;
+      case SInfoKind::kPrim: {
+        const auto* pa = static_cast<const PrimSInfoNode*>(a.get());
+        const auto* pb = static_cast<const PrimSInfoNode*>(b.get());
+        if (pa->dtype != pb->dtype) return false;
+        if ((pa->value == nullptr) != (pb->value == nullptr)) return false;
+        return !pa->value || structuralEqual(pa->value, pb->value);
+      }
+      case SInfoKind::kShape: {
+        const auto* sa = static_cast<const ShapeSInfoNode*>(a.get());
+        const auto* sb = static_cast<const ShapeSInfoNode*>(b.get());
+        return sa->ndim == sb->ndim && dimsEqual(sa->values, sb->values);
+      }
+      case SInfoKind::kTensor: {
+        const auto* ta = static_cast<const TensorSInfoNode*>(a.get());
+        const auto* tb = static_cast<const TensorSInfoNode*>(b.get());
+        return ta->ndim == tb->ndim && ta->dtype == tb->dtype &&
+               dimsEqual(ta->shape, tb->shape);
+      }
+      case SInfoKind::kTuple: {
+        const auto* ta = static_cast<const TupleSInfoNode*>(a.get());
+        const auto* tb = static_cast<const TupleSInfoNode*>(b.get());
+        if (ta->fields.size() != tb->fields.size()) return false;
+        for (size_t i = 0; i < ta->fields.size(); ++i) {
+            if (!sInfoEqual(ta->fields[i], tb->fields[i])) return false;
+        }
+        return true;
+      }
+      case SInfoKind::kCallable: {
+        const auto* ca = static_cast<const CallableSInfoNode*>(a.get());
+        const auto* cb = static_cast<const CallableSInfoNode*>(b.get());
+        if (ca->params.has_value() != cb->params.has_value()) return false;
+        if (ca->params) {
+            if (ca->params->size() != cb->params->size()) return false;
+            for (size_t i = 0; i < ca->params->size(); ++i) {
+                if (!sInfoEqual((*ca->params)[i], (*cb->params)[i])) {
+                    return false;
+                }
+            }
+        }
+        return sInfoEqual(ca->ret, cb->ret);
+      }
+    }
+    return false;
+}
+
+bool
+sInfoCompatible(const StructInfo& target, const StructInfo& value)
+{
+    if (!target || target->kind() == SInfoKind::kObject) return true;
+    if (!value) return false;
+    if (value->kind() == SInfoKind::kObject) {
+        // Coarse value into specific slot: permitted, runtime-checked.
+        return true;
+    }
+    if (target->kind() != value->kind()) return false;
+    switch (target->kind()) {
+      case SInfoKind::kPrim: {
+        const auto* pt = static_cast<const PrimSInfoNode*>(target.get());
+        const auto* pv = static_cast<const PrimSInfoNode*>(value.get());
+        return pt->dtype == pv->dtype || pt->dtype.isVoid();
+      }
+      case SInfoKind::kShape: {
+        const auto* st = static_cast<const ShapeSInfoNode*>(target.get());
+        const auto* sv = static_cast<const ShapeSInfoNode*>(value.get());
+        if (st->ndim == kUnknownNDim || sv->ndim == kUnknownNDim) return true;
+        return st->ndim == sv->ndim;
+      }
+      case SInfoKind::kTensor: {
+        const auto* tt = static_cast<const TensorSInfoNode*>(target.get());
+        const auto* tv = static_cast<const TensorSInfoNode*>(value.get());
+        if (!tt->dtype.isVoid() && !tv->dtype.isVoid() &&
+            tt->dtype != tv->dtype) {
+            return false;
+        }
+        if (tt->ndim == kUnknownNDim || tv->ndim == kUnknownNDim) return true;
+        return tt->ndim == tv->ndim;
+      }
+      case SInfoKind::kTuple: {
+        const auto* tt = static_cast<const TupleSInfoNode*>(target.get());
+        const auto* tv = static_cast<const TupleSInfoNode*>(value.get());
+        if (tt->fields.size() != tv->fields.size()) return false;
+        for (size_t i = 0; i < tt->fields.size(); ++i) {
+            if (!sInfoCompatible(tt->fields[i], tv->fields[i])) return false;
+        }
+        return true;
+      }
+      case SInfoKind::kCallable:
+        return true; // signatures checked at call sites
+      case SInfoKind::kObject:
+        return true;
+    }
+    return false;
+}
+
+std::string
+toString(const StructInfo& sinfo)
+{
+    if (!sinfo) return "<?>";
+    std::ostringstream os;
+    switch (sinfo->kind()) {
+      case SInfoKind::kObject:
+        return "Object";
+      case SInfoKind::kPrim: {
+        const auto* node = static_cast<const PrimSInfoNode*>(sinfo.get());
+        os << "Prim(\"" << node->dtype.toString() << "\"";
+        if (node->value) os << ", " << relax::toString(node->value);
+        os << ")";
+        return os.str();
+      }
+      case SInfoKind::kShape: {
+        const auto* node = static_cast<const ShapeSInfoNode*>(sinfo.get());
+        if (node->values) {
+            os << "Shape(" << relax::toString(*node->values) << ")";
+        } else if (node->ndim != kUnknownNDim) {
+            os << "Shape(ndim=" << node->ndim << ")";
+        } else {
+            os << "Shape(ndim=None)";
+        }
+        return os.str();
+      }
+      case SInfoKind::kTensor: {
+        const auto* node = static_cast<const TensorSInfoNode*>(sinfo.get());
+        os << "Tensor(";
+        if (node->shape) {
+            os << relax::toString(*node->shape);
+        } else if (node->ndim != kUnknownNDim) {
+            os << "ndim=" << node->ndim;
+        } else {
+            os << "ndim=None";
+        }
+        os << ", \"" << node->dtype.toString() << "\")";
+        return os.str();
+      }
+      case SInfoKind::kTuple: {
+        const auto* node = static_cast<const TupleSInfoNode*>(sinfo.get());
+        os << "Tuple[";
+        for (size_t i = 0; i < node->fields.size(); ++i) {
+            if (i) os << ", ";
+            os << toString(node->fields[i]);
+        }
+        os << "]";
+        return os.str();
+      }
+      case SInfoKind::kCallable: {
+        const auto* node =
+            static_cast<const CallableSInfoNode*>(sinfo.get());
+        os << "Callable(";
+        if (node->params) {
+            os << "[";
+            for (size_t i = 0; i < node->params->size(); ++i) {
+                if (i) os << ", ";
+                os << toString((*node->params)[i]);
+            }
+            os << "], " << toString(node->ret);
+        } else {
+            os << "..., " << toString(node->ret);
+        }
+        os << ")";
+        return os.str();
+      }
+    }
+    return "<?>";
+}
+
+void
+collectSymVars(const StructInfo& sinfo,
+               std::unordered_set<const VarNode*>* out)
+{
+    if (!sinfo) return;
+    switch (sinfo->kind()) {
+      case SInfoKind::kObject:
+        return;
+      case SInfoKind::kPrim: {
+        const auto* node = static_cast<const PrimSInfoNode*>(sinfo.get());
+        if (node->value) collectVars(node->value, out);
+        return;
+      }
+      case SInfoKind::kShape: {
+        const auto* node = static_cast<const ShapeSInfoNode*>(sinfo.get());
+        if (node->values) {
+            for (const auto& v : *node->values) collectVars(v, out);
+        }
+        return;
+      }
+      case SInfoKind::kTensor: {
+        const auto* node = static_cast<const TensorSInfoNode*>(sinfo.get());
+        if (node->shape) {
+            for (const auto& d : *node->shape) collectVars(d, out);
+        }
+        return;
+      }
+      case SInfoKind::kTuple: {
+        for (const auto& field :
+             static_cast<const TupleSInfoNode*>(sinfo.get())->fields) {
+            collectSymVars(field, out);
+        }
+        return;
+      }
+      case SInfoKind::kCallable: {
+        const auto* node =
+            static_cast<const CallableSInfoNode*>(sinfo.get());
+        if (node->params) {
+            for (const auto& p : *node->params) collectSymVars(p, out);
+        }
+        collectSymVars(node->ret, out);
+        return;
+      }
+    }
+}
+
+StructInfo
+substituteSInfo(const StructInfo& sinfo, const VarMap& vmap)
+{
+    if (!sinfo || vmap.empty()) return sinfo;
+    switch (sinfo->kind()) {
+      case SInfoKind::kObject:
+        return sinfo;
+      case SInfoKind::kPrim: {
+        const auto* node = static_cast<const PrimSInfoNode*>(sinfo.get());
+        if (!node->value) return sinfo;
+        return primSInfo(node->dtype, substitute(node->value, vmap));
+      }
+      case SInfoKind::kShape: {
+        const auto* node = static_cast<const ShapeSInfoNode*>(sinfo.get());
+        if (!node->values) return sinfo;
+        std::vector<PrimExpr> values;
+        for (const auto& v : *node->values) {
+            values.push_back(substitute(v, vmap));
+        }
+        return shapeSInfo(std::move(values));
+      }
+      case SInfoKind::kTensor: {
+        const auto* node = static_cast<const TensorSInfoNode*>(sinfo.get());
+        if (!node->shape) return sinfo;
+        std::vector<PrimExpr> shape;
+        for (const auto& d : *node->shape) {
+            shape.push_back(substitute(d, vmap));
+        }
+        return tensorSInfo(std::move(shape), node->dtype);
+      }
+      case SInfoKind::kTuple: {
+        std::vector<StructInfo> fields;
+        for (const auto& field :
+             static_cast<const TupleSInfoNode*>(sinfo.get())->fields) {
+            fields.push_back(substituteSInfo(field, vmap));
+        }
+        return tupleSInfo(std::move(fields));
+      }
+      case SInfoKind::kCallable: {
+        const auto* node =
+            static_cast<const CallableSInfoNode*>(sinfo.get());
+        if (!node->params) {
+            return opaqueCallableSInfo(substituteSInfo(node->ret, vmap));
+        }
+        std::vector<StructInfo> params;
+        for (const auto& p : *node->params) {
+            params.push_back(substituteSInfo(p, vmap));
+        }
+        return callableSInfo(std::move(params),
+                             substituteSInfo(node->ret, vmap));
+      }
+    }
+    return sinfo;
+}
+
+} // namespace ir
+} // namespace relax

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * StructInfo: the annotation system of Relax (Table 1 of the paper).
+ *
+ * Every graph-level value carries an annotation conveying its structure:
+ *  - Object:   any runtime value (e.g. KV-cache handles),
+ *  - Prim:     a scalar, optionally a known symbolic expression,
+ *  - Shape:    a shape value, either full symbolic dims or only a rank,
+ *  - Tensor:   dtype plus either a first-class symbolic shape or only rank,
+ *  - Tuple:    fixed-arity product,
+ *  - Callable: function signature (parameter and result annotations).
+ *
+ * Tensor/Shape annotations holding PrimExpr dimensions are the paper's
+ * first-class symbolic shapes (§3.2); the ndim-only forms are the
+ * coarse-grained fallback used for data-dependent operators.
+ */
+#ifndef RELAX_IR_STRUCT_INFO_H_
+#define RELAX_IR_STRUCT_INFO_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "arith/expr.h"
+#include "arith/substitute.h"
+
+namespace relax {
+namespace ir {
+
+/** Symbolic scalar variable (an arith-level Var, the paper's sym_var()). */
+using SymVar = ::relax::Var;
+
+class StructInfoNode;
+using StructInfo = std::shared_ptr<const StructInfoNode>;
+
+/** Discriminator for annotation nodes. */
+enum class SInfoKind : uint8_t {
+    kObject,
+    kPrim,
+    kShape,
+    kTensor,
+    kTuple,
+    kCallable
+};
+
+/** Unknown rank sentinel. */
+inline constexpr int kUnknownNDim = -1;
+
+/** Base class for annotations; immutable. */
+class StructInfoNode
+{
+  public:
+    explicit StructInfoNode(SInfoKind kind) : kind_(kind) {}
+    virtual ~StructInfoNode() = default;
+
+    SInfoKind kind() const { return kind_; }
+
+  private:
+    SInfoKind kind_;
+};
+
+/** Any runtime value. */
+class ObjectSInfoNode : public StructInfoNode
+{
+  public:
+    ObjectSInfoNode() : StructInfoNode(SInfoKind::kObject) {}
+};
+
+/** A scalar; `value` is its symbolic expression when statically known. */
+class PrimSInfoNode : public StructInfoNode
+{
+  public:
+    PrimSInfoNode(DataType dtype, PrimExpr value)
+        : StructInfoNode(SInfoKind::kPrim), dtype(dtype),
+          value(std::move(value)) {}
+
+    DataType dtype;
+    PrimExpr value; //!< may be null when unknown
+};
+
+/** A shape value: symbolic dims when known, otherwise only the rank. */
+class ShapeSInfoNode : public StructInfoNode
+{
+  public:
+    ShapeSInfoNode(std::optional<std::vector<PrimExpr>> values, int ndim)
+        : StructInfoNode(SInfoKind::kShape), values(std::move(values)),
+          ndim(ndim) {}
+
+    std::optional<std::vector<PrimExpr>> values;
+    int ndim; //!< kUnknownNDim when even the rank is unknown
+};
+
+/** A tensor: dtype plus first-class symbolic shape or rank-only fallback. */
+class TensorSInfoNode : public StructInfoNode
+{
+  public:
+    TensorSInfoNode(std::optional<std::vector<PrimExpr>> shape, int ndim,
+                    DataType dtype)
+        : StructInfoNode(SInfoKind::kTensor), shape(std::move(shape)),
+          ndim(ndim), dtype(dtype) {}
+
+    std::optional<std::vector<PrimExpr>> shape;
+    int ndim;       //!< kUnknownNDim when rank unknown
+    DataType dtype; //!< void when unknown
+};
+
+/** Fixed-arity tuple. */
+class TupleSInfoNode : public StructInfoNode
+{
+  public:
+    explicit TupleSInfoNode(std::vector<StructInfo> fields)
+        : StructInfoNode(SInfoKind::kTuple), fields(std::move(fields)) {}
+
+    std::vector<StructInfo> fields;
+};
+
+/** Function signature; params nullopt means fully opaque callable. */
+class CallableSInfoNode : public StructInfoNode
+{
+  public:
+    CallableSInfoNode(std::optional<std::vector<StructInfo>> params,
+                      StructInfo ret)
+        : StructInfoNode(SInfoKind::kCallable), params(std::move(params)),
+          ret(std::move(ret)) {}
+
+    std::optional<std::vector<StructInfo>> params;
+    StructInfo ret;
+};
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+StructInfo objectSInfo();
+StructInfo primSInfo(DataType dtype, PrimExpr value = nullptr);
+StructInfo shapeSInfo(std::vector<PrimExpr> values);
+StructInfo shapeSInfoNDim(int ndim);
+StructInfo tensorSInfo(std::vector<PrimExpr> shape, DataType dtype);
+StructInfo tensorSInfoNDim(int ndim, DataType dtype);
+StructInfo tupleSInfo(std::vector<StructInfo> fields);
+StructInfo callableSInfo(std::vector<StructInfo> params, StructInfo ret);
+StructInfo opaqueCallableSInfo(StructInfo ret);
+
+// ---------------------------------------------------------------------------
+// Accessors / queries
+// ---------------------------------------------------------------------------
+
+const TensorSInfoNode* asTensor(const StructInfo& sinfo);
+const ShapeSInfoNode* asShape(const StructInfo& sinfo);
+const TupleSInfoNode* asTuple(const StructInfo& sinfo);
+const CallableSInfoNode* asCallable(const StructInfo& sinfo);
+const PrimSInfoNode* asPrim(const StructInfo& sinfo);
+
+/** Structural equality; symbolic dims compare via structuralEqual. */
+bool sInfoEqual(const StructInfo& a, const StructInfo& b);
+
+/**
+ * True when `value` can be passed where `target` is expected, possibly
+ * requiring a runtime check (coarse-to-fine is allowed per §4.1; the
+ * function boundary inserts lightweight shape checks).
+ */
+bool sInfoCompatible(const StructInfo& target, const StructInfo& value);
+
+/** Renders e.g. `Tensor((n, 4), "f32")` as in the paper. */
+std::string toString(const StructInfo& sinfo);
+
+/** Collects the symbolic variables referenced by the annotation. */
+void collectSymVars(const StructInfo& sinfo,
+                    std::unordered_set<const VarNode*>* out);
+
+/** Substitutes symbolic variables inside the annotation. */
+StructInfo substituteSInfo(const StructInfo& sinfo, const VarMap& vmap);
+
+} // namespace ir
+} // namespace relax
+
+#endif // RELAX_IR_STRUCT_INFO_H_

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small structural utilities over graph-level expressions used by passes:
+ * variable remapping, use counting and symbolic-variable collection.
+ */
+#ifndef RELAX_IR_UTILS_H_
+#define RELAX_IR_UTILS_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/expr.h"
+
+namespace relax {
+namespace ir {
+
+/** Maps graph-level variables to replacement expressions. */
+using RxVarMap = std::unordered_map<const VarNode*, Expr>;
+
+/**
+ * Replaces graph-variable references inside a (non-function) expression.
+ * Nested SeqExpr/If bodies are traversed; bound variables shadow.
+ */
+Expr substituteVars(const Expr& expr, const RxVarMap& map);
+
+/** Collects every graph variable referenced by the expression. */
+void collectVarUses(const Expr& expr,
+                    std::unordered_set<const VarNode*>* out);
+
+/**
+ * Collects the symbolic (shape) variables occurring in the expression's
+ * annotations and shape literals.
+ */
+void collectExprSymVars(const Expr& expr,
+                        std::unordered_set<const ::relax::VarNode*>* out);
+
+/**
+ * Substitutes symbolic shape variables through annotations and shape
+ * literals of an expression tree (used when inlining subgraph functions).
+ */
+Expr substituteSymVars(const Expr& expr, const VarMap& vmap);
+
+} // namespace ir
+} // namespace relax
+
+#endif // RELAX_IR_UTILS_H_

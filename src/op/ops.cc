@@ -1,0 +1,859 @@
+#include "op/ops.h"
+
+#include <cmath>
+
+#include "arith/analyzer.h"
+#include "ir/op_registry.h"
+#include "op/tir_kernels.h"
+
+namespace relax {
+namespace op {
+
+using ir::Attrs;
+using ir::AttrValue;
+using ir::Call;
+using ir::CallNode;
+using ir::Expr;
+using ir::StructInfo;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Infer-rule helpers
+// ---------------------------------------------------------------------------
+
+const ir::TensorSInfoNode*
+argTensor(const CallNode& call, size_t index, const char* op_name)
+{
+    RELAX_ICHECK(index < call.args.size())
+        << op_name << ": missing argument " << index;
+    const auto* tensor = ir::asTensor(call.args[index]->structInfo());
+    if (!tensor) {
+        RELAX_THROW(TypeError)
+            << op_name << ": argument " << index << " is not a Tensor (got "
+            << ir::toString(call.args[index]->structInfo()) << ")";
+    }
+    return tensor;
+}
+
+int64_t
+attrInt(const CallNode& call, const std::string& key, int64_t fallback)
+{
+    auto it = call.attrs.find(key);
+    if (it == call.attrs.end()) return fallback;
+    return std::get<int64_t>(it->second);
+}
+
+double
+attrDouble(const CallNode& call, const std::string& key, double fallback)
+{
+    auto it = call.attrs.find(key);
+    if (it == call.attrs.end()) return fallback;
+    return std::get<double>(it->second);
+}
+
+std::vector<int64_t>
+attrIntVector(const CallNode& call, const std::string& key)
+{
+    auto it = call.attrs.find(key);
+    RELAX_ICHECK(it != call.attrs.end()) << "missing attr " << key;
+    return std::get<std::vector<int64_t>>(it->second);
+}
+
+/** Numpy-style broadcast of two symbolic shapes; nullopt on mismatch. */
+std::optional<std::vector<PrimExpr>>
+broadcastShapes(const std::vector<PrimExpr>& a,
+                const std::vector<PrimExpr>& b)
+{
+    Analyzer analyzer;
+    const auto& longer = a.size() >= b.size() ? a : b;
+    const auto& shorter = a.size() >= b.size() ? b : a;
+    size_t offset = longer.size() - shorter.size();
+    std::vector<PrimExpr> out(longer.begin(), longer.end());
+    for (size_t d = 0; d < shorter.size(); ++d) {
+        const PrimExpr& x = longer[offset + d];
+        const PrimExpr& y = shorter[d];
+        if (isConstInt(y, 1)) continue;
+        if (isConstInt(x, 1)) {
+            out[offset + d] = y;
+        } else if (!analyzer.proveEqual(x, y)) {
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+DataType
+commonDType(const ir::TensorSInfoNode* a, const ir::TensorSInfoNode* b,
+            const char* op_name)
+{
+    if (a->dtype.isVoid()) return b->dtype;
+    if (b->dtype.isVoid()) return a->dtype;
+    if (a->dtype != b->dtype) {
+        RELAX_THROW(TypeError)
+            << op_name << ": dtype mismatch " << a->dtype.toString()
+            << " vs " << b->dtype.toString();
+    }
+    return a->dtype;
+}
+
+StructInfo
+inferEwBinary(const CallNode& call, const char* op_name)
+{
+    const auto* a = argTensor(call, 0, op_name);
+    const auto* b = argTensor(call, 1, op_name);
+    DataType dtype = commonDType(a, b, op_name);
+    if (!a->shape || !b->shape) {
+        int ndim = std::max(a->ndim, b->ndim);
+        return ir::tensorSInfoNDim(ndim, dtype);
+    }
+    auto out = broadcastShapes(*a->shape, *b->shape);
+    if (!out) {
+        RELAX_THROW(ShapeError)
+            << op_name << ": cannot broadcast "
+            << relax::toString(*a->shape) << " with "
+            << relax::toString(*b->shape);
+    }
+    return ir::tensorSInfo(std::move(*out), dtype);
+}
+
+StructInfo
+inferSameShape(const CallNode& call, const char* op_name)
+{
+    const auto* a = argTensor(call, 0, op_name);
+    if (!a->shape) return ir::tensorSInfoNDim(a->ndim, a->dtype);
+    return ir::tensorSInfo(*a->shape, a->dtype);
+}
+
+const std::vector<PrimExpr>&
+requireShape(const ir::TensorSInfoNode* tensor, const char* op_name)
+{
+    if (!tensor->shape) {
+        RELAX_THROW(ShapeError)
+            << op_name << ": operand shape unknown; insert match_cast to "
+            << "recover symbolic dims";
+    }
+    return *tensor->shape;
+}
+
+// ---------------------------------------------------------------------------
+// Legalization helpers
+// ---------------------------------------------------------------------------
+
+std::vector<PrimExpr>
+legalShape(const CallNode& call, size_t index, const char* op_name)
+{
+    const auto* tensor = argTensor(call, index, op_name);
+    return requireShape(tensor, op_name);
+}
+
+DataType
+legalDType(const CallNode& call, size_t index)
+{
+    return ir::asTensor(call.args[index]->structInfo())->dtype;
+}
+
+ScalarFn
+binaryFn(const std::string& op_name)
+{
+    if (op_name == "relax.add") {
+        return [](const std::vector<PrimExpr>& a) {
+            return relax::add(a[0], a[1]);
+        };
+    }
+    if (op_name == "relax.subtract") {
+        return [](const std::vector<PrimExpr>& a) {
+            return relax::sub(a[0], a[1]);
+        };
+    }
+    if (op_name == "relax.multiply") {
+        return [](const std::vector<PrimExpr>& a) {
+            return relax::mul(a[0], a[1]);
+        };
+    }
+    if (op_name == "relax.divide") {
+        return [](const std::vector<PrimExpr>& a) {
+            return relax::div(a[0], a[1]);
+        };
+    }
+    if (op_name == "relax.maximum") {
+        return [](const std::vector<PrimExpr>& a) {
+            return relax::maxExpr(a[0], a[1]);
+        };
+    }
+    return [](const std::vector<PrimExpr>& a) {
+        return relax::minExpr(a[0], a[1]);
+    };
+}
+
+ScalarFn
+unaryFn(const std::string& op_name)
+{
+    using V = std::vector<PrimExpr>;
+    if (op_name == "relax.relu") {
+        return [](const V& a) { return maxExpr(a[0], floatImm(0.0)); };
+    }
+    if (op_name == "relax.gelu") {
+        // 0.5 * x * (1 + erf(x / sqrt(2)))
+        return [](const V& a) {
+            PrimExpr half = floatImm(0.5);
+            PrimExpr erf_arg = relax::mul(a[0], floatImm(1.0 / M_SQRT2));
+            PrimExpr erf_term =
+                callIntrin("erf", {erf_arg}, DataType::f32());
+            return relax::mul(relax::mul(half, a[0]),
+                              relax::add(floatImm(1.0), erf_term));
+        };
+    }
+    if (op_name == "relax.silu") {
+        return [](const V& a) {
+            return relax::mul(a[0],
+                              callIntrin("sigmoid", {a[0]},
+                                         DataType::f32()));
+        };
+    }
+    if (op_name == "relax.exp") {
+        return
+            [](const V& a) { return callIntrin("exp", {a[0]},
+                                               DataType::f32()); };
+    }
+    if (op_name == "relax.negative") {
+        return [](const V& a) { return relax::sub(floatImm(0.0), a[0]); };
+    }
+    if (op_name == "relax.sqrt") {
+        return [](const V& a) {
+            return callIntrin("sqrt", {a[0]}, DataType::f32());
+        };
+    }
+    if (op_name == "relax.rsqrt") {
+        return [](const V& a) {
+            return callIntrin("rsqrt", {a[0]}, DataType::f32());
+        };
+    }
+    if (op_name == "relax.sigmoid") {
+        return [](const V& a) {
+            return callIntrin("sigmoid", {a[0]}, DataType::f32());
+        };
+    }
+    return [](const V& a) {
+        return callIntrin("tanh", {a[0]}, DataType::f32());
+    };
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+void
+ensureOpsRegistered()
+{
+    static bool done = [] {
+        auto& reg = ir::OpRegistry::global();
+
+        for (const char* name :
+             {"relax.add", "relax.subtract", "relax.multiply",
+              "relax.divide", "relax.maximum", "relax.minimum"}) {
+            ir::OpInfo& info = reg.registerOp(name);
+            std::string op_name = name;
+            info.inferStructInfo = [op_name](const CallNode& call) {
+                return inferEwBinary(call, op_name.c_str());
+            };
+            info.legalize = [op_name](const CallNode& call,
+                                      const std::string& fname) {
+                const auto* out = ir::asTensor(call.structInfo());
+                RELAX_ICHECK(out && out->shape) << "binary out shape";
+                return makeEwBinaryFunc(
+                    fname, legalShape(call, 0, op_name.c_str()),
+                    legalShape(call, 1, op_name.c_str()), *out->shape,
+                    legalDType(call, 0), binaryFn(op_name));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.multiply_scalar");
+            info.inferStructInfo = [](const CallNode& call) {
+                return inferSameShape(call, "multiply_scalar");
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                double value = attrDouble(call, "value", 1.0);
+                return makeEwUnaryFunc(
+                    fname, legalShape(call, 0, "multiply_scalar"),
+                    legalDType(call, 0), legalDType(call, 0),
+                    [value](const std::vector<PrimExpr>& a) {
+                        return relax::mul(a[0], floatImm(value));
+                    });
+            };
+        }
+
+        for (const char* name :
+             {"relax.relu", "relax.gelu", "relax.silu", "relax.exp",
+              "relax.negative", "relax.sqrt", "relax.rsqrt",
+              "relax.sigmoid", "relax.tanh"}) {
+            ir::OpInfo& info = reg.registerOp(name);
+            std::string op_name = name;
+            info.inferStructInfo = [op_name](const CallNode& call) {
+                return inferSameShape(call, op_name.c_str());
+            };
+            info.legalize = [op_name](const CallNode& call,
+                                      const std::string& fname) {
+                return makeEwUnaryFunc(fname,
+                                       legalShape(call, 0, op_name.c_str()),
+                                       legalDType(call, 0),
+                                       legalDType(call, 0),
+                                       unaryFn(op_name));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.cast");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* a = argTensor(call, 0, "cast");
+                DataType dtype = DataType::fromString(
+                    std::get<std::string>(call.attrs.at("dtype")));
+                if (!a->shape) return ir::tensorSInfoNDim(a->ndim, dtype);
+                return ir::tensorSInfo(*a->shape, dtype);
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                DataType dtype = DataType::fromString(
+                    std::get<std::string>(call.attrs.at("dtype")));
+                return makeEwUnaryFunc(
+                    fname, legalShape(call, 0, "cast"), legalDType(call, 0),
+                    dtype, [dtype](const std::vector<PrimExpr>& a) {
+                        return relax::cast(a[0], dtype);
+                    });
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.matmul");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* a = argTensor(call, 0, "matmul");
+                const auto* b = argTensor(call, 1, "matmul");
+                DataType dtype = commonDType(a, b, "matmul");
+                bool transpose_b = attrInt(call, "transpose_b", 0) != 0;
+                if (!a->shape || !b->shape) {
+                    int ndim = std::max(a->ndim, b->ndim);
+                    return ir::tensorSInfoNDim(ndim, dtype);
+                }
+                const auto& sa = *a->shape;
+                const auto& sb = *b->shape;
+                RELAX_ICHECK(sa.size() >= 2 && sb.size() >= 2)
+                    << "matmul operands must be >= 2-D";
+                PrimExpr k_a = sa.back();
+                PrimExpr k_b = transpose_b ? sb.back() : sb[sb.size() - 2];
+                Analyzer analyzer;
+                if (!analyzer.proveEqual(k_a, k_b)) {
+                    RELAX_THROW(ShapeError)
+                        << "matmul reduction dims differ: "
+                        << relax::toString(k_a) << " vs "
+                        << relax::toString(k_b);
+                }
+                if (sb.size() > 2 && sb.size() != sa.size()) {
+                    RELAX_THROW(ShapeError)
+                        << "batched matmul rank mismatch";
+                }
+                std::vector<PrimExpr> out(sa.begin(), sa.end() - 1);
+                out.push_back(transpose_b ? sb[sb.size() - 2] : sb.back());
+                return ir::tensorSInfo(std::move(out), dtype);
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                bool transpose_b = attrInt(call, "transpose_b", 0) != 0;
+                return makeMatmulFunc(fname, legalShape(call, 0, "matmul"),
+                                      legalShape(call, 1, "matmul"),
+                                      transpose_b, legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.softmax");
+            info.inferStructInfo = [](const CallNode& call) {
+                return inferSameShape(call, "softmax");
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                return makeSoftmaxFunc(fname,
+                                       legalShape(call, 0, "softmax"),
+                                       legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.causal_mask");
+            info.inferStructInfo = [](const CallNode& call) {
+                return inferSameShape(call, "causal_mask");
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                return makeCausalMaskFunc(
+                    fname, legalShape(call, 0, "causal_mask"),
+                    legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.attention");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* q = argTensor(call, 0, "attention");
+                const auto* k = argTensor(call, 1, "attention");
+                const auto* v = argTensor(call, 2, "attention");
+                DataType dtype = commonDType(q, v, "attention");
+                if (!q->shape || !k->shape || !v->shape) {
+                    return ir::tensorSInfoNDim(4, dtype);
+                }
+                RELAX_ICHECK(q->shape->size() == 4) << "attention is 4-D";
+                Analyzer analyzer;
+                if (!analyzer.proveEqual((*k->shape)[2], (*v->shape)[2])) {
+                    RELAX_THROW(ShapeError)
+                        << "attention: K and V sequence lengths differ";
+                }
+                std::vector<PrimExpr> out{(*q->shape)[0], (*q->shape)[1],
+                                          (*q->shape)[2], (*v->shape)[3]};
+                return ir::tensorSInfo(std::move(out), dtype);
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                return makeAttentionFunc(
+                    fname, legalShape(call, 0, "attention"),
+                    legalShape(call, 1, "attention"),
+                    legalShape(call, 2, "attention"),
+                    attrDouble(call, "scale", 1.0),
+                    attrInt(call, "causal", 0) != 0, legalDType(call, 0));
+            };
+        }
+
+        for (const char* name : {"relax.sum", "relax.mean", "relax.max"}) {
+            ir::OpInfo& info = reg.registerOp(name);
+            std::string op_name = name;
+            std::string kind = op_name.substr(6);
+            info.inferStructInfo = [op_name](const CallNode& call) {
+                const auto* a = argTensor(call, 0, op_name.c_str());
+                int axis = (int)attrInt(call, "axis", -1);
+                bool keepdims = attrInt(call, "keepdims", 0) != 0;
+                if (!a->shape) {
+                    int ndim = a->ndim == ir::kUnknownNDim
+                                   ? ir::kUnknownNDim
+                                   : a->ndim - (keepdims ? 0 : 1);
+                    return ir::tensorSInfoNDim(ndim, a->dtype);
+                }
+                int rank = (int)a->shape->size();
+                if (axis < 0) axis += rank;
+                std::vector<PrimExpr> out;
+                for (int d = 0; d < rank; ++d) {
+                    if (d == axis) {
+                        if (keepdims) out.push_back(intImm(1));
+                    } else {
+                        out.push_back((*a->shape)[d]);
+                    }
+                }
+                return ir::tensorSInfo(std::move(out), a->dtype);
+            };
+            info.legalize = [kind](const CallNode& call,
+                                   const std::string& fname) {
+                return makeReduceFunc(fname, kind,
+                                      legalShape(call, 0, kind.c_str()),
+                                      (int)attrInt(call, "axis", -1),
+                                      attrInt(call, "keepdims", 0) != 0,
+                                      legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.rms_norm");
+            info.inferStructInfo = [](const CallNode& call) {
+                return inferSameShape(call, "rms_norm");
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                return makeRMSNormFunc(fname,
+                                       legalShape(call, 0, "rms_norm"),
+                                       attrDouble(call, "eps", 1e-5),
+                                       legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.layer_norm");
+            info.inferStructInfo = [](const CallNode& call) {
+                return inferSameShape(call, "layer_norm");
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                return makeLayerNormFunc(fname,
+                                         legalShape(call, 0, "layer_norm"),
+                                         attrDouble(call, "eps", 1e-5),
+                                         legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.reshape");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* a = argTensor(call, 0, "reshape");
+                RELAX_ICHECK(call.args.size() == 2)
+                    << "reshape expects (tensor, shape)";
+                const auto* shape_info =
+                    ir::asShape(call.args[1]->structInfo());
+                if (!shape_info || !shape_info->values) {
+                    int ndim = shape_info ? shape_info->ndim
+                                          : ir::kUnknownNDim;
+                    return ir::tensorSInfoNDim(ndim, a->dtype);
+                }
+                const auto& target = *shape_info->values;
+                if (a->shape) {
+                    PrimExpr in_count = intImm(1);
+                    for (const auto& d : *a->shape) {
+                        in_count = relax::mul(in_count, d);
+                    }
+                    PrimExpr out_count = intImm(1);
+                    for (const auto& d : target) {
+                        out_count = relax::mul(out_count, d);
+                    }
+                    Analyzer analyzer;
+                    if (!analyzer.proveEqual(in_count, out_count)) {
+                        RELAX_THROW(ShapeError)
+                            << "reshape changes element count: "
+                            << relax::toString(in_count) << " vs "
+                            << relax::toString(out_count);
+                    }
+                }
+                return ir::tensorSInfo(target, a->dtype);
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                const auto* out = ir::asTensor(call.structInfo());
+                RELAX_ICHECK(out && out->shape) << "reshape out shape";
+                return makeReshapeFunc(fname, legalShape(call, 0, "reshape"),
+                                       *out->shape, legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.flatten");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* a = argTensor(call, 0, "flatten");
+                if (!a->shape) return ir::tensorSInfoNDim(1, a->dtype);
+                PrimExpr count = intImm(1);
+                for (const auto& d : *a->shape) {
+                    count = relax::mul(count, d);
+                }
+                Analyzer analyzer;
+                return ir::tensorSInfo({analyzer.simplify(count)}, a->dtype);
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                const auto* out = ir::asTensor(call.structInfo());
+                RELAX_ICHECK(out && out->shape) << "flatten out shape";
+                return makeReshapeFunc(fname, legalShape(call, 0, "flatten"),
+                                       *out->shape, legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.permute_dims");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* a = argTensor(call, 0, "permute_dims");
+                auto axes = attrIntVector(call, "axes");
+                if (!a->shape) {
+                    return ir::tensorSInfoNDim((int)axes.size(), a->dtype);
+                }
+                RELAX_ICHECK(axes.size() == a->shape->size())
+                    << "permutation rank mismatch";
+                std::vector<PrimExpr> out;
+                for (int64_t axis : axes) {
+                    out.push_back((*a->shape)[axis]);
+                }
+                return ir::tensorSInfo(std::move(out), a->dtype);
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                return makeTransposeFunc(fname,
+                                         legalShape(call, 0, "permute_dims"),
+                                         attrIntVector(call, "axes"),
+                                         legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.split");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* a = argTensor(call, 0, "split");
+                int sections = (int)attrInt(call, "sections", 1);
+                int axis = (int)attrInt(call, "axis", 0);
+                std::vector<StructInfo> fields;
+                if (!a->shape) {
+                    for (int s = 0; s < sections; ++s) {
+                        fields.push_back(
+                            ir::tensorSInfoNDim(a->ndim, a->dtype));
+                    }
+                    return ir::tupleSInfo(std::move(fields));
+                }
+                int rank = (int)a->shape->size();
+                if (axis < 0) axis += rank;
+                Analyzer analyzer;
+                std::vector<PrimExpr> part = *a->shape;
+                part[axis] = analyzer.simplify(
+                    floordiv((*a->shape)[axis], intImm(sections)));
+                for (int s = 0; s < sections; ++s) {
+                    fields.push_back(ir::tensorSInfo(part, a->dtype));
+                }
+                return ir::tupleSInfo(std::move(fields));
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                return makeSplitFunc(fname, legalShape(call, 0, "split"),
+                                     (int)attrInt(call, "sections", 1),
+                                     (int)attrInt(call, "axis", 0),
+                                     legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.concat");
+            info.inferStructInfo = [](const CallNode& call) {
+                RELAX_ICHECK(!call.args.empty()) << "concat of nothing";
+                int axis = (int)attrInt(call, "axis", 0);
+                const auto* first = argTensor(call, 0, "concat");
+                if (!first->shape) {
+                    return ir::tensorSInfoNDim(first->ndim, first->dtype);
+                }
+                int rank = (int)first->shape->size();
+                if (axis < 0) axis += rank;
+                std::vector<PrimExpr> out = *first->shape;
+                Analyzer analyzer;
+                for (size_t i = 1; i < call.args.size(); ++i) {
+                    const auto* t = argTensor(call, i, "concat");
+                    if (!t->shape) {
+                        return ir::tensorSInfoNDim(rank, first->dtype);
+                    }
+                    for (int d = 0; d < rank; ++d) {
+                        if (d == axis) {
+                            out[d] = relax::add(out[d], (*t->shape)[d]);
+                        } else if (!analyzer.proveEqual(out[d],
+                                                        (*t->shape)[d])) {
+                            RELAX_THROW(ShapeError)
+                                << "concat: non-axis dims differ";
+                        }
+                    }
+                }
+                Analyzer simplifier;
+                for (auto& d : out) d = simplifier.simplify(d);
+                return ir::tensorSInfo(std::move(out), first->dtype);
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                std::vector<std::vector<PrimExpr>> shapes;
+                for (size_t i = 0; i < call.args.size(); ++i) {
+                    shapes.push_back(legalShape(call, i, "concat"));
+                }
+                return makeConcatFunc(fname, shapes,
+                                      (int)attrInt(call, "axis", 0),
+                                      legalDType(call, 0));
+            };
+        }
+
+        {
+            ir::OpInfo& info = reg.registerOp("relax.take");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* table = argTensor(call, 0, "take");
+                const auto* ids = argTensor(call, 1, "take");
+                if (!table->shape || !ids->shape) {
+                    return ir::tensorSInfoNDim(
+                        ids->ndim == ir::kUnknownNDim ? ir::kUnknownNDim
+                                                      : ids->ndim + 1,
+                        table->dtype);
+                }
+                std::vector<PrimExpr> out = *ids->shape;
+                out.push_back((*table->shape)[1]);
+                return ir::tensorSInfo(std::move(out), table->dtype);
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                return makeTakeFunc(fname, legalShape(call, 0, "take"),
+                                    legalShape(call, 1, "take"),
+                                    legalDType(call, 0));
+            };
+        }
+
+        {
+            // Data-dependent output: only the coarse fallback annotation is
+            // deducible (Fig. 3); legalization stays a runtime builtin.
+            ir::OpInfo& info = reg.registerOp("relax.unique");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* a = argTensor(call, 0, "unique");
+                return ir::tensorSInfoNDim(1, a->dtype);
+            };
+            info.legalize = nullptr;
+        }
+
+        return true;
+    }();
+    (void)done;
+}
+
+// ---------------------------------------------------------------------------
+// Call constructors
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Call
+makeOpCall(const std::string& name, std::vector<Expr> args, Attrs attrs = {})
+{
+    ensureOpsRegistered();
+    return ir::makeCall(ir::getOp(name), std::move(args), std::move(attrs));
+}
+
+} // namespace
+
+Call add(Expr a, Expr b) { return makeOpCall("relax.add", {a, b}); }
+Call subtract(Expr a, Expr b)
+{
+    return makeOpCall("relax.subtract", {a, b});
+}
+Call multiply(Expr a, Expr b)
+{
+    return makeOpCall("relax.multiply", {a, b});
+}
+Call divide(Expr a, Expr b) { return makeOpCall("relax.divide", {a, b}); }
+Call maximum(Expr a, Expr b) { return makeOpCall("relax.maximum", {a, b}); }
+Call minimum(Expr a, Expr b) { return makeOpCall("relax.minimum", {a, b}); }
+
+Call
+multiplyScalar(Expr x, double value)
+{
+    Attrs attrs;
+    attrs["value"] = value;
+    return makeOpCall("relax.multiply_scalar", {x}, std::move(attrs));
+}
+
+Call relu(Expr x) { return makeOpCall("relax.relu", {x}); }
+Call gelu(Expr x) { return makeOpCall("relax.gelu", {x}); }
+Call silu(Expr x) { return makeOpCall("relax.silu", {x}); }
+Call exp(Expr x) { return makeOpCall("relax.exp", {x}); }
+Call negative(Expr x) { return makeOpCall("relax.negative", {x}); }
+Call sqrt(Expr x) { return makeOpCall("relax.sqrt", {x}); }
+Call rsqrt(Expr x) { return makeOpCall("relax.rsqrt", {x}); }
+Call sigmoid(Expr x) { return makeOpCall("relax.sigmoid", {x}); }
+Call tanh(Expr x) { return makeOpCall("relax.tanh", {x}); }
+
+Call
+cast(Expr x, DataType dtype)
+{
+    Attrs attrs;
+    attrs["dtype"] = dtype.toString();
+    return makeOpCall("relax.cast", {x}, std::move(attrs));
+}
+
+Call
+matmul(Expr a, Expr b, bool transpose_b)
+{
+    Attrs attrs;
+    attrs["transpose_b"] = (int64_t)(transpose_b ? 1 : 0);
+    return makeOpCall("relax.matmul", {a, b}, std::move(attrs));
+}
+
+Call softmax(Expr x) { return makeOpCall("relax.softmax", {x}); }
+
+Call
+rmsNorm(Expr x, Expr weight, double eps)
+{
+    Attrs attrs;
+    attrs["eps"] = eps;
+    return makeOpCall("relax.rms_norm", {x, weight}, std::move(attrs));
+}
+
+Call
+layerNorm(Expr x, Expr gamma, Expr beta, double eps)
+{
+    Attrs attrs;
+    attrs["eps"] = eps;
+    return makeOpCall("relax.layer_norm", {x, gamma, beta},
+                      std::move(attrs));
+}
+
+namespace {
+
+Call
+reduceCall(const std::string& name, Expr x, int axis, bool keepdims)
+{
+    Attrs attrs;
+    attrs["axis"] = (int64_t)axis;
+    attrs["keepdims"] = (int64_t)(keepdims ? 1 : 0);
+    return makeOpCall(name, {x}, std::move(attrs));
+}
+
+} // namespace
+
+Call sum(Expr x, int axis, bool keepdims)
+{
+    return reduceCall("relax.sum", x, axis, keepdims);
+}
+Call mean(Expr x, int axis, bool keepdims)
+{
+    return reduceCall("relax.mean", x, axis, keepdims);
+}
+Call maxReduce(Expr x, int axis, bool keepdims)
+{
+    return reduceCall("relax.max", x, axis, keepdims);
+}
+
+Call
+attention(Expr q, Expr k, Expr v, double scale, bool causal)
+{
+    Attrs attrs;
+    attrs["scale"] = scale;
+    attrs["causal"] = (int64_t)(causal ? 1 : 0);
+    return makeOpCall("relax.attention", {q, k, v}, std::move(attrs));
+}
+
+Call causalMask(Expr scores)
+{
+    return makeOpCall("relax.causal_mask", {scores});
+}
+
+Call
+reshape(Expr x, Expr new_shape)
+{
+    return makeOpCall("relax.reshape", {x, new_shape});
+}
+
+Call flatten(Expr x) { return makeOpCall("relax.flatten", {x}); }
+
+Call
+permuteDims(Expr x, std::vector<int64_t> axes)
+{
+    Attrs attrs;
+    attrs["axes"] = std::move(axes);
+    return makeOpCall("relax.permute_dims", {x}, std::move(attrs));
+}
+
+Call
+split(Expr x, int sections, int axis)
+{
+    Attrs attrs;
+    attrs["sections"] = (int64_t)sections;
+    attrs["axis"] = (int64_t)axis;
+    return makeOpCall("relax.split", {x}, std::move(attrs));
+}
+
+Call
+concat(std::vector<Expr> parts, int axis)
+{
+    Attrs attrs;
+    attrs["axis"] = (int64_t)axis;
+    return makeOpCall("relax.concat", std::move(parts), std::move(attrs));
+}
+
+Call take(Expr table, Expr ids)
+{
+    return makeOpCall("relax.take", {table, ids});
+}
+
+Call unique(Expr x) { return makeOpCall("relax.unique", {x}); }
+
+} // namespace op
+} // namespace relax

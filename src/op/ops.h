@@ -1,0 +1,78 @@
+/**
+ * @file
+ * High-level tensor operators: call constructors plus registration of
+ * shape-deduction rules (§4.1) and tensor-program legalizations (§4.6).
+ *
+ * Frontends construct calls with these helpers; BlockBuilder::emit then
+ * runs forward deduction using the registered rules.
+ */
+#ifndef RELAX_OP_OPS_H_
+#define RELAX_OP_OPS_H_
+
+#include "ir/expr.h"
+
+namespace relax {
+namespace op {
+
+/** Idempotently registers every operator into the global registry. */
+void ensureOpsRegistered();
+
+// --- elementwise binary ----------------------------------------------------
+ir::Call add(ir::Expr a, ir::Expr b);
+ir::Call subtract(ir::Expr a, ir::Expr b);
+ir::Call multiply(ir::Expr a, ir::Expr b);
+ir::Call divide(ir::Expr a, ir::Expr b);
+ir::Call maximum(ir::Expr a, ir::Expr b);
+ir::Call minimum(ir::Expr a, ir::Expr b);
+
+/** x * constant (e.g. attention 1/sqrt(d) scaling). */
+ir::Call multiplyScalar(ir::Expr x, double value);
+
+// --- elementwise unary -----------------------------------------------------
+ir::Call relu(ir::Expr x);
+ir::Call gelu(ir::Expr x);
+ir::Call silu(ir::Expr x);
+ir::Call exp(ir::Expr x);
+ir::Call negative(ir::Expr x);
+ir::Call sqrt(ir::Expr x);
+ir::Call rsqrt(ir::Expr x);
+ir::Call sigmoid(ir::Expr x);
+ir::Call tanh(ir::Expr x);
+ir::Call cast(ir::Expr x, DataType dtype);
+
+// --- linear algebra ----------------------------------------------------------
+/** Matrix multiply; transpose_b treats b as [m, k] (linear-layer weights). */
+ir::Call matmul(ir::Expr a, ir::Expr b, bool transpose_b = false);
+
+// --- normalization / reductions ---------------------------------------------
+ir::Call softmax(ir::Expr x);
+ir::Call rmsNorm(ir::Expr x, ir::Expr weight, double eps = 1e-5);
+ir::Call layerNorm(ir::Expr x, ir::Expr gamma, ir::Expr beta,
+                   double eps = 1e-5);
+ir::Call sum(ir::Expr x, int axis, bool keepdims = false);
+ir::Call mean(ir::Expr x, int axis, bool keepdims = false);
+ir::Call maxReduce(ir::Expr x, int axis, bool keepdims = false);
+
+// --- attention ----------------------------------------------------------------
+/** Fused scaled-dot-product attention over [b, h, seq, dim] operands. */
+ir::Call attention(ir::Expr q, ir::Expr k, ir::Expr v, double scale,
+                   bool causal);
+/** Standalone causal masking of score tensors. */
+ir::Call causalMask(ir::Expr scores);
+
+// --- shape manipulation --------------------------------------------------------
+ir::Call reshape(ir::Expr x, ir::Expr new_shape);
+ir::Call flatten(ir::Expr x);
+ir::Call permuteDims(ir::Expr x, std::vector<int64_t> axes);
+ir::Call split(ir::Expr x, int sections, int axis);
+ir::Call concat(std::vector<ir::Expr> parts, int axis);
+ir::Call take(ir::Expr table, ir::Expr ids);
+
+// --- data dependent -------------------------------------------------------------
+/** Deduplication; output length is data-dependent (coarse annotation). */
+ir::Call unique(ir::Expr x);
+
+} // namespace op
+} // namespace relax
+
+#endif // RELAX_OP_OPS_H_

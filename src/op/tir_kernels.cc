@@ -1,0 +1,726 @@
+#include "op/tir_kernels.h"
+
+#include "arith/analyzer.h"
+
+namespace relax {
+namespace op {
+
+using namespace tir;
+
+namespace {
+
+/** Broadcast-aware index projection: right-aligns `shape` under `indices`
+ *  and maps size-1 dims to index 0. */
+std::vector<PrimExpr>
+broadcastIndices(const std::vector<PrimExpr>& indices,
+                 const std::vector<PrimExpr>& shape)
+{
+    std::vector<PrimExpr> out;
+    size_t offset = indices.size() - shape.size();
+    for (size_t d = 0; d < shape.size(); ++d) {
+        if (isConstInt(shape[d], 1)) {
+            out.push_back(intImm(0));
+        } else {
+            out.push_back(indices[offset + d]);
+        }
+    }
+    return out;
+}
+
+PrimExpr
+product(const std::vector<PrimExpr>& dims)
+{
+    PrimExpr total = intImm(1);
+    for (const auto& d : dims) total = mul(total, d);
+    return total;
+}
+
+/** Decomposes a flat row-major index into per-dim indices. */
+std::vector<PrimExpr>
+unflatten(PrimExpr flat, const std::vector<PrimExpr>& shape)
+{
+    std::vector<PrimExpr> indices(shape.size());
+    PrimExpr rest = std::move(flat);
+    for (size_t d = shape.size(); d-- > 0;) {
+        if (d == 0) {
+            indices[d] = rest;
+        } else {
+            indices[d] = floormod(rest, shape[d]);
+            rest = floordiv(rest, shape[d]);
+        }
+    }
+    return indices;
+}
+
+} // namespace
+
+tir::PrimFunc
+makeEwBinaryFunc(const std::string& name, const std::vector<PrimExpr>& a_shape,
+                 const std::vector<PrimExpr>& b_shape,
+                 const std::vector<PrimExpr>& out_shape, DataType dtype,
+                 const ScalarFn& fn)
+{
+    Buffer a = makeBuffer("A", dtype, a_shape);
+    Buffer b = makeBuffer("B", dtype, b_shape);
+    Buffer y = makeBuffer("Y", dtype, out_shape);
+    auto loop_vars = makeLoopVars(out_shape.size());
+    auto indices = asExprs(loop_vars);
+    PrimExpr lhs = bufferLoad(a, broadcastIndices(indices, a_shape));
+    PrimExpr rhs = bufferLoad(b, broadcastIndices(indices, b_shape));
+    Stmt body = nestLoops(loop_vars, out_shape,
+                          makeStore(y, indices, fn({lhs, rhs})));
+    return makePrimFunc(name, {a, b, y}, body);
+}
+
+tir::PrimFunc
+makeEwUnaryFunc(const std::string& name, const std::vector<PrimExpr>& shape,
+                DataType in_dtype, DataType out_dtype, const ScalarFn& fn)
+{
+    Buffer a = makeBuffer("A", in_dtype, shape);
+    Buffer y = makeBuffer("Y", out_dtype, shape);
+    auto loop_vars = makeLoopVars(shape.size());
+    auto indices = asExprs(loop_vars);
+    Stmt body = nestLoops(loop_vars, shape,
+                          makeStore(y, indices, fn({bufferLoad(a, indices)})));
+    return makePrimFunc(name, {a, y}, body);
+}
+
+tir::PrimFunc
+makeMatmulFunc(const std::string& name, const std::vector<PrimExpr>& a_shape,
+               const std::vector<PrimExpr>& b_shape, bool transpose_b,
+               DataType dtype)
+{
+    RELAX_ICHECK(a_shape.size() >= 2 && b_shape.size() >= 2)
+        << name << ": matmul operands must be >= 2-D";
+    size_t batch_rank = a_shape.size() - 2;
+    PrimExpr n = a_shape[batch_rank];
+    PrimExpr k = a_shape[batch_rank + 1];
+    bool b_batched = b_shape.size() > 2;
+    RELAX_ICHECK(!b_batched || b_shape.size() == a_shape.size())
+        << name << ": batched matmul rank mismatch";
+    PrimExpr m = transpose_b ? b_shape[b_shape.size() - 2]
+                             : b_shape[b_shape.size() - 1];
+
+    std::vector<PrimExpr> out_shape(a_shape.begin(),
+                                    a_shape.begin() + batch_rank);
+    out_shape.push_back(n);
+    out_shape.push_back(m);
+
+    Buffer a = makeBuffer("A", dtype, a_shape);
+    Buffer b = makeBuffer("B", dtype, b_shape);
+    Buffer y = makeBuffer("Y", dtype, out_shape);
+
+    auto batch_vars = makeLoopVars(batch_rank, "b");
+    Var i = var("i"), j = var("j"), r = var("r");
+
+    std::vector<PrimExpr> a_idx = asExprs(batch_vars);
+    a_idx.push_back(i);
+    a_idx.push_back(r);
+    std::vector<PrimExpr> b_idx;
+    if (b_batched) b_idx = asExprs(batch_vars);
+    if (transpose_b) {
+        b_idx.push_back(j);
+        b_idx.push_back(r);
+    } else {
+        b_idx.push_back(r);
+        b_idx.push_back(j);
+    }
+    std::vector<PrimExpr> y_idx = asExprs(batch_vars);
+    y_idx.push_back(i);
+    y_idx.push_back(j);
+
+    Stmt init = makeIf(eq(r, intImm(0)), makeStore(y, y_idx, floatImm(0.0)));
+    Stmt update =
+        makeStore(y, y_idx,
+                  add(bufferLoad(y, y_idx),
+                      mul(bufferLoad(a, a_idx), bufferLoad(b, b_idx))));
+
+    std::vector<Var> loop_vars = batch_vars;
+    loop_vars.insert(loop_vars.end(), {i, j, r});
+    std::vector<PrimExpr> extents(a_shape.begin(),
+                                  a_shape.begin() + batch_rank);
+    extents.insert(extents.end(), {n, m, k});
+    Stmt body = nestLoops(loop_vars, extents, makeSeq({init, update}));
+    return makePrimFunc(name, {a, b, y}, body);
+}
+
+tir::PrimFunc
+makeSoftmaxFunc(const std::string& name, const std::vector<PrimExpr>& shape,
+                DataType dtype)
+{
+    Buffer a = makeBuffer("A", dtype, shape);
+    Buffer y = makeBuffer("Y", dtype, shape);
+    std::vector<PrimExpr> row_shape(shape.begin(), shape.end() - 1);
+    Buffer row_max = makeBuffer("row_max", DataType::f32(), row_shape);
+    Buffer row_sum = makeBuffer("row_sum", DataType::f32(), row_shape);
+    PrimExpr last = shape.back();
+    size_t rank = shape.size();
+
+    auto rowLoops = [&](const std::string& prefix, Stmt inner,
+                        const std::vector<Var>& vars) {
+        std::vector<PrimExpr> extents(shape.begin(), shape.end() - 1);
+        return nestLoops(vars, extents, std::move(inner));
+    };
+
+    // Pass 1: row max.
+    auto v1 = makeLoopVars(rank - 1, "a");
+    Var k1 = var("k");
+    std::vector<PrimExpr> row1 = asExprs(v1);
+    std::vector<PrimExpr> full1 = row1;
+    full1.push_back(k1);
+    Stmt max_init = makeIf(eq(k1, intImm(0)),
+                           makeStore(row_max, row1, floatImm(-1e30)));
+    Stmt max_update = makeStore(
+        row_max, row1, maxExpr(bufferLoad(row_max, row1),
+                               bufferLoad(a, full1)));
+    Stmt pass1 = rowLoops("a", makeFor(k1, last, makeSeq({max_init,
+                                                          max_update})),
+                          v1);
+
+    // Pass 2: exp-sum.
+    auto v2 = makeLoopVars(rank - 1, "b");
+    Var k2 = var("k");
+    std::vector<PrimExpr> row2 = asExprs(v2);
+    std::vector<PrimExpr> full2 = row2;
+    full2.push_back(k2);
+    Stmt sum_init =
+        makeIf(eq(k2, intImm(0)), makeStore(row_sum, row2, floatImm(0.0)));
+    Stmt sum_update = makeStore(
+        row_sum, row2,
+        add(bufferLoad(row_sum, row2),
+            callIntrin("exp",
+                       {sub(bufferLoad(a, full2),
+                            bufferLoad(row_max, row2))},
+                       DataType::f32())));
+    Stmt pass2 = rowLoops("b", makeFor(k2, last, makeSeq({sum_init,
+                                                          sum_update})),
+                          v2);
+
+    // Pass 3: normalize.
+    auto v3 = makeLoopVars(rank - 1, "c");
+    Var k3 = var("k");
+    std::vector<PrimExpr> row3 = asExprs(v3);
+    std::vector<PrimExpr> full3 = row3;
+    full3.push_back(k3);
+    Stmt pass3 = rowLoops(
+        "c",
+        makeFor(k3, last,
+                makeStore(y, full3,
+                          div(callIntrin("exp",
+                                         {sub(bufferLoad(a, full3),
+                                              bufferLoad(row_max, row3))},
+                                         DataType::f32()),
+                              bufferLoad(row_sum, row3)))),
+        v3);
+
+    Stmt body = makeAllocBuffer(
+        row_max, "local",
+        makeAllocBuffer(row_sum, "local", makeSeq({pass1, pass2, pass3})));
+    return makePrimFunc(name, {a, y}, body);
+}
+
+tir::PrimFunc
+makeReduceFunc(const std::string& name, const std::string& reduce_kind,
+               const std::vector<PrimExpr>& shape, int axis, bool keepdims,
+               DataType dtype)
+{
+    if (axis < 0) axis += (int)shape.size();
+    RELAX_ICHECK(axis >= 0 && axis < (int)shape.size()) << "bad axis";
+    std::vector<PrimExpr> out_shape;
+    for (int d = 0; d < (int)shape.size(); ++d) {
+        if (d == axis) {
+            if (keepdims) out_shape.push_back(intImm(1));
+        } else {
+            out_shape.push_back(shape[d]);
+        }
+    }
+    Buffer a = makeBuffer("A", dtype, shape);
+    Buffer y = makeBuffer("Y", dtype, out_shape);
+
+    auto outer_vars = makeLoopVars(shape.size() - 1, "o");
+    Var k = var("k");
+    std::vector<PrimExpr> in_idx;
+    std::vector<PrimExpr> out_idx;
+    {
+        size_t next = 0;
+        for (int d = 0; d < (int)shape.size(); ++d) {
+            if (d == axis) {
+                in_idx.push_back(k);
+                if (keepdims) out_idx.push_back(intImm(0));
+            } else {
+                in_idx.push_back(outer_vars[next]);
+                out_idx.push_back(outer_vars[next]);
+                ++next;
+            }
+        }
+    }
+
+    double init_value = reduce_kind == "max" ? -1e30 : 0.0;
+    Stmt init = makeIf(eq(k, intImm(0)),
+                       makeStore(y, out_idx, floatImm(init_value)));
+    PrimExpr combined;
+    if (reduce_kind == "max") {
+        combined = maxExpr(bufferLoad(y, out_idx), bufferLoad(a, in_idx));
+    } else {
+        combined = add(bufferLoad(y, out_idx), bufferLoad(a, in_idx));
+    }
+    std::vector<Stmt> steps{init, makeStore(y, out_idx, combined)};
+    if (reduce_kind == "mean") {
+        steps.push_back(makeIf(
+            eq(k, sub(shape[axis], intImm(1))),
+            makeStore(y, out_idx,
+                      div(bufferLoad(y, out_idx),
+                          cast(shape[axis], DataType::f32())))));
+    }
+
+    std::vector<Var> loop_vars = outer_vars;
+    loop_vars.push_back(k);
+    std::vector<PrimExpr> extents;
+    for (int d = 0; d < (int)shape.size(); ++d) {
+        if (d != axis) extents.push_back(shape[d]);
+    }
+    extents.push_back(shape[axis]);
+    Stmt body = nestLoops(loop_vars, extents, makeSeq(std::move(steps)));
+    return makePrimFunc(name, {a, y}, body);
+}
+
+tir::PrimFunc
+makeRMSNormFunc(const std::string& name, const std::vector<PrimExpr>& shape,
+                double eps, DataType dtype)
+{
+    PrimExpr last = shape.back();
+    std::vector<PrimExpr> row_shape(shape.begin(), shape.end() - 1);
+    Buffer a = makeBuffer("A", dtype, shape);
+    Buffer w = makeBuffer("Wn", dtype, {last});
+    Buffer y = makeBuffer("Y", dtype, shape);
+    Buffer ss = makeBuffer("sqsum", DataType::f32(), row_shape);
+
+    size_t rank = shape.size();
+    auto v1 = makeLoopVars(rank - 1, "a");
+    Var k1 = var("k");
+    std::vector<PrimExpr> row1 = asExprs(v1);
+    std::vector<PrimExpr> full1 = row1;
+    full1.push_back(k1);
+    Stmt init = makeIf(eq(k1, intImm(0)), makeStore(ss, row1, floatImm(0.0)));
+    Stmt acc = makeStore(ss, row1,
+                         add(bufferLoad(ss, row1),
+                             mul(bufferLoad(a, full1), bufferLoad(a, full1))));
+    std::vector<PrimExpr> extents1(shape.begin(), shape.end());
+    std::vector<Var> loops1 = v1;
+    loops1.push_back(k1);
+    Stmt pass1 = nestLoops(loops1, extents1, makeSeq({init, acc}));
+
+    auto v2 = makeLoopVars(rank - 1, "b");
+    Var k2 = var("k");
+    std::vector<PrimExpr> row2 = asExprs(v2);
+    std::vector<PrimExpr> full2 = row2;
+    full2.push_back(k2);
+    PrimExpr inv = callIntrin(
+        "rsqrt",
+        {add(div(bufferLoad(ss, row2), cast(last, DataType::f32())),
+             floatImm(eps))},
+        DataType::f32());
+    std::vector<Var> loops2 = v2;
+    loops2.push_back(k2);
+    Stmt pass2 = nestLoops(
+        loops2, extents1,
+        makeStore(y, full2,
+                  mul(mul(bufferLoad(a, full2), inv),
+                      bufferLoad(w, {k2}))));
+
+    Stmt body = makeAllocBuffer(ss, "local", makeSeq({pass1, pass2}));
+    return makePrimFunc(name, {a, w, y}, body);
+}
+
+tir::PrimFunc
+makeLayerNormFunc(const std::string& name, const std::vector<PrimExpr>& shape,
+                  double eps, DataType dtype)
+{
+    PrimExpr last = shape.back();
+    std::vector<PrimExpr> row_shape(shape.begin(), shape.end() - 1);
+    Buffer a = makeBuffer("A", dtype, shape);
+    Buffer gamma = makeBuffer("G", dtype, {last});
+    Buffer beta = makeBuffer("Bb", dtype, {last});
+    Buffer y = makeBuffer("Y", dtype, shape);
+    Buffer mean = makeBuffer("mean", DataType::f32(), row_shape);
+    Buffer varb = makeBuffer("variance", DataType::f32(), row_shape);
+
+    size_t rank = shape.size();
+    PrimExpr count = cast(last, DataType::f32());
+
+    auto v1 = makeLoopVars(rank - 1, "a");
+    Var k1 = var("k");
+    std::vector<PrimExpr> row1 = asExprs(v1);
+    std::vector<PrimExpr> full1 = row1;
+    full1.push_back(k1);
+    std::vector<Var> loops1 = v1;
+    loops1.push_back(k1);
+    Stmt pass1 = nestLoops(
+        loops1, shape,
+        makeSeq({makeIf(eq(k1, intImm(0)),
+                        makeStore(mean, row1, floatImm(0.0))),
+                 makeStore(mean, row1,
+                           add(bufferLoad(mean, row1),
+                               bufferLoad(a, full1))),
+                 makeIf(eq(k1, sub(last, intImm(1))),
+                        makeStore(mean, row1,
+                                  div(bufferLoad(mean, row1), count)))}));
+
+    auto v2 = makeLoopVars(rank - 1, "b");
+    Var k2 = var("k");
+    std::vector<PrimExpr> row2 = asExprs(v2);
+    std::vector<PrimExpr> full2 = row2;
+    full2.push_back(k2);
+    std::vector<Var> loops2 = v2;
+    loops2.push_back(k2);
+    PrimExpr centered = sub(bufferLoad(a, full2), bufferLoad(mean, row2));
+    Stmt pass2 = nestLoops(
+        loops2, shape,
+        makeSeq({makeIf(eq(k2, intImm(0)),
+                        makeStore(varb, row2, floatImm(0.0))),
+                 makeStore(varb, row2,
+                           add(bufferLoad(varb, row2),
+                               mul(centered, centered))),
+                 makeIf(eq(k2, sub(last, intImm(1))),
+                        makeStore(varb, row2,
+                                  div(bufferLoad(varb, row2), count)))}));
+
+    auto v3 = makeLoopVars(rank - 1, "c");
+    Var k3 = var("k");
+    std::vector<PrimExpr> row3 = asExprs(v3);
+    std::vector<PrimExpr> full3 = row3;
+    full3.push_back(k3);
+    std::vector<Var> loops3 = v3;
+    loops3.push_back(k3);
+    PrimExpr norm = mul(sub(bufferLoad(a, full3), bufferLoad(mean, row3)),
+                        callIntrin("rsqrt",
+                                   {add(bufferLoad(varb, row3),
+                                        floatImm(eps))},
+                                   DataType::f32()));
+    Stmt pass3 = nestLoops(
+        loops3, shape,
+        makeStore(y, full3,
+                  add(mul(norm, bufferLoad(gamma, {k3})),
+                      bufferLoad(beta, {k3}))));
+
+    Stmt body = makeAllocBuffer(
+        mean, "local",
+        makeAllocBuffer(varb, "local", makeSeq({pass1, pass2, pass3})));
+    return makePrimFunc(name, {a, gamma, beta, y}, body);
+}
+
+tir::PrimFunc
+makeReshapeFunc(const std::string& name,
+                const std::vector<PrimExpr>& in_shape,
+                const std::vector<PrimExpr>& out_shape, DataType dtype)
+{
+    Buffer a = makeBuffer("A", dtype, in_shape);
+    Buffer y = makeBuffer("Y", dtype, out_shape);
+    Var f = var("f");
+    Stmt body =
+        makeFor(f, product(out_shape),
+                makeStore(y, unflatten(f, out_shape),
+                          bufferLoad(a, unflatten(f, in_shape))));
+    return makePrimFunc(name, {a, y}, body);
+}
+
+tir::PrimFunc
+makeTransposeFunc(const std::string& name,
+                  const std::vector<PrimExpr>& in_shape,
+                  const std::vector<int64_t>& axes, DataType dtype)
+{
+    RELAX_ICHECK(axes.size() == in_shape.size()) << "bad permutation";
+    std::vector<PrimExpr> out_shape;
+    for (int64_t axis : axes) out_shape.push_back(in_shape[axis]);
+    Buffer a = makeBuffer("A", dtype, in_shape);
+    Buffer y = makeBuffer("Y", dtype, out_shape);
+    auto loop_vars = makeLoopVars(out_shape.size());
+    // out[i0,...,ir] = a[inverse_perm(i)]
+    std::vector<PrimExpr> in_idx(in_shape.size());
+    for (size_t d = 0; d < axes.size(); ++d) {
+        in_idx[axes[d]] = loop_vars[d];
+    }
+    Stmt body = nestLoops(loop_vars, out_shape,
+                          makeStore(y, asExprs(loop_vars),
+                                    bufferLoad(a, in_idx)));
+    return makePrimFunc(name, {a, y}, body);
+}
+
+tir::PrimFunc
+makeTakeFunc(const std::string& name,
+             const std::vector<PrimExpr>& table_shape,
+             const std::vector<PrimExpr>& ids_shape, DataType dtype)
+{
+    RELAX_ICHECK(table_shape.size() == 2) << "take expects a 2-D table";
+    Buffer table = makeBuffer("T", dtype, table_shape);
+    Buffer ids = makeBuffer("I", DataType::i64(), ids_shape);
+    std::vector<PrimExpr> out_shape = ids_shape;
+    out_shape.push_back(table_shape[1]);
+    Buffer y = makeBuffer("Y", dtype, out_shape);
+
+    auto loop_vars = makeLoopVars(out_shape.size());
+    std::vector<PrimExpr> ids_idx(loop_vars.begin(), loop_vars.end() - 1);
+    std::vector<PrimExpr> table_idx{
+        cast(bufferLoad(ids, ids_idx), DataType::i64()), loop_vars.back()};
+    Stmt body = nestLoops(loop_vars, out_shape,
+                          makeStore(y, asExprs(loop_vars),
+                                    bufferLoad(table, table_idx)));
+    return makePrimFunc(name, {table, ids, y}, body);
+}
+
+tir::PrimFunc
+makeConcatFunc(const std::string& name,
+               const std::vector<std::vector<PrimExpr>>& shapes, int axis,
+               DataType dtype)
+{
+    RELAX_ICHECK(!shapes.empty()) << "concat of nothing";
+    size_t rank = shapes[0].size();
+    if (axis < 0) axis += (int)rank;
+    std::vector<PrimExpr> out_shape = shapes[0];
+    for (size_t q = 1; q < shapes.size(); ++q) {
+        out_shape[axis] = add(out_shape[axis], shapes[q][axis]);
+    }
+    std::vector<Buffer> params;
+    for (size_t q = 0; q < shapes.size(); ++q) {
+        params.push_back(
+            makeBuffer("A" + std::to_string(q), dtype, shapes[q]));
+    }
+    Buffer y = makeBuffer("Y", dtype, out_shape);
+
+    // One loop nest per input, writing its slab at the running offset.
+    std::vector<Stmt> pieces;
+    PrimExpr offset = intImm(0);
+    for (size_t q = 0; q < shapes.size(); ++q) {
+        auto loop_vars = makeLoopVars(rank, "q" + std::to_string(q) + "_");
+        std::vector<PrimExpr> out_idx = asExprs(loop_vars);
+        out_idx[axis] = add(out_idx[axis], offset);
+        pieces.push_back(nestLoops(
+            loop_vars, shapes[q],
+            makeStore(y, out_idx, bufferLoad(params[q],
+                                             asExprs(loop_vars)))));
+        offset = add(offset, shapes[q][axis]);
+    }
+    params.push_back(y);
+    return makePrimFunc(name, params, makeSeq(std::move(pieces)));
+}
+
+tir::PrimFunc
+makeSplitFunc(const std::string& name, const std::vector<PrimExpr>& in_shape,
+              int sections, int axis, DataType dtype)
+{
+    size_t rank = in_shape.size();
+    if (axis < 0) axis += (int)rank;
+    Analyzer analyzer;
+    PrimExpr part = analyzer.simplify(
+        floordiv(in_shape[axis], intImm(sections)));
+    std::vector<PrimExpr> part_shape = in_shape;
+    part_shape[axis] = part;
+
+    Buffer a = makeBuffer("A", dtype, in_shape);
+    std::vector<Buffer> params{a};
+    std::vector<Stmt> pieces;
+    for (int s = 0; s < sections; ++s) {
+        Buffer y = makeBuffer("Y" + std::to_string(s), dtype, part_shape);
+        auto loop_vars = makeLoopVars(rank, "s" + std::to_string(s) + "_");
+        std::vector<PrimExpr> in_idx = asExprs(loop_vars);
+        in_idx[axis] = add(in_idx[axis], mul(intImm(s), part));
+        pieces.push_back(nestLoops(
+            loop_vars, part_shape,
+            makeStore(y, asExprs(loop_vars), bufferLoad(a, in_idx))));
+        params.push_back(y);
+    }
+    return makePrimFunc(name, params, makeSeq(std::move(pieces)), {},
+                        sections);
+}
+
+tir::PrimFunc
+makeCausalMaskFunc(const std::string& name,
+                   const std::vector<PrimExpr>& shape, DataType dtype)
+{
+    RELAX_ICHECK(shape.size() >= 2) << "causal mask expects >= 2-D scores";
+    Buffer a = makeBuffer("A", dtype, shape);
+    Buffer y = makeBuffer("Y", dtype, shape);
+    auto loop_vars = makeLoopVars(shape.size());
+    auto indices = asExprs(loop_vars);
+    PrimExpr i = indices[shape.size() - 2];
+    PrimExpr j = indices[shape.size() - 1];
+    // Query i may attend keys j <= i + (m - n): the final n queries of an
+    // m-long context.
+    PrimExpr limit = add(i, sub(shape.back(), shape[shape.size() - 2]));
+    Stmt body = nestLoops(
+        loop_vars, shape,
+        makeStore(y, indices,
+                  select(le(j, limit), bufferLoad(a, indices),
+                         floatImm(-1e30))));
+    return makePrimFunc(name, {a, y}, body);
+}
+
+tir::PrimFunc
+makeAttentionFunc(const std::string& name,
+                  const std::vector<PrimExpr>& q_shape,
+                  const std::vector<PrimExpr>& k_shape,
+                  const std::vector<PrimExpr>& v_shape, double scale,
+                  bool causal, DataType dtype)
+{
+    RELAX_ICHECK(q_shape.size() == 4 && k_shape.size() == 4 &&
+                 v_shape.size() == 4)
+        << "attention expects [b, h, seq, dim] operands";
+    PrimExpr b = q_shape[0], h = q_shape[1], n = q_shape[2], d = q_shape[3];
+    PrimExpr m = k_shape[2], dv = v_shape[3];
+
+    Buffer q = makeBuffer("Q", dtype, q_shape);
+    Buffer k = makeBuffer("K", dtype, k_shape);
+    Buffer v = makeBuffer("V", dtype, v_shape);
+    Buffer y = makeBuffer("Y", dtype, {b, h, n, dv});
+    Buffer scores = makeBuffer("scores", DataType::f32(), {b, h, n, m});
+    Buffer row_max = makeBuffer("row_max", DataType::f32(), {b, h, n});
+    Buffer row_sum = makeBuffer("row_sum", DataType::f32(), {b, h, n});
+
+    // scores = scale * q @ k^T (+ causal mask)
+    Var b1 = var("b"), h1 = var("h"), i1 = var("i"), j1 = var("j"),
+        r1 = var("r");
+    Stmt sc_init = makeIf(eq(r1, intImm(0)),
+                          makeStore(scores, {b1, h1, i1, j1}, floatImm(0.0)));
+    Stmt sc_acc = makeStore(
+        scores, {b1, h1, i1, j1},
+        add(bufferLoad(scores, {b1, h1, i1, j1}),
+            mul(bufferLoad(q, {b1, h1, i1, r1}),
+                bufferLoad(k, {b1, h1, j1, r1}))));
+    std::vector<Stmt> sc_steps{sc_init, sc_acc};
+    PrimExpr scaled = mul(bufferLoad(scores, {b1, h1, i1, j1}),
+                          floatImm(scale));
+    if (causal) {
+        scaled = select(le(j1, add(i1, sub(m, n))), scaled, floatImm(-1e30));
+    }
+    sc_steps.push_back(makeIf(eq(r1, sub(d, intImm(1))),
+                              makeStore(scores, {b1, h1, i1, j1}, scaled)));
+    Stmt pass_scores = nestLoops({b1, h1, i1, j1, r1}, {b, h, n, m, d},
+                                 makeSeq(std::move(sc_steps)));
+
+    // softmax over j
+    Var b2 = var("b"), h2 = var("h"), i2 = var("i"), j2 = var("j");
+    Stmt mx_init = makeIf(eq(j2, intImm(0)),
+                          makeStore(row_max, {b2, h2, i2}, floatImm(-1e30)));
+    Stmt mx_acc = makeStore(row_max, {b2, h2, i2},
+                            maxExpr(bufferLoad(row_max, {b2, h2, i2}),
+                                    bufferLoad(scores, {b2, h2, i2, j2})));
+    Stmt pass_max = nestLoops({b2, h2, i2, j2}, {b, h, n, m},
+                              makeSeq({mx_init, mx_acc}));
+
+    Var b3 = var("b"), h3 = var("h"), i3 = var("i"), j3 = var("j");
+    PrimExpr e3 = callIntrin(
+        "exp",
+        {sub(bufferLoad(scores, {b3, h3, i3, j3}),
+             bufferLoad(row_max, {b3, h3, i3}))},
+        DataType::f32());
+    Stmt sm_init = makeIf(eq(j3, intImm(0)),
+                          makeStore(row_sum, {b3, h3, i3}, floatImm(0.0)));
+    Stmt sm_acc = makeStore(row_sum, {b3, h3, i3},
+                            add(bufferLoad(row_sum, {b3, h3, i3}), e3));
+    Stmt pass_sum = nestLoops({b3, h3, i3, j3}, {b, h, n, m},
+                              makeSeq({sm_init, sm_acc}));
+
+    // y = softmax(scores) @ v
+    Var b4 = var("b"), h4 = var("h"), i4 = var("i"), c4 = var("c"),
+        j4 = var("j");
+    PrimExpr prob = div(callIntrin("exp",
+                                   {sub(bufferLoad(scores, {b4, h4, i4, j4}),
+                                        bufferLoad(row_max, {b4, h4, i4}))},
+                                   DataType::f32()),
+                        bufferLoad(row_sum, {b4, h4, i4}));
+    Stmt out_init = makeIf(eq(j4, intImm(0)),
+                           makeStore(y, {b4, h4, i4, c4}, floatImm(0.0)));
+    Stmt out_acc =
+        makeStore(y, {b4, h4, i4, c4},
+                  add(bufferLoad(y, {b4, h4, i4, c4}),
+                      mul(prob, bufferLoad(v, {b4, h4, j4, c4}))));
+    Stmt pass_out = nestLoops({b4, h4, i4, c4, j4}, {b, h, n, dv, m},
+                              makeSeq({out_init, out_acc}));
+
+    Stmt body = makeAllocBuffer(
+        scores, "local",
+        makeAllocBuffer(
+            row_max, "local",
+            makeAllocBuffer(row_sum, "local",
+                            makeSeq({pass_scores, pass_max, pass_sum,
+                                     pass_out}))));
+    return makePrimFunc(name, {q, k, v, y}, body);
+}
+
+tir::PrimFunc
+makeSplitKMatmulFunc(const std::string& name,
+                     const std::vector<PrimExpr>& a_shape,
+                     const std::vector<PrimExpr>& b_shape,
+                     int64_t split_factor, DataType dtype)
+{
+    RELAX_ICHECK(a_shape.size() == 2 && b_shape.size() == 2)
+        << "split-K matmul is 2-D";
+    PrimExpr n = a_shape[0], k = a_shape[1], m = b_shape[1];
+    Analyzer analyzer;
+    PrimExpr k_part = analyzer.simplify(floordiv(k, intImm(split_factor)));
+
+    Buffer a = makeBuffer("A", dtype, a_shape);
+    Buffer b = makeBuffer("B", dtype, b_shape);
+    Buffer y = makeBuffer("Y", dtype, {n, m});
+    // Global workspace holding per-split partial sums (Fig. 11).
+    Buffer ws = makeBuffer("workspace", DataType::f32(),
+                           {intImm(split_factor), n, m});
+
+    // Phase 1: partial accumulation per split.
+    Var s1 = var("s"), i1 = var("i"), j1 = var("j"), r1 = var("r");
+    Stmt p1_init = makeIf(eq(r1, intImm(0)),
+                          makeStore(ws, {s1, i1, j1}, floatImm(0.0)));
+    PrimExpr k_index = add(mul(s1, k_part), r1);
+    Stmt p1_acc = makeStore(
+        ws, {s1, i1, j1},
+        add(bufferLoad(ws, {s1, i1, j1}),
+            mul(bufferLoad(a, {i1, k_index}),
+                bufferLoad(b, {k_index, j1}))));
+    Stmt phase1 = nestLoops({s1, i1, j1, r1},
+                            {intImm(split_factor), n, m, k_part},
+                            makeSeq({p1_init, p1_acc}));
+
+    // Phase 2: accumulate splits into the output.
+    Var i2 = var("i"), j2 = var("j"), s2 = var("s");
+    Stmt p2_init = makeIf(eq(s2, intImm(0)),
+                          makeStore(y, {i2, j2}, floatImm(0.0)));
+    Stmt p2_acc = makeStore(y, {i2, j2},
+                            add(bufferLoad(y, {i2, j2}),
+                                bufferLoad(ws, {s2, i2, j2})));
+    Stmt phase2 = nestLoops({i2, j2, s2}, {n, m, intImm(split_factor)},
+                            makeSeq({p2_init, p2_acc}));
+
+    Stmt body = makeAllocBuffer(ws, "global", makeSeq({phase1, phase2}));
+    return makePrimFunc(name, {a, b, y}, body);
+}
+
+tir::PrimFunc
+makeDecodeQ4Func(const std::string& name, PrimExpr k_dim, PrimExpr n_dim,
+                 DataType dtype)
+{
+    Analyzer analyzer;
+    PrimExpr words = analyzer.simplify(
+        floordiv(add(n_dim, intImm(7)), intImm(8)));
+    PrimExpr groups = analyzer.simplify(
+        floordiv(add(n_dim, intImm(31)), intImm(32)));
+    Buffer data = makeBuffer("Wdata", DataType::u32(), {k_dim, words});
+    Buffer scale = makeBuffer("Wscale", dtype, {k_dim, groups});
+    Buffer w = makeBuffer("W", dtype, {k_dim, n_dim});
+
+    Var k = var("k"), j = var("j");
+    PrimExpr word = cast(bufferLoad(data, {k, floordiv(j, intImm(8))}),
+                         DataType::i64());
+    // nibble = (word >> (j % 8) * 4) & 15: the shift is expressed as an
+    // exact division by pow2(shift), a single-cycle bit operation on real
+    // hardware (the cost analysis treats pow2 as one op).
+    PrimExpr shift = mul(floormod(j, intImm(8)), intImm(4));
+    PrimExpr divisor = callIntrin("pow2", {shift}, DataType::i64());
+    PrimExpr nibble = floormod(floordiv(word, divisor), intImm(16));
+    PrimExpr value = mul(cast(sub(nibble, intImm(7)), dtype),
+                         bufferLoad(scale, {k, floordiv(j, intImm(32))}));
+    Stmt body = nestLoops({k, j}, {k_dim, n_dim}, makeStore(w, {k, j}, value));
+    return makePrimFunc(name, {data, scale, w}, body);
+}
+
+} // namespace op
+} // namespace relax

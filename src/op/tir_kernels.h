@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Generators of loop-level tensor programs for high-level operators: the
+ * "operator to tensor program lowering" stage of the pipeline (Fig. 13).
+ *
+ * Generated programs share the graph-level symbolic shape expressions in
+ * their buffer declarations, so code is specialized to every static
+ * dimension and dynamic only in the symbolic ones (§3.3) — e.g. a Llama
+ * matmul is dynamic in the batch/sequence dims but static in 4096.
+ */
+#ifndef RELAX_OP_TIR_KERNELS_H_
+#define RELAX_OP_TIR_KERNELS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tir/builder.h"
+#include "tir/stmt.h"
+
+namespace relax {
+namespace op {
+
+/** Scalar combinator for elementwise kernels. */
+using ScalarFn = std::function<PrimExpr(const std::vector<PrimExpr>&)>;
+
+/**
+ * out[idx] = fn(a[idx], b[idx']) with numpy-style right-aligned
+ * broadcasting on the second operand (size-1 and missing leading dims).
+ */
+tir::PrimFunc makeEwBinaryFunc(const std::string& name,
+                               const std::vector<PrimExpr>& a_shape,
+                               const std::vector<PrimExpr>& b_shape,
+                               const std::vector<PrimExpr>& out_shape,
+                               DataType dtype, const ScalarFn& fn);
+
+/** out[idx] = fn(a[idx]). */
+tir::PrimFunc makeEwUnaryFunc(const std::string& name,
+                              const std::vector<PrimExpr>& shape,
+                              DataType in_dtype, DataType out_dtype,
+                              const ScalarFn& fn);
+
+/**
+ * Matrix multiplication. `a_shape` is [batch..., n, k]; `b_shape` is
+ * [k, m] / [m, k] (2-D weight) or [batch..., k/m, m/k] with matching batch
+ * dims. `transpose_b` selects the [m, k] layout used by linear layers.
+ */
+tir::PrimFunc makeMatmulFunc(const std::string& name,
+                             const std::vector<PrimExpr>& a_shape,
+                             const std::vector<PrimExpr>& b_shape,
+                             bool transpose_b, DataType dtype);
+
+/** Softmax over the last axis. */
+tir::PrimFunc makeSoftmaxFunc(const std::string& name,
+                              const std::vector<PrimExpr>& shape,
+                              DataType dtype);
+
+/** Reduction over `axis` (sum / mean / max), optionally keeping the dim. */
+tir::PrimFunc makeReduceFunc(const std::string& name,
+                             const std::string& reduce_kind,
+                             const std::vector<PrimExpr>& shape, int axis,
+                             bool keepdims, DataType dtype);
+
+/** RMSNorm over the last axis with a learned scale. */
+tir::PrimFunc makeRMSNormFunc(const std::string& name,
+                              const std::vector<PrimExpr>& shape,
+                              double eps, DataType dtype);
+
+/** LayerNorm over the last axis with scale and bias. */
+tir::PrimFunc makeLayerNormFunc(const std::string& name,
+                                const std::vector<PrimExpr>& shape,
+                                double eps, DataType dtype);
+
+/** Row-major reshape between symbolically equal element counts. */
+tir::PrimFunc makeReshapeFunc(const std::string& name,
+                              const std::vector<PrimExpr>& in_shape,
+                              const std::vector<PrimExpr>& out_shape,
+                              DataType dtype);
+
+/** Dimension permutation. */
+tir::PrimFunc makeTransposeFunc(const std::string& name,
+                                const std::vector<PrimExpr>& in_shape,
+                                const std::vector<int64_t>& axes,
+                                DataType dtype);
+
+/** Embedding lookup: out[..., d] = table[ids[...], d]. */
+tir::PrimFunc makeTakeFunc(const std::string& name,
+                           const std::vector<PrimExpr>& table_shape,
+                           const std::vector<PrimExpr>& ids_shape,
+                           DataType dtype);
+
+/** Concatenation along `axis`. */
+tir::PrimFunc makeConcatFunc(const std::string& name,
+                             const std::vector<std::vector<PrimExpr>>& shapes,
+                             int axis, DataType dtype);
+
+/** Split into `sections` equal parts along `axis` (multi-output DPS). */
+tir::PrimFunc makeSplitFunc(const std::string& name,
+                            const std::vector<PrimExpr>& in_shape,
+                            int sections, int axis, DataType dtype);
+
+/** Causal mask for attention scores [b, h, n, m]. */
+tir::PrimFunc makeCausalMaskFunc(const std::string& name,
+                                 const std::vector<PrimExpr>& shape,
+                                 DataType dtype);
+
+/**
+ * Fused scaled-dot-product attention (naive reference schedule):
+ * q [b,h,n,d] x k [b,h,m,d] -> scores, softmax (optionally causal), x v
+ * [b,h,m,dv]. Uses kernel-local scratch buffers.
+ */
+tir::PrimFunc makeAttentionFunc(const std::string& name,
+                                const std::vector<PrimExpr>& q_shape,
+                                const std::vector<PrimExpr>& k_shape,
+                                const std::vector<PrimExpr>& v_shape,
+                                double scale, bool causal, DataType dtype);
+
+/**
+ * Split-K style matmul writing partial sums into a global workspace,
+ * exercising cross-level workspace lifting (Fig. 11).
+ */
+tir::PrimFunc makeSplitKMatmulFunc(const std::string& name,
+                                   const std::vector<PrimExpr>& a_shape,
+                                   const std::vector<PrimExpr>& b_shape,
+                                   int64_t split_factor, DataType dtype);
+
+/**
+ * 4-bit quantized weight decode (Fig. 9): W[k,j] is unpacked from
+ * uint32 words (8 nibbles each) and scaled per 32-wide group.
+ */
+tir::PrimFunc makeDecodeQ4Func(const std::string& name, PrimExpr k_dim,
+                               PrimExpr n_dim, DataType dtype);
+
+} // namespace op
+} // namespace relax
+
+#endif // RELAX_OP_TIR_KERNELS_H_

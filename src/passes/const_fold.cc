@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Constant folding: operator calls whose operands are all compile-time
+ * constants are evaluated at compile time through the same legalization +
+ * interpreter path used at runtime, so folding can never disagree with
+ * execution. Typical wins in the paper's workloads: pre-computing masks,
+ * scale tables and small weight transformations.
+ */
+#include <unordered_map>
+
+#include "ir/op_registry.h"
+#include "ir/utils.h"
+#include "op/ops.h"
+#include "passes/passes.h"
+#include "tir/interpreter.h"
+
+namespace relax {
+namespace passes {
+
+using namespace ir;
+using Var = ir::Var;
+using VarNode = ir::VarNode;
+using CallNode = ir::CallNode;
+
+namespace {
+
+/** Limits folding to tensors worth precomputing at compile time. */
+constexpr int64_t kMaxFoldedElements = 1 << 20;
+
+Expr
+tryFold(const Expr& value)
+{
+    if (!value || value->kind() != RxKind::kCall) return value;
+    const auto* call = static_cast<const CallNode*>(value.get());
+    if (!call->op || call->op->kind() != RxKind::kOp) return value;
+    const std::string& op_name =
+        static_cast<const OpNode*>(call->op.get())->name;
+    if (op_name.rfind("relax.call_", 0) == 0) return value;
+    const ir::OpInfo* info = OpRegistry::global().find(op_name);
+    if (!info || !info->legalize) return value;
+
+    // All tensor operands must be constants with static shapes; shape
+    // operands must be fully constant as well.
+    std::vector<NDArray> inputs;
+    for (const auto& arg : call->args) {
+        if (arg->kind() == RxKind::kConstant) {
+            const auto& data =
+                static_cast<const ConstantNode*>(arg.get())->data;
+            if (!data.hasData()) return value;
+            inputs.push_back(data);
+            continue;
+        }
+        if (arg->kind() == RxKind::kShapeExpr) {
+            for (const auto& dim :
+                 static_cast<const ShapeExprNode*>(arg.get())->values) {
+                if (!asIntImm(dim)) return value;
+            }
+            continue;
+        }
+        return value;
+    }
+    const auto* out_info = asTensor(value->structInfo());
+    if (!out_info || !out_info->shape) return value;
+    std::vector<int64_t> out_shape;
+    int64_t out_elems = 1;
+    for (const auto& dim : *out_info->shape) {
+        const int64_t* c = asIntImm(dim);
+        if (!c) return value;
+        out_shape.push_back(*c);
+        out_elems *= *c;
+    }
+    if (out_elems > kMaxFoldedElements) return value;
+    if (asTuple(value->structInfo())) return value; // multi-output: skip
+
+    // Evaluate through the legalized kernel on the interpreter.
+    tir::PrimFunc kernel;
+    try {
+        kernel = info->legalize(*call, "const_fold_kernel");
+    } catch (const Error&) {
+        return value; // not legalizable under these operands
+    }
+    NDArray out = NDArray::zeros(out_shape, out_info->dtype);
+    std::vector<NDArray> args = inputs;
+    args.push_back(out);
+    try {
+        tir::run(kernel, args);
+    } catch (const Error&) {
+        return value;
+    }
+    return makeConstant(out);
+}
+
+} // namespace
+
+Pass
+constantFoldPass()
+{
+    return {"ConstantFold", [](IRModulePtr module) {
+                op::ensureOpsRegistered();
+                for (const auto& [name, func] : module->functions()) {
+                    const auto* seq =
+                        static_cast<const SeqExprNode*>(func->body.get());
+                    for (const auto& block : seq->blocks) {
+                        // Fold iteratively: later bindings may consume
+                        // earlier folded constants (binding values refer
+                        // to vars, so propagate var -> constant).
+                        std::unordered_map<const VarNode*, Expr> folded;
+                        for (auto& binding : block->bindings) {
+                            if (binding.isMatchCast) continue;
+                            Expr value = binding.value;
+                            // Substitute known-constant vars into args so
+                            // folded producers become dead.
+                            if (!folded.empty()) {
+                                RxVarMap map(folded.begin(), folded.end());
+                                value = substituteVars(value, map);
+                                binding.value = value;
+                            }
+                            Expr result = tryFold(value);
+                            if (result->kind() == RxKind::kConstant) {
+                                binding.value = result;
+                                binding.var->setStructInfo(
+                                    result->structInfo());
+                                folded[binding.var.get()] = result;
+                            }
+                        }
+                    }
+                }
+                // Folded-over inputs become dead; clean them up.
+                return deadCodeEliminationPass().run(module);
+            }};
+}
+
+} // namespace passes
+} // namespace relax

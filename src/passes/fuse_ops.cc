@@ -1,0 +1,392 @@
+/**
+ * @file
+ * FuseOps (Algorithm 2): dynamic shape-aware operator fusion. Groups
+ * call_tir bindings by the compute-pattern kinds produced by analysis
+ * feedback (Alg. 1), lifts each group into a subgraph function, and
+ * preserves symbolic shapes by adding extra Shape parameters when a
+ * symbolic variable is not recoverable from tensor parameters (Fig. 8).
+ *
+ * Fusion rules (mirroring TVM's classic fuser):
+ *  - Injective/ElementWise/Broadcast producers fuse into any
+ *    Injective/ElementWise/Broadcast/OutputEwiseFusible consumer;
+ *  - an OutputEwiseFusible anchor additionally absorbs ElementWise /
+ *    Broadcast consumers (matmul + epilogue);
+ *  - at most one anchor per group; edges require single-use intermediates.
+ */
+#include "passes/passes.h"
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/utils.h"
+#include "tir/analysis.h"
+
+namespace relax {
+namespace passes {
+
+using namespace ir;
+using Var = ir::Var;
+using VarNode = ir::VarNode;
+using CallNode = ir::CallNode;
+using tir::PatternKind;
+
+namespace {
+
+/** Union-find over binding indices with anchor counting. */
+class GroupSet
+{
+  public:
+    explicit GroupSet(size_t count) : parent_(count), anchors_(count, 0)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    size_t
+    find(size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void markAnchor(size_t x) { anchors_[find(x)] += 1; }
+    int anchors(size_t x) { return anchors_[find(x)]; }
+
+    bool
+    tryUnion(size_t a, size_t b)
+    {
+        size_t ra = find(a), rb = find(b);
+        if (ra == rb) return true;
+        if (anchors_[ra] + anchors_[rb] > 1) return false;
+        parent_[rb] = ra;
+        anchors_[ra] += anchors_[rb];
+        return true;
+    }
+
+  private:
+    std::vector<size_t> parent_;
+    std::vector<int> anchors_;
+};
+
+PatternKind
+bindingKind(const Binding& binding, const IRModulePtr& module)
+{
+    if (binding.isMatchCast || !isOpCall(binding.value, "relax.call_tir")) {
+        return PatternKind::kOpaque;
+    }
+    const auto* call = static_cast<const CallNode*>(binding.value.get());
+    const auto* gv = static_cast<const GlobalVarNode*>(call->args[0].get());
+    tir::PrimFunc callee = module->getTIRFunc(gv->name);
+    if (!callee) return PatternKind::kOpaque;
+    auto it = callee->attrs.find(tir::kComputePatternAttr);
+    if (it == callee->attrs.end()) return PatternKind::kOpaque;
+    return tir::patternKindFromName(it->second);
+}
+
+bool
+isLightKind(PatternKind kind)
+{
+    return kind == PatternKind::kElementWise ||
+           kind == PatternKind::kBroadcast ||
+           kind == PatternKind::kInjective;
+}
+
+bool
+isEpilogueKind(PatternKind kind)
+{
+    return kind == PatternKind::kElementWise ||
+           kind == PatternKind::kBroadcast;
+}
+
+/** The kernel-name hint of a call_tir binding (for fused naming). */
+std::string
+bindingHint(const Binding& binding)
+{
+    const auto* call = static_cast<const CallNode*>(binding.value.get());
+    const auto* gv = static_cast<const GlobalVarNode*>(call->args[0].get());
+    std::string name = gv->name;
+    // Strip trailing uniquing suffixes like "_3".
+    size_t pos = name.find_last_not_of("0123456789");
+    if (pos != std::string::npos && pos + 1 < name.size() &&
+        name[pos] == '_') {
+        name = name.substr(0, pos);
+    }
+    return name;
+}
+
+struct FusionPlanner
+{
+    IRModulePtr module;
+    Function func;
+
+    void
+    runOnBlock(const BindingBlock& block,
+               std::vector<BindingBlock>* out_blocks)
+    {
+        size_t count = block->bindings.size();
+        std::vector<PatternKind> kinds(count);
+        std::unordered_map<const VarNode*, size_t> producer;
+        std::unordered_map<const VarNode*, int> uses;
+        for (size_t i = 0; i < count; ++i) {
+            kinds[i] = bindingKind(block->bindings[i], module);
+            producer[block->bindings[i].var.get()] = i;
+            std::unordered_set<const VarNode*> used;
+            collectVarUses(block->bindings[i].value, &used);
+            for (const auto* v : used) uses[v] += 1;
+        }
+        // Uses outside this block (function result and other blocks).
+        std::unordered_set<const VarNode*> external;
+        const auto* seq = static_cast<const SeqExprNode*>(func->body.get());
+        collectVarUses(seq->body, &external);
+        for (const auto& other : seq->blocks) {
+            if (other.get() == block.get()) continue;
+            for (const auto& binding : other->bindings) {
+                collectVarUses(binding.value, &external);
+            }
+        }
+
+        GroupSet groups(count);
+        for (size_t i = 0; i < count; ++i) {
+            if (kinds[i] == PatternKind::kOutputEwiseFusible) {
+                groups.markAnchor(i);
+            }
+        }
+        for (size_t c = 0; c < count; ++c) {
+            if (kinds[c] == PatternKind::kOpaque ||
+                kinds[c] == PatternKind::kReduction) {
+                continue;
+            }
+            std::unordered_set<const VarNode*> args;
+            collectVarUses(block->bindings[c].value, &args);
+            for (const auto* v : args) {
+                auto it = producer.find(v);
+                if (it == producer.end()) continue;
+                size_t p = it->second;
+                if (uses[v] != 1 || external.count(v)) continue;
+                PatternKind pk = kinds[p];
+                PatternKind ck = kinds[c];
+                bool fusible =
+                    (isLightKind(pk) &&
+                     (isLightKind(ck) ||
+                      ck == PatternKind::kOutputEwiseFusible)) ||
+                    (pk == PatternKind::kOutputEwiseFusible &&
+                     isEpilogueKind(ck));
+                if (fusible) groups.tryUnion(p, c);
+            }
+        }
+
+        // Materialize groups with >= 2 members.
+        std::unordered_map<size_t, std::vector<size_t>> members;
+        for (size_t i = 0; i < count; ++i) {
+            members[groups.find(i)].push_back(i);
+        }
+
+        auto rewritten = std::make_shared<BindingBlockNode>(
+            block->isDataflow);
+        for (size_t i = 0; i < count; ++i) {
+            size_t root = groups.find(i);
+            const auto& group = members[root];
+            if (group.size() < 2) {
+                rewritten->bindings.push_back(block->bindings[i]);
+                continue;
+            }
+            // Emit the fused call at the position of the group's *last*
+            // member so every external input is already defined.
+            if (i != group.back()) continue;
+            if (!emitSubgraph(block, group, uses, external,
+                              rewritten.get())) {
+                // Unfusible in the end (e.g. multiple escaping outputs):
+                // emit members unchanged.
+                for (size_t m : group) {
+                    rewritten->bindings.push_back(block->bindings[m]);
+                }
+            }
+        }
+        out_blocks->push_back(rewritten);
+    }
+
+    /** Lifts `group` into a subgraph function; returns false to bail out. */
+    bool
+    emitSubgraph(const BindingBlock& block, const std::vector<size_t>& group,
+                 const std::unordered_map<const VarNode*, int>& uses,
+                 const std::unordered_set<const VarNode*>& external,
+                 BindingBlockNode* rewritten)
+    {
+        std::unordered_set<const VarNode*> group_vars;
+        for (size_t m : group) {
+            group_vars.insert(block->bindings[m].var.get());
+        }
+        // Output vars: used outside the group.
+        std::vector<Var> outputs;
+        for (size_t m : group) {
+            const Var& v = block->bindings[m].var;
+            int inside = 0;
+            for (size_t o : group) {
+                std::unordered_set<const VarNode*> used;
+                collectVarUses(block->bindings[o].value, &used);
+                if (used.count(v.get())) ++inside;
+            }
+            int total = uses.count(v.get()) ? uses.at(v.get()) : 0;
+            if (total > inside || external.count(v.get())) {
+                outputs.push_back(v);
+            }
+        }
+        if (outputs.size() != 1) return false;
+
+        // External inputs, in first-use order. Constant operands (inline
+        // weights) are hoisted into parameters as well so the subgraph
+        // stays a pure function of its arguments.
+        std::vector<Var> inputs;
+        std::vector<Expr> outer_args;
+        std::unordered_set<const VarNode*> seen_inputs;
+        std::unordered_map<const ExprNode*, size_t> constant_params;
+        for (size_t m : group) {
+            const auto* call = static_cast<const CallNode*>(
+                block->bindings[m].value.get());
+            for (const auto& arg : call->args) {
+                if (arg->kind() == RxKind::kConstant) {
+                    if (constant_params.count(arg.get())) continue;
+                    constant_params[arg.get()] = inputs.size();
+                    inputs.push_back(
+                        makeVar("const_arg", arg->structInfo()));
+                    outer_args.push_back(arg);
+                    continue;
+                }
+                if (arg->kind() != RxKind::kVar) continue;
+                const auto* v = static_cast<const VarNode*>(arg.get());
+                if (group_vars.count(v) || seen_inputs.count(v)) continue;
+                seen_inputs.insert(v);
+                inputs.push_back(std::static_pointer_cast<VarNode>(arg));
+                outer_args.push_back(arg);
+            }
+        }
+
+        // Symbolic variables needed inside the group but not recoverable
+        // as a bare dim of any tensor parameter get an extra Shape param.
+        std::unordered_set<const ::relax::VarNode*> needed;
+        for (size_t m : group) {
+            collectExprSymVars(block->bindings[m].value, &needed);
+            collectSymVars(block->bindings[m].var->structInfo(), &needed);
+        }
+        std::unordered_set<const ::relax::VarNode*> bindable;
+        for (const auto& input : inputs) {
+            if (const auto* tensor = asTensor(input->structInfo());
+                tensor && tensor->shape) {
+                for (const auto& dim : *tensor->shape) {
+                    if (dim->kind() == ExprKind::kVar) {
+                        bindable.insert(
+                            static_cast<const ::relax::VarNode*>(dim.get()));
+                    }
+                }
+            }
+        }
+        std::vector<PrimExpr> extra_sym;
+        for (const auto* v : needed) {
+            if (!bindable.count(v)) {
+                extra_sym.push_back(std::static_pointer_cast<
+                                    const ::relax::VarNode>(
+                    std::static_pointer_cast<const ::relax::PrimExprNode>(
+                        v->sharedFromThis())));
+            }
+        }
+        // Deterministic ordering for the Shape parameter.
+        std::sort(extra_sym.begin(), extra_sym.end(),
+                  [](const PrimExpr& a, const PrimExpr& b) {
+                      return relax::toString(a) < relax::toString(b);
+                  });
+
+        // Subgraph function: fresh params mirroring the inputs.
+        std::vector<Var> params;
+        RxVarMap remap;
+        for (const auto& input : inputs) {
+            Var param = makeVar(input->name, input->structInfo());
+            params.push_back(param);
+            remap[input.get()] = param;
+        }
+        if (!extra_sym.empty()) {
+            params.push_back(makeVar("s", shapeSInfo(extra_sym)));
+        }
+        auto replaceConstants = [&](const Expr& value) -> Expr {
+            if (constant_params.empty()) return value;
+            const auto* call = static_cast<const CallNode*>(value.get());
+            std::vector<Expr> args;
+            for (const auto& arg : call->args) {
+                auto it = constant_params.find(arg.get());
+                args.push_back(it == constant_params.end()
+                                   ? arg
+                                   : Expr(params[it->second]));
+            }
+            Call rewritten = makeCall(call->op, std::move(args),
+                                      call->attrs, call->sinfoArgs);
+            rewritten->setStructInfo(value->structInfo());
+            return rewritten;
+        };
+        auto inner_block = std::make_shared<BindingBlockNode>(false);
+        for (size_t m : group) {
+            Binding inner = block->bindings[m];
+            inner.value =
+                substituteVars(replaceConstants(inner.value), remap);
+            inner.var = makeVar(inner.var->name, inner.var->structInfo());
+            remap[block->bindings[m].var.get()] = inner.var;
+            inner_block->bindings.push_back(std::move(inner));
+        }
+        Expr ret = substituteVars(outputs[0], remap);
+
+        std::string fused_name = "fused";
+        for (size_t m : group) {
+            fused_name += "_" + bindingHint(block->bindings[m]);
+        }
+        fused_name = module->uniqueName(fused_name);
+        Function subgraph = makeFunction(
+            params, makeSeqExpr({inner_block}, ret),
+            outputs[0]->structInfo());
+        subgraph->attrs["primitive"] = "1";
+        GlobalVar gv = module->addFunction(fused_name, subgraph);
+
+        // Call site: same output var, so downstream uses stay valid.
+        std::vector<Expr> call_args = outer_args;
+        if (!extra_sym.empty()) {
+            call_args.push_back(makeShapeExpr(extra_sym));
+        }
+        Call call = makeCall(gv, std::move(call_args));
+        call->setStructInfo(outputs[0]->structInfo());
+        rewritten->bindings.push_back({outputs[0], call, false, nullptr});
+        return true;
+    }
+};
+
+} // namespace
+
+Pass
+fuseOpsPass()
+{
+    return {"FuseOps", [](IRModulePtr module) {
+                // Copy first (Algorithm 2 line 3): new functions are added
+                // while iterating the original table.
+                std::vector<std::pair<std::string, Function>> worklist(
+                    module->functions().begin(), module->functions().end());
+                for (const auto& [name, func] : worklist) {
+                    if (func->attrs.count("primitive")) continue;
+                    FusionPlanner planner{module, func};
+                    const auto* seq =
+                        static_cast<const SeqExprNode*>(func->body.get());
+                    std::vector<BindingBlock> new_blocks;
+                    for (const auto& block : seq->blocks) {
+                        planner.runOnBlock(block, &new_blocks);
+                    }
+                    Function updated = makeFunction(
+                        func->params,
+                        makeSeqExpr(std::move(new_blocks), seq->body),
+                        func->retSInfo);
+                    updated->attrs = func->attrs;
+                    module->addFunction(name, updated);
+                }
+                return module;
+            }};
+}
+
+} // namespace passes
+} // namespace relax

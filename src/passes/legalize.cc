@@ -1,0 +1,147 @@
+/**
+ * @file
+ * LegalizeOps: lowers remaining high-level operator calls to call_tir of
+ * freshly generated tensor programs (§4.6's "operator to tensor program
+ * lowering"). Data-dependent operators without a static legalization
+ * become runtime packed calls.
+ */
+#include <unordered_set>
+
+#include "ir/op_registry.h"
+#include "tir/transform.h"
+#include "op/ops.h"
+#include "passes/passes.h"
+
+namespace relax {
+namespace passes {
+
+using namespace ir;
+using Var = ir::Var;
+using VarNode = ir::VarNode;
+using CallNode = ir::CallNode;
+
+namespace {
+
+/** Short kernel name from an op name, e.g. "relax.matmul" -> "matmul". */
+std::string
+kernelNameHint(const std::string& op_name)
+{
+    size_t dot = op_name.rfind('.');
+    return dot == std::string::npos ? op_name : op_name.substr(dot + 1);
+}
+
+Expr
+legalizeBindingValue(const Expr& value, const IRModulePtr& module)
+{
+    if (!value || value->kind() != RxKind::kCall) return value;
+    const auto* call = static_cast<const CallNode*>(value.get());
+    if (!call->op || call->op->kind() != RxKind::kOp) return value;
+    const std::string& op_name =
+        static_cast<const OpNode*>(call->op.get())->name;
+    if (op_name.rfind("relax.call_", 0) == 0 ||
+        op_name.rfind("relax.builtin", 0) == 0 ||
+        op_name.rfind("relax.memory", 0) == 0 ||
+        op_name.rfind("relax.vm", 0) == 0) {
+        return value; // already lowered / runtime primitive
+    }
+    const ir::OpInfo* info = OpRegistry::global().find(op_name);
+    if (!info) return value;
+    StructInfo out_sinfo = value->structInfo();
+    RELAX_ICHECK(out_sinfo) << "legalize before deduction for " << op_name;
+
+    if (!info->legalize) {
+        // Data-dependent operator: route to the runtime builtin which
+        // allocates its own output (e.g. unique, Fig. 3).
+        return callPacked("builtin." + kernelNameHint(op_name), call->args,
+                          out_sinfo);
+    }
+
+    std::string fname =
+        module->uniqueName(kernelNameHint(op_name));
+    tir::PrimFunc kernel = info->legalize(*call, fname);
+
+    // Symbolic variables not recoverable as a bare dim of some buffer
+    // parameter must travel as explicit scalar arguments (Fig. 8) so the
+    // runtime shape match can resolve composite dims like 2 * n.
+    std::vector<Expr> sym_args;
+    {
+        auto free_vars = tir::collectFreeVars(kernel);
+        std::unordered_set<const ::relax::VarNode*> bindable;
+        for (const auto& buffer : kernel->params) {
+            for (const auto& dim : buffer->shape) {
+                if (dim->kind() == ExprKind::kVar) {
+                    bindable.insert(
+                        static_cast<const ::relax::VarNode*>(dim.get()));
+                }
+            }
+        }
+        std::vector<::relax::Var> unbound;
+        for (const auto* v : free_vars) {
+            if (!bindable.count(v)) {
+                unbound.push_back(
+                    std::static_pointer_cast<const ::relax::VarNode>(
+                        std::static_pointer_cast<
+                            const ::relax::PrimExprNode>(
+                            v->sharedFromThis())));
+            }
+        }
+        std::sort(unbound.begin(), unbound.end(),
+                  [](const ::relax::Var& a, const ::relax::Var& b) {
+                      return a->name < b->name;
+                  });
+        for (const auto& v : unbound) {
+            kernel->symParams.push_back(v);
+            sym_args.push_back(makePrimValue(v));
+        }
+    }
+    GlobalVar gv = module->addTIRFunc(kernel);
+
+    // Kernel parameters are buffers: forward only tensor arguments
+    // (ShapeExpr operands such as reshape's target are compile-time only).
+    std::vector<Expr> tensor_args;
+    for (const auto& arg : call->args) {
+        if (asTensor(arg->structInfo())) tensor_args.push_back(arg);
+    }
+
+    if (const auto* tuple = asTuple(out_sinfo)) {
+        // Multi-output kernels (split): annotation per output.
+        std::vector<Expr> all_args;
+        all_args.push_back(gv);
+        all_args.insert(all_args.end(), tensor_args.begin(),
+                        tensor_args.end());
+        all_args.insert(all_args.end(), sym_args.begin(), sym_args.end());
+        Attrs attrs;
+        attrs["num_sym_args"] = (int64_t)sym_args.size();
+        Call lowered = makeCall(getOp("relax.call_tir"),
+                                std::move(all_args), std::move(attrs),
+                                tuple->fields);
+        lowered->setStructInfo(out_sinfo);
+        return lowered;
+    }
+    return callTIR(gv, tensor_args, out_sinfo, sym_args);
+}
+
+} // namespace
+
+Pass
+legalizeOpsPass()
+{
+    return {"LegalizeOps", [](IRModulePtr module) {
+                op::ensureOpsRegistered();
+                for (const auto& [name, func] : module->functions()) {
+                    const auto* seq =
+                        static_cast<const SeqExprNode*>(func->body.get());
+                    for (const auto& block : seq->blocks) {
+                        for (auto& binding : block->bindings) {
+                            if (binding.isMatchCast) continue;
+                            binding.value =
+                                legalizeBindingValue(binding.value, module);
+                        }
+                    }
+                }
+                return module;
+            }};
+}
+
+} // namespace passes
+} // namespace relax

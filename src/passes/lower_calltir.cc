@@ -1,0 +1,124 @@
+/**
+ * @file
+ * LowerCallTIR: makes the DPS semantics of Fig. 5 explicit. Every
+ * call_tir / call_dps_library binding becomes
+ *
+ *     out  = relax.builtin.alloc_tensor(annotation)
+ *     _    = relax.vm.kernel_call(callee, inputs..., out, sym args...)
+ *     var  = out        (or a tuple of outs)
+ *
+ * exposing all allocations to the memory planner (Algorithm 3, line 3).
+ * Dataflow blocks become plain blocks: allocation is an effect.
+ */
+#include "passes/passes.h"
+
+namespace relax {
+namespace passes {
+
+using namespace ir;
+using Var = ir::Var;
+using VarNode = ir::VarNode;
+using CallNode = ir::CallNode;
+
+namespace {
+
+Var
+emitAlloc(const StructInfo& sinfo, std::vector<Binding>* out)
+{
+    Call alloc =
+        makeCall(getOp("relax.builtin.alloc_tensor"), {}, {}, {sinfo});
+    alloc->setStructInfo(sinfo);
+    Var v = makeVar("alloc", sinfo);
+    out->push_back({v, alloc, false, nullptr});
+    return v;
+}
+
+void
+lowerBinding(const Binding& binding, std::vector<Binding>* out)
+{
+    bool is_tir = isOpCall(binding.value, "relax.call_tir");
+    bool is_lib = isOpCall(binding.value, "relax.call_dps_library");
+    if (!is_tir && !is_lib) {
+        Binding copy = binding;
+        copy.var->isDataflow = false;
+        out->push_back(copy);
+        return;
+    }
+    const auto* call = static_cast<const CallNode*>(binding.value.get());
+
+    int64_t num_sym = 0;
+    if (auto attr = call->attrs.find("num_sym_args");
+        attr != call->attrs.end()) {
+        num_sym = std::get<int64_t>(attr->second);
+    }
+    std::vector<Expr> inputs(call->args.begin() + 1,
+                             call->args.end() - num_sym);
+    std::vector<Expr> sym_args(call->args.end() - num_sym,
+                               call->args.end());
+
+    // One allocation per output annotation.
+    std::vector<Var> outs;
+    for (const auto& sinfo : call->sinfoArgs) {
+        outs.push_back(emitAlloc(sinfo, out));
+    }
+
+    std::vector<Expr> kernel_args;
+    kernel_args.push_back(call->args[0]); // GlobalVar or ExternFunc
+    kernel_args.insert(kernel_args.end(), inputs.begin(), inputs.end());
+    kernel_args.insert(kernel_args.end(), outs.begin(), outs.end());
+    kernel_args.insert(kernel_args.end(), sym_args.begin(), sym_args.end());
+    Attrs attrs = call->attrs;
+    attrs["num_inputs"] = (int64_t)inputs.size();
+    attrs["num_outputs"] = (int64_t)outs.size();
+    attrs["num_sym_args"] = num_sym;
+    attrs["callee_kind"] = std::string(is_tir ? "tir" : "library");
+    Call kernel = makeCall(getOp("relax.vm.kernel_call"),
+                           std::move(kernel_args), std::move(attrs));
+    kernel->setStructInfo(objectSInfo());
+    Var ignored = makeVar("_", objectSInfo());
+    out->push_back({ignored, kernel, false, nullptr});
+
+    // Rebind the original variable to the allocated output(s).
+    Binding rebind;
+    rebind.var = binding.var;
+    rebind.var->isDataflow = false;
+    if (outs.size() == 1) {
+        rebind.value = outs[0];
+    } else {
+        rebind.value = makeTuple({outs.begin(), outs.end()});
+        rebind.value->setStructInfo(binding.var->structInfo());
+    }
+    out->push_back(std::move(rebind));
+}
+
+} // namespace
+
+Pass
+lowerCallTIRPass()
+{
+    return {"LowerCallTIR", [](IRModulePtr module) {
+                for (const auto& [name, func] : module->functions()) {
+                    const auto* seq =
+                        static_cast<const SeqExprNode*>(func->body.get());
+                    std::vector<BindingBlock> blocks;
+                    // Merge everything into one plain block: allocation is
+                    // an effect and ordering is now explicit.
+                    auto block = std::make_shared<BindingBlockNode>(false);
+                    for (const auto& old_block : seq->blocks) {
+                        for (const auto& binding : old_block->bindings) {
+                            lowerBinding(binding, &block->bindings);
+                        }
+                    }
+                    blocks.push_back(block);
+                    Function updated = makeFunction(
+                        func->params, makeSeqExpr(blocks, seq->body),
+                        func->retSInfo);
+                    updated->attrs = func->attrs;
+                    module->addFunction(name, updated);
+                }
+                return module;
+            }};
+}
+
+} // namespace passes
+} // namespace relax

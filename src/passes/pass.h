@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Pass infrastructure: a pass maps modules to modules; a pipeline runs a
+ * fixed-order sequence (Fig. 13 — Relax deliberately uses a fixed-order
+ * pipeline without fixed-point iteration).
+ */
+#ifndef RELAX_PASSES_PASS_H_
+#define RELAX_PASSES_PASS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace relax {
+namespace passes {
+
+/** A module-to-module transformation. */
+struct Pass
+{
+    std::string name;
+    std::function<ir::IRModulePtr(ir::IRModulePtr)> run;
+};
+
+/** Ordered pass sequence with optional per-pass tracing. */
+class Pipeline
+{
+  public:
+    Pipeline& add(Pass pass)
+    {
+        passes_.push_back(std::move(pass));
+        return *this;
+    }
+
+    /** Runs every pass in order; validates well-formedness when enabled. */
+    ir::IRModulePtr
+    run(ir::IRModulePtr module, bool check_well_formed = true) const
+    {
+        for (const auto& pass : passes_) {
+            module = pass.run(std::move(module));
+            if (check_well_formed) ir::wellFormed(module);
+        }
+        return module;
+    }
+
+    const std::vector<Pass>& passes() const { return passes_; }
+
+  private:
+    std::vector<Pass> passes_;
+};
+
+} // namespace passes
+} // namespace relax
+
+#endif // RELAX_PASSES_PASS_H_

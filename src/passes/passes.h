@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The cross-level optimization and lowering passes of §4, in pipeline
+ * order (Fig. 13).
+ */
+#ifndef RELAX_PASSES_PASSES_H_
+#define RELAX_PASSES_PASSES_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "passes/pass.h"
+
+namespace relax {
+namespace passes {
+
+/**
+ * Target description consulted by partial library lowering (§4.6) and
+ * graph offloading (§4.5). Populated from a device spec by the driver.
+ */
+struct TargetInfo
+{
+    /** Vendor GEMM library name ("cublas", "rocblas", "mps"), if any. */
+    std::optional<std::string> gemmLibrary;
+    /** Fused attention library name ("flashattn"), if any. */
+    std::optional<std::string> attentionLibrary;
+    /** Fused norm/epilogue library name ("cutlass"), if any. */
+    std::optional<std::string> epilogueLibrary;
+    /** Whether the driver supports static execution graphs (CUDA Graph). */
+    bool supportsExecutionGraphs = false;
+    /**
+     * Library GEMM pays off only for batch*seq >= this many rows; below it
+     * the compiler-generated matrix-vector kernel wins (§5.1 batch-1 case).
+     */
+    int64_t libraryGemmMinRows = 2;
+};
+
+/** Upper bounds for symbolic variables (by name), used for static memory
+ *  planning of dynamic shapes (§4.3). */
+using SymBounds = std::unordered_map<std::string, int64_t>;
+
+/** Re-runs forward deduction over every binding, refreshing annotations. */
+Pass normalizePass();
+
+/** Removes dataflow bindings whose results are never used (§3.1). */
+Pass deadCodeEliminationPass();
+
+/** Evaluates operator calls over compile-time constant operands using the
+ *  legalization + interpreter path (so folding can never diverge from
+ *  execution). */
+Pass constantFoldPass();
+
+/**
+ * Partial library lowering (§4.6): pattern-matches operator calls against
+ * the target's libraries and rewrites matched regions to
+ * call_dps_library, leaving the rest for code generation.
+ */
+Pass partialLibraryLoweringPass(const TargetInfo& target);
+
+/** Lowers remaining high-level operator calls to call_tir of generated
+ *  tensor programs (the "operator to tensor program lowering" stage). */
+Pass legalizeOpsPass();
+
+/** Analysis feedback (Alg. 1): annotates each tensor program with its
+ *  compute pattern kind. */
+Pass annotateTIRPatternsPass();
+
+/** Dynamic shape-aware operator fusion (Alg. 2): groups call_tir bindings
+ *  into subgraph functions, preserving symbolic shapes via extra Shape
+ *  parameters (Fig. 8/9). */
+Pass fuseOpsPass();
+
+/** Merges the tensor programs inside each fused subgraph function into a
+ *  single kernel and inlines the call site (Fig. 9, FuseTensorIR). */
+Pass fuseTensorIRPass();
+
+/** Cross-level workspace lifting (Fig. 11): hoists global workspace
+ *  allocations out of tensor programs into graph-level allocations. */
+Pass workspaceLiftingPass();
+
+/** Lowers call_tir / call_dps_library to explicit alloc_tensor plus DPS
+ *  kernel invocation (Fig. 5 semantics made explicit). */
+Pass lowerCallTIRPass();
+
+/**
+ * Dynamic shape-aware memory planning (Alg. 3): liveness analysis plus a
+ * storage pool with symbolic-size reuse; with `bounds`, storage is sized
+ * to the static upper bound so all memory is pre-allocatable.
+ */
+Pass staticMemoryPlanPass(const SymBounds& bounds = {});
+
+/** CUDA-Graph-style offloading (§4.5): wraps statically-planned kernel
+ *  sequences in capture/replay regions when the target supports it. */
+Pass graphOffloadPass(const TargetInfo& target);
+
+/** Builds the standard optimization pipeline of Fig. 13. */
+Pipeline buildDefaultPipeline(const TargetInfo& target,
+                              const SymBounds& bounds = {});
+
+} // namespace passes
+} // namespace relax
+
+#endif // RELAX_PASSES_PASSES_H_

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Normalize (annotation re-deduction), dead code elimination, and
+ * analysis-feedback pattern annotation.
+ */
+#include "passes/passes.h"
+
+#include <unordered_set>
+
+#include "ir/utils.h"
+#include "shape/deduce.h"
+#include "tir/analysis.h"
+
+namespace relax {
+namespace passes {
+
+using namespace ir;
+using Var = ir::Var;
+using VarNode = ir::VarNode;
+using CallNode = ir::CallNode;
+
+Pass
+normalizePass()
+{
+    return {"Normalize", [](IRModulePtr module) {
+                for (const auto& [name, func] : module->functions()) {
+                    const auto* seq =
+                        static_cast<const SeqExprNode*>(func->body.get());
+                    for (const auto& block : seq->blocks) {
+                        for (auto& binding : block->bindings) {
+                            if (binding.isMatchCast) {
+                                binding.var->setStructInfo(binding.castInfo);
+                                continue;
+                            }
+                            StructInfo sinfo = shape::deduceStructInfo(
+                                binding.value, module);
+                            binding.value->setStructInfo(sinfo);
+                            binding.var->setStructInfo(sinfo);
+                        }
+                    }
+                }
+                return module;
+            }};
+}
+
+Pass
+deadCodeEliminationPass()
+{
+    return {"DeadCodeElimination", [](IRModulePtr module) {
+                for (const auto& [name, func] : module->functions()) {
+                    const auto* seq =
+                        static_cast<const SeqExprNode*>(func->body.get());
+                    // Uses outside dataflow blocks (and the function result)
+                    // keep a binding alive; inside a block, sweep backwards.
+                    std::unordered_set<const VarNode*> used;
+                    collectVarUses(seq->body, &used);
+                    for (const auto& block : seq->blocks) {
+                        for (const auto& binding : block->bindings) {
+                            if (!block->isDataflow) {
+                                collectVarUses(binding.value, &used);
+                            }
+                        }
+                    }
+                    for (const auto& block : seq->blocks) {
+                        if (!block->isDataflow) continue;
+                        std::vector<Binding> kept;
+                        std::unordered_set<const VarNode*> live = used;
+                        for (auto it = block->bindings.rbegin();
+                             it != block->bindings.rend(); ++it) {
+                            bool removable =
+                                it->var->isDataflow && !it->isMatchCast &&
+                                !live.count(it->var.get());
+                            if (removable) continue;
+                            collectVarUses(it->value, &live);
+                            kept.push_back(*it);
+                        }
+                        std::reverse(kept.begin(), kept.end());
+                        block->bindings = std::move(kept);
+                    }
+                }
+                return module;
+            }};
+}
+
+Pass
+annotateTIRPatternsPass()
+{
+    return {"AnnotateTIRPatterns", [](IRModulePtr module) {
+                for (const auto& [name, func] : module->tirFuncs()) {
+                    if (func->attrs.count(tir::kComputePatternAttr)) continue;
+                    func->attrs[tir::kComputePatternAttr] =
+                        tir::patternKindName(tir::analyzePatternKind(func));
+                }
+                return module;
+            }};
+}
+
+} // namespace passes
+} // namespace relax

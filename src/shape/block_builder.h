@@ -1,0 +1,134 @@
+/**
+ * @file
+ * BlockBuilder: the construction API for Relax functions. Emitting a value
+ * runs forward shape deduction immediately, so annotations are maintained
+ * during model construction and inside every compiler pass (§4.1).
+ */
+#ifndef RELAX_SHAPE_BLOCK_BUILDER_H_
+#define RELAX_SHAPE_BLOCK_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "shape/deduce.h"
+
+namespace relax {
+namespace shape {
+
+/** Builds one function body as a sequence of binding blocks. */
+class BlockBuilder
+{
+  public:
+    explicit BlockBuilder(ir::IRModulePtr module)
+        : module_(std::move(module)) {}
+
+    /** Opens a dataflow (pure, straight-line) block. */
+    void
+    beginDataflowBlock()
+    {
+        RELAX_ICHECK(!current_) << "block already open";
+        current_ = std::make_shared<ir::BindingBlockNode>(true);
+    }
+
+    /** Opens a plain binding block (effects and control flow allowed). */
+    void
+    beginBindingBlock()
+    {
+        RELAX_ICHECK(!current_) << "block already open";
+        current_ = std::make_shared<ir::BindingBlockNode>(false);
+    }
+
+    /** Closes the open block. */
+    void
+    endBlock()
+    {
+        RELAX_ICHECK(current_) << "no open block";
+        if (!current_->bindings.empty()) blocks_.push_back(current_);
+        current_ = nullptr;
+    }
+
+    /**
+     * Binds `value` to a fresh variable with a deduced annotation. Inside a
+     * dataflow block the variable is block-local.
+     */
+    ir::Var
+    emit(ir::Expr value, const std::string& hint = "lv")
+    {
+        return emitInternal(std::move(value), hint,
+                            current_ && current_->isDataflow);
+    }
+
+    /**
+     * Binds `value` to a non-dataflow variable so it remains visible after
+     * the dataflow block ends (a dataflow "output").
+     */
+    ir::Var
+    emitOutput(ir::Expr value, const std::string& hint = "gv")
+    {
+        return emitInternal(std::move(value), hint, false);
+    }
+
+    /**
+     * Emits `var = match_cast(value, target)`: asserts the annotation at
+     * runtime and introduces its symbolic variables for later deduction
+     * (§3.2).
+     */
+    ir::Var
+    emitMatchCast(ir::Expr value, ir::StructInfo target,
+                  const std::string& hint = "lv")
+    {
+        RELAX_ICHECK(current_) << "no open block";
+        ir::Var v = ir::makeVar(freshName(hint), target,
+                                current_->isDataflow);
+        ir::Binding binding;
+        binding.var = v;
+        binding.value = std::move(value);
+        binding.isMatchCast = true;
+        binding.castInfo = std::move(target);
+        current_->bindings.push_back(std::move(binding));
+        return v;
+    }
+
+    /** Finishes the body: closes nothing, wraps blocks + result. */
+    ir::SeqExpr
+    finish(ir::Expr body)
+    {
+        RELAX_ICHECK(!current_) << "unclosed block";
+        auto seq = ir::makeSeqExpr(std::move(blocks_), std::move(body));
+        blocks_.clear();
+        return seq;
+    }
+
+    const ir::IRModulePtr& module() const { return module_; }
+
+  private:
+    ir::Var
+    emitInternal(ir::Expr value, const std::string& hint, bool dataflow)
+    {
+        RELAX_ICHECK(current_) << "no open block";
+        ir::StructInfo sinfo = deduceStructInfo(value, module_);
+        value->setStructInfo(sinfo);
+        ir::Var v = ir::makeVar(freshName(hint), sinfo, dataflow);
+        ir::Binding binding;
+        binding.var = v;
+        binding.value = std::move(value);
+        current_->bindings.push_back(std::move(binding));
+        return v;
+    }
+
+    std::string
+    freshName(const std::string& hint)
+    {
+        return hint + std::to_string(counter_++);
+    }
+
+    ir::IRModulePtr module_;
+    std::vector<ir::BindingBlock> blocks_;
+    ir::BindingBlock current_;
+    int counter_ = 0;
+};
+
+} // namespace shape
+} // namespace relax
+
+#endif // RELAX_SHAPE_BLOCK_BUILDER_H_

@@ -1,0 +1,376 @@
+#include "shape/deduce.h"
+
+#include "arith/analyzer.h"
+#include "ir/op_registry.h"
+#include "tir/transform.h"
+
+namespace relax {
+namespace shape {
+
+using namespace ir;
+
+namespace {
+
+UnifyResult
+worstOf(UnifyResult a, UnifyResult b)
+{
+    return (int)a > (int)b ? a : b;
+}
+
+/** Unification runs in two phases so symbolic variables bound by *later*
+ *  parameters (e.g. the extra Shape argument of fused functions, Fig. 8)
+ *  are visible when verifying composite dims of earlier parameters. */
+enum class Phase { kBind, kVerify };
+
+UnifyResult
+unifyDims(const std::optional<std::vector<PrimExpr>>& param_dims,
+          int param_ndim, const std::optional<std::vector<PrimExpr>>& arg_dims,
+          int arg_ndim, VarMap* binding, Phase phase)
+{
+    if (!param_dims) {
+        if (param_ndim != kUnknownNDim && arg_ndim != kUnknownNDim &&
+            param_ndim != arg_ndim) {
+            return UnifyResult::kMismatch;
+        }
+        return UnifyResult::kExact; // parameter imposes no symbolic detail
+    }
+    if (!arg_dims) {
+        if (arg_ndim != kUnknownNDim &&
+            (int)param_dims->size() != arg_ndim) {
+            return UnifyResult::kMismatch;
+        }
+        return UnifyResult::kCoarse;
+    }
+    if (param_dims->size() != arg_dims->size()) {
+        return UnifyResult::kMismatch;
+    }
+    Analyzer analyzer;
+    UnifyResult result = UnifyResult::kExact;
+    if (phase == Phase::kBind) {
+        for (size_t i = 0; i < param_dims->size(); ++i) {
+            const PrimExpr& p = (*param_dims)[i];
+            const PrimExpr& c = (*arg_dims)[i];
+            if (p->kind() != ExprKind::kVar) continue;
+            const auto* v = static_cast<const ::relax::VarNode*>(p.get());
+            if (auto it = binding->find(v); it != binding->end()) {
+                if (!analyzer.proveEqual(it->second, c)) {
+                    return UnifyResult::kMismatch;
+                }
+            } else {
+                (*binding)[v] = c;
+            }
+        }
+        return result;
+    }
+    // Verify phase: composite dims must prove equal under the bindings;
+    // unprovable symbolic residue downgrades to coarse (runtime checked).
+    for (size_t i = 0; i < param_dims->size(); ++i) {
+        const PrimExpr& p = (*param_dims)[i];
+        const PrimExpr& c = (*arg_dims)[i];
+        if (p->kind() == ExprKind::kVar) continue;
+        // Callee-side vars left unbound by the bind phase mean the
+        // relation cannot be resolved statically -> coarse fallback.
+        std::unordered_set<const ::relax::VarNode*> pattern_vars;
+        collectVars(p, &pattern_vars);
+        bool unbound = false;
+        for (const auto* v : pattern_vars) unbound |= !binding->count(v);
+        if (unbound) {
+            result = worstOf(result, UnifyResult::kCoarse);
+            continue;
+        }
+        PrimExpr substituted = substitute(p, *binding);
+        if (!analyzer.proveEqual(substituted, c)) {
+            std::unordered_set<const ::relax::VarNode*> free_vars;
+            collectVars(c, &free_vars);
+            collectVars(substituted, &free_vars);
+            if (free_vars.empty()) {
+                return UnifyResult::kMismatch; // constant conflict
+            }
+            result = worstOf(result, UnifyResult::kCoarse);
+        }
+    }
+    return result;
+}
+
+UnifyResult unifySInfoPhase(const StructInfo& param, const StructInfo& arg,
+                            VarMap* binding, Phase phase);
+
+UnifyResult
+unifySInfoPhaseImpl(const StructInfo& param, const StructInfo& arg,
+                    VarMap* binding, Phase phase)
+{
+    if (!param || param->kind() == SInfoKind::kObject) {
+        return UnifyResult::kExact;
+    }
+    if (!arg) return UnifyResult::kCoarse;
+    if (arg->kind() == SInfoKind::kObject) return UnifyResult::kCoarse;
+    if (param->kind() != arg->kind()) return UnifyResult::kMismatch;
+    switch (param->kind()) {
+      case SInfoKind::kPrim: {
+        const auto* pp = asPrim(param);
+        const auto* pa = asPrim(arg);
+        if (phase == Phase::kBind && pp->value &&
+            pp->value->kind() == ExprKind::kVar && pa->value) {
+            const auto* v =
+                static_cast<const ::relax::VarNode*>(pp->value.get());
+            binding->emplace(v, pa->value);
+        }
+        return UnifyResult::kExact;
+      }
+      case SInfoKind::kShape: {
+        const auto* sp = asShape(param);
+        const auto* sa = asShape(arg);
+        return unifyDims(sp->values, sp->ndim, sa->values, sa->ndim, binding,
+                         phase);
+      }
+      case SInfoKind::kTensor: {
+        const auto* tp = asTensor(param);
+        const auto* ta = asTensor(arg);
+        if (!tp->dtype.isVoid() && !ta->dtype.isVoid() &&
+            tp->dtype != ta->dtype) {
+            return UnifyResult::kMismatch;
+        }
+        return unifyDims(tp->shape, tp->ndim, ta->shape, ta->ndim, binding,
+                         phase);
+      }
+      case SInfoKind::kTuple: {
+        const auto* tp = asTuple(param);
+        const auto* ta = asTuple(arg);
+        if (tp->fields.size() != ta->fields.size()) {
+            return UnifyResult::kMismatch;
+        }
+        UnifyResult result = UnifyResult::kExact;
+        for (size_t i = 0; i < tp->fields.size(); ++i) {
+            result = worstOf(result,
+                             unifySInfoPhase(tp->fields[i], ta->fields[i],
+                                             binding, phase));
+            if (result == UnifyResult::kMismatch) return result;
+        }
+        return result;
+      }
+      case SInfoKind::kCallable:
+        return UnifyResult::kExact;
+      case SInfoKind::kObject:
+        return UnifyResult::kExact;
+    }
+    return UnifyResult::kCoarse;
+}
+
+UnifyResult
+unifySInfoPhase(const StructInfo& param, const StructInfo& arg,
+                VarMap* binding, Phase phase)
+{
+    return unifySInfoPhaseImpl(param, arg, binding, phase);
+}
+
+} // namespace
+
+UnifyResult
+unifySInfo(const StructInfo& param, const StructInfo& arg, VarMap* binding)
+{
+    UnifyResult bind = unifySInfoPhase(param, arg, binding, Phase::kBind);
+    if (bind == UnifyResult::kMismatch) return bind;
+    return worstOf(bind,
+                   unifySInfoPhase(param, arg, binding, Phase::kVerify));
+}
+
+StructInfo
+eraseToCoarse(const StructInfo& sinfo)
+{
+    if (!sinfo) return objectSInfo();
+    switch (sinfo->kind()) {
+      case SInfoKind::kTensor: {
+        const auto* node = asTensor(sinfo);
+        return tensorSInfoNDim(node->ndim, node->dtype);
+      }
+      case SInfoKind::kShape:
+        return shapeSInfoNDim(asShape(sinfo)->ndim);
+      case SInfoKind::kPrim:
+        return primSInfo(asPrim(sinfo)->dtype);
+      case SInfoKind::kTuple: {
+        std::vector<StructInfo> fields;
+        for (const auto& field : asTuple(sinfo)->fields) {
+            fields.push_back(eraseToCoarse(field));
+        }
+        return tupleSInfo(std::move(fields));
+      }
+      default:
+        return sinfo;
+    }
+}
+
+namespace {
+
+/** Simplifies symbolic dims after substitution, e.g. (n+1)*4 stays but
+ *  n*2*2 becomes 4*n, keeping annotations canonical across passes. */
+StructInfo
+simplifySInfo(const StructInfo& sinfo)
+{
+    Analyzer analyzer;
+    if (const auto* tensor = asTensor(sinfo); tensor && tensor->shape) {
+        std::vector<PrimExpr> dims;
+        for (const auto& d : *tensor->shape) {
+            dims.push_back(analyzer.simplify(d));
+        }
+        return tensorSInfo(std::move(dims), tensor->dtype);
+    }
+    if (const auto* shp = asShape(sinfo); shp && shp->values) {
+        std::vector<PrimExpr> dims;
+        for (const auto& d : *shp->values) {
+            dims.push_back(analyzer.simplify(d));
+        }
+        return shapeSInfo(std::move(dims));
+    }
+    if (const auto* tuple = asTuple(sinfo)) {
+        std::vector<StructInfo> fields;
+        for (const auto& field : tuple->fields) {
+            fields.push_back(simplifySInfo(field));
+        }
+        return tupleSInfo(std::move(fields));
+    }
+    return sinfo;
+}
+
+/** Deduction at a function boundary from a Callable signature. */
+StructInfo
+deduceSignatureCall(const CallableSInfoNode* signature, const ir::CallNode& call)
+{
+    if (!signature->params) {
+        return signature->ret ? eraseToCoarse(signature->ret) : objectSInfo();
+    }
+    if (signature->params->size() != call.args.size()) {
+        RELAX_THROW(ShapeError)
+            << "call arity mismatch: expected " << signature->params->size()
+            << " arguments, got " << call.args.size();
+    }
+    // Two passes over all parameters: bind bare symbolic vars everywhere
+    // first, then verify composite annotations — variables supplied by a
+    // later Shape parameter (Fig. 8) thus reach earlier composite dims.
+    VarMap binding;
+    UnifyResult result = UnifyResult::kExact;
+    for (Phase phase : {Phase::kBind, Phase::kVerify}) {
+        for (size_t i = 0; i < call.args.size(); ++i) {
+            result = worstOf(result, unifySInfoPhase(
+                                         (*signature->params)[i],
+                                         call.args[i]->structInfo(),
+                                         &binding, phase));
+            if (result == UnifyResult::kMismatch) {
+                RELAX_THROW(ShapeError)
+                    << "argument " << i << " incompatible with parameter "
+                    << "annotation " << toString((*signature->params)[i])
+                    << " (got " << toString(call.args[i]->structInfo())
+                    << ")";
+            }
+        }
+    }
+    StructInfo ret = signature->ret ? signature->ret : objectSInfo();
+    if (result == UnifyResult::kCoarse) {
+        // Per §4.1 the symbolic relations cannot be resolved; degrade but
+        // keep rank and dtype (Fig. 7, lv3).
+        return eraseToCoarse(ret);
+    }
+    return simplifySInfo(substituteSInfo(ret, binding));
+}
+
+} // namespace
+
+StructInfo
+deduceStructInfo(const Expr& expr, const IRModulePtr& module)
+{
+    if (!expr) return objectSInfo();
+    switch (expr->kind()) {
+      case RxKind::kVar:
+      case RxKind::kConstant:
+      case RxKind::kShapeExpr:
+      case RxKind::kPrimValue:
+        return expr->structInfo() ? expr->structInfo() : objectSInfo();
+      case RxKind::kTuple: {
+        const auto* node = static_cast<const TupleNode*>(expr.get());
+        std::vector<StructInfo> fields;
+        for (const auto& field : node->fields) {
+            fields.push_back(deduceStructInfo(field, module));
+        }
+        return tupleSInfo(std::move(fields));
+      }
+      case RxKind::kTupleGetItem: {
+        const auto* node = static_cast<const TupleGetItemNode*>(expr.get());
+        StructInfo tuple_info = deduceStructInfo(node->tuple, module);
+        if (const auto* tuple = asTuple(tuple_info)) {
+            if (node->index < 0 ||
+                node->index >= (int)tuple->fields.size()) {
+                RELAX_THROW(IRError)
+                    << "tuple index " << node->index << " out of range";
+            }
+            return tuple->fields[node->index];
+        }
+        return objectSInfo();
+      }
+      case RxKind::kFunction:
+      case RxKind::kGlobalVar:
+      case RxKind::kExternFunc:
+      case RxKind::kOp:
+        return expr->structInfo() ? expr->structInfo() : objectSInfo();
+      case RxKind::kIf: {
+        const auto* node = static_cast<const IfNode*>(expr.get());
+        StructInfo then_info = node->thenBranch->structInfo();
+        StructInfo else_info = node->elseBranch->structInfo();
+        if (then_info && else_info) {
+            if (sInfoEqual(then_info, else_info)) return then_info;
+            if (then_info->kind() == else_info->kind()) {
+                return eraseToCoarse(then_info);
+            }
+        }
+        return objectSInfo();
+      }
+      case RxKind::kSeqExpr: {
+        const auto* node = static_cast<const SeqExprNode*>(expr.get());
+        return node->body->structInfo() ? node->body->structInfo()
+                                        : objectSInfo();
+      }
+      case RxKind::kCall: {
+        const auto* call = static_cast<const ir::CallNode*>(expr.get());
+        // Cross-level calls: annotation travels explicitly (Fig. 4).
+        if (isOpCall(expr, "relax.call_tir") ||
+            isOpCall(expr, "relax.call_dps_library") ||
+            isOpCall(expr, "relax.call_packed")) {
+            RELAX_ICHECK(!call->sinfoArgs.empty())
+                << "cross-level call without output annotation";
+            return call->sinfoArgs.size() == 1
+                       ? call->sinfoArgs[0]
+                       : tupleSInfo(call->sinfoArgs);
+        }
+        // High-level operator with a registered deduction rule.
+        if (call->op->kind() == RxKind::kOp) {
+            const auto* op = static_cast<const OpNode*>(call->op.get());
+            if (const OpInfo* info = OpRegistry::global().find(op->name);
+                info && info->inferStructInfo) {
+                return simplifySInfo(info->inferStructInfo(*call));
+            }
+            return objectSInfo();
+        }
+        // Subgraph function call through a module-level symbol.
+        if (call->op->kind() == RxKind::kGlobalVar) {
+            const auto* gv =
+                static_cast<const GlobalVarNode*>(call->op.get());
+            if (module) {
+                if (Function callee = module->getFunction(gv->name)) {
+                    const auto* signature =
+                        asCallable(callee->structInfo());
+                    RELAX_ICHECK(signature) << "function without signature";
+                    return deduceSignatureCall(signature, *call);
+                }
+            }
+            return objectSInfo();
+        }
+        // First-class function value (Callable annotation).
+        if (const auto* signature = asCallable(call->op->structInfo())) {
+            return deduceSignatureCall(signature, *call);
+        }
+        return objectSInfo();
+      }
+    }
+    return objectSInfo();
+}
+
+} // namespace shape
+} // namespace relax

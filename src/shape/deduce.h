@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Forward symbolic shape deduction (§4.1).
+ *
+ * Deduction is forward and local: the annotation of an expression follows
+ * from the annotations of its inputs. Function calls are resolved through
+ * signatures only ("isolated symbolic relations at function boundaries"):
+ * parameter annotations are unified against argument annotations, binding
+ * the callee's symbolic variables, and the return annotation is rewritten
+ * under that binding (Fig. 7). When unification cannot bind a variable
+ * (coarse-grained arguments), the result degrades to the rank/dtype-only
+ * fallback rather than failing.
+ */
+#ifndef RELAX_SHAPE_DEDUCE_H_
+#define RELAX_SHAPE_DEDUCE_H_
+
+#include "ir/module.h"
+
+namespace relax {
+namespace shape {
+
+/** Unification outcome at a function boundary. */
+enum class UnifyResult {
+    kExact,   //!< all symbolic relations resolved
+    kCoarse,  //!< arguments too coarse; result must be erased to ranks
+    kMismatch //!< provably incompatible (rank/dtype conflict)
+};
+
+/**
+ * Unifies a parameter annotation against an argument annotation, binding
+ * the parameter's bare symbolic dims into `binding`. Never throws; coarse
+ * arguments yield kCoarse (the caller erases symbolic detail, §4.1).
+ */
+UnifyResult unifySInfo(const ir::StructInfo& param, const ir::StructInfo& arg,
+                       VarMap* binding);
+
+/** Drops symbolic detail, keeping rank/dtype (the "safety net" fallback). */
+ir::StructInfo eraseToCoarse(const ir::StructInfo& sinfo);
+
+/**
+ * Deduces the annotation of an expression. Registered operator rules
+ * handle Op calls; GlobalVar / closure calls go through signature
+ * unification; cross-level calls take their annotation from the explicit
+ * output StructInfo argument (Fig. 4). Returns Object when nothing better
+ * is known.
+ */
+ir::StructInfo deduceStructInfo(const ir::Expr& expr,
+                                const ir::IRModulePtr& module);
+
+} // namespace shape
+} // namespace relax
+
+#endif // RELAX_SHAPE_DEDUCE_H_

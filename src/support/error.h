@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Error types used throughout the Relax compiler.
+ *
+ * Follows the fatal/panic split: user-facing problems (bad IR supplied by a
+ * frontend, shape mismatch at runtime) raise typed exceptions derived from
+ * relax::Error; internal invariant violations use RELAX_ICHECK which throws
+ * InternalError.
+ */
+#ifndef RELAX_SUPPORT_ERROR_H_
+#define RELAX_SUPPORT_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace relax {
+
+/** Base class for all user-facing compiler/runtime errors. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Raised when an IR fragment violates language rules (well-formedness). */
+class IRError : public Error
+{
+  public:
+    explicit IRError(const std::string& msg) : Error("IRError: " + msg) {}
+};
+
+/** Raised when shape deduction or a runtime shape check fails. */
+class ShapeError : public Error
+{
+  public:
+    explicit ShapeError(const std::string& msg)
+        : Error("ShapeError: " + msg) {}
+};
+
+/** Raised for type/annotation mismatches. */
+class TypeError : public Error
+{
+  public:
+    explicit TypeError(const std::string& msg) : Error("TypeError: " + msg) {}
+};
+
+/** Raised by the VM and device layer for execution failures. */
+class RuntimeError : public Error
+{
+  public:
+    explicit RuntimeError(const std::string& msg)
+        : Error("RuntimeError: " + msg) {}
+};
+
+/** Raised when an internal invariant breaks; indicates a compiler bug. */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string& msg)
+        : Error("InternalError: " + msg) {}
+};
+
+namespace detail {
+
+/** Stream-style message builder that throws on destruction-by-value. */
+template <typename ErrorType>
+class ErrorStream
+{
+  public:
+    ErrorStream() = default;
+
+    template <typename T>
+    ErrorStream&
+    operator<<(const T& value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+    [[noreturn]] ~ErrorStream() noexcept(false)
+    {
+        throw ErrorType(stream_.str());
+    }
+
+  private:
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+} // namespace relax
+
+/** Internal invariant check; throws InternalError with location info. */
+#define RELAX_ICHECK(cond)                                                    \
+    if (!(cond))                                                              \
+    ::relax::detail::ErrorStream<::relax::InternalError>()                    \
+        << __FILE__ << ":" << __LINE__ << ": check failed: " #cond " "
+
+/** User-facing error with stream-style message, e.g. RELAX_THROW(IRError). */
+#define RELAX_THROW(ErrorType) ::relax::detail::ErrorStream<::relax::ErrorType>()
+
+#endif // RELAX_SUPPORT_ERROR_H_

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal leveled logging for the compiler and runtime.
+ */
+#ifndef RELAX_SUPPORT_LOGGING_H_
+#define RELAX_SUPPORT_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace relax {
+
+/** Severity levels in increasing order of importance. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Global logging configuration. */
+class Logging
+{
+  public:
+    /** Returns the mutable global minimum level; messages below are dropped. */
+    static LogLevel&
+    minLevel()
+    {
+        static LogLevel level = LogLevel::kWarn;
+        return level;
+    }
+};
+
+namespace detail {
+
+/** One log statement; flushes to stderr on destruction. */
+class LogMessage
+{
+  public:
+    LogMessage(LogLevel level, const char* file, int line) : level_(level)
+    {
+        stream_ << "[" << levelName(level) << "] " << file << ":" << line
+                << ": ";
+    }
+
+    ~LogMessage()
+    {
+        if (level_ >= Logging::minLevel()) {
+            std::cerr << stream_.str() << std::endl;
+        }
+    }
+
+    std::ostream& stream() { return stream_; }
+
+  private:
+    static const char*
+    levelName(LogLevel level)
+    {
+        switch (level) {
+          case LogLevel::kDebug: return "DEBUG";
+          case LogLevel::kInfo: return "INFO";
+          case LogLevel::kWarn: return "WARN";
+          case LogLevel::kError: return "ERROR";
+        }
+        return "?";
+    }
+
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+} // namespace relax
+
+#define RELAX_LOG(level)                                                      \
+    ::relax::detail::LogMessage(::relax::LogLevel::level, __FILE__, __LINE__) \
+        .stream()
+
+#endif // RELAX_SUPPORT_LOGGING_H_

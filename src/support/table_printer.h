@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Aligned ASCII table printer used by the benchmark harness to emit the
+ * rows/series of the paper's tables and figures.
+ */
+#ifndef RELAX_SUPPORT_TABLE_PRINTER_H_
+#define RELAX_SUPPORT_TABLE_PRINTER_H_
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace relax {
+
+/**
+ * Collects rows of string cells and prints them with aligned columns.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header)
+        : header_(std::move(header)) {}
+
+    /** Appends one row; cell count may be shorter than the header. */
+    void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+    /** Formats a double with the given precision. */
+    static std::string
+    fmt(double value, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        return os.str();
+    }
+
+    /** Renders the table to the given stream. */
+    void
+    print(std::ostream& os = std::cout) const
+    {
+        std::vector<size_t> widths(header_.size(), 0);
+        auto update = [&](const std::vector<std::string>& row) {
+            for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+                widths[i] = std::max(widths[i], row[i].size());
+            }
+        };
+        update(header_);
+        for (const auto& row : rows_) update(row);
+
+        auto emit = [&](const std::vector<std::string>& row) {
+            os << "|";
+            for (size_t i = 0; i < widths.size(); ++i) {
+                std::string cell = i < row.size() ? row[i] : "";
+                os << " " << std::left << std::setw((int)widths[i]) << cell
+                   << " |";
+            }
+            os << "\n";
+        };
+        emit(header_);
+        os << "|";
+        for (size_t w : widths) os << std::string(w + 2, '-') << "|";
+        os << "\n";
+        for (const auto& row : rows_) emit(row);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace relax
+
+#endif // RELAX_SUPPORT_TABLE_PRINTER_H_

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Analyses over tensor programs: the compute-pattern classification of
+ * Algorithm 1 (the "analysis feedback" that replaces manual operator
+ * annotations, §4.2), workspace detection (§4.4), and symbolic FLOP/byte
+ * cost estimation used by the simulated device layer.
+ */
+#ifndef RELAX_TIR_ANALYSIS_H_
+#define RELAX_TIR_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+
+#include "tir/stmt.h"
+#include "tir/transform.h"
+
+namespace relax {
+namespace tir {
+
+/**
+ * The pattern kinds of Algorithm 1, ordered by fusion permissiveness.
+ */
+enum class PatternKind {
+    kElementWise,
+    kBroadcast,
+    kInjective,
+    kReduction,
+    kOutputEwiseFusible,
+    kOpaque
+};
+
+/** Human-readable name matching the paper ("ElementWise", ...). */
+std::string patternKindName(PatternKind kind);
+
+/** Parses the textual name back; throws IRError on unknown names. */
+PatternKind patternKindFromName(const std::string& name);
+
+/**
+ * Classifies a tensor program per Algorithm 1 of the paper.
+ *
+ * Reads of the output buffer itself (reduction self-accumulation) are not
+ * classified; the fused-multiply-add and reduction-loop checks handle those
+ * cases, yielding OutputEwiseFusible for matmul-like programs and Reduction
+ * for general reductions.
+ */
+PatternKind analyzePatternKind(const PrimFunc& func);
+
+/** Attribute key under which FuseOps expects the pattern annotation. */
+inline constexpr const char* kComputePatternAttr = "compute_pattern";
+
+/**
+ * Detects a device-memory workspace allocation inside the tensor program
+ * (e.g. the Stream-K split-K accumulator of Fig. 11). Returns the first
+ * "global"-scope allocation, if any.
+ */
+std::optional<BufferAllocation> findGlobalWorkspace(const PrimFunc& func);
+
+/** Symbolic cost estimate of one tensor-program invocation. */
+struct TensorProgramCost
+{
+    /** Scalar arithmetic operations executed (symbolic). */
+    PrimExpr flops;
+    /** Bytes moved to/from device memory assuming perfect on-chip reuse:
+     *  the footprint of every distinct buffer touched (roofline model). */
+    PrimExpr bytes;
+};
+
+/** Computes the symbolic cost of the program body. */
+TensorProgramCost analyzeCost(const PrimFunc& func);
+
+} // namespace tir
+} // namespace relax
+
+#endif // RELAX_TIR_ANALYSIS_H_

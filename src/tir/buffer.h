@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Buffers: named, typed, symbolically-shaped memory regions operated on by
+ * loop-level tensor programs (the paper's `Buffer(("n", 512), "f32")`).
+ */
+#ifndef RELAX_TIR_BUFFER_H_
+#define RELAX_TIR_BUFFER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arith/expr.h"
+
+namespace relax {
+namespace tir {
+
+/**
+ * A buffer declaration. Identity is by node address; the same buffer object
+ * is shared between its declaration (function parameter or allocation) and
+ * every load/store that touches it.
+ */
+class BufferNode
+{
+  public:
+    BufferNode(std::string name, DataType dtype, std::vector<PrimExpr> shape)
+        : name(std::move(name)), dtype(dtype), shape(std::move(shape)) {}
+
+    std::string name;
+    DataType dtype;
+    std::vector<PrimExpr> shape;
+
+    /** Number of elements as a symbolic expression. */
+    PrimExpr
+    numel() const
+    {
+        PrimExpr total = intImm(1);
+        for (const auto& dim : shape) total = mul(total, dim);
+        return total;
+    }
+
+    /** Size in bytes as a symbolic expression. */
+    PrimExpr
+    sizeBytes() const
+    {
+        return mul(numel(), intImm(dtype.bytes()));
+    }
+};
+
+using Buffer = std::shared_ptr<const BufferNode>;
+
+/** Creates a buffer with the given symbolic shape. */
+inline Buffer
+makeBuffer(const std::string& name, DataType dtype,
+           std::vector<PrimExpr> shape)
+{
+    return std::make_shared<BufferNode>(name, dtype, std::move(shape));
+}
+
+} // namespace tir
+} // namespace relax
+
+#endif // RELAX_TIR_BUFFER_H_

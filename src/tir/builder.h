@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Convenience builders for loop nests, mirroring the paper's
+ * `for i, j, k in grid(n, 256, 128)` notation.
+ */
+#ifndef RELAX_TIR_BUILDER_H_
+#define RELAX_TIR_BUILDER_H_
+
+#include <vector>
+
+#include "tir/stmt.h"
+
+namespace relax {
+namespace tir {
+
+/** Wraps `body` in nested loops, outermost first. */
+inline Stmt
+nestLoops(const std::vector<Var>& loop_vars,
+          const std::vector<PrimExpr>& extents, Stmt body)
+{
+    RELAX_ICHECK(loop_vars.size() == extents.size())
+        << "loop vars / extents mismatch";
+    for (size_t i = loop_vars.size(); i-- > 0;) {
+        body = makeFor(loop_vars[i], extents[i], std::move(body));
+    }
+    return body;
+}
+
+/** Creates fresh loop variables i0, i1, ... (or custom names). */
+inline std::vector<Var>
+makeLoopVars(size_t count, const std::string& prefix = "i")
+{
+    std::vector<Var> vars;
+    vars.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        vars.push_back(var(prefix + std::to_string(i)));
+    }
+    return vars;
+}
+
+/** Index expressions view of loop variables. */
+inline std::vector<PrimExpr>
+asExprs(const std::vector<Var>& vars)
+{
+    return std::vector<PrimExpr>(vars.begin(), vars.end());
+}
+
+} // namespace tir
+} // namespace relax
+
+#endif // RELAX_TIR_BUILDER_H_

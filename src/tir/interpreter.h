@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reference interpreter for tensor programs. Stands in for the paper's GPU
+ * code generation layer: every transformation in the compiler can be
+ * validated against it, which is exactly the role ground-truth codegen
+ * plays in the TVM artifact.
+ */
+#ifndef RELAX_TIR_INTERPRETER_H_
+#define RELAX_TIR_INTERPRETER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "arith/substitute.h"
+#include "tir/ndarray.h"
+#include "tir/stmt.h"
+
+namespace relax {
+namespace tir {
+
+/**
+ * Executes a tensor program in destination-passing style.
+ *
+ * @param func The program to run.
+ * @param args One NDArray per buffer parameter, outputs included (DPS).
+ * @param sym_args Values for func->symParams, in order.
+ *
+ * Symbolic variables appearing in buffer shapes are bound by matching the
+ * declared shapes against the concrete argument shapes (the runtime
+ * counterpart of the paper's shape checks at function boundaries); a
+ * mismatch throws ShapeError.
+ */
+void run(const PrimFunc& func, const std::vector<NDArray>& args,
+         const std::vector<int64_t>& sym_args = {});
+
+/**
+ * Binds symbolic shape variables by matching declared against concrete
+ * shapes. Exposed for the VM, which performs the same matching when
+ * invoking compiled kernels. Throws ShapeError on inconsistency.
+ */
+VarBinding bindShapes(const PrimFunc& func,
+                      const std::vector<NDArray>& args,
+                      const std::vector<int64_t>& sym_args);
+
+} // namespace tir
+} // namespace relax
+
+#endif // RELAX_TIR_INTERPRETER_H_

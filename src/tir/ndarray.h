@@ -1,0 +1,136 @@
+/**
+ * @file
+ * NDArray: the runtime tensor container shared by the TIR interpreter, the
+ * VM and the simulated device layer.
+ *
+ * Two modes exist:
+ *  - data mode: a real buffer of scalars (stored as doubles, exact for all
+ *    integer values this system manipulates: token ids, packed u32 words,
+ *    float16/float32 payloads), used by tests and examples;
+ *  - metadata-only mode: shape/dtype but no storage, used by the benchmark
+ *    harness to execute paper-scale models (8B parameters) on the simulated
+ *    device clock without materializing gigabytes.
+ */
+#ifndef RELAX_TIR_NDARRAY_H_
+#define RELAX_TIR_NDARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "arith/dtype.h"
+#include "support/error.h"
+
+namespace relax {
+
+/** Runtime n-dimensional array. Copies share the underlying storage. */
+class NDArray
+{
+  public:
+    NDArray() = default;
+
+    /** Allocates a zero-initialized array with real storage. */
+    static NDArray
+    zeros(std::vector<int64_t> shape, DataType dtype)
+    {
+        NDArray array;
+        array.shape_ = std::move(shape);
+        array.dtype_ = dtype;
+        array.data_ =
+            std::make_shared<std::vector<double>>(array.numel(), 0.0);
+        return array;
+    }
+
+    /** Creates an array wrapping the given values (row-major). */
+    static NDArray
+    fromVector(std::vector<int64_t> shape, DataType dtype,
+               std::vector<double> values)
+    {
+        NDArray array;
+        array.shape_ = std::move(shape);
+        array.dtype_ = dtype;
+        RELAX_ICHECK((int64_t)values.size() == array.numel())
+            << "value count mismatch";
+        array.data_ =
+            std::make_shared<std::vector<double>>(std::move(values));
+        return array;
+    }
+
+    /** Creates a metadata-only array (no storage). */
+    static NDArray
+    metaOnly(std::vector<int64_t> shape, DataType dtype)
+    {
+        NDArray array;
+        array.shape_ = std::move(shape);
+        array.dtype_ = dtype;
+        return array;
+    }
+
+    const std::vector<int64_t>& shape() const { return shape_; }
+    DataType dtype() const { return dtype_; }
+    bool hasData() const { return data_ != nullptr; }
+    bool defined() const { return data_ != nullptr || !shape_.empty(); }
+
+    int64_t
+    numel() const
+    {
+        return std::accumulate(shape_.begin(), shape_.end(), int64_t(1),
+                               std::multiplies<int64_t>());
+    }
+
+    /** Allocation size in bytes (sub-byte dtypes round up per element). */
+    int64_t sizeBytes() const { return numel() * dtype_.bytes(); }
+
+    double
+    at(int64_t flat_index) const
+    {
+        RELAX_ICHECK(data_) << "metadata-only NDArray has no data";
+        return (*data_)[flat_index];
+    }
+
+    void
+    set(int64_t flat_index, double value)
+    {
+        RELAX_ICHECK(data_) << "metadata-only NDArray has no data";
+        (*data_)[flat_index] = value;
+    }
+
+    /** Row-major flat index from multi-dimensional indices. */
+    int64_t
+    flatten(const std::vector<int64_t>& indices) const
+    {
+        RELAX_ICHECK(indices.size() == shape_.size()) << "rank mismatch";
+        int64_t flat = 0;
+        for (size_t i = 0; i < indices.size(); ++i) {
+            RELAX_ICHECK(indices[i] >= 0 && indices[i] < shape_[i])
+                << "index " << indices[i] << " out of bounds for dim "
+                << shape_[i];
+            flat = flat * shape_[i] + indices[i];
+        }
+        return flat;
+    }
+
+    std::vector<double>&
+    data()
+    {
+        RELAX_ICHECK(data_) << "metadata-only NDArray has no data";
+        return *data_;
+    }
+
+    const std::vector<double>&
+    data() const
+    {
+        RELAX_ICHECK(data_) << "metadata-only NDArray has no data";
+        return *data_;
+    }
+
+  private:
+    std::vector<int64_t> shape_;
+    DataType dtype_ = DataType::f32();
+    std::shared_ptr<std::vector<double>> data_;
+};
+
+} // namespace relax
+
+#endif // RELAX_TIR_NDARRAY_H_

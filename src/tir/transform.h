@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Structural transformations over tensor programs: variable and buffer
+ * substitution, access collection, and shape unification. These primitives
+ * power the cross-level passes (FuseTensorIR, workspace lifting).
+ */
+#ifndef RELAX_TIR_TRANSFORM_H_
+#define RELAX_TIR_TRANSFORM_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "arith/substitute.h"
+#include "tir/stmt.h"
+
+namespace relax {
+namespace tir {
+
+/** Maps buffer nodes to replacement buffers. */
+using BufferMap = std::unordered_map<const BufferNode*, Buffer>;
+
+/** Substitutes variables and buffers through an expression (incl. loads). */
+PrimExpr substituteExpr(const PrimExpr& expr, const VarMap& vmap,
+                        const BufferMap& bmap);
+
+/** Substitutes variables and buffers through a statement tree. */
+Stmt substituteStmt(const Stmt& stmt, const VarMap& vmap,
+                    const BufferMap& bmap);
+
+/** One buffer access: which buffer and with which index expressions. */
+struct BufferAccess
+{
+    Buffer buffer;
+    std::vector<PrimExpr> indices;
+};
+
+/** All reads/writes in a statement tree, in syntactic order. */
+struct AccessSet
+{
+    std::vector<BufferAccess> reads;
+    std::vector<BufferAccess> writes;
+};
+
+/** Collects every BufferLoad (reads) and BufferStore (writes). */
+AccessSet collectAccesses(const Stmt& stmt);
+
+/** Collects buffers allocated within the statement, with their scopes. */
+struct BufferAllocation
+{
+    Buffer buffer;
+    std::string scope;
+};
+std::vector<BufferAllocation> collectAllocations(const Stmt& stmt);
+
+/** Collects the loop variables in nesting order (outermost first). */
+std::vector<Var> collectLoopVars(const Stmt& stmt);
+
+/** Collects free scalar variables of the statement (shapes + indices),
+ *  excluding loop variables bound inside. */
+std::unordered_set<const VarNode*> collectFreeVars(const PrimFunc& func);
+
+/**
+ * Unifies a symbolic pattern shape against a concrete (possibly also
+ * symbolic) shape, extending `binding`: bare Vars in the pattern bind to the
+ * corresponding expression; non-var pattern dims must structurally match
+ * after substituting bindings collected so far. Returns false on mismatch.
+ *
+ * This is the primitive behind interprocedural shape deduction at function
+ * boundaries (§4.1) and FuseTensorIR's symbolic-shape preservation.
+ */
+bool unifyShapes(const std::vector<PrimExpr>& pattern,
+                 const std::vector<PrimExpr>& concrete, VarMap* binding);
+
+} // namespace tir
+} // namespace relax
+
+#endif // RELAX_TIR_TRANSFORM_H_

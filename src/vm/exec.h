@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The VM executable: the artifact the compiler builds (§4.7). Graph-level
+ * code becomes a sequence of virtual machine instructions, each a call
+ * into a generated kernel or a runtime builtin; symbolic shape values
+ * live in a per-invocation symbol table (the paper's "integer host
+ * tensor") populated by shape-matching instructions on the inputs and
+ * read when evaluating symbolic expressions at runtime.
+ */
+#ifndef RELAX_VM_EXEC_H_
+#define RELAX_VM_EXEC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace relax {
+namespace vm {
+
+/** Register index. */
+using RegIndex = int32_t;
+
+/** One VM instruction. */
+struct Instr
+{
+    enum class Op : uint8_t {
+        kMatchShape,   //!< bind/check symbolic vars against a tensor's shape
+        kAllocStorage, //!< dst = storage of sizeExpr bytes
+        kAllocTensor,  //!< dst = tensor(shape) [from storage when src >= 0]
+        kKernelCall,   //!< DPS kernel launch (generated or library)
+        kPackedCall,   //!< dst = builtin(args...) (runtime-allocating)
+        kGraphBegin,   //!< execution-graph capture/replay region start
+        kGraphEnd,
+        kLoadConst, //!< dst = embedded constant tensor
+        kRebind,    //!< dst = src
+        kMakeTuple, //!< dst = (args...)
+        kGetItem,   //!< dst = src[index]
+        kRet
+    };
+
+    Op op;
+    RegIndex dst = -1;
+    std::vector<RegIndex> args;
+
+    // kMatchShape: per entry (dim index, var to bind) on register args[0];
+    // `checks` holds (dim index, expression) runtime verifications.
+    std::vector<std::pair<int, ::relax::Var>> binds;
+    std::vector<std::pair<int, PrimExpr>> checks;
+
+    // kAllocStorage / kAllocTensor
+    PrimExpr sizeExpr;
+    std::vector<PrimExpr> shape;
+    DataType dtype;
+
+    // kKernelCall / kPackedCall
+    std::string callee;
+    bool isLibrary = false;
+    int numInputs = 0;
+    int numOutputs = 0;
+    std::vector<PrimExpr> symExprs; //!< evaluated into kernel sym args
+    ir::Attrs attrs;
+
+    // kGraphBegin / kGraphEnd
+    int64_t graphId = -1;
+
+    // kGetItem
+    int index = 0;
+
+    // kLoadConst
+    NDArray constant;
+};
+
+/** One compiled function. */
+struct VMFunction
+{
+    std::string name;
+    int numParams = 0;
+    int numRegs = 0;
+    std::vector<Instr> instrs;
+};
+
+/** A compiled module: functions plus the tensor programs they launch. */
+class Executable
+{
+  public:
+    std::map<std::string, VMFunction> functions;
+    /** Kernel bodies (interpreted as the stand-in for GPU codegen). */
+    ir::IRModulePtr module;
+};
+
+using ExecutablePtr = std::shared_ptr<Executable>;
+
+/**
+ * Translates a fully lowered module (output of the Fig. 13 pipeline) to a
+ * VM executable. Throws IRError when un-lowered constructs remain.
+ */
+ExecutablePtr buildExecutable(const ir::IRModulePtr& module);
+
+/** Renders the instruction stream for debugging/tests. */
+std::string toString(const VMFunction& func);
+
+} // namespace vm
+} // namespace relax
+
+#endif // RELAX_VM_EXEC_H_

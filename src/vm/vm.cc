@@ -1,0 +1,369 @@
+#include "vm/vm.h"
+#include <cstdlib>
+
+#include <sstream>
+
+#include "tir/analysis.h"
+#include "tir/interpreter.h"
+
+namespace relax {
+namespace vm {
+
+LibraryRegistry&
+LibraryRegistry::global()
+{
+    static LibraryRegistry instance;
+    return instance;
+}
+
+void
+LibraryRegistry::registerKernel(const std::string& name, LibraryKernel kernel)
+{
+    kernels_[name] = std::move(kernel);
+}
+
+const LibraryKernel*
+LibraryRegistry::find(const std::string& name) const
+{
+    auto it = kernels_.find(name);
+    return it == kernels_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/** Per-invocation execution state. */
+struct Frame
+{
+    std::vector<Value> regs;
+    VarBinding symbols; //!< the runtime symbolic shape table (§4.7)
+    /** Pool allocations owned by this call (returned to pool at exit). */
+    std::vector<int64_t> pooledBytes;
+};
+
+NDArray&
+asTensorValue(Value& value, const char* what)
+{
+    NDArray* array = std::get_if<NDArray>(&value);
+    if (!array) RELAX_THROW(RuntimeError) << what << ": expected a tensor";
+    return *array;
+}
+
+/** Cached per-kernel cost expressions. */
+struct KernelCostExprs
+{
+    PrimExpr flops;
+    PrimExpr bytes;
+    tir::PatternKind kind;
+    tir::PrimFunc pin; //!< keeps the node alive so addresses never recycle
+};
+
+const KernelCostExprs&
+costExprsOf(const tir::PrimFunc& func)
+{
+    static std::map<const tir::PrimFuncNode*, KernelCostExprs> cache;
+    auto [it, inserted] = cache.emplace(func.get(), KernelCostExprs{});
+    if (inserted) {
+        it->second.pin = func;
+        tir::TensorProgramCost cost = tir::analyzeCost(func);
+        it->second.flops = cost.flops;
+        it->second.bytes = cost.bytes;
+        auto attr = func->attrs.find(tir::kComputePatternAttr);
+        it->second.kind = attr != func->attrs.end()
+                              ? tir::patternKindFromName(attr->second)
+                              : tir::analyzePatternKind(func);
+    }
+    return it->second;
+}
+
+/** Efficiency class of a generated kernel on the given device. */
+double
+generatedKernelEfficiency(const KernelCostExprs& cost,
+                          const tir::PrimFunc& func,
+                          const VarBinding& binding,
+                          const device::DeviceSpec& spec)
+{
+    bool has_fma = cost.kind == tir::PatternKind::kOutputEwiseFusible;
+    if (!has_fma) {
+        // Fused kernels lose their single-op classification; detect a
+        // matmul core by arithmetic intensity instead.
+        double flops = (double)evalInt(cost.flops, binding);
+        double bytes = (double)evalInt(cost.bytes, binding);
+        has_fma = bytes > 0 && flops / bytes > 16.0;
+    }
+    if (!has_fma) return spec.genElemwiseEfficiency;
+    // Matrix-vector (single output row) uses the tuned gemv schedule.
+    const tir::Buffer& out = func->params.back();
+    int64_t rows = 1;
+    for (size_t d = 0; d + 1 < out->shape.size(); ++d) {
+        rows *= evalInt(out->shape[d], binding);
+    }
+    return rows <= 1 ? spec.genGemvEfficiency : spec.genGemmEfficiency;
+}
+
+} // namespace
+
+struct Executor
+{
+    ExecutablePtr exec;
+    std::shared_ptr<device::SimDevice> device_;
+    bool dataMode_;
+    std::map<std::pair<std::string, size_t>, StoragePtr>& staticStorages_;
+    std::map<int64_t, int>& freePool_;
+
+    void execMatchShape(const Instr& instr, Frame& frame,
+                        const std::string& fn);
+    void execAllocStorage(const Instr& instr, Frame& frame,
+                          const std::string& fn);
+    void execAllocTensor(const Instr& instr, Frame& frame);
+    void execKernelCall(const Instr& instr, Frame& frame);
+    void execPackedCall(const Instr& instr, Frame& frame);
+};
+
+Value
+VirtualMachine::invoke(const std::string& name,
+                       const std::vector<Value>& args)
+{
+    Executor executor{exec_, device_, dataMode_, staticStorages_,
+                      freePool_};
+    auto it = exec_->functions.find(name);
+    if (it == exec_->functions.end()) {
+        RELAX_THROW(RuntimeError) << "no such function: " << name;
+    }
+    const VMFunction& func = it->second;
+    if ((int)args.size() != func.numParams) {
+        RELAX_THROW(RuntimeError)
+            << name << ": expected " << func.numParams << " arguments, got "
+            << args.size();
+    }
+
+    double start_clock = device_->clockUs();
+    int64_t start_launches = device_->kernelLaunches();
+    int64_t start_alloc = device_->totalAllocatedBytes();
+
+    Frame frame;
+    frame.regs.resize(func.numRegs);
+    for (size_t i = 0; i < args.size(); ++i) frame.regs[i] = args[i];
+
+    Value result;
+    for (const Instr& instr : func.instrs) {
+        switch (instr.op) {
+          case Instr::Op::kMatchShape:
+            executor.execMatchShape(instr, frame, name);
+            break;
+          case Instr::Op::kAllocStorage:
+            executor.execAllocStorage(instr, frame, name);
+            break;
+          case Instr::Op::kAllocTensor:
+            executor.execAllocTensor(instr, frame);
+            break;
+          case Instr::Op::kKernelCall:
+            executor.execKernelCall(instr, frame);
+            break;
+          case Instr::Op::kPackedCall:
+            executor.execPackedCall(instr, frame);
+            break;
+          case Instr::Op::kGraphBegin: {
+            std::ostringstream signature;
+            for (const auto& [v, value] : frame.symbols) {
+                signature << value << ",";
+            }
+            device_->beginGraph(instr.graphId, signature.str());
+            break;
+          }
+          case Instr::Op::kGraphEnd:
+            device_->endGraph();
+            break;
+          case Instr::Op::kLoadConst:
+            frame.regs[instr.dst] = instr.constant;
+            break;
+          case Instr::Op::kRebind:
+            frame.regs[instr.dst] = frame.regs[instr.args[0]];
+            break;
+          case Instr::Op::kMakeTuple: {
+            auto tuple = std::make_shared<TupleValue>();
+            for (RegIndex reg : instr.args) {
+                tuple->fields.push_back(frame.regs[reg]);
+            }
+            frame.regs[instr.dst] = tuple;
+            break;
+          }
+          case Instr::Op::kGetItem: {
+            auto tuple =
+                std::get<TupleValuePtr>(frame.regs[instr.args[0]]);
+            frame.regs[instr.dst] = tuple->fields.at(instr.index);
+            break;
+          }
+          case Instr::Op::kRet:
+            result = frame.regs[instr.args[0]];
+            break;
+        }
+    }
+
+    // Return this call's pool allocations (runtime allocator model).
+    for (int64_t bytes : frame.pooledBytes) freePool_[bytes] += 1;
+
+    lastStats_.latencyUs = device_->clockUs() - start_clock;
+    lastStats_.kernelLaunches =
+        device_->kernelLaunches() - start_launches;
+    lastStats_.bytesAllocated =
+        device_->totalAllocatedBytes() - start_alloc;
+    return result;
+}
+
+void
+Executor::execMatchShape(const Instr& instr, Frame& frame,
+                               const std::string& fn)
+{
+    const NDArray& tensor =
+        asTensorValue(frame.regs[instr.args[0]], "match_shape");
+    for (const auto& [dim, v] : instr.binds) {
+        RELAX_ICHECK(dim < (int)tensor.shape().size());
+        frame.symbols[v.get()] = tensor.shape()[dim];
+    }
+    for (const auto& [dim, expr] : instr.checks) {
+        int64_t expected = evalInt(expr, frame.symbols);
+        if (tensor.shape()[dim] != expected) {
+            RELAX_THROW(ShapeError)
+                << fn << ": runtime shape check failed: dim " << dim
+                << " expected " << relax::toString(expr) << " = "
+                << expected << ", got " << tensor.shape()[dim];
+        }
+    }
+}
+
+void
+Executor::execAllocStorage(const Instr& instr, Frame& frame,
+                                 const std::string& fn)
+{
+    int64_t bytes;
+    const int64_t* const_size = asIntImm(instr.sizeExpr);
+    if (const_size) {
+        // Statically planned: allocate once, keep across invocations —
+        // the "allocate all memory in advance" behavior of §4.3/§4.5.
+        auto key = std::make_pair(fn, (size_t)instr.dst);
+        auto [it, inserted] = staticStorages_.emplace(key, nullptr);
+        if (inserted) {
+            device_->alloc(*const_size);
+            auto storage = std::make_shared<Storage>();
+            storage->bytes = *const_size;
+            storage->persistent = true;
+            it->second = storage;
+        }
+        frame.regs[instr.dst] = it->second;
+        return;
+    }
+    bytes = evalInt(instr.sizeExpr, frame.symbols);
+    // Dynamic storage: served by the runtime pool (exact-size reuse).
+    auto pool_it = freePool_.find(bytes);
+    if (pool_it != freePool_.end() && pool_it->second > 0) {
+        pool_it->second -= 1;
+    } else {
+        device_->alloc(bytes);
+    }
+    frame.pooledBytes.push_back(bytes);
+    auto storage = std::make_shared<Storage>();
+    storage->bytes = bytes;
+    frame.regs[instr.dst] = storage;
+}
+
+void
+Executor::execAllocTensor(const Instr& instr, Frame& frame)
+{
+    std::vector<int64_t> shape;
+    shape.reserve(instr.shape.size());
+    for (const auto& dim : instr.shape) {
+        shape.push_back(evalInt(dim, frame.symbols));
+    }
+    if (instr.args.empty()) {
+        // No storage operand: direct runtime allocation (unplanned path).
+        NDArray tensor = dataMode_ ? NDArray::zeros(shape, instr.dtype)
+                                   : NDArray::metaOnly(shape, instr.dtype);
+        int64_t bytes = tensor.sizeBytes();
+        auto pool_it = freePool_.find(bytes);
+        if (pool_it != freePool_.end() && pool_it->second > 0) {
+            pool_it->second -= 1;
+        } else {
+            device_->alloc(bytes);
+        }
+        frame.pooledBytes.push_back(bytes);
+        frame.regs[instr.dst] = tensor;
+        return;
+    }
+    // Instantiate inside an existing storage: no new device memory.
+    frame.regs[instr.dst] = dataMode_
+                                ? NDArray::zeros(shape, instr.dtype)
+                                : NDArray::metaOnly(shape, instr.dtype);
+}
+
+void
+Executor::execKernelCall(const Instr& instr, Frame& frame)
+{
+    std::vector<NDArray> args;
+    args.reserve(instr.args.size());
+    for (RegIndex reg : instr.args) {
+        args.push_back(asTensorValue(frame.regs[reg],
+                                     instr.callee.c_str()));
+    }
+    if (instr.isLibrary) {
+        const LibraryKernel* kernel =
+            LibraryRegistry::global().find(instr.callee);
+        if (!kernel) {
+            RELAX_THROW(RuntimeError)
+                << "library function not linked: " << instr.callee;
+        }
+        device_->launchKernel(
+            kernel->cost(args, instr.attrs, device_->spec()));
+        if (dataMode_) {
+            RELAX_ICHECK(kernel->compute)
+                << instr.callee << " has no data-mode implementation";
+            kernel->compute(args, instr.attrs);
+        }
+        return;
+    }
+    tir::PrimFunc func = exec->module->getTIRFunc(instr.callee);
+    std::vector<int64_t> sym_args;
+    for (const auto& expr : instr.symExprs) {
+        sym_args.push_back(evalInt(expr, frame.symbols));
+    }
+    VarBinding binding = tir::bindShapes(func, args, sym_args);
+    const KernelCostExprs& cost = costExprsOf(func);
+    device::KernelCost kernel_cost;
+    kernel_cost.flops = (double)evalInt(cost.flops, binding);
+    kernel_cost.bytes = (double)evalInt(cost.bytes, binding);
+    kernel_cost.efficiency = generatedKernelEfficiency(
+        cost, func, binding, device_->spec());
+    double latency = device_->launchKernel(kernel_cost);
+    if (getenv("RELAX_DEBUG_KERNELS") && latency > 1000.0) {
+        fprintf(stderr, "SLOW %s: %.2f ms flops=%.3g bytes=%.3g eff=%.2f\n",
+                instr.callee.c_str(), latency / 1e3, kernel_cost.flops,
+                kernel_cost.bytes, kernel_cost.efficiency);
+    }
+    if (dataMode_) tir::run(func, args, sym_args);
+}
+
+void
+Executor::execPackedCall(const Instr& instr, Frame& frame)
+{
+    const LibraryKernel* kernel =
+        LibraryRegistry::global().find(instr.callee);
+    if (!kernel) {
+        RELAX_THROW(RuntimeError)
+            << "builtin not registered: " << instr.callee;
+    }
+    std::vector<NDArray> args;
+    for (RegIndex reg : instr.args) {
+        args.push_back(asTensorValue(frame.regs[reg], "packed_call"));
+    }
+    device_->launchKernel(kernel->cost(args, instr.attrs, device_->spec()));
+    if (dataMode_) {
+        RELAX_ICHECK(kernel->compute) << instr.callee << " not computable";
+        kernel->compute(args, instr.attrs);
+        frame.regs[instr.dst] = args.back();
+    } else {
+        // Timing mode: data-dependent output degrades to worst case.
+        frame.regs[instr.dst] = args.empty() ? NDArray() : args[0];
+    }
+}
+
+} // namespace vm
+} // namespace relax

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The Relax virtual machine: executes compiled modules on a simulated
+ * device. Two execution modes share one code path:
+ *  - data mode: kernels run on the reference interpreter with real
+ *    tensors (tests, examples);
+ *  - timing mode: tensors are metadata-only and only shapes, memory
+ *    accounting and the device's virtual clock advance — how the
+ *    benchmark harness executes paper-scale models.
+ */
+#ifndef RELAX_VM_VM_H_
+#define RELAX_VM_VM_H_
+
+#include <functional>
+#include <memory>
+#include <variant>
+
+#include "device/device.h"
+#include "tir/ndarray.h"
+#include "vm/exec.h"
+
+namespace relax {
+namespace vm {
+
+/** Device-side storage chunk produced by alloc_storage. */
+struct Storage
+{
+    int64_t bytes = 0;
+    bool persistent = false; //!< statically pre-allocated (kept across calls)
+};
+using StoragePtr = std::shared_ptr<Storage>;
+
+struct TupleValue;
+using TupleValuePtr = std::shared_ptr<TupleValue>;
+
+/** A VM register value. */
+using Value = std::variant<std::monostate, NDArray, StoragePtr,
+                           TupleValuePtr, int64_t>;
+
+struct TupleValue
+{
+    std::vector<Value> fields;
+};
+
+/** Per-invocation statistics. */
+struct RunStats
+{
+    double latencyUs = 0.0;
+    int64_t kernelLaunches = 0;
+    int64_t bytesAllocated = 0; //!< new device allocations this call
+};
+
+/**
+ * Library/builtin function: computes cost and (in data mode) the result.
+ * Inputs/outputs follow DPS for library kernels; packed builtins return a
+ * fresh value instead.
+ */
+struct LibraryKernel
+{
+    std::function<device::KernelCost(const std::vector<NDArray>& args,
+                                     const ir::Attrs& attrs,
+                                     const device::DeviceSpec& spec)>
+        cost;
+    /** DPS compute over real data (last numOutputs args are outputs). */
+    std::function<void(std::vector<NDArray>& args, const ir::Attrs& attrs)>
+        compute;
+};
+
+/** Global registry of simulated vendor libraries and runtime builtins. */
+class LibraryRegistry
+{
+  public:
+    static LibraryRegistry& global();
+
+    void registerKernel(const std::string& name, LibraryKernel kernel);
+    const LibraryKernel* find(const std::string& name) const;
+
+  private:
+    std::map<std::string, LibraryKernel> kernels_;
+};
+
+/** Registers the simulated cublas/rocblas/mps/flashattn/cutlass kernels
+ *  and runtime builtins (idempotent). */
+void ensureLibrariesRegistered();
+
+/** The virtual machine. */
+class VirtualMachine
+{
+  public:
+    VirtualMachine(ExecutablePtr exec,
+                   std::shared_ptr<device::SimDevice> dev, bool data_mode)
+        : exec_(std::move(exec)), device_(std::move(dev)),
+          dataMode_(data_mode)
+    {
+        ensureLibrariesRegistered();
+    }
+
+    /** Invokes a compiled function. */
+    Value invoke(const std::string& name, const std::vector<Value>& args);
+
+    /** Statistics of the most recent invoke(). */
+    const RunStats& lastRunStats() const { return lastStats_; }
+
+    device::SimDevice& dev() { return *device_; }
+    bool dataMode() const { return dataMode_; }
+
+  private:
+    ExecutablePtr exec_;
+    std::shared_ptr<device::SimDevice> device_;
+    bool dataMode_;
+    RunStats lastStats_;
+    /** Statically planned storages, pre-allocated once and kept. */
+    std::map<std::pair<std::string, size_t>, StoragePtr> staticStorages_;
+    /** Runtime memory pool (unplanned path): exact-size free lists. */
+    std::map<int64_t, int> freePool_;
+};
+
+} // namespace vm
+} // namespace relax
+
+#endif // RELAX_VM_VM_H_

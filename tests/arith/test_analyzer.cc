@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the symbolic analyzer: canonical simplification, equality and
+ * inequality proofs, bounds, and a randomized property suite checking that
+ * simplification preserves evaluation.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "arith/analyzer.h"
+#include "arith/structural.h"
+#include "arith/substitute.h"
+
+namespace relax {
+namespace {
+
+TEST(AnalyzerTest, SimplifyMergesLikeTerms)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    // n*2 + n*2 == 4n
+    PrimExpr e = add(mul(n, intImm(2)), mul(intImm(2), n));
+    EXPECT_EQ(toString(analyzer.simplify(e)), "4 * n");
+    // n + n - 2n == 0
+    PrimExpr z = sub(add(n, n), mul(intImm(2), n));
+    EXPECT_TRUE(isConstInt(analyzer.simplify(z), 0));
+}
+
+TEST(AnalyzerTest, SimplifyExpandsProducts)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    // (n + 1) * 4 - 4n == 4
+    PrimExpr e = sub(mul(add(n, intImm(1)), intImm(4)), mul(intImm(4), n));
+    EXPECT_TRUE(isConstInt(analyzer.simplify(e), 4));
+}
+
+TEST(AnalyzerTest, ProveEqualPaperExamples)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    // Figure 3: reshape (n,2,2) -> (n,4) -> flatten (4n,):
+    // total elements n*2*2 == n*4 == 4n.
+    EXPECT_TRUE(analyzer.proveEqual(mul(mul(n, intImm(2)), intImm(2)),
+                                    mul(n, intImm(4))));
+    // Figure 8: flatten of (n,2) has 2n elements.
+    EXPECT_TRUE(analyzer.proveEqual(mul(n, intImm(2)), mul(intImm(2), n)));
+    EXPECT_FALSE(analyzer.proveEqual(mul(n, intImm(2)), mul(intImm(3), n)));
+}
+
+TEST(AnalyzerTest, ProveEqualAcrossDistributedForms)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    Var m = var("m");
+    // (n + m)^2 == n^2 + 2nm + m^2
+    PrimExpr lhs = mul(add(n, m), add(n, m));
+    PrimExpr rhs = add(add(mul(n, n), mul(mul(intImm(2), n), m)), mul(m, m));
+    EXPECT_TRUE(analyzer.proveEqual(lhs, rhs));
+}
+
+TEST(AnalyzerTest, FloorDivExactDivision)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    // (8n) / 4 == 2n
+    PrimExpr e = floordiv(mul(intImm(8), n), intImm(4));
+    EXPECT_EQ(toString(analyzer.simplify(e)), "2 * n");
+    // (8n) % 4 == 0
+    EXPECT_TRUE(isConstInt(analyzer.simplify(floormod(mul(intImm(8), n),
+                                                      intImm(4))),
+                           0));
+    // (n) / 4 stays opaque but is stable.
+    PrimExpr opaque = floordiv(n, intImm(4));
+    EXPECT_TRUE(structuralEqual(analyzer.simplify(opaque),
+                                analyzer.simplify(opaque)));
+}
+
+TEST(AnalyzerTest, OpaqueAtomsCompareStructurally)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    // min(n, 8) * 2 == 2 * min(n, 8)
+    PrimExpr a = mul(minExpr(n, intImm(8)), intImm(2));
+    PrimExpr b = mul(intImm(2), minExpr(n, intImm(8)));
+    EXPECT_TRUE(analyzer.proveEqual(a, b));
+}
+
+TEST(AnalyzerTest, BoundsFromVarRanges)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    analyzer.bindVarBound(n, 1, 2048);
+    ConstIntBound bound = analyzer.constIntBound(mul(n, intImm(4)));
+    EXPECT_EQ(bound.minValue, 4);
+    EXPECT_EQ(bound.maxValue, 8192);
+
+    // Upper bound used by static memory planning (§4.3).
+    auto ub = analyzer.upperBound(mul(add(n, intImm(1)), intImm(2)));
+    ASSERT_TRUE(ub.has_value());
+    EXPECT_EQ(*ub, 4098);
+
+    Var unbounded = var("u");
+    EXPECT_FALSE(analyzer.upperBound(unbounded).has_value());
+}
+
+TEST(AnalyzerTest, ProveInequalities)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    analyzer.bindVarBound(n, 1, ConstIntBound::kPosInf);
+    EXPECT_TRUE(analyzer.proveNonNegative(sub(n, intImm(1))));
+    EXPECT_TRUE(analyzer.proveGE(mul(n, intImm(4)), mul(n, intImm(2))));
+    EXPECT_TRUE(analyzer.proveGT(add(n, intImm(1)), n));
+    EXPECT_FALSE(analyzer.proveGE(n, mul(n, intImm(2))));
+}
+
+TEST(AnalyzerTest, MinMaxResolutionWithBounds)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    analyzer.bindVarBound(n, 1, 8);
+    // min(n, 100) == n when n <= 8.
+    PrimExpr e = minExpr(n, intImm(100));
+    EXPECT_EQ(toString(analyzer.simplify(e)), "n");
+    // max(n, 100) == 100.
+    EXPECT_TRUE(isConstInt(analyzer.simplify(maxExpr(n, intImm(100))), 100));
+}
+
+TEST(AnalyzerTest, BindVarValueSubstitutes)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    Var m = var("m");
+    analyzer.bindVarValue(m, mul(n, intImm(2)));
+    // m + n == 3n under m := 2n.
+    EXPECT_TRUE(analyzer.proveEqual(add(m, n), mul(intImm(3), n)));
+}
+
+TEST(AnalyzerTest, FloorModBound)
+{
+    Analyzer analyzer;
+    Var n = var("n");
+    ConstIntBound bound = analyzer.constIntBound(floormod(n, intImm(8)));
+    EXPECT_EQ(bound.minValue, 0);
+    EXPECT_EQ(bound.maxValue, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: random expressions evaluate identically before and after
+// simplification, and proveEqual(e, simplify(e)) holds.
+// ---------------------------------------------------------------------------
+
+class SimplifyPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+PrimExpr
+randomExpr(std::mt19937& rng, const std::vector<Var>& vars, int depth)
+{
+    std::uniform_int_distribution<int> pick(0, depth <= 0 ? 1 : 7);
+    switch (pick(rng)) {
+      case 0: {
+        std::uniform_int_distribution<int64_t> c(-6, 6);
+        return intImm(c(rng));
+      }
+      case 1: {
+        std::uniform_int_distribution<size_t> v(0, vars.size() - 1);
+        return vars[v(rng)];
+      }
+      case 2:
+        return add(randomExpr(rng, vars, depth - 1),
+                   randomExpr(rng, vars, depth - 1));
+      case 3:
+        return sub(randomExpr(rng, vars, depth - 1),
+                   randomExpr(rng, vars, depth - 1));
+      case 4:
+        return mul(randomExpr(rng, vars, depth - 1),
+                   randomExpr(rng, vars, depth - 1));
+      case 5:
+        return minExpr(randomExpr(rng, vars, depth - 1),
+                       randomExpr(rng, vars, depth - 1));
+      case 6:
+        return maxExpr(randomExpr(rng, vars, depth - 1),
+                       randomExpr(rng, vars, depth - 1));
+      default: {
+        std::uniform_int_distribution<int64_t> c(1, 5);
+        return floordiv(randomExpr(rng, vars, depth - 1), intImm(c(rng)));
+      }
+    }
+}
+
+TEST_P(SimplifyPropertyTest, SimplifyPreservesEvaluation)
+{
+    std::mt19937 rng(GetParam());
+    Var n = var("n");
+    Var m = var("m");
+    std::vector<Var> vars{n, m};
+    Analyzer analyzer;
+
+    for (int trial = 0; trial < 40; ++trial) {
+        PrimExpr e = randomExpr(rng, vars, 4);
+        PrimExpr s = analyzer.simplify(e);
+        EXPECT_TRUE(analyzer.proveEqual(e, s))
+            << "e=" << toString(e) << " s=" << toString(s);
+        std::uniform_int_distribution<int64_t> val(-10, 10);
+        for (int i = 0; i < 5; ++i) {
+            VarBinding binding{{n.get(), val(rng)}, {m.get(), val(rng)}};
+            auto ve = tryEvalInt(e, binding);
+            auto vs = tryEvalInt(s, binding);
+            ASSERT_TRUE(ve.has_value());
+            ASSERT_TRUE(vs.has_value());
+            EXPECT_EQ(*ve, *vs)
+                << "e=" << toString(e) << " s=" << toString(s)
+                << " n=" << binding[n.get()] << " m=" << binding[m.get()];
+        }
+    }
+}
+
+TEST_P(SimplifyPropertyTest, BoundsContainEvaluation)
+{
+    std::mt19937 rng(GetParam() + 1000);
+    Var n = var("n");
+    Var m = var("m");
+    std::vector<Var> vars{n, m};
+    Analyzer analyzer;
+    analyzer.bindVarBound(n, 0, 16);
+    analyzer.bindVarBound(m, 1, 8);
+
+    for (int trial = 0; trial < 40; ++trial) {
+        PrimExpr e = randomExpr(rng, vars, 3);
+        ConstIntBound bound = analyzer.constIntBound(e);
+        std::uniform_int_distribution<int64_t> vn(0, 16);
+        std::uniform_int_distribution<int64_t> vm(1, 8);
+        for (int i = 0; i < 5; ++i) {
+            VarBinding binding{{n.get(), vn(rng)}, {m.get(), vm(rng)}};
+            auto value = tryEvalInt(e, binding);
+            ASSERT_TRUE(value.has_value());
+            EXPECT_GE(*value, bound.minValue) << toString(e);
+            EXPECT_LE(*value, bound.maxValue) << toString(e);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace relax

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Sanity tests for the analytic baseline models: the framework traits
+ * must yield the architectural relationships the paper's evaluation
+ * depends on (batching economics, quantization wins, backend support,
+ * KV-cache policies).
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+
+namespace relax {
+namespace baselines {
+namespace {
+
+using frontend::LlamaConfig;
+using frontend::Quant;
+
+DecodeWorkload
+workload(int64_t batch, int64_t ctx = 128)
+{
+    return {LlamaConfig::llama3_8b(), batch, ctx};
+}
+
+TEST(BaselineTest, PerSequenceLatencyImprovesWithBatching)
+{
+    // Total step latency grows with batch, but per-sequence cost drops:
+    // weights are read once for everyone (the vLLM economics).
+    auto spec = device::rtx4090();
+    auto traits = vllm();
+    double b1 = decodeStepUs(workload(1), spec, traits);
+    double b16 = decodeStepUs(workload(16), spec, traits);
+    double b64 = decodeStepUs(workload(64), spec, traits);
+    // Weights are read once for the whole batch, so per-sequence latency
+    // collapses; total step latency eventually grows with batch.
+    EXPECT_LT(b16 / 16.0, b1 / 4.0);
+    EXPECT_GT(b64, b16);
+}
+
+TEST(BaselineTest, QuantizationCutsMemoryBoundLatency)
+{
+    auto spec = device::samsungS23();
+    auto traits = llamaCpp();
+    DecodeWorkload fp16{LlamaConfig::llama2_7b(), 1, 128};
+    DecodeWorkload q4{LlamaConfig::llama2_7b().withQuant(Quant::kQ4), 1,
+                      128};
+    double t_fp16 = decodeStepUs(fp16, spec, traits);
+    double t_q4 = decodeStepUs(q4, spec, traits);
+    // ~4x fewer weight bytes -> between 2x and 4x faster on a
+    // bandwidth-bound device.
+    EXPECT_GT(t_fp16 / t_q4, 2.0);
+    EXPECT_LT(t_fp16 / t_q4, 4.5);
+}
+
+TEST(BaselineTest, EagerKvReallocGrowsWithContext)
+{
+    auto spec = device::rtx4090();
+    double short_ctx = decodeStepUs(workload(16, 128), spec,
+                                    hfTransformers());
+    double long_ctx = decodeStepUs(workload(16, 2048), spec,
+                                   hfTransformers());
+    // torch.cat copies the whole cache: long contexts cost visibly more.
+    EXPECT_GT(long_ctx, short_ctx * 1.05);
+    // In-place caches grow much more slowly.
+    double vllm_short = decodeStepUs(workload(16, 128), spec, vllm());
+    double vllm_long = decodeStepUs(workload(16, 2048), spec, vllm());
+    EXPECT_LT(vllm_long - vllm_short, long_ctx - short_ctx);
+}
+
+TEST(BaselineTest, StaticCachePaysPaddingAtSmallContext)
+{
+    auto spec = device::rtx4090();
+    // At ctx 64, torch.compile still reads its full static budget.
+    double compiled = decodeStepUs(workload(32, 64), spec,
+                                   hfTorchCompile());
+    double paged = decodeStepUs(workload(32, 64), spec, vllm());
+    EXPECT_GT(compiled, paged);
+}
+
+TEST(BaselineTest, BackendSupportMatrix)
+{
+    EXPECT_TRUE(supportsBackend(hfTransformers(), device::appleM2Ultra()));
+    EXPECT_FALSE(supportsBackend(vllm(), device::appleM2Ultra()));
+    EXPECT_FALSE(supportsBackend(hfTorchCompile(),
+                                 device::appleM2Ultra()));
+    EXPECT_TRUE(supportsBackend(llamaCpp(), device::appleM2Ultra()));
+    EXPECT_TRUE(supportsBackend(vllm(), device::rtx4090()));
+}
+
+TEST(BaselineTest, CpuFallbackIsMuchSlowerThanGpuPath)
+{
+    auto spec = device::samsungS24();
+    auto gpu_less = llamaCpp();
+    gpu_less.cpuFallback = true;
+    DecodeWorkload q4{LlamaConfig::llama2_7b().withQuant(Quant::kQ4), 1,
+                      128};
+    double cpu = decodeStepUs(q4, spec, gpu_less);
+    auto on_gpu = llamaCpp();
+    double gpu = decodeStepUs(q4, spec, on_gpu);
+    EXPECT_GT(cpu, gpu * 1.3); // the Fig. 18 gap mechanism
+}
+
+TEST(BaselineTest, PrefillScalesWithTokens)
+{
+    auto spec = device::rtx4090();
+    auto traits = hfTransformers();
+    auto model = LlamaConfig::llama3_8b();
+    double p128 = prefillUs(model, 1, 128, spec, traits);
+    double p1024 = prefillUs(model, 1, 1024, spec, traits);
+    EXPECT_GT(p1024, 2.0 * p128);
+}
+
+} // namespace
+} // namespace baselines
+} // namespace relax

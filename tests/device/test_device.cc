@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the simulated device layer: roofline cost behavior, memory
+ * accounting and VRAM limits, and execution-graph capture/replay state.
+ */
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+
+namespace relax {
+namespace device {
+namespace {
+
+TEST(DeviceTest, CatalogCoversEveryEvaluationPlatform)
+{
+    for (const char* name :
+         {"rtx4090", "radeon7900xtx", "m2ultra", "iphone14pro", "s23",
+          "s24", "orangepi5", "steamdeck", "jetsonorin", "webgpu_m3max"}) {
+        DeviceSpec spec = deviceByName(name);
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_GT(spec.memBandwidthGBs, 0.0);
+        EXPECT_GT(spec.fp16Tflops, 0.0);
+        EXPECT_GT(spec.vramBytes, 0);
+    }
+    EXPECT_THROW(deviceByName("tpu_v9"), RuntimeError);
+}
+
+TEST(DeviceTest, RooflinePicksMemoryOrComputeBound)
+{
+    SimDevice dev(rtx4090());
+    // Memory-bound: 1 GB at ~1 TB/s ≈ 1 ms.
+    KernelCost memory_bound{1e3, 1e9, 1.0, false};
+    double t1 = dev.launchKernel(memory_bound);
+    EXPECT_NEAR(t1, 1e9 / (1008.0 * 1e3) + 3.0, 1.0);
+    // Compute-bound: 1 TFLOP at 165 TFLOPS ≈ 6 ms.
+    KernelCost compute_bound{1e12, 1e3, 1.0, false};
+    double t2 = dev.launchKernel(compute_bound);
+    EXPECT_GT(t2, 5000.0);
+    EXPECT_LT(t2, 8000.0);
+}
+
+TEST(DeviceTest, EfficiencyScalesLatency)
+{
+    SimDevice dev(rtx4090());
+    KernelCost half{0.0, 1e9, 0.5, false};
+    KernelCost full{0.0, 1e9, 1.0, false};
+    double slow = dev.launchKernel(half);
+    double fast = dev.launchKernel(full);
+    EXPECT_NEAR(slow - 3.0, 2.0 * (fast - 3.0), 1e-6);
+}
+
+TEST(DeviceTest, TracksAllocationsAndPeak)
+{
+    SimDevice dev(rtx4090());
+    dev.alloc(100);
+    dev.alloc(50);
+    EXPECT_EQ(dev.allocatedBytes(), 150);
+    EXPECT_EQ(dev.peakBytes(), 150);
+    dev.free(100);
+    EXPECT_EQ(dev.allocatedBytes(), 50);
+    EXPECT_EQ(dev.peakBytes(), 150); // peak is sticky
+    EXPECT_EQ(dev.totalAllocatedBytes(), 150);
+}
+
+TEST(DeviceTest, VramLimitEnforced)
+{
+    DeviceSpec spec = iphone14Pro();
+    SimDevice dev(spec);
+    EXPECT_THROW(dev.alloc(spec.vramBytes + 1), RuntimeError);
+}
+
+TEST(DeviceTest, GraphReplayAfterCapture)
+{
+    SimDevice dev(rtx4090());
+    EXPECT_FALSE(dev.beginGraph(0, "n=8")); // first run: capture
+    double capture = dev.launchKernel({0.0, 1e6, 1.0, false});
+    dev.endGraph();
+    EXPECT_TRUE(dev.beginGraph(0, "n=8")); // same signature: replay
+    double replay = dev.launchKernel({0.0, 1e6, 1.0, false});
+    dev.endGraph();
+    EXPECT_LT(replay, capture);
+    // New shape signature captures again.
+    EXPECT_FALSE(dev.beginGraph(0, "n=16"));
+    dev.endGraph();
+}
+
+TEST(DeviceTest, LibraryAvailabilityMatchesBackends)
+{
+    EXPECT_TRUE(rtx4090().hasGemmLibrary);
+    EXPECT_TRUE(rtx4090().supportsExecutionGraphs);
+    EXPECT_TRUE(radeon7900xtx().hasGemmLibrary);
+    EXPECT_FALSE(radeon7900xtx().hasAttentionLibrary);
+    EXPECT_FALSE(appleM2Ultra().supportsExecutionGraphs);
+    EXPECT_FALSE(samsungS23().hasGemmLibrary); // no vendor BLAS on Adreno
+    EXPECT_FALSE(webgpuM3Max().hasGemmLibrary);
+}
+
+} // namespace
+} // namespace device
+} // namespace relax

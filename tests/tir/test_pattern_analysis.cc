@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for Algorithm 1: compute-pattern classification of tensor
+ * programs (the "analysis feedback" of §4.2 and Fig. 9).
+ */
+#include <gtest/gtest.h>
+
+#include "tir/analysis.h"
+#include "tir/builder.h"
+
+namespace relax {
+namespace tir {
+namespace {
+
+TEST(PatternAnalysisTest, ElementWiseAdd)
+{
+    // C[i,j] = A[i,j] + B[i,j]
+    Var n = var("n");
+    Buffer a = makeBuffer("A", DataType::f32(), {n, intImm(4)});
+    Buffer b = makeBuffer("B", DataType::f32(), {n, intImm(4)});
+    Buffer c = makeBuffer("C", DataType::f32(), {n, intImm(4)});
+    Var i = var("i"), j = var("j");
+    Stmt body = nestLoops(
+        {i, j}, {n, intImm(4)},
+        makeStore(c, {i, j},
+                  add(bufferLoad(a, {i, j}), bufferLoad(b, {i, j}))));
+    PrimFunc func = makePrimFunc("add", {a, b, c}, body);
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kElementWise);
+}
+
+TEST(PatternAnalysisTest, BroadcastBecomesElementWiseWithEwRead)
+{
+    // Algorithm 1 line 19-20: C[i,j] = A[i,j] + B[j] is ElementWise.
+    Var n = var("n");
+    Buffer a = makeBuffer("A", DataType::f32(), {n, intImm(4)});
+    Buffer b = makeBuffer("B", DataType::f32(), {intImm(4)});
+    Buffer c = makeBuffer("C", DataType::f32(), {n, intImm(4)});
+    Var i = var("i"), j = var("j");
+    Stmt body = nestLoops(
+        {i, j}, {n, intImm(4)},
+        makeStore(c, {i, j},
+                  add(bufferLoad(a, {i, j}), bufferLoad(b, {j}))));
+    PrimFunc func = makePrimFunc("add_bias", {a, b, c}, body);
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kElementWise);
+}
+
+TEST(PatternAnalysisTest, PureBroadcast)
+{
+    // C[i,j] = B[j]: broadcast along i with no elementwise read.
+    Var n = var("n");
+    Buffer b = makeBuffer("B", DataType::f32(), {intImm(4)});
+    Buffer c = makeBuffer("C", DataType::f32(), {n, intImm(4)});
+    Var i = var("i"), j = var("j");
+    Stmt body = nestLoops({i, j}, {n, intImm(4)},
+                          makeStore(c, {i, j}, bufferLoad(b, {j})));
+    PrimFunc func = makePrimFunc("bcast", {b, c}, body);
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kBroadcast);
+}
+
+TEST(PatternAnalysisTest, TransposeIsInjective)
+{
+    // C[i,j] = A[j,i] (the paper's injective example).
+    Var n = var("n");
+    Buffer a = makeBuffer("A", DataType::f32(), {intImm(4), n});
+    Buffer c = makeBuffer("C", DataType::f32(), {n, intImm(4)});
+    Var i = var("i"), j = var("j");
+    Stmt body = nestLoops({i, j}, {n, intImm(4)},
+                          makeStore(c, {i, j}, bufferLoad(a, {j, i})));
+    PrimFunc func = makePrimFunc("transpose", {a, c}, body);
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kInjective);
+}
+
+TEST(PatternAnalysisTest, QuantDecodeIsInjective)
+{
+    // Fig. 9: W[k,j] = ((data[k, j//8] // 16^(j%8)) % 16 - 7) * scale[k, j//32]
+    // reads are functions of the write vars only -> Injective.
+    Buffer data = makeBuffer("Wdata", DataType::u32(), {intImm(128), intImm(32)});
+    Buffer scale = makeBuffer("Wscale", DataType::f16(), {intImm(128), intImm(8)});
+    Buffer w = makeBuffer("W", DataType::f16(), {intImm(128), intImm(256)});
+    Var k = var("k"), j = var("j");
+    PrimExpr word = bufferLoad(data, {k, floordiv(j, intImm(8))});
+    PrimExpr nibble =
+        sub(floormod(floordiv(cast(word, DataType::i64()),
+                              floordiv(j, intImm(8))), // placeholder shift
+                     intImm(16)),
+            intImm(7));
+    PrimExpr value = mul(cast(nibble, DataType::f16()),
+                         bufferLoad(scale, {k, floordiv(j, intImm(32))}));
+    Stmt body = nestLoops({k, j}, {intImm(128), intImm(256)},
+                          makeStore(w, {k, j}, value));
+    PrimFunc func = makePrimFunc("decode_q4", {data, scale, w}, body);
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kInjective);
+}
+
+TEST(PatternAnalysisTest, MatmulIsOutputEwiseFusible)
+{
+    Var n = var("n");
+    Buffer x = makeBuffer("X", DataType::f32(), {n, intImm(128)});
+    Buffer w = makeBuffer("W", DataType::f32(), {intImm(128), intImm(256)});
+    Buffer y = makeBuffer("Y", DataType::f32(), {n, intImm(256)});
+    Var i = var("i"), j = var("j"), r = var("r");
+    Stmt init = makeIf(eq(r, intImm(0)), makeStore(y, {i, j}, floatImm(0.0)));
+    Stmt update = makeStore(
+        y, {i, j},
+        add(bufferLoad(y, {i, j}),
+            mul(bufferLoad(x, {i, r}), bufferLoad(w, {r, j}))));
+    Stmt body = nestLoops({i, j, r}, {n, intImm(256), intImm(128)},
+                          makeSeq({init, update}));
+    PrimFunc func = makePrimFunc("mm", {x, w, y}, body);
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kOutputEwiseFusible);
+}
+
+TEST(PatternAnalysisTest, SumIsReduction)
+{
+    // C[i] = C[i] + A[i,k]: reduction without multiply.
+    Var n = var("n");
+    Buffer a = makeBuffer("A", DataType::f32(), {n, intImm(8)});
+    Buffer c = makeBuffer("C", DataType::f32(), {n});
+    Var i = var("i"), k = var("k");
+    Stmt init = makeIf(eq(k, intImm(0)), makeStore(c, {i}, floatImm(0.0)));
+    Stmt update =
+        makeStore(c, {i}, add(bufferLoad(c, {i}), bufferLoad(a, {i, k})));
+    Stmt body = nestLoops({i, k}, {n, intImm(8)}, makeSeq({init, update}));
+    PrimFunc func = makePrimFunc("sum", {a, c}, body);
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kReduction);
+}
+
+TEST(PatternAnalysisTest, MaxReduceIsReduction)
+{
+    Var n = var("n");
+    Buffer a = makeBuffer("A", DataType::f32(), {n, intImm(8)});
+    Buffer c = makeBuffer("C", DataType::f32(), {n});
+    Var i = var("i"), k = var("k");
+    Stmt init =
+        makeIf(eq(k, intImm(0)), makeStore(c, {i}, floatImm(-1e30)));
+    Stmt update = makeStore(
+        c, {i}, maxExpr(bufferLoad(c, {i}), bufferLoad(a, {i, k})));
+    Stmt body = nestLoops({i, k}, {n, intImm(8)}, makeSeq({init, update}));
+    PrimFunc func = makePrimFunc("max_reduce", {a, c}, body);
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kReduction);
+}
+
+TEST(PatternAnalysisTest, MultiOutputIsOpaque)
+{
+    // Writing two different buffers defeats single-output classification.
+    Var n = var("n");
+    Buffer a = makeBuffer("A", DataType::f32(), {n});
+    Buffer b = makeBuffer("B", DataType::f32(), {n});
+    Buffer c = makeBuffer("C", DataType::f32(), {n});
+    Var i = var("i");
+    Stmt s1 = makeFor(i, n, makeStore(b, {i}, bufferLoad(a, {i})));
+    Var j = var("j");
+    Stmt s2 = makeFor(j, n, makeStore(c, {j}, bufferLoad(a, {j})));
+    PrimFunc func = makePrimFunc("two_out", {a, b, c}, makeSeq({s1, s2}));
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kOpaque);
+}
+
+TEST(PatternAnalysisTest, DifferentWriteIndicesIsOpaque)
+{
+    // Line 4 of Algorithm 1.
+    Var n = var("n");
+    Buffer a = makeBuffer("A", DataType::f32(), {n});
+    Buffer b = makeBuffer("B", DataType::f32(), {n});
+    Var i = var("i");
+    Stmt s1 = makeFor(i, n, makeStore(b, {i}, bufferLoad(a, {i})));
+    Stmt s2 = makeStore(b, {intImm(0)}, floatImm(0.0));
+    PrimFunc func = makePrimFunc("mixed", {a, b}, makeSeq({s1, s2}));
+    EXPECT_EQ(analyzePatternKind(func), PatternKind::kOpaque);
+}
+
+TEST(PatternAnalysisTest, PatternNamesRoundTrip)
+{
+    for (PatternKind kind :
+         {PatternKind::kElementWise, PatternKind::kBroadcast,
+          PatternKind::kInjective, PatternKind::kReduction,
+          PatternKind::kOutputEwiseFusible, PatternKind::kOpaque}) {
+        EXPECT_EQ(patternKindFromName(patternKindName(kind)), kind);
+    }
+    EXPECT_THROW(patternKindFromName("Nonsense"), IRError);
+}
+
+TEST(WorkspaceAnalysisTest, DetectsGlobalWorkspace)
+{
+    // Fig. 11: split-K matmul with a global workspace buffer.
+    Var n = var("n");
+    Buffer x = makeBuffer("X", DataType::f32(), {n, intImm(16)});
+    Buffer y = makeBuffer("Y", DataType::f32(), {n, intImm(16)});
+    Buffer ws = makeBuffer("workspace", DataType::f32(), {intImm(1024)});
+    Var i = var("i");
+    Stmt inner = makeFor(i, n, makeStore(ws, {i}, floatImm(0.0)));
+    Stmt body = makeAllocBuffer(ws, "global", inner);
+    PrimFunc func = makePrimFunc("mm_split_k", {x, y}, body);
+    auto workspace = findGlobalWorkspace(func);
+    ASSERT_TRUE(workspace.has_value());
+    EXPECT_EQ(workspace->buffer.get(), ws.get());
+
+    // Local scratch does not count.
+    Stmt local_body = makeAllocBuffer(ws, "local", inner);
+    PrimFunc local_fn = makePrimFunc("mm_local", {x, y}, local_body);
+    EXPECT_FALSE(findGlobalWorkspace(local_fn).has_value());
+}
+
+TEST(CostAnalysisTest, MatmulRooflineCost)
+{
+    Var n = var("n");
+    Buffer x = makeBuffer("X", DataType::f16(), {n, intImm(128)});
+    Buffer w = makeBuffer("W", DataType::f16(), {intImm(128), intImm(256)});
+    Buffer y = makeBuffer("Y", DataType::f16(), {n, intImm(256)});
+    Var i = var("i"), j = var("j"), r = var("r");
+    Stmt update = makeStore(
+        y, {i, j},
+        add(bufferLoad(y, {i, j}),
+            mul(bufferLoad(x, {i, r}), bufferLoad(w, {r, j}))));
+    Stmt body = nestLoops({i, j, r}, {n, intImm(256), intImm(128)}, update);
+    PrimFunc func = makePrimFunc("mm", {x, w, y}, body);
+
+    TensorProgramCost cost = analyzeCost(func);
+    VarBinding binding{{n.get(), 4}};
+    // 2 flops (mul + add) per iteration over n*256*128 iterations.
+    EXPECT_EQ(evalInt(cost.flops, binding), 2 * 4 * 256 * 128);
+    // Roofline bytes: |X| + |W| + |Y| in f16.
+    EXPECT_EQ(evalInt(cost.bytes, binding),
+              2 * (4 * 128 + 128 * 256 + 4 * 256));
+}
+
+TEST(CostAnalysisTest, GlobalWorkspaceCountsTwice)
+{
+    Var n = var("n");
+    Buffer x = makeBuffer("X", DataType::f32(), {n});
+    Buffer y = makeBuffer("Y", DataType::f32(), {n});
+    Buffer ws = makeBuffer("workspace", DataType::f32(), {n});
+    Var i = var("i"), j = var("j");
+    Stmt fill = makeFor(i, n, makeStore(ws, {i}, bufferLoad(x, {i})));
+    Stmt drain = makeFor(j, n, makeStore(y, {j}, bufferLoad(ws, {j})));
+    Stmt body = makeAllocBuffer(ws, "global", makeSeq({fill, drain}));
+    PrimFunc func = makePrimFunc("roundtrip", {x, y}, body);
+
+    TensorProgramCost cost = analyzeCost(func);
+    VarBinding binding{{n.get(), 10}};
+    // X (40 B) + Y (40 B) + workspace counted twice (80 B).
+    EXPECT_EQ(evalInt(cost.bytes, binding), 40 + 40 + 80);
+}
+
+TEST(CostAnalysisTest, LocalScratchExcludedFromBytes)
+{
+    Var n = var("n");
+    Buffer x = makeBuffer("X", DataType::f32(), {n});
+    Buffer y = makeBuffer("Y", DataType::f32(), {n});
+    Buffer tmp = makeBuffer("tmp", DataType::f32(), {n});
+    Var i = var("i"), j = var("j");
+    Stmt fill = makeFor(i, n, makeStore(tmp, {i}, bufferLoad(x, {i})));
+    Stmt drain = makeFor(j, n, makeStore(y, {j}, bufferLoad(tmp, {j})));
+    Stmt body = makeAllocBuffer(tmp, "local", makeSeq({fill, drain}));
+    PrimFunc func = makePrimFunc("through_local", {x, y}, body);
+
+    TensorProgramCost cost = analyzeCost(func);
+    VarBinding binding{{n.get(), 10}};
+    EXPECT_EQ(evalInt(cost.bytes, binding), 40 + 40);
+}
+
+} // namespace
+} // namespace tir
+} // namespace relax

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * VM tests: codegen of lowered modules, execution in data and timing
+ * modes, runtime shape checks, static storage caching, graph
+ * capture/replay, and library dispatch equivalence.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "frontend/compile.h"
+#include "op/ops.h"
+#include "shape/block_builder.h"
+#include "vm/vm.h"
+
+namespace relax {
+namespace vm {
+namespace {
+
+using namespace ir;
+using Var = ir::Var;
+
+/** x:(n,4) -> exp -> relu -> add(x) on a chosen device/options. */
+ir::IRModulePtr
+buildChain()
+{
+    auto module = IRModule::create();
+    shape::BlockBuilder builder(module);
+    SymVar n = var("n");
+    Var x = makeVar("x", tensorSInfo({n, intImm(4)}, DataType::f32()));
+    builder.beginDataflowBlock();
+    Var lv0 = builder.emit(op::exp(x));
+    Var lv1 = builder.emit(op::relu(lv0));
+    Var out = builder.emitOutput(op::add(lv1, x));
+    builder.endBlock();
+    module->addFunction("main", makeFunction({x}, builder.finish(out),
+                                             out->structInfo()));
+    return module;
+}
+
+std::shared_ptr<device::SimDevice>
+hostDevice()
+{
+    device::DeviceSpec spec;
+    spec.name = "host";
+    spec.backend = "cpu";
+    spec.vramBytes = int64_t(64) << 30;
+    return std::make_shared<device::SimDevice>(spec);
+}
+
+TEST(VMTest, ExecutesChainWithRealData)
+{
+    frontend::CompileOptions options;
+    options.device = hostDevice()->spec();
+    ExecutablePtr exec = frontend::compile(buildChain(), options);
+    VirtualMachine machine(exec, hostDevice(), /*data_mode=*/true);
+
+    NDArray x = NDArray::fromVector({2, 4}, DataType::f32(),
+                                    {0, 1, -1, 2, 0, 0, 0, 0});
+    Value result = machine.invoke("main", {x});
+    const NDArray& out = std::get<NDArray>(result);
+    // add(relu(exp(x)), x): exp always positive so relu is identity.
+    EXPECT_NEAR(out.at(0), 1.0 + 0.0, 1e-6);
+    EXPECT_NEAR(out.at(1), std::exp(1.0) + 1.0, 1e-6);
+    EXPECT_NEAR(out.at(2), std::exp(-1.0) - 1.0, 1e-6);
+}
+
+TEST(VMTest, ServesMultipleDynamicShapesFromOneExecutable)
+{
+    frontend::CompileOptions options;
+    options.device = hostDevice()->spec();
+    ExecutablePtr exec = frontend::compile(buildChain(), options);
+    VirtualMachine machine(exec, hostDevice(), true);
+    for (int64_t rows : {1, 3, 8}) {
+        NDArray x = NDArray::zeros({rows, 4}, DataType::f32());
+        Value result = machine.invoke("main", {x});
+        EXPECT_EQ(std::get<NDArray>(result).shape()[0], rows);
+    }
+}
+
+TEST(VMTest, RuntimeShapeCheckRejectsBadInput)
+{
+    // Function annotated (n, 4): passing (2, 5) must fail the MatchShape
+    // check inserted from the signature (§4.1 lightweight runtime checks).
+    frontend::CompileOptions options;
+    options.device = hostDevice()->spec();
+    ExecutablePtr exec = frontend::compile(buildChain(), options);
+    VirtualMachine machine(exec, hostDevice(), true);
+    NDArray bad = NDArray::zeros({2, 5}, DataType::f32());
+    EXPECT_THROW(machine.invoke("main", {bad}), ShapeError);
+}
+
+TEST(VMTest, TimingModeTracksClockWithoutData)
+{
+    frontend::CompileOptions options;
+    options.device = device::rtx4090();
+    ExecutablePtr exec = frontend::compile(buildChain(), options);
+    auto dev = std::make_shared<device::SimDevice>(device::rtx4090());
+    VirtualMachine machine(exec, dev, /*data_mode=*/false);
+    NDArray x = NDArray::metaOnly({1024, 4}, DataType::f32());
+    machine.invoke("main", {x});
+    EXPECT_GT(machine.lastRunStats().latencyUs, 0.0);
+    EXPECT_GT(machine.lastRunStats().kernelLaunches, 0);
+}
+
+TEST(VMTest, StaticPlanAllocatesOnceAcrossCalls)
+{
+    frontend::CompileOptions options;
+    options.device = hostDevice()->spec();
+    options.bounds = {{"n", 64}};
+    ExecutablePtr exec = frontend::compile(buildChain(), options);
+    auto dev = hostDevice();
+    VirtualMachine machine(exec, dev, true);
+    NDArray x = NDArray::zeros({8, 4}, DataType::f32());
+    machine.invoke("main", {x});
+    int64_t first_call = machine.lastRunStats().bytesAllocated;
+    EXPECT_GT(first_call, 0);
+    machine.invoke("main", {x});
+    // Pre-allocated static storages are reused: no new device memory.
+    EXPECT_EQ(machine.lastRunStats().bytesAllocated, 0);
+    // Different shape, same executable, still no new memory (upper bound).
+    NDArray y = NDArray::zeros({64, 4}, DataType::f32());
+    machine.invoke("main", {y});
+    EXPECT_EQ(machine.lastRunStats().bytesAllocated, 0);
+}
+
+TEST(VMTest, RuntimePoolRecyclesExactSizes)
+{
+    frontend::CompileOptions options;
+    options.device = hostDevice()->spec();
+    options.enableMemoryPlanning = false; // runtime allocator path
+    ExecutablePtr exec = frontend::compile(buildChain(), options);
+    auto dev = hostDevice();
+    VirtualMachine machine(exec, dev, true);
+    NDArray x = NDArray::zeros({8, 4}, DataType::f32());
+    machine.invoke("main", {x});
+    EXPECT_GT(machine.lastRunStats().bytesAllocated, 0);
+    machine.invoke("main", {x});
+    EXPECT_EQ(machine.lastRunStats().bytesAllocated, 0); // pool hit
+    // A new shape misses the exact-size pool: fresh allocations.
+    NDArray y = NDArray::zeros({16, 4}, DataType::f32());
+    machine.invoke("main", {y});
+    EXPECT_GT(machine.lastRunStats().bytesAllocated, 0);
+}
+
+TEST(VMTest, GraphReplayReducesLaunchOverhead)
+{
+    frontend::CompileOptions options;
+    options.device = device::rtx4090();
+    options.bounds = {{"n", 64}};
+    // Keep the three elementwise kernels separate so a multi-kernel graph
+    // region exists to capture.
+    options.enableFusion = false;
+    ExecutablePtr exec = frontend::compile(buildChain(), options);
+    auto dev = std::make_shared<device::SimDevice>(device::rtx4090());
+    VirtualMachine machine(exec, dev, /*data_mode=*/false);
+    NDArray x = NDArray::metaOnly({8, 4}, DataType::f32());
+    machine.invoke("main", {x}); // capture
+    double first = machine.lastRunStats().latencyUs;
+    machine.invoke("main", {x}); // replay
+    double second = machine.lastRunStats().latencyUs;
+    EXPECT_LT(second, first);
+}
+
+TEST(VMTest, LibraryDispatchMatchesGeneratedKernels)
+{
+    // matmul through cublas-sim == matmul through generated kernel.
+    auto build = [] {
+        auto module = IRModule::create();
+        shape::BlockBuilder builder(module);
+        SymVar n = var("n");
+        Var x = makeVar("x", tensorSInfo({n, intImm(8)}, DataType::f32()));
+        Var w = makeVar("w", tensorSInfo({intImm(8), intImm(4)},
+                                         DataType::f32()));
+        builder.beginDataflowBlock();
+        Var out = builder.emitOutput(op::matmul(x, w));
+        builder.endBlock();
+        module->addFunction("main",
+                            makeFunction({x, w}, builder.finish(out),
+                                         out->structInfo()));
+        return module;
+    };
+    NDArray x = NDArray::zeros({3, 8}, DataType::f32());
+    NDArray w = NDArray::zeros({8, 4}, DataType::f32());
+    for (int64_t i = 0; i < x.numel(); ++i) x.set(i, 0.1 * (double)(i % 7));
+    for (int64_t i = 0; i < w.numel(); ++i) w.set(i, 0.2 * (double)(i % 5));
+
+    frontend::CompileOptions gen_options;
+    gen_options.device = hostDevice()->spec(); // no libraries
+    VirtualMachine gen_machine(frontend::compile(build(), gen_options),
+                               hostDevice(), true);
+    NDArray gen_out = std::get<NDArray>(gen_machine.invoke("main", {x, w}));
+
+    frontend::CompileOptions lib_options;
+    lib_options.device = device::rtx4090(); // cublas path
+    auto dev = std::make_shared<device::SimDevice>(device::rtx4090());
+    VirtualMachine lib_machine(frontend::compile(build(), lib_options), dev,
+                               true);
+    NDArray lib_out = std::get<NDArray>(lib_machine.invoke("main", {x, w}));
+    EXPECT_EQ(gen_out.data(), lib_out.data());
+}
+
+TEST(VMTest, DisassemblyIsReadable)
+{
+    frontend::CompileOptions options;
+    options.device = hostDevice()->spec();
+    ExecutablePtr exec = frontend::compile(buildChain(), options);
+    std::string text = toString(exec->functions.at("main"));
+    EXPECT_NE(text.find("vm_function main"), std::string::npos);
+    EXPECT_NE(text.find("kernel_call"), std::string::npos);
+    EXPECT_NE(text.find("match_shape"), std::string::npos);
+    EXPECT_NE(text.find("alloc_storage"), std::string::npos);
+}
+
+} // namespace
+} // namespace vm
+} // namespace relax
