@@ -4,7 +4,7 @@
  * RTX 4090 and M2 Ultra vs HF Transformers, WhisperX, Faster-Whisper and
  * whisper.cpp.
  *
- * Substitution (DESIGN.md §1): the conv frontend is folded into the
+ * Substitution (docs/DESIGN.md §1): the conv frontend is folded into the
  * embedding; the encoder is a 32-layer bidirectional transformer prefill
  * over 1500 frames, and the decoder runs 32 autoregressive steps whose
  * attention context includes the 1500 encoder states (cross-attention

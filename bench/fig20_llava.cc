@@ -3,7 +3,7 @@
  * Figure 20: LLaVA 32-token generation for one image on RTX 4090 and
  * M2 Ultra vs HF Transformers, vLLM and llama.cpp.
  *
- * Substitution (DESIGN.md §1): the CLIP ViT-L/14-336 vision tower is a
+ * Substitution (docs/DESIGN.md §1): the CLIP ViT-L/14-336 vision tower is a
  * 24-layer transformer prefill over 577 patch tokens; its output feeds a
  * Vicuna-7B (Llama2 architecture) prefill of 577 image + 32 prompt
  * tokens followed by 32 decode steps.

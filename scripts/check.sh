@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point — the exact command CI runs and ROADMAP.md
+# names. Run from anywhere; builds into <repo>/build.
+#
+#   scripts/check.sh            # configure + build + ctest
+#   BUILD_DIR=out scripts/check.sh   # alternate build directory
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-build}"
+
+cd "$repo_root"
+cmake -B "$build_dir" -S .
+cmake --build "$build_dir" -j
+cd "$build_dir"
+ctest --output-on-failure -j

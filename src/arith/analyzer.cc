@@ -1,3 +1,12 @@
+/**
+ * @file
+ * Implements the symbolic analyzer. Canonical simplification rewrites a
+ * PrimExpr into a polynomial over atom keys (variables and opaque
+ * subterms such as floordiv/min/max), so proving a == b reduces to the
+ * difference polynomial vanishing; inequality proof and static
+ * upper-bound evaluation run interval (ConstIntBound) arithmetic with
+ * saturating +/-inf endpoints.
+ */
 #include "arith/analyzer.h"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Smart constructors for the scalar AST. Binary construction folds
+ * constant integer operands on the spot (tryFoldInt) so trivial
+ * identities never materialize; floordiv/floormod use Euclidean (floor)
+ * semantics matching TIR, not C++ truncation.
+ */
 #include "arith/expr.h"
 
 #include <cmath>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Structural equality and hashing over PrimExprs — the comparators
+ * behind analyzer atom keys, memoization, and test assertions.
+ */
 #include "arith/structural.h"
 
 #include <functional>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Variable substitution, free-variable collection, and best-effort
+ * integer evaluation (evalInt / tryEvalInt) of PrimExprs under a
+ * binding — the runtime half of symbolic shape evaluation used by the
+ * VM and the memory planner.
+ */
 #include "arith/substitute.h"
 
 #include <cmath>

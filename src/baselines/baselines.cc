@@ -1,3 +1,11 @@
+/**
+ * @file
+ * The framework trait tables: each constructor (hfTransformers,
+ * hfTorchCompile, vllm, llamaCpp, and the Whisper family) fills a
+ * traits record — dispatch overhead, fusion capability, library usage,
+ * attention implementation, KV-cache policy — from that framework's
+ * documented architecture (docs/DESIGN.md §1).
+ */
 #include "baselines/baselines.h"
 
 #include <algorithm>

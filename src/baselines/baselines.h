@@ -6,7 +6,7 @@
  * architectural traits — per-op dispatch overhead, elementwise fusion,
  * library usage, attention implementation, and KV-cache policy — applied
  * to the same roofline device model the Relax VM runs on. The paper's
- * baseline gaps reduce to exactly these traits (see DESIGN.md §1).
+ * baseline gaps reduce to exactly these traits (see docs/DESIGN.md §1).
  */
 #ifndef RELAX_BASELINES_BASELINES_H_
 #define RELAX_BASELINES_BASELINES_H_

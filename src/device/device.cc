@@ -1,3 +1,11 @@
+/**
+ * @file
+ * The device catalog: one constructor per evaluation platform
+ * (rtx4090 ... steamDeck) with roofline parameters — bandwidth,
+ * throughput, launch overhead, library availability, efficiency
+ * factors — calibrated to public spec sheets. The virtual-clock cost
+ * model itself lives in device.h.
+ */
 #include "device/device.h"
 
 namespace relax {

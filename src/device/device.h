@@ -8,7 +8,7 @@
  * max(bytes/bandwidth, flops/throughput)/efficiency + launch overhead;
  * allocations are tracked for the memory study (Table 2).
  *
- * See DESIGN.md §1 for why a roofline simulator preserves the paper's
+ * See docs/DESIGN.md §1 for why a roofline simulator preserves the paper's
  * relative comparisons (who wins, crossovers vs batch size).
  */
 #ifndef RELAX_DEVICE_DEVICE_H_

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * Implements the compile() driver: derives the pass-facing TargetInfo
+ * from the device spec (library names per backend, execution-graph
+ * support, GEMM row threshold), assembles the Fig. 13 pipeline with
+ * each optimization gated by its CompileOptions toggle, and hands the
+ * lowered module to VM codegen.
+ */
 #include "frontend/compile.h"
 
 namespace relax {

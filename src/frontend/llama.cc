@@ -1,3 +1,12 @@
+/**
+ * @file
+ * Llama-family model builder: the named configs (llama3_8b ... tiny)
+ * with weight/KV-cache byte accounting, and buildLlama, which emits
+ * prefill and decode graph functions over symbolic batch / sequence /
+ * cache-length variables through the BlockBuilder. makeLlamaWeights
+ * fabricates parameter tensors (optionally metadata-only for timing
+ * mode).
+ */
 #include "frontend/llama.h"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Factory helpers for graph-level expressions (makeVar ... callPacked),
+ * operator-call predicates, and the text printer that renders modules
+ * for tests and examples.
+ */
 #include "ir/expr.h"
 
 #include <mutex>

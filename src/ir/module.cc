@@ -1,3 +1,9 @@
+/**
+ * @file
+ * IRModule function registry and text rendering, plus wellFormed(),
+ * the structural validator the pass pipeline runs between passes in
+ * checked mode.
+ */
 #include "ir/module.h"
 
 #include <functional>

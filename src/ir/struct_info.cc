@@ -1,3 +1,9 @@
+/**
+ * @file
+ * StructInfo constructors and downcast accessors, structural equality
+ * (sInfoEqual) and annotation/value compatibility (sInfoCompatible),
+ * symbolic-variable collection and substitution, and printing.
+ */
 #include "ir/struct_info.h"
 
 #include <sstream>

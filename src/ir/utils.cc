@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Graph-level substitution utilities: replace Relax variables
+ * (substituteVars), collect variable uses, and collect / substitute the
+ * symbolic shape variables appearing in annotations — the workhorses of
+ * fusion and inlining.
+ */
 #include "ir/utils.h"
 
 namespace relax {

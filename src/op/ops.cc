@@ -1,3 +1,10 @@
+/**
+ * @file
+ * The operator catalog: call constructors, attribute accessors, shape
+ * broadcasting and dtype promotion, and registration of every
+ * operator's deduction rule and tensor-program legalization in the
+ * global OpRegistry.
+ */
 #include "op/ops.h"
 
 #include <cmath>

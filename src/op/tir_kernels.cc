@@ -1,3 +1,12 @@
+/**
+ * @file
+ * Tensor-program generators used by legalization (makeEwBinaryFunc,
+ * makeMatmulFunc, makeSoftmaxFunc, makeAttentionFunc, makeDecodeQ4Func,
+ * ...), all parameterized by symbolic shapes. Broadcasting is handled by
+ * index projection (broadcastIndices); reshape generates a flat-index
+ * unflattening loop (unflatten) so row-major layout is preserved for
+ * any symbolic shape pair.
+ */
 #include "op/tir_kernels.h"
 
 #include "arith/analyzer.h"

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * Forward shape deduction by unification: unifyDims / unifySInfo match
+ * callee parameter annotations against argument struct info, binding
+ * symbolic variables at first occurrence and checking consistency
+ * afterwards; worstOf merges per-dimension verdicts into the verdict
+ * for the call.
+ */
 #include "shape/deduce.h"
 
 #include "arith/analyzer.h"

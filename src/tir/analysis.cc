@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Loop-level analyses: compute pattern classification (Alg. 1 — index
+ * predicates such as isBroadcast / isInjective over loop nests),
+ * global-workspace discovery for lifting, and analyzeCost, which counts
+ * flops and bytes symbolically for the roofline model.
+ */
 #include "tir/analysis.h"
 
 #include <functional>

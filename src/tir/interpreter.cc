@@ -1,3 +1,10 @@
+/**
+ * @file
+ * The reference interpreter: a direct recursive evaluator over
+ * statements and scalar expressions (all dtypes evaluated as double;
+ * Euclidean floordiv), with an environment binding buffers and the
+ * explicitly-passed symbolic parameters.
+ */
 #include "tir/interpreter.h"
 
 #include <cmath>

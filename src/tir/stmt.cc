@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Text rendering of tensor programs — statements, scalar expressions,
+ * and whole PrimFuncs — behind the Fig. 9-style listings printed by
+ * tests and examples.
+ */
 #include "tir/stmt.h"
 
 #include <sstream>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Structural transforms over tensor programs: simultaneous variable and
+ * buffer substitution (substituteStmt and friends) used by fusion and
+ * inlining, and buffer access collection (collectAccesses) feeding
+ * pattern analysis and workspace lifting.
+ */
 #include "tir/transform.h"
 
 #include <functional>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * The virtual machine: the library-kernel registry, the per-instruction
+ * executors (MatchShape / AllocStorage / AllocTensor / KernelCall /
+ * PackedCall), and the timing-mode path that prices generated kernels
+ * on the device roofline (costExprsOf + generatedKernelEfficiency).
+ */
 #include "vm/vm.h"
 #include <cstdlib>
 
