@@ -1,15 +1,15 @@
 /**
  * @file
- * Dynamic-batch LLM serving loop on the tiny model with real data:
- * prefill a prompt, then autoregressively decode with a growing KV cache
- * — batch size and context length both vary at runtime against one
- * compiled executable.
+ * Continuous-batching LLM serving on the tiny model with real data: two
+ * concurrent requests with different prompt lengths run through the
+ * serve::Engine against one compiled executable — the engine batches
+ * their decode steps into single symbolic-batch calls, grows each
+ * sequence's paged KV cache, and reports per-request latency stats, all
+ * on the simulated device's virtual clock.
  */
 #include <iostream>
 
-#include "frontend/compile.h"
-#include "frontend/llama.h"
-#include "vm/vm.h"
+#include "serve/engine.h"
 
 int
 main()
@@ -21,51 +21,33 @@ main()
     options.device.name = "host";
     options.device.backend = "cpu";
     options.device.vramBytes = int64_t(8) << 30;
-    auto exec = frontend::compile(frontend::buildLlama(config), options);
-    auto dev = std::make_shared<device::SimDevice>(options.device);
-    vm::VirtualMachine machine(exec, dev, /*data_mode=*/true);
-    auto weights = frontend::makeLlamaWeights(config, /*with_data=*/true);
 
-    auto invoke = [&](const std::string& fn, const NDArray& ids,
-                      const std::vector<NDArray>& caches) {
-        std::vector<vm::Value> args{ids};
-        for (const auto& c : caches) args.emplace_back(c);
-        for (const auto& w : weights) args.emplace_back(w);
-        return std::get<vm::TupleValuePtr>(machine.invoke(fn, args));
-    };
-    auto argmaxLast = [&](const NDArray& logits) {
-        int64_t v_count = logits.shape().back();
-        int64_t base = logits.numel() - v_count;
-        int64_t best = 0;
-        for (int64_t v = 1; v < v_count; ++v) {
-            if (logits.at(base + v) > logits.at(base + best)) best = v;
-        }
-        return best;
-    };
+    serve::EngineOptions engine_options;
+    engine_options.scheduler.maxBatchSize = 4;
+    auto engine = serve::Engine::build(config, options, /*data_mode=*/true,
+                                       engine_options);
 
-    // Prefill a 4-token prompt (batch 1), then greedy-decode 8 tokens.
-    NDArray prompt =
-        NDArray::fromVector({1, 4}, DataType::i64(), {3, 1, 4, 1});
-    auto state = invoke("prefill", prompt, {});
-    std::vector<NDArray> caches;
-    for (size_t i = 1; i < state->fields.size(); ++i) {
-        caches.push_back(std::get<NDArray>(state->fields[i]));
+    // Two requests with different prompt lengths arrive together; the
+    // engine prefills each, then decodes them as one batch whenever their
+    // context lengths line up.
+    engine->addRequest({3, 1, 4, 1}, /*max_new_tokens=*/8);
+    engine->addRequest({2, 7}, /*max_new_tokens=*/6);
+    const serve::EngineStats& stats = engine->run();
+
+    for (const serve::FinishedRequest& done : engine->collect()) {
+        std::cout << "request " << done.id << " prompt:";
+        for (int64_t token : done.promptTokens) std::cout << " " << token;
+        std::cout << "\n  generated:";
+        for (int64_t token : done.outputTokens) std::cout << " " << token;
+        std::cout << "\n  ttft " << done.stats.ttftUs() / 1e3
+                  << " ms, inter-token "
+                  << done.stats.meanInterTokenUs() / 1e3 << " ms\n";
     }
-    std::cout << "prompt: 3 1 4 1\ngenerated:";
-    int64_t token = argmaxLast(std::get<NDArray>(state->fields[0]));
-    for (int step = 0; step < 8; ++step) {
-        std::cout << " " << token;
-        NDArray next = NDArray::fromVector({1, 1}, DataType::i64(),
-                                           {(double)token});
-        auto out = invoke("decode", next, caches);
-        caches.clear();
-        for (size_t i = 1; i < out->fields.size(); ++i) {
-            caches.push_back(std::get<NDArray>(out->fields[i]));
-        }
-        token = argmaxLast(std::get<NDArray>(out->fields[0]));
-    }
-    std::cout << "\ncontext length grew to " << caches[0].shape()[2]
-              << " positions across " << 8 << " dynamic-shape steps\n";
+    std::cout << "engine: " << stats.steps << " steps, "
+              << stats.prefillBatches << " prefill + "
+              << stats.decodeBatches << " decode batches, "
+              << stats.tokensGenerated << " tokens, peak KV "
+              << stats.peakKvBytes << " bytes\n";
     std::cout << "llm_serving: OK\n";
     return 0;
 }

@@ -2,15 +2,24 @@
 # Tier-1 verification entry point — the exact command CI runs and ROADMAP.md
 # names. Run from anywhere; builds into <repo>/build.
 #
-#   scripts/check.sh            # configure + build + ctest
-#   BUILD_DIR=out scripts/check.sh   # alternate build directory
+#   scripts/check.sh                       # configure + build + ctest + bench smoke
+#   BUILD_DIR=out scripts/check.sh         # alternate build directory
+#   CMAKE_ARGS="-DRELAX_WERROR=ON" scripts/check.sh   # extra configure flags
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-build}"
 
 cd "$repo_root"
-cmake -B "$build_dir" -S .
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+cmake -B "$build_dir" -S . ${CMAKE_ARGS:-}
 cmake --build "$build_dir" -j
 cd "$build_dir"
 ctest --output-on-failure -j
+
+# Smoke-run the bench harness (timing mode, fast) so driver rot is caught:
+# one paper-figure driver plus the serving-throughput driver.
+echo "== bench smoke: fig14 nvidia decode"
+./bench_fig14_nvidia_decode > /dev/null
+echo "== bench smoke: serve throughput"
+./bench_serve_throughput

@@ -81,6 +81,22 @@ ir::IRModulePtr buildLlama(const LlamaConfig& config,
 std::vector<NDArray> makeLlamaWeights(const LlamaConfig& config,
                                       bool with_data, unsigned seed = 7);
 
+// --- batched-decode cache layout helpers (serving engine) -----------------
+//
+// The compiled `decode` function takes one [b, h, m, d] cache tensor per
+// layer, while a serving engine tracks caches per sequence ([1, h, m, d]).
+// These helpers convert between the two layouts: stack gathers equal-shape
+// per-sequence tensors into one batched tensor before the call, split
+// scatters the updated batched caches back afterwards. Metadata-only
+// tensors (timing mode) stack/split without touching data.
+
+/** Stacks per-sequence [1, rest...] tensors into one [b, rest...] tensor.
+ *  All parts must agree on trailing shape, dtype and data/meta mode. */
+NDArray stackBatch(const std::vector<NDArray>& parts);
+
+/** Splits a batched [b, rest...] tensor into b copies of [1, rest...]. */
+std::vector<NDArray> splitBatch(const NDArray& batched);
+
 } // namespace frontend
 } // namespace relax
 

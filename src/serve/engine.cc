@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Engine implementation: the continuous-batching step loop — admission,
+ * length-grouped batched prefill, context-grouped batched decode with
+ * eviction under memory pressure — plus request bookkeeping and the
+ * virtual-clock statistics (see engine.h).
+ */
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <map>
+
+namespace relax {
+namespace serve {
+
+namespace {
+
+/** Token ids as a data-mode [1, n] i64 tensor. */
+NDArray
+idsTensor(const std::vector<int64_t>& tokens, bool data_mode)
+{
+    int64_t n = (int64_t)tokens.size();
+    if (!data_mode) return NDArray::metaOnly({1, n}, DataType::i64());
+    std::vector<double> values(tokens.begin(), tokens.end());
+    return NDArray::fromVector({1, n}, DataType::i64(), std::move(values));
+}
+
+} // namespace
+
+Engine::Engine(vm::ExecutablePtr exec,
+               std::shared_ptr<device::SimDevice> dev, bool data_mode,
+               frontend::LlamaConfig config, std::vector<NDArray> weights,
+               EngineOptions options)
+    : config_(std::move(config)), options_(options),
+      scheduler_(options.scheduler), sampler_(options.sampler),
+      weights_(std::move(weights))
+{
+    machine_ = std::make_unique<vm::VirtualMachine>(std::move(exec),
+                                                    std::move(dev),
+                                                    data_mode);
+    int64_t budget = options_.kvBudgetBytes;
+    if (budget <= 0) {
+        // Auto budget: what the device has left once weights are resident,
+        // with 20% headroom for activations, floored at one block.
+        budget = (int64_t)((double)(machine_->dev().spec().vramBytes -
+                                    config_.weightBytes()) *
+                           0.8);
+    }
+    budget = std::max(budget,
+                      config_.kvBytesPerToken() * options_.kvBlockTokens);
+    kv_ = std::make_unique<KVCacheManager>(config_, *machine_, budget,
+                                           options_.kvBlockTokens);
+}
+
+std::unique_ptr<Engine>
+Engine::build(const frontend::LlamaConfig& config,
+              const frontend::CompileOptions& compile_options,
+              bool data_mode, EngineOptions options)
+{
+    auto exec = frontend::compile(frontend::buildLlama(config),
+                                  compile_options);
+    auto dev = std::make_shared<device::SimDevice>(compile_options.device);
+    auto weights = frontend::makeLlamaWeights(config, data_mode);
+    return std::make_unique<Engine>(std::move(exec), std::move(dev),
+                                    data_mode, config, std::move(weights),
+                                    options);
+}
+
+RequestId
+Engine::addRequest(std::vector<int64_t> prompt, int64_t max_new_tokens,
+                   int64_t stop_token)
+{
+    RELAX_ICHECK(!prompt.empty()) << "empty prompt";
+    RELAX_ICHECK(max_new_tokens >= 1) << "maxNewTokens must be >= 1";
+    auto seq = std::make_shared<SequenceState>();
+    seq->request.id = nextId_++;
+    seq->request.promptTokens = std::move(prompt);
+    seq->request.maxNewTokens = max_new_tokens;
+    seq->request.stopToken = stop_token;
+    seq->stats.arrivalUs = machine_->dev().clockUs();
+    RequestId id = seq->request.id;
+    scheduler_.enqueue(std::move(seq));
+    return id;
+}
+
+bool
+Engine::hasPendingWork() const
+{
+    return scheduler_.hasWaiting() || !running_.empty();
+}
+
+std::vector<vm::Value>
+Engine::withWeights(std::vector<vm::Value> args) const
+{
+    args.reserve(args.size() + weights_.size());
+    for (const NDArray& w : weights_) args.emplace_back(w);
+    return args;
+}
+
+int64_t
+Engine::sampleFor(const NDArray& logits, int64_t row)
+{
+    if (machine_->dataMode()) return sampler_.sample(logits, row);
+    return sampler_.sampleSynthetic(config_.vocabSize);
+}
+
+void
+Engine::appendToken(const SequenceStatePtr& seq, int64_t token)
+{
+    seq->generated.push_back(token);
+    ++seq->stats.generatedTokens;
+    ++stats_.tokensGenerated;
+    if (seq->stats.firstTokenUs < 0) {
+        seq->stats.firstTokenUs = machine_->dev().clockUs();
+    }
+    // Done by budget/stop token, or the cache hit the trained context
+    // window and cannot grow another position.
+    if (seq->done() || seq->ctxLen >= config_.maxContext) {
+        finishSequence(seq);
+    }
+}
+
+void
+Engine::finishSequence(const SequenceStatePtr& seq)
+{
+    seq->phase = RequestPhase::kFinished;
+    seq->stats.finishUs = machine_->dev().clockUs();
+    seq->caches.clear();
+    kv_->release(seq->request.id);
+    running_.erase(std::find(running_.begin(), running_.end(), seq));
+    finished_.push_back(seq);
+    ++stats_.requestsFinished;
+    stats_.ttftSumUs += seq->stats.ttftUs();
+}
+
+void
+Engine::evict(const SequenceStatePtr& victim)
+{
+    victim->caches.clear();
+    victim->ctxLen = 0;
+    kv_->release(victim->request.id);
+    running_.erase(std::find(running_.begin(), running_.end(), victim));
+    ++victim->stats.preemptions;
+    ++stats_.evictions;
+    // Back of the queue: generated tokens ride along and are re-prefilled
+    // on re-admission, so the output stream resumes where it stopped.
+    scheduler_.enqueue(victim);
+}
+
+void
+Engine::prefillSequences(std::vector<SequenceStatePtr> seqs)
+{
+    // One symbolic-batch prefill call per prompt length (the compiled
+    // function requires a rectangular [b, n] id tensor).
+    std::map<int64_t, std::vector<SequenceStatePtr>> by_length;
+    for (SequenceStatePtr& seq : seqs) {
+        by_length[seq->prefillLength()].push_back(std::move(seq));
+    }
+    for (auto& [length, group] : by_length) {
+        std::vector<NDArray> ids_rows;
+        ids_rows.reserve(group.size());
+        for (const SequenceStatePtr& seq : group) {
+            ids_rows.push_back(
+                idsTensor(seq->prefillTokens(), machine_->dataMode()));
+        }
+        auto out = std::get<vm::TupleValuePtr>(machine_->invoke(
+            "prefill", withWeights({frontend::stackBatch(ids_rows)})));
+        ++stats_.prefillBatches;
+        stats_.prefillTokens += length * (int64_t)group.size();
+
+        const NDArray& logits = std::get<NDArray>(out->fields[0]);
+        size_t num_caches = out->fields.size() - 1;
+        std::vector<std::vector<NDArray>> split_caches(num_caches);
+        for (size_t c = 0; c < num_caches; ++c) {
+            split_caches[c] = frontend::splitBatch(
+                std::get<NDArray>(out->fields[1 + c]));
+        }
+        for (size_t row = 0; row < group.size(); ++row) {
+            const SequenceStatePtr& seq = group[row];
+            seq->caches.resize(num_caches);
+            for (size_t c = 0; c < num_caches; ++c) {
+                seq->caches[c] = split_caches[c][row];
+            }
+            seq->ctxLen = length;
+            seq->stats.prefillTokens += length;
+            appendToken(seq, sampleFor(logits, (int64_t)row));
+        }
+    }
+}
+
+void
+Engine::decodeRunning()
+{
+    // Group running sequences by context length: each group is one
+    // batched decode call over the shared symbolic (b, m).
+    std::map<int64_t, std::vector<SequenceStatePtr>> by_ctx;
+    for (const SequenceStatePtr& seq : running_) {
+        by_ctx[seq->ctxLen].push_back(seq);
+    }
+    for (auto& [ctx, members] : by_ctx) {
+        // Reserve each member's +1 growth, evicting the most recently
+        // admitted sequence while the budget cannot hold it.
+        for (const SequenceStatePtr& seq : members) {
+            if (seq->phase != RequestPhase::kRunning) continue;
+            while (!kv_->canHold(seq->request.id, ctx + 1)) {
+                SequenceStatePtr victim = Scheduler::pickVictim(running_);
+                RELAX_ICHECK(victim) << "no eviction victim";
+                if (victim == seq && running_.size() == 1) {
+                    RELAX_THROW(RuntimeError)
+                        << "KV budget (" << kv_->budgetBytes()
+                        << " bytes) cannot grow the only running "
+                           "sequence past "
+                        << ctx << " positions";
+                }
+                evict(victim);
+                if (victim == seq) break;
+            }
+            if (seq->phase != RequestPhase::kRunning) continue;
+            kv_->reserve(seq->request.id, ctx + 1);
+        }
+        std::vector<SequenceStatePtr> batch;
+        for (const SequenceStatePtr& seq : members) {
+            if (seq->phase == RequestPhase::kRunning) batch.push_back(seq);
+        }
+        if (batch.empty()) continue;
+
+        std::vector<vm::Value> args;
+        std::vector<NDArray> ids_rows;
+        ids_rows.reserve(batch.size());
+        for (const SequenceStatePtr& seq : batch) {
+            ids_rows.push_back(
+                idsTensor({seq->generated.back()}, machine_->dataMode()));
+        }
+        args.emplace_back(frontend::stackBatch(ids_rows));
+        size_t num_caches = batch.front()->caches.size();
+        for (size_t c = 0; c < num_caches; ++c) {
+            std::vector<NDArray> parts;
+            parts.reserve(batch.size());
+            for (const SequenceStatePtr& seq : batch) {
+                parts.push_back(seq->caches[c]);
+            }
+            args.emplace_back(frontend::stackBatch(parts));
+        }
+        auto out = std::get<vm::TupleValuePtr>(
+            machine_->invoke("decode", withWeights(std::move(args))));
+        ++stats_.decodeBatches;
+
+        const NDArray& logits = std::get<NDArray>(out->fields[0]);
+        std::vector<std::vector<NDArray>> split_caches(num_caches);
+        for (size_t c = 0; c < num_caches; ++c) {
+            split_caches[c] = frontend::splitBatch(
+                std::get<NDArray>(out->fields[1 + c]));
+        }
+        for (size_t row = 0; row < batch.size(); ++row) {
+            const SequenceStatePtr& seq = batch[row];
+            for (size_t c = 0; c < num_caches; ++c) {
+                seq->caches[c] = split_caches[c][row];
+            }
+            seq->ctxLen = ctx + 1;
+            appendToken(seq, sampleFor(logits, (int64_t)row));
+        }
+    }
+}
+
+bool
+Engine::step()
+{
+    if (!hasPendingWork()) return false;
+    double clock_before = machine_->dev().clockUs();
+    bool did_work = false;
+
+    std::vector<SequenceStatePtr> admitted =
+        scheduler_.admit(*kv_, (int64_t)running_.size());
+    for (const SequenceStatePtr& seq : admitted) {
+        seq->admitSeq = nextAdmitSeq_++;
+        running_.push_back(seq);
+    }
+    if (!admitted.empty()) {
+        prefillSequences(admitted);
+        did_work = true;
+    }
+    if (!running_.empty()) {
+        decodeRunning();
+        did_work = true;
+    }
+
+    if (did_work) {
+        ++stats_.steps;
+        stats_.busyUs += machine_->dev().clockUs() - clock_before;
+        stats_.peakKvBytes =
+            std::max(stats_.peakKvBytes, kv_->peakBytes());
+    }
+    return did_work;
+}
+
+const EngineStats&
+Engine::run()
+{
+    while (hasPendingWork()) {
+        if (!step()) {
+            RELAX_THROW(RuntimeError)
+                << "serving stalled: " << scheduler_.waitingCount()
+                << " waiting request(s) cannot fit the KV budget ("
+                << kv_->budgetBytes() << " bytes)";
+        }
+    }
+    return stats_;
+}
+
+std::vector<FinishedRequest>
+Engine::collect()
+{
+    std::sort(finished_.begin(), finished_.end(),
+              [](const SequenceStatePtr& a, const SequenceStatePtr& b) {
+                  return a->request.id < b->request.id;
+              });
+    std::vector<FinishedRequest> results;
+    results.reserve(finished_.size());
+    for (const SequenceStatePtr& seq : finished_) {
+        FinishedRequest done;
+        done.id = seq->request.id;
+        done.promptTokens = seq->request.promptTokens;
+        done.outputTokens = seq->generated;
+        done.stats = seq->stats;
+        results.push_back(std::move(done));
+    }
+    finished_.clear();
+    return results;
+}
+
+} // namespace serve
+} // namespace relax

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Engine: the continuous-batching serving front door (addRequest / step /
+ * collect) over one compiled prefill/decode executable. Each step()
+ * admits waiting requests (scheduler policy + KV budget), runs batched
+ * prefill for the newly admitted, then one batched decode iteration for
+ * every running sequence — grouping sequences by context length so each
+ * group maps onto one symbolic-batch decode call, exactly the dynamism
+ * the compiler was built for. Under memory pressure decode growth evicts
+ * the most recently admitted sequence; evicted requests re-prefill
+ * prompt+generated on re-admission, so outputs are preserved exactly.
+ *
+ * Works in both VM modes: data mode samples real logits (correctness
+ * tests, examples); timing mode advances the simulated device clock with
+ * metadata-only tensors (throughput benchmarks).
+ */
+#ifndef RELAX_SERVE_ENGINE_H_
+#define RELAX_SERVE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "frontend/compile.h"
+#include "frontend/llama.h"
+#include "serve/kv_cache.h"
+#include "serve/request.h"
+#include "serve/sampler.h"
+#include "serve/scheduler.h"
+#include "vm/vm.h"
+
+namespace relax {
+namespace serve {
+
+struct EngineOptions
+{
+    SchedulerOptions scheduler;
+    SamplerOptions sampler;
+    /**
+     * Byte budget for KV blocks; 0 derives one from the device:
+     * (vramBytes - model weightBytes) * 0.8, floored at one block.
+     */
+    int64_t kvBudgetBytes = 0;
+    /** Cache positions per KV block (page size). */
+    int64_t kvBlockTokens = 16;
+};
+
+/** Aggregate engine statistics on the virtual clock (RunStats-style). */
+struct EngineStats
+{
+    int64_t steps = 0;
+    int64_t prefillBatches = 0; //!< prefill invocations issued
+    int64_t decodeBatches = 0;  //!< decode invocations issued
+    int64_t prefillTokens = 0;
+    int64_t tokensGenerated = 0;
+    int64_t requestsFinished = 0;
+    int64_t evictions = 0;
+    double busyUs = 0.0;      //!< device-clock time spent inside step()
+    int64_t peakKvBytes = 0;  //!< high-water KV reservation
+    double ttftSumUs = 0.0;   //!< summed TTFT of finished requests
+
+    double
+    tokensPerSec() const
+    {
+        return busyUs > 0 ? (double)tokensGenerated / busyUs * 1e6 : 0.0;
+    }
+
+    double
+    meanTtftUs() const
+    {
+        return requestsFinished > 0 ? ttftSumUs / (double)requestsFinished
+                                    : 0.0;
+    }
+};
+
+/** The serving engine. */
+class Engine
+{
+  public:
+    /**
+     * @param exec      compiled executable with `prefill` and `decode`
+     * @param dev       simulated device the VM runs on
+     * @param data_mode true: real tensors + logits sampling; false:
+     *                  metadata-only timing mode
+     * @param config    model config (cache geometry, vocab)
+     * @param weights   parameter tensors in builder order (data or
+     *                  metadata matching `data_mode`)
+     */
+    Engine(vm::ExecutablePtr exec, std::shared_ptr<device::SimDevice> dev,
+           bool data_mode, frontend::LlamaConfig config,
+           std::vector<NDArray> weights, EngineOptions options = {});
+
+    /** Compiles `config` for `options.device` and builds a ready engine. */
+    static std::unique_ptr<Engine>
+    build(const frontend::LlamaConfig& config,
+          const frontend::CompileOptions& compile_options, bool data_mode,
+          EngineOptions options = {});
+
+    /** Queues a generation request; returns its id. */
+    RequestId addRequest(std::vector<int64_t> prompt,
+                         int64_t max_new_tokens, int64_t stop_token = -1);
+
+    /**
+     * One continuous-batching iteration: retire finished sequences,
+     * admit + prefill newcomers, decode the running batch. Returns false
+     * (a strict no-op: no clock advance, no state change) when no
+     * forward progress is possible — either nothing is waiting or
+     * running, or the system is stalled (requests wait but none fit the
+     * KV budget and none run). Callers driving step() directly must
+     * check hasPendingWork() after a false return to tell the two
+     * apart; run() turns the stall case into a RuntimeError.
+     */
+    bool step();
+
+    /** True while any request is waiting or running. */
+    bool hasPendingWork() const;
+
+    /**
+     * Steps until every request finishes. Throws RuntimeError when the
+     * queue head can never fit the KV budget (nothing running and nothing
+     * admissible).
+     */
+    const EngineStats& run();
+
+    /** Returns finished requests (arrival order) and forgets them. */
+    std::vector<FinishedRequest> collect();
+
+    const EngineStats& stats() const { return stats_; }
+    KVCacheManager& kv() { return *kv_; }
+    vm::VirtualMachine& machine() { return *machine_; }
+    const frontend::LlamaConfig& config() const { return config_; }
+
+  private:
+    void prefillSequences(std::vector<SequenceStatePtr> seqs);
+    void decodeRunning();
+    /** Appends a sampled token; finishes the sequence when done. */
+    void appendToken(const SequenceStatePtr& seq, int64_t token);
+    void finishSequence(const SequenceStatePtr& seq);
+    /** Preempts `victim` back to the waiting queue, dropping its cache. */
+    void evict(const SequenceStatePtr& victim);
+    int64_t sampleFor(const NDArray& logits, int64_t row);
+    std::vector<vm::Value> withWeights(std::vector<vm::Value> args) const;
+
+    frontend::LlamaConfig config_;
+    EngineOptions options_;
+    std::unique_ptr<vm::VirtualMachine> machine_;
+    std::unique_ptr<KVCacheManager> kv_;
+    Scheduler scheduler_;
+    Sampler sampler_;
+    std::vector<NDArray> weights_;
+    std::vector<SequenceStatePtr> running_;
+    std::vector<SequenceStatePtr> finished_;
+    EngineStats stats_;
+    RequestId nextId_ = 0;
+    int64_t nextAdmitSeq_ = 0;
+};
+
+} // namespace serve
+} // namespace relax
+
+#endif // RELAX_SERVE_ENGINE_H_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * KVCacheManager implementation: block math and the reserve/release
+ * lifecycle over persistent VM storage (see kv_cache.h).
+ */
+#include "serve/kv_cache.h"
+
+namespace relax {
+namespace serve {
+
+KVCacheManager::KVCacheManager(const frontend::LlamaConfig& config,
+                               vm::VirtualMachine& machine,
+                               int64_t budgetBytes, int64_t blockTokens)
+    : machine_(machine), blockTokens_(blockTokens),
+      bytesPerBlock_(config.kvBytesPerToken() * blockTokens),
+      budgetBytes_(budgetBytes),
+      totalBlocks_(bytesPerBlock_ > 0 ? budgetBytes / bytesPerBlock_ : 0)
+{
+    RELAX_ICHECK(blockTokens_ > 0) << "KV block size must be positive";
+    RELAX_ICHECK(budgetBytes_ >= 0) << "negative KV budget";
+}
+
+KVCacheManager::~KVCacheManager()
+{
+    // Return every outstanding block to the device so engine teardown
+    // leaves the accounting balanced.
+    for (auto& [id, seq] : sequences_) {
+        for (auto& block : seq.blocks) {
+            machine_.releasePersistentStorage(block);
+        }
+    }
+}
+
+int64_t
+KVCacheManager::blocksFor(int64_t tokens) const
+{
+    return (tokens + blockTokens_ - 1) / blockTokens_;
+}
+
+bool
+KVCacheManager::canHold(RequestId seq, int64_t tokens) const
+{
+    int64_t owned = 0;
+    auto it = sequences_.find(seq);
+    if (it != sequences_.end()) owned = (int64_t)it->second.blocks.size();
+    int64_t extra = blocksFor(tokens) - owned;
+    if (extra <= 0) return true;
+    return usedBlocks_ + extra <= totalBlocks_;
+}
+
+void
+KVCacheManager::reserve(RequestId seq, int64_t tokens)
+{
+    if (!canHold(seq, tokens)) {
+        RELAX_THROW(RuntimeError)
+            << "KV budget exhausted: sequence " << seq << " needs "
+            << blocksFor(tokens) << " blocks, " << usedBlocks_ << "/"
+            << totalBlocks_ << " in use";
+    }
+    SequenceBlocks& blocks = sequences_[seq];
+    int64_t target = blocksFor(tokens);
+    while ((int64_t)blocks.blocks.size() < target) {
+        blocks.blocks.push_back(
+            machine_.allocPersistentStorage(bytesPerBlock_));
+        ++usedBlocks_;
+    }
+    blocks.tokens = std::max(blocks.tokens, tokens);
+    peakBlocks_ = std::max(peakBlocks_, usedBlocks_);
+}
+
+void
+KVCacheManager::release(RequestId seq)
+{
+    auto it = sequences_.find(seq);
+    if (it == sequences_.end()) return;
+    for (auto& block : it->second.blocks) {
+        machine_.releasePersistentStorage(block);
+        --usedBlocks_;
+    }
+    sequences_.erase(it);
+}
+
+int64_t
+KVCacheManager::reservedTokens(RequestId seq) const
+{
+    auto it = sequences_.find(seq);
+    return it == sequences_.end() ? 0 : it->second.tokens;
+}
+
+} // namespace serve
+} // namespace relax

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * KVCacheManager: paged, per-sequence KV-cache accounting for the serving
+ * engine. Each running sequence owns a list of fixed-size blocks (pages)
+ * of `blockTokens` cache positions; blocks are persistent VM storage, so
+ * every reserved byte is accounted against the simulated device's VRAM
+ * (DeviceSpec::vramBytes) exactly like statically planned storage.
+ *
+ * The manager is pure bookkeeping: the tensors that hold cache *values*
+ * travel through the compiled decode function as arguments (see
+ * SequenceState::caches); what lives here is the device-byte ownership
+ * that admission control and preemption decide against.
+ */
+#ifndef RELAX_SERVE_KV_CACHE_H_
+#define RELAX_SERVE_KV_CACHE_H_
+
+#include <map>
+#include <vector>
+
+#include "frontend/llama.h"
+#include "serve/request.h"
+#include "vm/vm.h"
+
+namespace relax {
+namespace serve {
+
+/** Paged KV-block owner with a hard byte budget. */
+class KVCacheManager
+{
+  public:
+    /**
+     * @param config      model whose kvBytesPerToken() prices a position
+     * @param machine     VM whose device accounts the allocations
+     * @param budgetBytes hard cap on total reserved KV bytes
+     * @param blockTokens cache positions per page
+     */
+    KVCacheManager(const frontend::LlamaConfig& config,
+                   vm::VirtualMachine& machine, int64_t budgetBytes,
+                   int64_t blockTokens = 16);
+
+    ~KVCacheManager();
+
+    KVCacheManager(const KVCacheManager&) = delete;
+    KVCacheManager& operator=(const KVCacheManager&) = delete;
+
+    int64_t blockTokens() const { return blockTokens_; }
+    int64_t bytesPerBlock() const { return bytesPerBlock_; }
+    int64_t budgetBytes() const { return budgetBytes_; }
+    int64_t usedBytes() const { return usedBlocks_ * bytesPerBlock_; }
+    int64_t peakBytes() const { return peakBlocks_ * bytesPerBlock_; }
+    int64_t freeBytes() const { return budgetBytes_ - usedBytes(); }
+
+    /** Blocks needed to hold `tokens` cache positions. */
+    int64_t blocksFor(int64_t tokens) const;
+
+    /** True when growing (or admitting) `seq` to `tokens` positions fits
+     *  the budget, counting blocks it already owns. */
+    bool canHold(RequestId seq, int64_t tokens) const;
+
+    /** Reserves blocks so `seq` owns at least `tokens` positions.
+     *  Throws RuntimeError when the budget cannot hold them — callers are
+     *  expected to check canHold() and queue/evict instead. */
+    void reserve(RequestId seq, int64_t tokens);
+
+    /** Releases every block owned by `seq` (no-op for unknown ids). */
+    void release(RequestId seq);
+
+    /** Positions reserved for `seq` (0 for unknown ids). */
+    int64_t reservedTokens(RequestId seq) const;
+
+  private:
+    struct SequenceBlocks
+    {
+        std::vector<vm::StoragePtr> blocks;
+        int64_t tokens = 0; //!< reserved capacity in positions
+    };
+
+    vm::VirtualMachine& machine_;
+    int64_t blockTokens_;
+    int64_t bytesPerBlock_;
+    int64_t budgetBytes_;
+    int64_t totalBlocks_;
+    int64_t usedBlocks_ = 0;
+    int64_t peakBlocks_ = 0;
+    std::map<RequestId, SequenceBlocks> sequences_;
+};
+
+} // namespace serve
+} // namespace relax
+
+#endif // RELAX_SERVE_KV_CACHE_H_

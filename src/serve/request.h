@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Request-level data model of the serving engine: the user-facing
+ * Request, the engine-side SequenceState it becomes, and the per-request
+ * latency statistics (TTFT, inter-token) measured on the simulated
+ * device's virtual clock. See docs/ARCHITECTURE.md "Serving engine" for
+ * the request lifecycle.
+ */
+#ifndef RELAX_SERVE_REQUEST_H_
+#define RELAX_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tir/ndarray.h"
+
+namespace relax {
+namespace serve {
+
+using RequestId = int64_t;
+
+/** One generation request submitted to the engine. */
+struct Request
+{
+    RequestId id = -1;
+    std::vector<int64_t> promptTokens;
+    int64_t maxNewTokens = 16;
+    /** Generation stops early when this token is sampled (-1: never). */
+    int64_t stopToken = -1;
+};
+
+/** Where a request currently is in its lifecycle. */
+enum class RequestPhase {
+    kWaiting, //!< queued (never admitted, or preempted back)
+    kRunning, //!< holds KV blocks, participates in batched steps
+    kFinished //!< output complete; KV blocks released
+};
+
+/** Per-request latency statistics in virtual-clock microseconds. */
+struct RequestStats
+{
+    double arrivalUs = 0.0;     //!< clock when addRequest() ran
+    double firstTokenUs = -1.0; //!< clock when the first token was emitted
+    double finishUs = -1.0;     //!< clock when the request completed
+    int64_t prefillTokens = 0;  //!< total tokens prefilled (re-prefills count)
+    int64_t generatedTokens = 0;
+    int64_t preemptions = 0; //!< times this request was evicted mid-flight
+
+    /** Time to first token; negative before the first token exists. */
+    double
+    ttftUs() const
+    {
+        return firstTokenUs < 0 ? -1.0 : firstTokenUs - arrivalUs;
+    }
+
+    /** Mean latency per generated token after the first. */
+    double
+    meanInterTokenUs() const
+    {
+        if (finishUs < 0 || generatedTokens < 2) return 0.0;
+        return (finishUs - firstTokenUs) / (double)(generatedTokens - 1);
+    }
+};
+
+/** Engine-internal mutable state of one request. */
+struct SequenceState
+{
+    Request request;
+    RequestPhase phase = RequestPhase::kWaiting;
+    std::vector<int64_t> generated;
+    /**
+     * Per-layer KV tensors in decode argument order (k_0, v_0, k_1, ...),
+     * each [1, heads, ctxLen, headDim]. Empty while waiting.
+     */
+    std::vector<NDArray> caches;
+    int64_t ctxLen = 0;   //!< cache positions currently materialized
+    int64_t admitSeq = -1; //!< admission order; highest = eviction victim
+    RequestStats stats;
+
+    /**
+     * Tokens a (re-)prefill must process: the prompt plus everything
+     * already generated — after an eviction the cache is rebuilt from
+     * these, so prior outputs are preserved exactly.
+     */
+    std::vector<int64_t>
+    prefillTokens() const
+    {
+        std::vector<int64_t> tokens = request.promptTokens;
+        tokens.insert(tokens.end(), generated.begin(), generated.end());
+        return tokens;
+    }
+
+    /** Length of prefillTokens() without materializing the vector. */
+    int64_t
+    prefillLength() const
+    {
+        return (int64_t)(request.promptTokens.size() + generated.size());
+    }
+
+    bool
+    done() const
+    {
+        return (int64_t)generated.size() >= request.maxNewTokens ||
+               (request.stopToken >= 0 && !generated.empty() &&
+                generated.back() == request.stopToken);
+    }
+};
+
+using SequenceStatePtr = std::shared_ptr<SequenceState>;
+
+/** A completed request as returned by Engine::collect(). */
+struct FinishedRequest
+{
+    RequestId id = -1;
+    std::vector<int64_t> promptTokens;
+    std::vector<int64_t> outputTokens;
+    RequestStats stats;
+};
+
+} // namespace serve
+} // namespace relax
+
+#endif // RELAX_SERVE_REQUEST_H_

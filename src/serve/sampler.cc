@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sampler implementation: argmax fast path, softmax-weighted top-k
+ * sampling, and the timing-mode synthetic token stream (see sampler.h).
+ */
+#include "serve/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relax {
+namespace serve {
+
+Sampler::Sampler(SamplerOptions options)
+    : options_(options), rng_(options.seed)
+{
+    RELAX_ICHECK(options_.topK >= 1) << "topK must be at least 1";
+}
+
+int64_t
+Sampler::sample(const NDArray& logits, int64_t row)
+{
+    RELAX_ICHECK(logits.hasData())
+        << "sample: metadata-only logits (use sampleSynthetic)";
+    RELAX_ICHECK(logits.shape().size() == 3) << "expected [b, s, vocab]";
+    int64_t seq = logits.shape()[1];
+    int64_t vocab = logits.shape()[2];
+    RELAX_ICHECK(row >= 0 && row < logits.shape()[0])
+        << "batch row out of range";
+    int64_t base = (row * seq + (seq - 1)) * vocab;
+
+    if (options_.topK == 1) {
+        int64_t best = 0;
+        for (int64_t v = 1; v < vocab; ++v) {
+            if (logits.at(base + v) > logits.at(base + best)) best = v;
+        }
+        return best;
+    }
+
+    // Top-k: softmax over the k best logits, sample the renormalized
+    // distribution with the seeded generator.
+    int64_t k = std::min(options_.topK, vocab);
+    std::vector<int64_t> order(vocab);
+    for (int64_t v = 0; v < vocab; ++v) order[v] = v;
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](int64_t a, int64_t b) {
+                          return logits.at(base + a) > logits.at(base + b);
+                      });
+    double max_logit = logits.at(base + order[0]);
+    std::vector<double> probs(k);
+    double total = 0.0;
+    for (int64_t i = 0; i < k; ++i) {
+        probs[i] = std::exp(logits.at(base + order[i]) - max_logit);
+        total += probs[i];
+    }
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    double target = unit(rng_) * total;
+    for (int64_t i = 0; i < k; ++i) {
+        target -= probs[i];
+        if (target <= 0) return order[i];
+    }
+    return order[k - 1];
+}
+
+int64_t
+Sampler::sampleSynthetic(int64_t vocab)
+{
+    RELAX_ICHECK(vocab > 0) << "empty vocabulary";
+    return (int64_t)(rng_() % (uint64_t)vocab);
+}
+
+} // namespace serve
+} // namespace relax

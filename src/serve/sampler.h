@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Token sampler: greedy argmax and seeded top-k sampling over the
+ * last-position logits of a batched step — extracted from the argmax loop
+ * the llm_serving example used to hand-roll. Timing mode has no logits
+ * data, so a deterministic synthetic path stands in (token identity does
+ * not affect the simulated clock).
+ */
+#ifndef RELAX_SERVE_SAMPLER_H_
+#define RELAX_SERVE_SAMPLER_H_
+
+#include <random>
+
+#include "tir/ndarray.h"
+
+namespace relax {
+namespace serve {
+
+struct SamplerOptions
+{
+    /** 1 = greedy argmax; k > 1 samples from the k best logits. */
+    int64_t topK = 1;
+    unsigned seed = 7;
+};
+
+/** Greedy / top-k sampler (deterministic under a fixed seed). */
+class Sampler
+{
+  public:
+    explicit Sampler(SamplerOptions options = {});
+
+    /**
+     * Samples the next token for batch row `row` from `logits`
+     * [b, s, vocab], reading the last position s-1 (data mode).
+     */
+    int64_t sample(const NDArray& logits, int64_t row);
+
+    /** Timing mode: a deterministic pseudo-token in [0, vocab). */
+    int64_t sampleSynthetic(int64_t vocab);
+
+    const SamplerOptions& options() const { return options_; }
+
+  private:
+    SamplerOptions options_;
+    std::mt19937 rng_;
+};
+
+} // namespace serve
+} // namespace relax
+
+#endif // RELAX_SERVE_SAMPLER_H_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Scheduler implementation: policy-ordered admission against the KV
+ * budget and batch-slot caps, and victim selection (see scheduler.h).
+ */
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+namespace relax {
+namespace serve {
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(options)
+{
+    RELAX_ICHECK(options_.maxBatchSize >= 1) << "batch size must be >= 1";
+    RELAX_ICHECK(options_.maxPrefillTokensPerStep >= 1)
+        << "prefill budget must be >= 1";
+}
+
+void
+Scheduler::enqueue(SequenceStatePtr seq)
+{
+    seq->phase = RequestPhase::kWaiting;
+    waiting_.push_back(std::move(seq));
+}
+
+std::vector<SequenceStatePtr>
+Scheduler::admit(KVCacheManager& kv, int64_t runningCount)
+{
+    std::vector<SequenceStatePtr> candidates(waiting_.begin(),
+                                             waiting_.end());
+    if (options_.policy == SchedulePolicy::kShortestPromptFirst) {
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const SequenceStatePtr& a,
+                            const SequenceStatePtr& b) {
+                             return a->prefillLength() <
+                                    b->prefillLength();
+                         });
+    }
+
+    std::vector<SequenceStatePtr> admitted;
+    int64_t prefill_budget = options_.maxPrefillTokensPerStep;
+    for (const SequenceStatePtr& seq : candidates) {
+        int64_t tokens = seq->prefillLength();
+        // A prompt above the per-step cap still admits into an idle
+        // system — the cap bounds bursts, it must not strand requests.
+        bool within_prefill_cap =
+            tokens <= prefill_budget ||
+            (admitted.empty() && runningCount == 0);
+        bool fits = runningCount + (int64_t)admitted.size() <
+                        options_.maxBatchSize &&
+                    within_prefill_cap &&
+                    kv.canHold(seq->request.id, tokens);
+        // Stop at the first misfit: admitting someone behind a blocked
+        // head would starve large requests under memory pressure.
+        if (!fits) break;
+        kv.reserve(seq->request.id, tokens);
+        prefill_budget -= tokens;
+        seq->phase = RequestPhase::kRunning;
+        admitted.push_back(seq);
+        waiting_.erase(std::find(waiting_.begin(), waiting_.end(), seq));
+    }
+    return admitted;
+}
+
+SequenceStatePtr
+Scheduler::pickVictim(const std::vector<SequenceStatePtr>& running)
+{
+    SequenceStatePtr victim;
+    for (const SequenceStatePtr& seq : running) {
+        if (!victim || seq->admitSeq > victim->admitSeq) victim = seq;
+    }
+    return victim;
+}
+
+} // namespace serve
+} // namespace relax

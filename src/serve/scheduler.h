@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Scheduler: iteration-level (continuous) batching policy. Owns the
+ * waiting queue, admits requests into the running batch each engine step
+ * when KV blocks and batch slots allow, and names the preemption victim
+ * under memory pressure. Two admission policies: FCFS (head-of-line
+ * blocking, strict arrival fairness) and shortest-prompt-first (smallest
+ * remaining prefill next, better mean TTFT under mixed prompt lengths).
+ */
+#ifndef RELAX_SERVE_SCHEDULER_H_
+#define RELAX_SERVE_SCHEDULER_H_
+
+#include <deque>
+#include <vector>
+
+#include "serve/kv_cache.h"
+#include "serve/request.h"
+
+namespace relax {
+namespace serve {
+
+enum class SchedulePolicy {
+    kFCFS,                //!< admit in arrival order; never reorder
+    kShortestPromptFirst  //!< admit the smallest pending prefill first
+};
+
+struct SchedulerOptions
+{
+    SchedulePolicy policy = SchedulePolicy::kFCFS;
+    /** Cap on concurrently running sequences (the symbolic-batch bound). */
+    int64_t maxBatchSize = 8;
+    /** Cap on prompt tokens admitted in one step (bounds prefill bursts). */
+    int64_t maxPrefillTokensPerStep = 2048;
+};
+
+/** Decides who runs: admission queue + preemption victim selection. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerOptions options = {});
+
+    /** Adds a sequence to the waiting queue (arrival order preserved). */
+    void enqueue(SequenceStatePtr seq);
+
+    size_t waitingCount() const { return waiting_.size(); }
+    bool hasWaiting() const { return !waiting_.empty(); }
+
+    /**
+     * Moves admissible sequences out of the waiting queue, reserving
+     * their prefill KV blocks in `kv`. Admission stops at the first
+     * candidate that does not fit (memory or batch slots), so FCFS never
+     * reorders; shortest-prompt-first sorts candidates by pending prefill
+     * length before applying the same rule.
+     */
+    std::vector<SequenceStatePtr> admit(KVCacheManager& kv,
+                                        int64_t runningCount);
+
+    /**
+     * Eviction victim among `running`: the most recently admitted
+     * sequence (lowest priority, least sunk prefill work). Null when
+     * `running` is empty.
+     */
+    static SequenceStatePtr
+    pickVictim(const std::vector<SequenceStatePtr>& running);
+
+    const SchedulerOptions& options() const { return options_; }
+
+  private:
+    std::deque<SequenceStatePtr> waiting_;
+    SchedulerOptions options_;
+};
+
+} // namespace serve
+} // namespace relax
+
+#endif // RELAX_SERVE_SCHEDULER_H_

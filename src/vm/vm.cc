@@ -126,6 +126,27 @@ struct Executor
     void execPackedCall(const Instr& instr, Frame& frame);
 };
 
+StoragePtr
+VirtualMachine::allocPersistentStorage(int64_t bytes)
+{
+    RELAX_ICHECK(bytes >= 0) << "negative storage size";
+    device_->alloc(bytes);
+    auto storage = std::make_shared<Storage>();
+    storage->bytes = bytes;
+    storage->persistent = true;
+    return storage;
+}
+
+void
+VirtualMachine::releasePersistentStorage(const StoragePtr& storage)
+{
+    if (!storage || storage->bytes == 0) return;
+    RELAX_ICHECK(storage->persistent)
+        << "releasePersistentStorage: not a persistent chunk";
+    device_->free(storage->bytes);
+    storage->bytes = 0; // guards against double release
+}
+
 Value
 VirtualMachine::invoke(const std::string& name,
                        const std::vector<Value>& args)

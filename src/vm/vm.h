@@ -98,6 +98,17 @@ class VirtualMachine
     /** Invokes a compiled function. */
     Value invoke(const std::string& name, const std::vector<Value>& args);
 
+    /**
+     * Allocates a persistent device storage chunk outside any compiled
+     * function — how the serving layer owns KV-cache pages: accounted
+     * against the device's VRAM like static plan storage, kept across
+     * invocations until released.
+     */
+    StoragePtr allocPersistentStorage(int64_t bytes);
+
+    /** Releases a chunk from allocPersistentStorage (idempotent). */
+    void releasePersistentStorage(const StoragePtr& storage);
+
     /** Statistics of the most recent invoke(). */
     const RunStats& lastRunStats() const { return lastStats_; }
 

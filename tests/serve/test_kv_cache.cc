@@ -1,0 +1,118 @@
+/**
+ * @file
+ * KVCacheManager tests: paged block geometry, reserve/grow/release
+ * lifecycle, budget enforcement, and that every reserved byte shows up in
+ * the simulated device's VRAM accounting as persistent VM storage.
+ */
+#include <gtest/gtest.h>
+
+#include "serve/kv_cache.h"
+
+namespace relax {
+namespace serve {
+namespace {
+
+struct Fixture
+{
+    frontend::LlamaConfig config = frontend::LlamaConfig::tiny();
+    std::shared_ptr<device::SimDevice> dev;
+    vm::VirtualMachine machine;
+
+    explicit Fixture(int64_t vram = int64_t(1) << 30)
+        : dev(std::make_shared<device::SimDevice>([vram] {
+              device::DeviceSpec spec;
+              spec.name = "host";
+              spec.backend = "cpu";
+              spec.vramBytes = vram;
+              return spec;
+          }())),
+          machine(std::make_shared<vm::Executable>(), dev,
+                  /*data_mode=*/true)
+    {
+    }
+};
+
+TEST(KVCacheTest, BlockGeometry)
+{
+    Fixture fx;
+    // tiny: 2 layers * 2 heads * 4 dim * 2 (k+v) * 2 bytes = 64 B/token.
+    EXPECT_EQ(fx.config.kvBytesPerToken(), 64);
+    KVCacheManager kv(fx.config, fx.machine, /*budget=*/64 * 4 * 10,
+                      /*blockTokens=*/4);
+    EXPECT_EQ(kv.bytesPerBlock(), 64 * 4);
+    EXPECT_EQ(kv.blocksFor(1), 1);
+    EXPECT_EQ(kv.blocksFor(4), 1);
+    EXPECT_EQ(kv.blocksFor(5), 2);
+    EXPECT_EQ(kv.blocksFor(12), 3);
+}
+
+TEST(KVCacheTest, ReserveGrowReleaseAccountsDeviceBytes)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    int64_t base = fx.dev->allocatedBytes();
+
+    kv.reserve(/*seq=*/1, /*tokens=*/4); // 1 block
+    EXPECT_EQ(kv.usedBytes(), kv.bytesPerBlock());
+    EXPECT_EQ(fx.dev->allocatedBytes() - base, kv.bytesPerBlock());
+
+    kv.reserve(1, 5); // grows to 2 blocks
+    EXPECT_EQ(kv.usedBytes(), 2 * kv.bytesPerBlock());
+    kv.reserve(1, 5); // idempotent: already holds 5 positions
+    EXPECT_EQ(kv.usedBytes(), 2 * kv.bytesPerBlock());
+    EXPECT_EQ(kv.reservedTokens(1), 5);
+
+    kv.release(1);
+    EXPECT_EQ(kv.usedBytes(), 0);
+    EXPECT_EQ(fx.dev->allocatedBytes(), base);
+    EXPECT_EQ(kv.reservedTokens(1), 0);
+    kv.release(1); // unknown id: no-op
+}
+
+TEST(KVCacheTest, BudgetRefusesOverCommit)
+{
+    Fixture fx;
+    // Room for exactly 3 blocks.
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 3, 4);
+    EXPECT_TRUE(kv.canHold(1, 12));
+    EXPECT_FALSE(kv.canHold(1, 13));
+    kv.reserve(1, 8); // 2 blocks
+    EXPECT_EQ(kv.freeBytes(), kv.budgetBytes() - 2 * kv.bytesPerBlock());
+    EXPECT_TRUE(kv.canHold(2, 4));
+    EXPECT_FALSE(kv.canHold(2, 5));
+    // A sequence's own blocks count toward what it can still hold.
+    EXPECT_TRUE(kv.canHold(1, 12));
+    EXPECT_THROW(kv.reserve(2, 8), RuntimeError);
+    kv.release(1);
+    kv.reserve(2, 8);
+    EXPECT_EQ(kv.usedBytes(), 2 * kv.bytesPerBlock());
+}
+
+TEST(KVCacheTest, PeakTracksHighWaterMark)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    kv.reserve(1, 8);
+    kv.reserve(2, 8);
+    EXPECT_EQ(kv.peakBytes(), 4 * kv.bytesPerBlock());
+    kv.release(1);
+    kv.release(2);
+    EXPECT_EQ(kv.usedBytes(), 0);
+    EXPECT_EQ(kv.peakBytes(), 4 * kv.bytesPerBlock());
+}
+
+TEST(KVCacheTest, DestructorReturnsOutstandingBlocks)
+{
+    Fixture fx;
+    int64_t base = fx.dev->allocatedBytes();
+    {
+        KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+        kv.reserve(1, 8);
+        EXPECT_GT(fx.dev->allocatedBytes(), base);
+    }
+    EXPECT_EQ(fx.dev->allocatedBytes(), base);
+}
+
+} // namespace
+} // namespace serve
+} // namespace relax
