@@ -5,6 +5,8 @@
 #   scripts/check.sh                       # configure + build + ctest + bench smoke
 #   BUILD_DIR=out scripts/check.sh         # alternate build directory
 #   CMAKE_ARGS="-DRELAX_WERROR=ON" scripts/check.sh   # extra configure flags
+#   CTEST_ARGS='-R (serve|vm)\.' scripts/check.sh     # run a subset of suites
+#   SKIP_BENCH=1 scripts/check.sh          # skip the bench smoke runs
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -15,11 +17,35 @@ cd "$repo_root"
 cmake -B "$build_dir" -S . ${CMAKE_ARGS:-}
 cmake --build "$build_dir" -j
 cd "$build_dir"
-ctest --output-on-failure -j
+# shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+ctest --output-on-failure -j "$jobs" ${CTEST_ARGS:-}
+
+if [[ "${SKIP_BENCH:-0}" == 1 ]]; then
+  echo "== bench smoke skipped (SKIP_BENCH=1)"
+  exit 0
+fi
 
 # Smoke-run the bench harness (timing mode, fast) so driver rot is caught:
 # one paper-figure driver plus the serving-throughput driver.
 echo "== bench smoke: fig14 nvidia decode"
 ./bench_fig14_nvidia_decode > /dev/null
 echo "== bench smoke: serve throughput"
-./bench_serve_throughput
+serve_out="$(./bench_serve_throughput)"
+printf '%s\n' "$serve_out"
+
+# Regression guard for bucketed execution-graph capture: steady-state
+# decode must replay captured graphs. A 0% post-warmup hit-rate means the
+# serving path fell back to capture-per-step (the pre-bucketing gap).
+hit_rate="$(printf '%s\n' "$serve_out" |
+  sed -n 's/^decode replay hit-rate after warmup: \([0-9.]*\)%$/\1/p' |
+  tail -1)"
+if [[ -z "$hit_rate" ]]; then
+  echo "FAIL: bench_serve_throughput did not report a replay hit-rate" >&2
+  exit 1
+fi
+if ! awk -v rate="$hit_rate" 'BEGIN { exit (rate > 0) ? 0 : 1 }'; then
+  echo "FAIL: decode replay hit-rate after warmup is ${hit_rate}%" >&2
+  exit 1
+fi
+echo "decode replay hit-rate gate passed (${hit_rate}% > 0)"

@@ -134,8 +134,11 @@ class SimDevice
         capturing_ = !replaying_;
         if (capturing_) {
             capturedGraphs_.insert(key);
+            ++graphCaptures_;
             // One-time graph instantiation cost per captured graph.
             clockUs_ += spec_.graphCaptureUs;
+        } else {
+            ++graphReplays_;
         }
         return replaying_;
     }
@@ -154,6 +157,10 @@ class SimDevice
     int64_t peakBytes() const { return peakBytes_; }
     int64_t totalAllocatedBytes() const { return totalAllocatedBytes_; }
     int64_t kernelLaunches() const { return kernelLaunches_; }
+    /** Graph regions entered whose signature missed (captured anew). */
+    int64_t graphCaptures() const { return graphCaptures_; }
+    /** Graph regions entered whose signature hit a captured graph. */
+    int64_t graphReplays() const { return graphReplays_; }
 
     void
     resetClock()
@@ -169,6 +176,8 @@ class SimDevice
     int64_t peakBytes_ = 0;
     int64_t totalAllocatedBytes_ = 0;
     int64_t kernelLaunches_ = 0;
+    int64_t graphCaptures_ = 0;
+    int64_t graphReplays_ = 0;
     bool capturing_ = false;
     bool replaying_ = false;
     std::set<std::string> capturedGraphs_;

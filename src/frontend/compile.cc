@@ -8,6 +8,8 @@
  */
 #include "frontend/compile.h"
 
+#include <algorithm>
+
 namespace relax {
 namespace frontend {
 
@@ -33,6 +35,7 @@ targetFromDevice(const device::DeviceSpec& spec,
     }
     target.supportsExecutionGraphs =
         options.enableGraphOffload && spec.supportsExecutionGraphs;
+    target.graphBucketTokens = std::max<int64_t>(options.graphBucketTokens, 1);
     target.libraryGemmMinRows = options.libraryGemmMinRows;
     return target;
 }

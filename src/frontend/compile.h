@@ -24,6 +24,15 @@ struct CompileOptions
     bool enableFusion = true;
     bool enableMemoryPlanning = true;
     bool enableGraphOffload = true;
+    /**
+     * Bucket size for execution-graph capture signatures (see
+     * TargetInfo::graphBucketTokens). 1 keys graphs by exact shapes;
+     * larger values round symbolic dims up to a block boundary so
+     * nearby shapes replay one captured graph. 0 means "auto": plain
+     * compiles behave like 1, while the serving engine substitutes its
+     * KV block size so graph buckets align with KV page boundaries.
+     */
+    int64_t graphBucketTokens = 0;
     /** Minimum GEMM row count for library dispatch (see TargetInfo). */
     int64_t libraryGemmMinRows = 2;
 };

@@ -18,12 +18,17 @@ using CallNode = ir::CallNode;
 
 namespace {
 
-/** Capturable bindings: kernel launches and pure rebinds between them. */
+/** Capturable bindings: kernel launches and pure rebinds between them.
+ *  Storage bindings are capturable too: this pass only runs on
+ *  statically planned functions, where alloc_storage resolves to a
+ *  pre-allocated chunk (a steady-state no-op, like the pre-capture
+ *  allocation CUDA Graphs require), so it must not fragment regions. */
 bool
 isCapturable(const Binding& binding)
 {
     if (isOpCall(binding.value, "relax.vm.kernel_call")) return true;
     if (isOpCall(binding.value, "relax.memory.alloc_tensor")) return true;
+    if (isOpCall(binding.value, "relax.memory.alloc_storage")) return true;
     if (binding.value->kind() == RxKind::kVar) return true;
     if (binding.value->kind() == RxKind::kTuple) return true;
     return false;
@@ -36,10 +41,11 @@ isKernelLaunch(const Binding& binding)
 }
 
 Binding
-makeMarker(const char* op, int64_t graph_id)
+makeMarker(const char* op, int64_t graph_id, int64_t bucket_block = 1)
 {
     Attrs attrs;
     attrs["graph_id"] = graph_id;
+    if (bucket_block > 1) attrs["bucket_block"] = bucket_block;
     Call call = makeCall(getOp(op), {}, std::move(attrs));
     call->setStructInfo(objectSInfo());
     return {makeVar("_", objectSInfo()), call, false, nullptr};
@@ -68,7 +74,8 @@ graphOffloadPass(const TargetInfo& target)
                             if (kernel_count >= 2) {
                                 rewritten.push_back(makeMarker(
                                     "relax.vm.graph_begin",
-                                    next_graph_id));
+                                    next_graph_id,
+                                    target.graphBucketTokens));
                                 rewritten.insert(rewritten.end(),
                                                  run.begin(), run.end());
                                 rewritten.push_back(makeMarker(

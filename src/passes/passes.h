@@ -30,6 +30,14 @@ struct TargetInfo
     /** Whether the driver supports static execution graphs (CUDA Graph). */
     bool supportsExecutionGraphs = false;
     /**
+     * Bucket size for execution-graph capture signatures: symbolic dims
+     * are rounded up to the next multiple of this block (or the next
+     * power of two, when smaller) when keying captured graphs,
+     * recovering replay across nearby shapes (steady-state decode bumps
+     * the context length every step). 1 = exact signatures.
+     */
+    int64_t graphBucketTokens = 1;
+    /**
      * Library GEMM pays off only for batch*seq >= this many rows; below it
      * the compiler-generated matrix-vector kernel wins (§5.1 batch-1 case).
      */

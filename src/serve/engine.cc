@@ -57,9 +57,15 @@ Engine::build(const frontend::LlamaConfig& config,
               const frontend::CompileOptions& compile_options,
               bool data_mode, EngineOptions options)
 {
-    auto exec = frontend::compile(frontend::buildLlama(config),
-                                  compile_options);
-    auto dev = std::make_shared<device::SimDevice>(compile_options.device);
+    frontend::CompileOptions copts = compile_options;
+    if (copts.graphBucketTokens == 0) {
+        // Align graph-capture buckets with KV pages: a decode group's
+        // signature then changes only when it grows into a new block,
+        // so the steps in between replay one captured graph.
+        copts.graphBucketTokens = options.kvBlockTokens;
+    }
+    auto exec = frontend::compile(frontend::buildLlama(config), copts);
+    auto dev = std::make_shared<device::SimDevice>(copts.device);
     auto weights = frontend::makeLlamaWeights(config, data_mode);
     return std::make_unique<Engine>(std::move(exec), std::move(dev),
                                     data_mode, config, std::move(weights),
@@ -68,7 +74,7 @@ Engine::build(const frontend::LlamaConfig& config,
 
 RequestId
 Engine::addRequest(std::vector<int64_t> prompt, int64_t max_new_tokens,
-                   int64_t stop_token)
+                   int64_t stop_token, double arrival_us)
 {
     RELAX_ICHECK(!prompt.empty()) << "empty prompt";
     RELAX_ICHECK(max_new_tokens >= 1) << "maxNewTokens must be >= 1";
@@ -77,7 +83,8 @@ Engine::addRequest(std::vector<int64_t> prompt, int64_t max_new_tokens,
     seq->request.promptTokens = std::move(prompt);
     seq->request.maxNewTokens = max_new_tokens;
     seq->request.stopToken = stop_token;
-    seq->stats.arrivalUs = machine_->dev().clockUs();
+    seq->stats.arrivalUs =
+        arrival_us >= 0 ? arrival_us : machine_->dev().clockUs();
     RequestId id = seq->request.id;
     scheduler_.enqueue(std::move(seq));
     return id;
@@ -167,6 +174,9 @@ Engine::prefillSequences(std::vector<SequenceStatePtr> seqs)
             "prefill", withWeights({frontend::stackBatch(ids_rows)})));
         ++stats_.prefillBatches;
         stats_.prefillTokens += length * (int64_t)group.size();
+        stats_.prefillGraphBegins += machine_->lastRunStats().graphBegins;
+        stats_.prefillGraphReplays +=
+            machine_->lastRunStats().graphReplays;
 
         const NDArray& logits = std::get<NDArray>(out->fields[0]);
         size_t num_caches = out->fields.size() - 1;
@@ -244,6 +254,9 @@ Engine::decodeRunning()
         auto out = std::get<vm::TupleValuePtr>(
             machine_->invoke("decode", withWeights(std::move(args))));
         ++stats_.decodeBatches;
+        stats_.decodeGraphBegins += machine_->lastRunStats().graphBegins;
+        stats_.decodeGraphReplays +=
+            machine_->lastRunStats().graphReplays;
 
         const NDArray& logits = std::get<NDArray>(out->fields[0]);
         std::vector<std::vector<NDArray>> split_caches(num_caches);

@@ -6,7 +6,12 @@
  * prefill for the newly admitted, then one batched decode iteration for
  * every running sequence — grouping sequences by context length so each
  * group maps onto one symbolic-batch decode call, exactly the dynamism
- * the compiler was built for. Under memory pressure decode growth evicts
+ * the compiler was built for. Decode groups advance their context length
+ * in lockstep, and build() compiles the executable with the graph-capture
+ * bucket equal to the KV block size, so a group's shape signature crosses
+ * a bucket boundary only once per KV block: consecutive decode steps
+ * replay one captured execution graph (EngineStats::decodeReplayHitRate).
+ * Under memory pressure decode growth evicts
  * the most recently admitted sequence; evicted requests re-prefill
  * prompt+generated on re-admission, so outputs are preserved exactly.
  *
@@ -58,6 +63,14 @@ struct EngineStats
     int64_t peakKvBytes = 0;  //!< high-water KV reservation
     double ttftSumUs = 0.0;   //!< summed TTFT of finished requests
 
+    // Execution-graph counters, split by phase: with bucketed capture the
+    // steady-state decode path should be almost all replays (the Fig. 17
+    // launch-overhead win applied to serving).
+    int64_t decodeGraphBegins = 0;
+    int64_t decodeGraphReplays = 0;
+    int64_t prefillGraphBegins = 0;
+    int64_t prefillGraphReplays = 0;
+
     double
     tokensPerSec() const
     {
@@ -69,6 +82,15 @@ struct EngineStats
     {
         return requestsFinished > 0 ? ttftSumUs / (double)requestsFinished
                                     : 0.0;
+    }
+
+    /** Fraction of decode-step graph regions served by replay. */
+    double
+    decodeReplayHitRate() const
+    {
+        return decodeGraphBegins > 0 ? (double)decodeGraphReplays /
+                                           (double)decodeGraphBegins
+                                     : 0.0;
     }
 };
 
@@ -89,15 +111,26 @@ class Engine
            bool data_mode, frontend::LlamaConfig config,
            std::vector<NDArray> weights, EngineOptions options = {});
 
-    /** Compiles `config` for `options.device` and builds a ready engine. */
+    /**
+     * Compiles `config` for `options.device` and builds a ready engine.
+     * When `compile_options.graphBucketTokens` is 0 (auto), the capture
+     * bucket is set to `options.kvBlockTokens` so execution-graph buckets
+     * and KV pages share one boundary.
+     */
     static std::unique_ptr<Engine>
     build(const frontend::LlamaConfig& config,
           const frontend::CompileOptions& compile_options, bool data_mode,
           EngineOptions options = {});
 
-    /** Queues a generation request; returns its id. */
+    /**
+     * Queues a generation request; returns its id. `arrival_us`
+     * backdates the arrival stamp TTFT is measured from (drivers that
+     * replay an arrival trace admit requests at step boundaries, after
+     * the true arrival time); negative means "now" on the device clock.
+     */
     RequestId addRequest(std::vector<int64_t> prompt,
-                         int64_t max_new_tokens, int64_t stop_token = -1);
+                         int64_t max_new_tokens, int64_t stop_token = -1,
+                         double arrival_us = -1.0);
 
     /**
      * One continuous-batching iteration: retire finished sequences,

@@ -212,6 +212,10 @@ class FunctionCodegen
                            ? Instr::Op::kGraphBegin
                            : Instr::Op::kGraphEnd;
             instr.graphId = std::get<int64_t>(call->attrs.at("graph_id"));
+            if (auto it = call->attrs.find("bucket_block");
+                it != call->attrs.end()) {
+                instr.bucketBlock = std::get<int64_t>(it->second);
+            }
             out_.instrs.push_back(std::move(instr));
             return;
         }
@@ -345,6 +349,9 @@ toString(const VMFunction& func)
             break;
           case Instr::Op::kGraphBegin:
             os << "  graph_begin " << instr.graphId;
+            if (instr.bucketBlock > 1) {
+                os << " bucket=" << instr.bucketBlock;
+            }
             break;
           case Instr::Op::kGraphEnd:
             os << "  graph_end " << instr.graphId;

@@ -64,6 +64,15 @@ struct Instr
 
     // kGraphBegin / kGraphEnd
     int64_t graphId = -1;
+    /**
+     * kGraphBegin: bucket size for the capture signature. Symbolic dims
+     * are rounded up to their bucket ceiling — the next multiple of
+     * this block, or the next power of two when smaller — when keying
+     * captured graphs, so nearby shapes (e.g. consecutive decode context
+     * lengths) share one graph; kernels inside the region are priced at
+     * the padded shape. 1 = exact signatures (no bucketing).
+     */
+    int64_t bucketBlock = 1;
 
     // kGetItem
     int index = 0;

@@ -8,6 +8,7 @@
 #include "vm/vm.h"
 #include <cstdlib>
 
+#include <algorithm>
 #include <sstream>
 
 #include "tir/analysis.h"
@@ -43,9 +44,32 @@ struct Frame
 {
     std::vector<Value> regs;
     VarBinding symbols; //!< the runtime symbolic shape table (§4.7)
+    /**
+     * Inside a bucketed graph region: symbolic values rounded up to the
+     * region's bucket boundary. Kernel *pricing* uses these (the captured
+     * graph launches padded kernels); data-mode compute always runs at
+     * the real shapes, which is what keeps replay bit-identical.
+     */
+    VarBinding paddedSymbols;
     /** Pool allocations owned by this call (returned to pool at exit). */
     std::vector<int64_t> pooledBytes;
 };
+
+/**
+ * Bucket ceiling of a symbolic value: the next multiple of `block`, or
+ * the next power of two when that is smaller. Large dims (context
+ * lengths) land on block boundaries (padding waste < one block); small
+ * dims (batch sizes below the block) land on power-of-two classes
+ * (padding waste < 2x) instead of all inflating to one block.
+ */
+int64_t
+bucketCeiling(int64_t value, int64_t block)
+{
+    int64_t blocked = (value + block - 1) / block * block;
+    int64_t pow2 = 1;
+    while (pow2 < value) pow2 *= 2;
+    return std::min(blocked, pow2);
+}
 
 NDArray&
 asTensorValue(Value& value, const char* what)
@@ -167,6 +191,8 @@ VirtualMachine::invoke(const std::string& name,
     double start_clock = device_->clockUs();
     int64_t start_launches = device_->kernelLaunches();
     int64_t start_alloc = device_->totalAllocatedBytes();
+    int64_t start_captures = device_->graphCaptures();
+    int64_t start_replays = device_->graphReplays();
 
     Frame frame;
     frame.regs.resize(func.numRegs);
@@ -191,15 +217,34 @@ VirtualMachine::invoke(const std::string& name,
             executor.execPackedCall(instr, frame);
             break;
           case Instr::Op::kGraphBegin: {
-            std::ostringstream signature;
+            // Key the captured graph by the bucketed shape signature:
+            // each symbolic value is rounded up to its bucket ceiling,
+            // so every shape in a bucket maps to one graph (captured at
+            // the ceiling shape, launched padded/masked).
+            int64_t block = std::max<int64_t>(instr.bucketBlock, 1);
+            std::vector<std::pair<std::string, int64_t>> dims;
+            dims.reserve(frame.symbols.size());
             for (const auto& [v, value] : frame.symbols) {
-                signature << value << ",";
+                int64_t padded =
+                    block > 1 ? bucketCeiling(value, block) : value;
+                dims.emplace_back(v->name, padded);
+                if (padded != value) {
+                    frame.paddedSymbols[v] = padded;
+                }
+            }
+            // Name-sorted for a deterministic signature (symbolic names
+            // are unique within a function: b, n, m, ...).
+            std::sort(dims.begin(), dims.end());
+            std::ostringstream signature;
+            for (const auto& [name, value] : dims) {
+                signature << name << "=" << value << ",";
             }
             device_->beginGraph(instr.graphId, signature.str());
             break;
           }
           case Instr::Op::kGraphEnd:
             device_->endGraph();
+            frame.paddedSymbols.clear();
             break;
           case Instr::Op::kLoadConst:
             frame.regs[instr.dst] = instr.constant;
@@ -235,6 +280,13 @@ VirtualMachine::invoke(const std::string& name,
         device_->kernelLaunches() - start_launches;
     lastStats_.bytesAllocated =
         device_->totalAllocatedBytes() - start_alloc;
+    lastStats_.graphCaptures = device_->graphCaptures() - start_captures;
+    lastStats_.graphReplays = device_->graphReplays() - start_replays;
+    lastStats_.graphBegins =
+        lastStats_.graphCaptures + lastStats_.graphReplays;
+    graphStats_.begins += lastStats_.graphBegins;
+    graphStats_.captures += lastStats_.graphCaptures;
+    graphStats_.replays += lastStats_.graphReplays;
     return result;
 }
 
@@ -354,12 +406,30 @@ Executor::execKernelCall(const Instr& instr, Frame& frame)
         sym_args.push_back(evalInt(expr, frame.symbols));
     }
     VarBinding binding = tir::bindShapes(func, args, sym_args);
+    // Inside a bucketed graph region the captured graph's kernels are
+    // launched at the bucket-ceiling shapes (padded, with masking), so
+    // cost is priced at the padded binding. TIR kernels share their
+    // symbolic VarNodes with the graph level, which makes the override a
+    // direct key lookup. Data-mode compute below still uses the real
+    // shapes — padding affects the clock, never the values.
+    const VarBinding* priced = &binding;
+    VarBinding padded_binding;
+    if (!frame.paddedSymbols.empty()) {
+        padded_binding = binding;
+        for (auto& [v, value] : padded_binding) {
+            auto padded = frame.paddedSymbols.find(v);
+            if (padded != frame.paddedSymbols.end()) {
+                value = padded->second;
+            }
+        }
+        priced = &padded_binding;
+    }
     const KernelCostExprs& cost = costExprsOf(func);
     device::KernelCost kernel_cost;
-    kernel_cost.flops = (double)evalInt(cost.flops, binding);
-    kernel_cost.bytes = (double)evalInt(cost.bytes, binding);
+    kernel_cost.flops = (double)evalInt(cost.flops, *priced);
+    kernel_cost.bytes = (double)evalInt(cost.bytes, *priced);
     kernel_cost.efficiency = generatedKernelEfficiency(
-        cost, func, binding, device_->spec());
+        cost, func, *priced, device_->spec());
     double latency = device_->launchKernel(kernel_cost);
     if (getenv("RELAX_DEBUG_KERNELS") && latency > 1000.0) {
         fprintf(stderr, "SLOW %s: %.2f ms flops=%.3g bytes=%.3g eff=%.2f\n",

@@ -48,6 +48,24 @@ struct RunStats
     double latencyUs = 0.0;
     int64_t kernelLaunches = 0;
     int64_t bytesAllocated = 0; //!< new device allocations this call
+    int64_t graphBegins = 0;    //!< graph regions entered this call
+    int64_t graphCaptures = 0;  //!< regions that missed and captured
+    int64_t graphReplays = 0;   //!< regions that hit a captured graph
+};
+
+/** Cumulative execution-graph counters across every invoke(). */
+struct GraphStats
+{
+    int64_t begins = 0;
+    int64_t captures = 0;
+    int64_t replays = 0;
+
+    /** Fraction of graph regions that replayed instead of capturing. */
+    double
+    hitRate() const
+    {
+        return begins > 0 ? (double)replays / (double)begins : 0.0;
+    }
 };
 
 /**
@@ -112,6 +130,9 @@ class VirtualMachine
     /** Statistics of the most recent invoke(). */
     const RunStats& lastRunStats() const { return lastStats_; }
 
+    /** Cumulative graph capture/replay counters across all invokes. */
+    const GraphStats& graphStats() const { return graphStats_; }
+
     device::SimDevice& dev() { return *device_; }
     bool dataMode() const { return dataMode_; }
 
@@ -120,6 +141,7 @@ class VirtualMachine
     std::shared_ptr<device::SimDevice> device_;
     bool dataMode_;
     RunStats lastStats_;
+    GraphStats graphStats_;
     /** Statically planned storages, pre-allocated once and kept. */
     std::map<std::pair<std::string, size_t>, StoragePtr> staticStorages_;
     /** Runtime memory pool (unplanned path): exact-size free lists. */

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Randomized serving oracle: seeded fuzz over request counts, prompt
+ * lengths, max-tokens, KV budgets, and both admission policies, asserting
+ * that the continuously-batched data-mode engine emits token-for-token
+ * what N independent single-request greedy loops emit — with bucketed
+ * execution-graph replay on and with it off. This pins the whole serve
+ * stack (scheduler, KV manager, eviction, batched prefill/decode, and the
+ * capture/replay rewrite) to an end-to-end correctness invariant: no
+ * batching, preemption, or graph-replay decision may change tokens.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "serve/engine.h"
+
+namespace relax {
+namespace serve {
+namespace {
+
+using frontend::LlamaConfig;
+
+/** Host device that also supports execution graphs, so data-mode runs
+ *  exercise bucketed capture/replay. */
+device::DeviceSpec
+hostSpec(bool with_graphs)
+{
+    device::DeviceSpec spec;
+    spec.name = "host";
+    spec.backend = "cpu";
+    spec.vramBytes = int64_t(8) << 30;
+    spec.supportsExecutionGraphs = with_graphs;
+    return spec;
+}
+
+frontend::CompileOptions
+fuzzOptions(bool with_graphs)
+{
+    frontend::CompileOptions options;
+    options.device = hostSpec(with_graphs);
+    // Envelope of every fuzzed trace: prompts <= 12, generated <= 8,
+    // batch <= 8 (re-prefills cover prompt+generated <= 20).
+    options.bounds = {{"b", 8}, {"n", 32}, {"m", 48}};
+    return options;
+}
+
+/**
+ * Reference: one request at a time through its own VM — prefill, then
+ * greedy decode until max_new, the stop token, or the context window.
+ */
+class SequentialOracle
+{
+  public:
+    explicit SequentialOracle(const LlamaConfig& config)
+        : config_(config),
+          exec_(frontend::compile(frontend::buildLlama(config),
+                                  fuzzOptions(false))),
+          weights_(frontend::makeLlamaWeights(config, /*with_data=*/true))
+    {
+    }
+
+    std::vector<int64_t>
+    generate(const std::vector<int64_t>& prompt, int64_t max_new,
+             int64_t stop_token)
+    {
+        // A fresh VM per request keeps runs fully independent.
+        auto dev = std::make_shared<device::SimDevice>(hostSpec(false));
+        vm::VirtualMachine machine(exec_, dev, /*data_mode=*/true);
+        auto invoke = [&](const std::string& fn, const NDArray& ids,
+                          const std::vector<NDArray>& caches) {
+            std::vector<vm::Value> args{ids};
+            for (const auto& c : caches) args.emplace_back(c);
+            for (const auto& w : weights_) args.emplace_back(w);
+            return std::get<vm::TupleValuePtr>(machine.invoke(fn, args));
+        };
+        auto argmax_last = [](const NDArray& logits) {
+            int64_t vocab = logits.shape().back();
+            int64_t base = logits.numel() - vocab;
+            int64_t best = 0;
+            for (int64_t v = 1; v < vocab; ++v) {
+                if (logits.at(base + v) > logits.at(base + best)) best = v;
+            }
+            return best;
+        };
+
+        std::vector<double> ids(prompt.begin(), prompt.end());
+        auto state = invoke("prefill",
+                            NDArray::fromVector({1, (int64_t)prompt.size()},
+                                                DataType::i64(), ids),
+                            {});
+        std::vector<NDArray> caches;
+        for (size_t i = 1; i < state->fields.size(); ++i) {
+            caches.push_back(std::get<NDArray>(state->fields[i]));
+        }
+        int64_t ctx = (int64_t)prompt.size();
+        std::vector<int64_t> generated;
+        generated.push_back(
+            argmax_last(std::get<NDArray>(state->fields[0])));
+        while ((int64_t)generated.size() < max_new &&
+               generated.back() != stop_token &&
+               ctx + 1 < config_.maxContext) {
+            NDArray next = NDArray::fromVector(
+                {1, 1}, DataType::i64(), {(double)generated.back()});
+            auto out = invoke("decode", next, caches);
+            caches.clear();
+            for (size_t i = 1; i < out->fields.size(); ++i) {
+                caches.push_back(std::get<NDArray>(out->fields[i]));
+            }
+            ++ctx;
+            generated.push_back(
+                argmax_last(std::get<NDArray>(out->fields[0])));
+        }
+        return generated;
+    }
+
+  private:
+    LlamaConfig config_;
+    vm::ExecutablePtr exec_;
+    std::vector<NDArray> weights_;
+};
+
+struct FuzzRequest
+{
+    std::vector<int64_t> prompt;
+    int64_t maxNew = 1;
+    int64_t stopToken = -1;
+};
+
+struct FuzzScenario
+{
+    std::vector<FuzzRequest> requests;
+    SchedulePolicy policy = SchedulePolicy::kFCFS;
+    int64_t kvBlockTokens = 4;
+    int64_t kvBudgetBytes = 0;
+};
+
+/** Draws one scenario; budgets always fit the largest single request so
+ *  run() can finish, but may force serialization and eviction. */
+FuzzScenario
+drawScenario(std::mt19937& rng, const LlamaConfig& config)
+{
+    auto draw = [&](int64_t lo, int64_t hi) {
+        return lo + (int64_t)(rng() % (uint64_t)(hi - lo + 1));
+    };
+    FuzzScenario scenario;
+    scenario.policy = rng() % 2 == 0 ? SchedulePolicy::kFCFS
+                                     : SchedulePolicy::kShortestPromptFirst;
+    scenario.kvBlockTokens = draw(2, 6);
+    int64_t num_requests = draw(1, 6);
+    int64_t max_need = 0;
+    for (int64_t i = 0; i < num_requests; ++i) {
+        FuzzRequest request;
+        int64_t prompt_len = draw(1, 12);
+        for (int64_t t = 0; t < prompt_len; ++t) {
+            request.prompt.push_back(draw(0, config.vocabSize - 1));
+        }
+        request.maxNew = draw(1, 8);
+        if (rng() % 4 == 0) {
+            // An occasionally-hit stop token (small vocab makes real
+            // early stops likely across scenarios).
+            request.stopToken = draw(0, config.vocabSize - 1);
+        }
+        max_need = std::max(max_need,
+                            (int64_t)request.prompt.size() + request.maxNew);
+        scenario.requests.push_back(std::move(request));
+    }
+    // Between "just fits the largest request" (forces serialization and
+    // evictions) and twice that (mild pressure).
+    int64_t blocks_needed = (max_need + scenario.kvBlockTokens - 1) /
+                            scenario.kvBlockTokens;
+    int64_t bytes_per_block =
+        config.kvBytesPerToken() * scenario.kvBlockTokens;
+    scenario.kvBudgetBytes =
+        draw(blocks_needed, 2 * blocks_needed) * bytes_per_block;
+    return scenario;
+}
+
+TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
+{
+    LlamaConfig config = LlamaConfig::tiny();
+    SequentialOracle oracle(config);
+
+    // Compile each engine variant once; scenarios share the executables.
+    frontend::CompileOptions replay_on = fuzzOptions(true);
+    replay_on.graphBucketTokens = 4; // bucketed capture on the serve path
+    frontend::CompileOptions replay_off = fuzzOptions(false);
+    auto exec_on =
+        frontend::compile(frontend::buildLlama(config), replay_on);
+    auto exec_off =
+        frontend::compile(frontend::buildLlama(config), replay_off);
+    auto weights = frontend::makeLlamaWeights(config, /*with_data=*/true);
+
+    int64_t total_replays = 0;
+    int64_t total_evictions = 0;
+    for (unsigned seed : {11u, 23u, 37u, 58u}) {
+        std::mt19937 rng(seed);
+        FuzzScenario scenario = drawScenario(rng, config);
+
+        EngineOptions engine_options;
+        engine_options.scheduler.policy = scenario.policy;
+        engine_options.kvBlockTokens = scenario.kvBlockTokens;
+        engine_options.kvBudgetBytes = scenario.kvBudgetBytes;
+
+        for (bool with_replay : {true, false}) {
+            auto dev = std::make_shared<device::SimDevice>(
+                hostSpec(with_replay));
+            Engine engine(with_replay ? exec_on : exec_off, dev,
+                          /*data_mode=*/true, config, weights,
+                          engine_options);
+            for (const FuzzRequest& request : scenario.requests) {
+                engine.addRequest(request.prompt, request.maxNew,
+                                  request.stopToken);
+            }
+            engine.run();
+            auto results = engine.collect();
+            ASSERT_EQ(results.size(), scenario.requests.size())
+                << "seed=" << seed << " replay=" << with_replay;
+            for (size_t i = 0; i < results.size(); ++i) {
+                const FuzzRequest& request = scenario.requests[i];
+                EXPECT_EQ(results[i].outputTokens,
+                          oracle.generate(request.prompt, request.maxNew,
+                                          request.stopToken))
+                    << "seed=" << seed << " request=" << i
+                    << " replay=" << with_replay
+                    << " policy=" << (int)scenario.policy;
+            }
+            if (with_replay) {
+                total_replays += engine.machine().graphStats().replays;
+            } else {
+                // Graph offload disabled: capture must never engage.
+                EXPECT_EQ(engine.machine().graphStats().begins, 0);
+            }
+            total_evictions += engine.stats().evictions;
+        }
+    }
+    // The fuzz must actually exercise the interesting machinery: some
+    // scenario replayed a bucketed graph, and some scenario evicted.
+    EXPECT_GT(total_replays, 0);
+    EXPECT_GT(total_evictions, 0);
+}
+
+TEST(FuzzTraceTest, BuildWiresKvBlockSizeIntoGraphBucket)
+{
+    // Engine::build with graphBucketTokens=0 (auto) aligns the capture
+    // bucket to the KV block size; steady-state decode then replays.
+    LlamaConfig config = LlamaConfig::tiny();
+    EngineOptions options;
+    options.kvBlockTokens = 4;
+    auto engine = Engine::build(config, fuzzOptions(true),
+                                /*data_mode=*/true, options);
+    engine->addRequest({1, 2, 3}, 10);
+    engine->run();
+    const EngineStats& stats = engine->stats();
+    EXPECT_GT(stats.decodeGraphBegins, 0);
+    EXPECT_GT(stats.decodeGraphReplays, 0);
+    EXPECT_GT(stats.decodeReplayHitRate(), 0.5);
+}
+
+} // namespace
+} // namespace serve
+} // namespace relax
