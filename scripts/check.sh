@@ -35,8 +35,11 @@ serve_out="$(./bench_serve_throughput)"
 printf '%s\n' "$serve_out"
 
 # Regression guard for bucketed execution-graph capture: steady-state
-# decode must replay captured graphs. A 0% post-warmup hit-rate means the
-# serving path fell back to capture-per-step (the pre-bucketing gap).
+# decode must replay captured graphs at the documented >= 80% post-warmup
+# rate (docs/BENCHMARKS.md). Anything lower means the serving path is
+# re-capturing instead of replaying (the pre-bucketing gap, or a
+# signature churn regression).
+min_hit_rate=80
 hit_rate="$(printf '%s\n' "$serve_out" |
   sed -n 's/^decode replay hit-rate after warmup: \([0-9.]*\)%$/\1/p' |
   tail -1)"
@@ -44,8 +47,10 @@ if [[ -z "$hit_rate" ]]; then
   echo "FAIL: bench_serve_throughput did not report a replay hit-rate" >&2
   exit 1
 fi
-if ! awk -v rate="$hit_rate" 'BEGIN { exit (rate > 0) ? 0 : 1 }'; then
-  echo "FAIL: decode replay hit-rate after warmup is ${hit_rate}%" >&2
+if ! awk -v rate="$hit_rate" -v min="$min_hit_rate" \
+    'BEGIN { exit (rate >= min) ? 0 : 1 }'; then
+  echo "FAIL: decode replay hit-rate after warmup is ${hit_rate}%" \
+       "(threshold ${min_hit_rate}%)" >&2
   exit 1
 fi
-echo "decode replay hit-rate gate passed (${hit_rate}% > 0)"
+echo "decode replay hit-rate gate passed (${hit_rate}% >= ${min_hit_rate}%)"

@@ -163,6 +163,9 @@ LlamaConfig::withQuant(Quant q) const
 
 namespace {
 
+/** Which graph function is being constructed. */
+enum class FnKind { kPrefill, kDecode, kDecodeRagged };
+
 /** Builder state shared between prefill and decode construction. */
 class LlamaBuilder
 {
@@ -176,13 +179,17 @@ class LlamaBuilder
         dtype_ = DataType::f16();
     }
 
-    /** Builds one function ("prefill" or "decode"). */
+    /** Builds one function ("prefill", "decode" or "decode_ragged"). */
     void
-    buildFunction(bool is_decode)
+    buildFunction(FnKind kind)
     {
+        bool is_decode = kind != FnKind::kPrefill;
+        ragged_ = kind == FnKind::kDecodeRagged;
         shape::BlockBuilder builder(module_);
         weights_.clear();
         params_.clear();
+        seqLens_ = Var();
+        blockTable_ = Var();
 
         SymVar bvar = var("b");
         PrimExpr b = config_.fixedBatch > 0
@@ -195,6 +202,20 @@ class LlamaBuilder
         Var ids = makeVar(
             "ids", tensorSInfo({b, seq}, DataType::i64()));
         params_.push_back(ids);
+        if (ragged_) {
+            // Ragged decode contract: the padded cache length m is shared,
+            // each sequence's true context length rides in `seq_lens`
+            // (a host-side integer tensor, the paper's cross-level
+            // dynamism), and `block_table` [b, w] names the KV pages
+            // backing each logical block (page size = m / w).
+            seqLens_ = makeVar("seq_lens",
+                               tensorSInfo({b}, DataType::i64()));
+            params_.push_back(seqLens_);
+            SymVar w = var("w");
+            blockTable_ = makeVar("block_table",
+                                  tensorSInfo({b, w}, DataType::i64()));
+            params_.push_back(blockTable_);
+        }
         // Caches precede weights for decode.
         std::vector<Var> k_caches, v_caches;
         if (is_decode) {
@@ -249,8 +270,11 @@ class LlamaBuilder
         params_.insert(params_.end(), weights_.begin(), weights_.end());
         Function func = makeFunction(params_, builder.finish(result),
                                      result->structInfo());
-        module_->addFunction(is_decode ? "decode" : "prefill", func);
-        if (weightNames_ && is_decode) {
+        const char* fn_name = kind == FnKind::kPrefill ? "prefill"
+                              : ragged_                ? "decode_ragged"
+                                                       : "decode";
+        module_->addFunction(fn_name, func);
+        if (weightNames_ && kind == FnKind::kDecode) {
             weightNames_->clear();
             for (const auto& w : weights_) weightNames_->push_back(w->name);
         }
@@ -339,7 +363,21 @@ class LlamaBuilder
         Expr v = project("wv");
 
         Expr k_full = k, v_full = v;
-        if (is_decode) {
+        if (is_decode && ragged_) {
+            // Ragged paged append: the new position lands at each
+            // sequence's own length offset inside the padded layout; the
+            // cache shape does not change (m already covers the append).
+            const auto* cache_info = asTensor(k_cache->structInfo());
+            StructInfo appended = tensorSInfo(*cache_info->shape, dtype_);
+            k_full = builder.emit(
+                callDPSLibrary("kv.append_ragged", {k_cache, k, seqLens_},
+                               appended),
+                prefix + "k_full");
+            v_full = builder.emit(
+                callDPSLibrary("kv.append_ragged", {v_cache, v, seqLens_},
+                               appended),
+                prefix + "v_full");
+        } else if (is_decode) {
             // Paged KV-cache append (runtime library, in-place semantics):
             // avoids copying the whole cache per step like a functional
             // concat would.
@@ -359,8 +397,10 @@ class LlamaBuilder
 
         double scale = 1.0 / std::sqrt((double)hd);
         Expr attn = builder.emit(
-            op::attention(q, new_k->back(), new_v->back(), scale,
-                          /*causal=*/!is_decode),
+            ragged_ ? op::attentionRagged(q, new_k->back(), new_v->back(),
+                                          seqLens_, blockTable_, scale)
+                    : op::attention(q, new_k->back(), new_v->back(), scale,
+                                    /*causal=*/!is_decode),
             prefix + "attn");
         Expr attn_t = builder.emit(op::permuteDims(attn, {0, 2, 1, 3}),
                                    prefix + "attn_t");
@@ -394,6 +434,9 @@ class LlamaBuilder
     DataType dtype_;
     std::vector<Var> weights_;
     std::vector<Var> params_;
+    bool ragged_ = false;
+    Var seqLens_;   //!< [b] per-sequence context lengths (ragged only)
+    Var blockTable_; //!< [b, w] paged-KV block table (ragged only)
 };
 
 } // namespace
@@ -403,8 +446,9 @@ buildLlama(const LlamaConfig& config, std::vector<std::string>* weight_names)
 {
     auto module = IRModule::create();
     LlamaBuilder builder(config, module, weight_names);
-    builder.buildFunction(/*is_decode=*/false);
-    builder.buildFunction(/*is_decode=*/true);
+    builder.buildFunction(FnKind::kPrefill);
+    builder.buildFunction(FnKind::kDecode);
+    builder.buildFunction(FnKind::kDecodeRagged);
     return module;
 }
 
@@ -498,6 +542,89 @@ splitBatch(const NDArray& batched)
         std::copy(batched.data().begin() + i * row,
                   batched.data().begin() + (i + 1) * row,
                   part.data().begin());
+        parts.push_back(std::move(part));
+    }
+    return parts;
+}
+
+NDArray
+stackBatchPadded(const std::vector<NDArray>& parts, int64_t target_len)
+{
+    RELAX_ICHECK(!parts.empty()) << "stackBatchPadded: no parts";
+    const NDArray& first = parts.front();
+    RELAX_ICHECK(first.shape().size() == 4 && first.shape()[0] == 1)
+        << "stackBatchPadded: parts must be [1, h, len, d]";
+    int64_t heads = first.shape()[1];
+    int64_t dim = first.shape()[3];
+    for (const NDArray& part : parts) {
+        RELAX_ICHECK(part.shape().size() == 4 && part.shape()[0] == 1 &&
+                     part.shape()[1] == heads && part.shape()[3] == dim)
+            << "stackBatchPadded: non-length dims must agree";
+        RELAX_ICHECK(part.shape()[2] <= target_len)
+            << "stackBatchPadded: row length " << part.shape()[2]
+            << " exceeds padded length " << target_len;
+        RELAX_ICHECK(part.dtype() == first.dtype())
+            << "stackBatchPadded: dtype mismatch";
+        RELAX_ICHECK(part.hasData() == first.hasData())
+            << "stackBatchPadded: mixed data/metadata parts";
+    }
+    std::vector<int64_t> shape{(int64_t)parts.size(), heads, target_len,
+                               dim};
+    if (!first.hasData()) return NDArray::metaOnly(shape, first.dtype());
+    NDArray batched = NDArray::zeros(shape, first.dtype());
+    for (size_t i = 0; i < parts.size(); ++i) {
+        const NDArray& part = parts[i];
+        int64_t len = part.shape()[2];
+        const auto& src = part.data();
+        for (int64_t head = 0; head < heads; ++head) {
+            for (int64_t j = 0; j < len; ++j) {
+                int64_t src_off = (head * len + j) * dim;
+                int64_t dst_off =
+                    (((int64_t)i * heads + head) * target_len + j) * dim;
+                std::copy(src.begin() + src_off,
+                          src.begin() + src_off + dim,
+                          batched.data().begin() + dst_off);
+            }
+        }
+    }
+    return batched;
+}
+
+std::vector<NDArray>
+splitBatchTrimmed(const NDArray& batched,
+                  const std::vector<int64_t>& lengths)
+{
+    RELAX_ICHECK(batched.shape().size() == 4)
+        << "splitBatchTrimmed: expected [b, h, m, d]";
+    int64_t b = batched.shape()[0];
+    int64_t heads = batched.shape()[1];
+    int64_t padded = batched.shape()[2];
+    int64_t dim = batched.shape()[3];
+    RELAX_ICHECK((int64_t)lengths.size() == b)
+        << "splitBatchTrimmed: lengths size mismatch";
+    std::vector<NDArray> parts;
+    parts.reserve(b);
+    for (int64_t i = 0; i < b; ++i) {
+        int64_t len = lengths[i];
+        RELAX_ICHECK(len >= 0 && len <= padded)
+            << "splitBatchTrimmed: length " << len
+            << " outside padded length " << padded;
+        std::vector<int64_t> shape{1, heads, len, dim};
+        if (!batched.hasData()) {
+            parts.push_back(NDArray::metaOnly(shape, batched.dtype()));
+            continue;
+        }
+        NDArray part = NDArray::zeros(shape, batched.dtype());
+        for (int64_t head = 0; head < heads; ++head) {
+            for (int64_t j = 0; j < len; ++j) {
+                int64_t src_off =
+                    ((i * heads + head) * padded + j) * dim;
+                int64_t dst_off = (head * len + j) * dim;
+                std::copy(batched.data().begin() + src_off,
+                          batched.data().begin() + src_off + dim,
+                          part.data().begin() + dst_off);
+            }
+        }
         parts.push_back(std::move(part));
     }
     return parts;

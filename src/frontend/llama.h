@@ -97,6 +97,26 @@ NDArray stackBatch(const std::vector<NDArray>& parts);
 /** Splits a batched [b, rest...] tensor into b copies of [1, rest...]. */
 std::vector<NDArray> splitBatch(const NDArray& batched);
 
+// --- ragged-decode cache layout helpers -----------------------------------
+//
+// The ragged decode function takes one padded [b, h, m, d] cache per layer
+// whose rows hold unequal true lengths (the `seq_lens` vector). These
+// helpers convert between per-sequence exact caches [1, h, len_i, d] and
+// the padded batched layout: stack zero-pads every row's length axis up to
+// the shared padded length, split trims each row back to its true length.
+// Like stackBatch/splitBatch this is a host-side simulation artifact — the
+// modeled production system keeps pages in place and indexes them.
+
+/** Stacks per-sequence [1, h, len_i, d] caches into one [b, h, target_len,
+ *  d] tensor, zero-padding each row's axis-2 tail. */
+NDArray stackBatchPadded(const std::vector<NDArray>& parts,
+                         int64_t target_len);
+
+/** Splits a padded [b, h, m, d] cache into b tensors [1, h, lengths[i], d],
+ *  dropping each row's padding tail. */
+std::vector<NDArray> splitBatchTrimmed(const NDArray& batched,
+                                       const std::vector<int64_t>& lengths);
+
 } // namespace frontend
 } // namespace relax
 

@@ -432,6 +432,49 @@ ensureOpsRegistered()
             };
         }
 
+        {
+            ir::OpInfo& info = reg.registerOp("relax.attention_ragged");
+            info.inferStructInfo = [](const CallNode& call) {
+                const auto* q = argTensor(call, 0, "attention_ragged");
+                const auto* k = argTensor(call, 1, "attention_ragged");
+                const auto* v = argTensor(call, 2, "attention_ragged");
+                const auto* lens = argTensor(call, 3, "attention_ragged");
+                const auto* table = argTensor(call, 4, "attention_ragged");
+                DataType dtype = commonDType(q, v, "attention_ragged");
+                if (!q->shape || !k->shape || !v->shape) {
+                    return ir::tensorSInfoNDim(4, dtype);
+                }
+                RELAX_ICHECK(q->shape->size() == 4)
+                    << "attention_ragged is 4-D";
+                if (lens->shape) {
+                    RELAX_ICHECK(lens->shape->size() == 1)
+                        << "attention_ragged: lens must be [b]";
+                }
+                if (table->shape) {
+                    RELAX_ICHECK(table->shape->size() == 2)
+                        << "attention_ragged: block table must be [b, w]";
+                }
+                Analyzer analyzer;
+                if (!analyzer.proveEqual((*k->shape)[2], (*v->shape)[2])) {
+                    RELAX_THROW(ShapeError)
+                        << "attention_ragged: K and V padded lengths differ";
+                }
+                std::vector<PrimExpr> out{(*q->shape)[0], (*q->shape)[1],
+                                          (*q->shape)[2], (*v->shape)[3]};
+                return ir::tensorSInfo(std::move(out), dtype);
+            };
+            info.legalize = [](const CallNode& call,
+                               const std::string& fname) {
+                return makeRaggedAttentionFunc(
+                    fname, legalShape(call, 0, "attention_ragged"),
+                    legalShape(call, 1, "attention_ragged"),
+                    legalShape(call, 2, "attention_ragged"),
+                    legalShape(call, 3, "attention_ragged"),
+                    legalShape(call, 4, "attention_ragged"),
+                    attrDouble(call, "scale", 1.0), legalDType(call, 0));
+            };
+        }
+
         for (const char* name : {"relax.sum", "relax.mean", "relax.max"}) {
             ir::OpInfo& info = reg.registerOp(name);
             std::string op_name = name;
@@ -820,6 +863,15 @@ attention(Expr q, Expr k, Expr v, double scale, bool causal)
 Call causalMask(Expr scores)
 {
     return makeOpCall("relax.causal_mask", {scores});
+}
+
+Call
+attentionRagged(Expr q, Expr k, Expr v, Expr lens, Expr table, double scale)
+{
+    Attrs attrs;
+    attrs["scale"] = scale;
+    return makeOpCall("relax.attention_ragged", {q, k, v, lens, table},
+                      std::move(attrs));
 }
 
 Call

@@ -59,6 +59,16 @@ ir::Call attention(ir::Expr q, ir::Expr k, ir::Expr v, double scale,
                    bool causal);
 /** Standalone causal masking of score tensors. */
 ir::Call causalMask(ir::Expr scores);
+/**
+ * Ragged paged attention over per-sequence cache lengths: for each batch
+ * row i, query position p of q [b,h,n,d] attends keys j <= lens[i]+p of
+ * padded k/v [b,h,m,dv] (lens[i]+p+1 positions — including the key the
+ * ragged append just wrote at index lens[i]), consulting the paged-KV
+ * block table [b,w]. One call serves a batch with unequal context
+ * lengths — the serving decode path's cross-level dynamism.
+ */
+ir::Call attentionRagged(ir::Expr q, ir::Expr k, ir::Expr v, ir::Expr lens,
+                         ir::Expr table, double scale);
 
 // --- shape manipulation --------------------------------------------------------
 ir::Call reshape(ir::Expr x, ir::Expr new_shape);

@@ -657,6 +657,144 @@ makeAttentionFunc(const std::string& name,
 }
 
 tir::PrimFunc
+makeRaggedAttentionFunc(const std::string& name,
+                        const std::vector<PrimExpr>& q_shape,
+                        const std::vector<PrimExpr>& k_shape,
+                        const std::vector<PrimExpr>& v_shape,
+                        const std::vector<PrimExpr>& lens_shape,
+                        const std::vector<PrimExpr>& table_shape,
+                        double scale, DataType dtype)
+{
+    RELAX_ICHECK(q_shape.size() == 4 && k_shape.size() == 4 &&
+                 v_shape.size() == 4)
+        << "ragged attention expects [b, h, seq, dim] operands";
+    RELAX_ICHECK(lens_shape.size() == 1 && table_shape.size() == 2)
+        << "ragged attention expects lens [b] and table [b, w]";
+    PrimExpr b = q_shape[0], h = q_shape[1], n = q_shape[2], d = q_shape[3];
+    PrimExpr m = k_shape[2], dv = v_shape[3];
+    // Page size in cache positions: the padded length m is always an
+    // exact multiple of the block-table width w (engine contract).
+    PrimExpr page = floordiv(m, table_shape[1]);
+
+    Buffer q = makeBuffer("Q", dtype, q_shape);
+    Buffer k = makeBuffer("K", dtype, k_shape);
+    Buffer v = makeBuffer("V", dtype, v_shape);
+    Buffer lens = makeBuffer("LENS", DataType::i64(), lens_shape);
+    Buffer table = makeBuffer("TABLE", DataType::i64(), table_shape);
+    Buffer y = makeBuffer("Y", dtype, {b, h, n, dv});
+    Buffer scores = makeBuffer("scores", DataType::f32(), {b, h, n, m});
+    Buffer row_max = makeBuffer("row_max", DataType::f32(), {b, h, n});
+    Buffer row_sum = makeBuffer("row_sum", DataType::f32(), {b, h, n});
+
+    // Key j is visible to query (i-th row, position p) iff it lies inside
+    // the row's ragged prefix (j <= lens[i] + p) AND its page is mapped in
+    // the block table (>= 0). The table lookup routes every key access
+    // through the paged indirection, so its footprint is priced.
+    auto visible = [&](const PrimExpr& bi, const PrimExpr& pi,
+                       const PrimExpr& ji) {
+        PrimExpr in_prefix = le(ji, add(bufferLoad(lens, {bi}), pi));
+        PrimExpr mapped =
+            ge(bufferLoad(table, {bi, floordiv(ji, page)}), intImm(0));
+        return logicalAnd(in_prefix, mapped);
+    };
+
+    // scores = scale * q @ k^T, masked to the ragged prefix
+    Var b1 = var("b"), h1 = var("h"), i1 = var("i"), j1 = var("j"),
+        r1 = var("r");
+    Stmt sc_init = makeIf(eq(r1, intImm(0)),
+                          makeStore(scores, {b1, h1, i1, j1}, floatImm(0.0)));
+    Stmt sc_acc = makeStore(
+        scores, {b1, h1, i1, j1},
+        add(bufferLoad(scores, {b1, h1, i1, j1}),
+            mul(bufferLoad(q, {b1, h1, i1, r1}),
+                bufferLoad(k, {b1, h1, j1, r1}))));
+    PrimExpr scaled = select(visible(b1, i1, j1),
+                             mul(bufferLoad(scores, {b1, h1, i1, j1}),
+                                 floatImm(scale)),
+                             floatImm(-1e30));
+    Stmt sc_mask = makeIf(eq(r1, sub(d, intImm(1))),
+                          makeStore(scores, {b1, h1, i1, j1}, scaled));
+    Stmt pass_scores = nestLoops({b1, h1, i1, j1, r1}, {b, h, n, m, d},
+                                 makeSeq({sc_init, sc_acc, sc_mask}));
+
+    // softmax over j (masked scores underflow to exactly zero weight)
+    Var b2 = var("b"), h2 = var("h"), i2 = var("i"), j2 = var("j");
+    Stmt mx_init = makeIf(eq(j2, intImm(0)),
+                          makeStore(row_max, {b2, h2, i2}, floatImm(-1e30)));
+    Stmt mx_acc = makeStore(row_max, {b2, h2, i2},
+                            maxExpr(bufferLoad(row_max, {b2, h2, i2}),
+                                    bufferLoad(scores, {b2, h2, i2, j2})));
+    Stmt pass_max = nestLoops({b2, h2, i2, j2}, {b, h, n, m},
+                              makeSeq({mx_init, mx_acc}));
+
+    Var b3 = var("b"), h3 = var("h"), i3 = var("i"), j3 = var("j");
+    PrimExpr e3 = callIntrin(
+        "exp",
+        {sub(bufferLoad(scores, {b3, h3, i3, j3}),
+             bufferLoad(row_max, {b3, h3, i3}))},
+        DataType::f32());
+    Stmt sm_init = makeIf(eq(j3, intImm(0)),
+                          makeStore(row_sum, {b3, h3, i3}, floatImm(0.0)));
+    Stmt sm_acc = makeStore(row_sum, {b3, h3, i3},
+                            add(bufferLoad(row_sum, {b3, h3, i3}), e3));
+    Stmt pass_sum = nestLoops({b3, h3, i3, j3}, {b, h, n, m},
+                              makeSeq({sm_init, sm_acc}));
+
+    // y = softmax(scores) @ v
+    Var b4 = var("b"), h4 = var("h"), i4 = var("i"), c4 = var("c"),
+        j4 = var("j");
+    PrimExpr prob = div(callIntrin("exp",
+                                   {sub(bufferLoad(scores, {b4, h4, i4, j4}),
+                                        bufferLoad(row_max, {b4, h4, i4}))},
+                                   DataType::f32()),
+                        bufferLoad(row_sum, {b4, h4, i4}));
+    Stmt out_init = makeIf(eq(j4, intImm(0)),
+                           makeStore(y, {b4, h4, i4, c4}, floatImm(0.0)));
+    Stmt out_acc =
+        makeStore(y, {b4, h4, i4, c4},
+                  add(bufferLoad(y, {b4, h4, i4, c4}),
+                      mul(prob, bufferLoad(v, {b4, h4, j4, c4}))));
+    Stmt pass_out = nestLoops({b4, h4, i4, c4, j4}, {b, h, n, dv, m},
+                              makeSeq({out_init, out_acc}));
+
+    Stmt body = makeAllocBuffer(
+        scores, "local",
+        makeAllocBuffer(
+            row_max, "local",
+            makeAllocBuffer(row_sum, "local",
+                            makeSeq({pass_scores, pass_max, pass_sum,
+                                     pass_out}))));
+    return makePrimFunc(name, {q, k, v, lens, table, y}, body);
+}
+
+tir::PrimFunc
+makeKvAppendRaggedFunc(const std::string& name,
+                       const std::vector<PrimExpr>& cache_shape,
+                       const std::vector<PrimExpr>& fresh_shape,
+                       const std::vector<PrimExpr>& lens_shape,
+                       DataType dtype)
+{
+    RELAX_ICHECK(cache_shape.size() == 4 && fresh_shape.size() == 4 &&
+                 lens_shape.size() == 1)
+        << "ragged append expects cache [b,h,m,d], fresh [b,h,1,d], "
+           "lens [b]";
+    Buffer cache = makeBuffer("CACHE", dtype, cache_shape);
+    Buffer fresh = makeBuffer("FRESH", dtype, fresh_shape);
+    Buffer lens = makeBuffer("LENS", DataType::i64(), lens_shape);
+    Buffer out = makeBuffer("OUT", dtype, cache_shape);
+
+    Var bi = var("b"), hi = var("h"), ji = var("j"), di = var("d");
+    PrimExpr value = select(eq(ji, bufferLoad(lens, {bi})),
+                            bufferLoad(fresh, {bi, hi, intImm(0), di}),
+                            bufferLoad(cache, {bi, hi, ji, di}));
+    Stmt body = nestLoops({bi, hi, ji, di},
+                          {cache_shape[0], cache_shape[1], cache_shape[2],
+                           cache_shape[3]},
+                          makeStore(out, {bi, hi, ji, di}, value));
+    return makePrimFunc(name, {cache, fresh, lens, out}, body);
+}
+
+tir::PrimFunc
 makeSplitKMatmulFunc(const std::string& name,
                      const std::vector<PrimExpr>& a_shape,
                      const std::vector<PrimExpr>& b_shape,

@@ -116,6 +116,38 @@ tir::PrimFunc makeAttentionFunc(const std::string& name,
                                 double scale, bool causal, DataType dtype);
 
 /**
+ * Ragged (paged) scaled-dot-product attention for the serving decode
+ * path: q [b,h,n,d] attends per-sequence prefixes of a padded cache
+ * k/v [b,h,m,dv]. `lens` [b] (i64) holds each sequence's true context
+ * length; row i of q's query p attends keys j <= lens[i] + p, so one
+ * call covers a batch of sequences with unequal contexts. `table`
+ * [b,w] (i64) is the paged-KV block table: entry (i, j / (m/w)) names
+ * the physical page backing logical block j/(m/w) (identity mapping in
+ * the dense simulation layout, -1 past the sequence's last block), and
+ * the kernel consults it for every key so the table's memory footprint
+ * is priced. Positions past lens[i]+p (padding) are masked, which is
+ * what makes the padded layout bit-identical to per-sequence calls.
+ */
+tir::PrimFunc makeRaggedAttentionFunc(const std::string& name,
+                                      const std::vector<PrimExpr>& q_shape,
+                                      const std::vector<PrimExpr>& k_shape,
+                                      const std::vector<PrimExpr>& v_shape,
+                                      const std::vector<PrimExpr>& lens_shape,
+                                      const std::vector<PrimExpr>& table_shape,
+                                      double scale, DataType dtype);
+
+/**
+ * Ragged KV-cache append: writes fresh [b,h,1,d] into the padded cache
+ * [b,h,m,d] at per-sequence position lens[i] (everything else copies
+ * through). The data-mode realization of the in-place paged append.
+ */
+tir::PrimFunc makeKvAppendRaggedFunc(const std::string& name,
+                                     const std::vector<PrimExpr>& cache_shape,
+                                     const std::vector<PrimExpr>& fresh_shape,
+                                     const std::vector<PrimExpr>& lens_shape,
+                                     DataType dtype);
+
+/**
  * Split-K style matmul writing partial sums into a global workspace,
  * exercising cross-level workspace lifting (Fig. 11).
  */

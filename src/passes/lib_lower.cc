@@ -67,6 +67,16 @@ tryLowerToLibrary(const Expr& value, const TargetInfo& target)
         lowered->attrs = call->attrs;
         return lowered;
     }
+    if (op_name == "relax.attention_ragged" && target.attentionLibrary) {
+        // Ragged paged attention maps to the library's varlen entry point
+        // (FlashAttention's paged-KV kernel); its cost is priced
+        // per-sequence from the length vector, not the padded shape.
+        Call lowered =
+            callDPSLibrary(*target.attentionLibrary + ".attention_ragged",
+                           call->args, out_sinfo);
+        lowered->attrs = call->attrs;
+        return lowered;
+    }
     if (op_name == "relax.rms_norm" && target.epilogueLibrary) {
         Call lowered = callDPSLibrary(*target.epilogueLibrary + ".rms_norm",
                                       call->args, out_sinfo);

@@ -1,9 +1,10 @@
 /**
  * @file
  * Engine implementation: the continuous-batching step loop — admission,
- * length-grouped batched prefill, context-grouped batched decode with
- * eviction under memory pressure — plus request bookkeeping and the
- * virtual-clock statistics (see engine.h).
+ * length-grouped batched prefill, then one ragged paged-attention decode
+ * call over the whole running batch (or legacy equal-context-grouped
+ * decode calls) with eviction under memory pressure — plus request
+ * bookkeeping and the virtual-clock statistics (see engine.h).
  */
 #include "serve/engine.h"
 
@@ -192,6 +193,7 @@ Engine::prefillSequences(std::vector<SequenceStatePtr> seqs)
                 seq->caches[c] = split_caches[c][row];
             }
             seq->ctxLen = length;
+            kv_->commit(seq->request.id, length);
             seq->stats.prefillTokens += length;
             appendToken(seq, sampleFor(logits, (int64_t)row));
         }
@@ -201,6 +203,115 @@ Engine::prefillSequences(std::vector<SequenceStatePtr> seqs)
 void
 Engine::decodeRunning()
 {
+    if (options_.decodeMode == DecodeMode::kRagged) {
+        decodeRagged();
+    } else {
+        decodeGrouped();
+    }
+}
+
+void
+Engine::reserveGrowth(const SequenceStatePtr& seq)
+{
+    // Reserve the +1 growth, evicting the most recently admitted
+    // sequence while the budget cannot hold it.
+    if (seq->phase != RequestPhase::kRunning) return;
+    int64_t ctx = seq->ctxLen;
+    while (!kv_->canHold(seq->request.id, ctx + 1)) {
+        SequenceStatePtr victim = Scheduler::pickVictim(running_);
+        RELAX_ICHECK(victim) << "no eviction victim";
+        if (victim == seq && running_.size() == 1) {
+            RELAX_THROW(RuntimeError)
+                << "KV budget (" << kv_->budgetBytes()
+                << " bytes) cannot grow the only running sequence past "
+                << ctx << " positions";
+        }
+        evict(victim);
+        if (victim == seq) break;
+    }
+    if (seq->phase != RequestPhase::kRunning) return;
+    kv_->reserve(seq->request.id, ctx + 1);
+}
+
+void
+Engine::decodeRagged()
+{
+    // No grouping: one decode_ragged call covers every running sequence,
+    // whatever its context length. Reserve growth first (may evict).
+    std::vector<SequenceStatePtr> members = running_;
+    for (const SequenceStatePtr& seq : members) {
+        reserveGrowth(seq);
+    }
+    std::vector<SequenceStatePtr> batch;
+    for (const SequenceStatePtr& seq : running_) {
+        if (seq->phase == RequestPhase::kRunning) batch.push_back(seq);
+    }
+    if (batch.empty()) return;
+
+    // Pad the shared cache length to the KV-block ceiling of the largest
+    // post-append context, so the shape signature (b, m, w) moves only at
+    // block boundaries and bucketed graph replay keeps hitting.
+    int64_t max_needed = 0;
+    for (const SequenceStatePtr& seq : batch) {
+        max_needed = std::max(max_needed, seq->ctxLen + 1);
+    }
+    int64_t block = options_.kvBlockTokens;
+    int64_t padded = (max_needed + block - 1) / block * block;
+    int64_t table_width = padded / block;
+
+    std::vector<vm::Value> args;
+    std::vector<NDArray> ids_rows;
+    std::vector<RequestId> order;
+    ids_rows.reserve(batch.size());
+    order.reserve(batch.size());
+    for (const SequenceStatePtr& seq : batch) {
+        ids_rows.push_back(
+            idsTensor({seq->generated.back()}, machine_->dataMode()));
+        order.push_back(seq->request.id);
+    }
+    args.emplace_back(frontend::stackBatch(ids_rows));
+    args.emplace_back(kv_->lengthsView(order));
+    args.emplace_back(kv_->blockTableView(order, table_width));
+    size_t num_caches = batch.front()->caches.size();
+    for (size_t c = 0; c < num_caches; ++c) {
+        std::vector<NDArray> parts;
+        parts.reserve(batch.size());
+        for (const SequenceStatePtr& seq : batch) {
+            parts.push_back(seq->caches[c]);
+        }
+        args.emplace_back(frontend::stackBatchPadded(parts, padded));
+    }
+    auto out = std::get<vm::TupleValuePtr>(
+        machine_->invoke("decode_ragged", withWeights(std::move(args))));
+    ++stats_.decodeBatches;
+    stats_.decodeGraphBegins += machine_->lastRunStats().graphBegins;
+    stats_.decodeGraphReplays += machine_->lastRunStats().graphReplays;
+
+    const NDArray& logits = std::get<NDArray>(out->fields[0]);
+    std::vector<int64_t> new_lengths;
+    new_lengths.reserve(batch.size());
+    for (const SequenceStatePtr& seq : batch) {
+        new_lengths.push_back(seq->ctxLen + 1);
+    }
+    std::vector<std::vector<NDArray>> split_caches(num_caches);
+    for (size_t c = 0; c < num_caches; ++c) {
+        split_caches[c] = frontend::splitBatchTrimmed(
+            std::get<NDArray>(out->fields[1 + c]), new_lengths);
+    }
+    for (size_t row = 0; row < batch.size(); ++row) {
+        const SequenceStatePtr& seq = batch[row];
+        for (size_t c = 0; c < num_caches; ++c) {
+            seq->caches[c] = split_caches[c][row];
+        }
+        seq->ctxLen += 1;
+        kv_->commit(seq->request.id, seq->ctxLen);
+        appendToken(seq, sampleFor(logits, (int64_t)row));
+    }
+}
+
+void
+Engine::decodeGrouped()
+{
     // Group running sequences by context length: each group is one
     // batched decode call over the shared symbolic (b, m).
     std::map<int64_t, std::vector<SequenceStatePtr>> by_ctx;
@@ -208,25 +319,8 @@ Engine::decodeRunning()
         by_ctx[seq->ctxLen].push_back(seq);
     }
     for (auto& [ctx, members] : by_ctx) {
-        // Reserve each member's +1 growth, evicting the most recently
-        // admitted sequence while the budget cannot hold it.
         for (const SequenceStatePtr& seq : members) {
-            if (seq->phase != RequestPhase::kRunning) continue;
-            while (!kv_->canHold(seq->request.id, ctx + 1)) {
-                SequenceStatePtr victim = Scheduler::pickVictim(running_);
-                RELAX_ICHECK(victim) << "no eviction victim";
-                if (victim == seq && running_.size() == 1) {
-                    RELAX_THROW(RuntimeError)
-                        << "KV budget (" << kv_->budgetBytes()
-                        << " bytes) cannot grow the only running "
-                           "sequence past "
-                        << ctx << " positions";
-                }
-                evict(victim);
-                if (victim == seq) break;
-            }
-            if (seq->phase != RequestPhase::kRunning) continue;
-            kv_->reserve(seq->request.id, ctx + 1);
+            reserveGrowth(seq);
         }
         std::vector<SequenceStatePtr> batch;
         for (const SequenceStatePtr& seq : members) {
@@ -270,6 +364,7 @@ Engine::decodeRunning()
                 seq->caches[c] = split_caches[c][row];
             }
             seq->ctxLen = ctx + 1;
+            kv_->commit(seq->request.id, seq->ctxLen);
             appendToken(seq, sampleFor(logits, (int64_t)row));
         }
     }

@@ -3,14 +3,19 @@
  * Engine: the continuous-batching serving front door (addRequest / step /
  * collect) over one compiled prefill/decode executable. Each step()
  * admits waiting requests (scheduler policy + KV budget), runs batched
- * prefill for the newly admitted, then one batched decode iteration for
- * every running sequence — grouping sequences by context length so each
- * group maps onto one symbolic-batch decode call, exactly the dynamism
- * the compiler was built for. Decode groups advance their context length
- * in lockstep, and build() compiles the executable with the graph-capture
- * bucket equal to the KV block size, so a group's shape signature crosses
- * a bucket boundary only once per KV block: consecutive decode steps
- * replay one captured execution graph (EngineStats::decodeReplayHitRate).
+ * prefill for the newly admitted, then one decode iteration for every
+ * running sequence. The default ragged decode (DecodeMode::kRagged)
+ * issues a single `decode_ragged` call per step covering the whole
+ * running batch regardless of context lengths: caches are padded to the
+ * block-bucketed max length, the true per-sequence lengths ride in a [b]
+ * host tensor, and the KVCacheManager supplies the paged-KV block table
+ * the kernel consumes — exactly the cross-level dynamism the compiler
+ * was built for. The legacy grouped mode (one `decode` call per
+ * equal-context group) remains for the fragmentation comparison.
+ * build() compiles the executable with the graph-capture bucket equal to
+ * the KV block size, so the decode shape signature crosses a bucket
+ * boundary only once per KV block: consecutive decode steps replay one
+ * captured execution graph (EngineStats::decodeReplayHitRate).
  * Under memory pressure decode growth evicts
  * the most recently admitted sequence; evicted requests re-prefill
  * prompt+generated on re-admission, so outputs are preserved exactly.
@@ -36,6 +41,24 @@
 namespace relax {
 namespace serve {
 
+/** How the engine batches the running sequences for decode. */
+enum class DecodeMode {
+    /**
+     * Ragged paged-attention decode (default): every running sequence
+     * joins one `decode_ragged` call per step regardless of context
+     * length. Caches are padded to the bucketed max length, the true
+     * lengths travel as a [b] host tensor, and the per-layer paged-KV
+     * block tables come from the KVCacheManager.
+     */
+    kRagged,
+    /**
+     * Legacy equal-context grouping: one `decode` call per group of
+     * sequences sharing a context length. Kept for the fragmentation
+     * comparison in bench_serve_throughput.
+     */
+    kGrouped
+};
+
 struct EngineOptions
 {
     SchedulerOptions scheduler;
@@ -47,6 +70,8 @@ struct EngineOptions
     int64_t kvBudgetBytes = 0;
     /** Cache positions per KV block (page size). */
     int64_t kvBlockTokens = 16;
+    /** Decode batching strategy (see DecodeMode). */
+    DecodeMode decodeMode = DecodeMode::kRagged;
 };
 
 /** Aggregate engine statistics on the virtual clock (RunStats-style). */
@@ -165,6 +190,13 @@ class Engine
   private:
     void prefillSequences(std::vector<SequenceStatePtr> seqs);
     void decodeRunning();
+    /** One ragged decode call covering every running sequence. */
+    void decodeRagged();
+    /** Legacy equal-context-grouped decode (one call per group). */
+    void decodeGrouped();
+    /** Reserves +1 growth for `seq`, evicting under pressure (possibly
+     *  `seq` itself — callers re-check the phase when batching). */
+    void reserveGrowth(const SequenceStatePtr& seq);
     /** Appends a sampled token; finishes the sequence when done. */
     void appendToken(const SequenceStatePtr& seq, int64_t token);
     void finishSequence(const SequenceStatePtr& seq);

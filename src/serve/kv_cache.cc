@@ -62,6 +62,7 @@ KVCacheManager::reserve(RequestId seq, int64_t tokens)
     while ((int64_t)blocks.blocks.size() < target) {
         blocks.blocks.push_back(
             machine_.allocPersistentStorage(bytesPerBlock_));
+        blocks.blockIds.push_back(nextBlockId_++);
         ++usedBlocks_;
     }
     blocks.tokens = std::max(blocks.tokens, tokens);
@@ -85,6 +86,60 @@ KVCacheManager::reservedTokens(RequestId seq) const
 {
     auto it = sequences_.find(seq);
     return it == sequences_.end() ? 0 : it->second.tokens;
+}
+
+void
+KVCacheManager::commit(RequestId seq, int64_t tokens)
+{
+    auto it = sequences_.find(seq);
+    RELAX_ICHECK(it != sequences_.end())
+        << "commit for sequence " << seq << " without a reservation";
+    RELAX_ICHECK(tokens <= it->second.tokens)
+        << "commit of " << tokens << " positions exceeds the "
+        << it->second.tokens << " reserved for sequence " << seq;
+    it->second.committed = tokens;
+}
+
+int64_t
+KVCacheManager::committedTokens(RequestId seq) const
+{
+    auto it = sequences_.find(seq);
+    return it == sequences_.end() ? 0 : it->second.committed;
+}
+
+NDArray
+KVCacheManager::lengthsView(const std::vector<RequestId>& order) const
+{
+    std::vector<double> lens;
+    lens.reserve(order.size());
+    for (RequestId id : order) {
+        lens.push_back((double)committedTokens(id));
+    }
+    return NDArray::fromVector({(int64_t)order.size()}, DataType::i64(),
+                               std::move(lens));
+}
+
+NDArray
+KVCacheManager::blockTableView(const std::vector<RequestId>& order,
+                               int64_t width) const
+{
+    RELAX_ICHECK(width >= 1) << "block table width must be positive";
+    std::vector<double> table;
+    table.reserve(order.size() * width);
+    for (RequestId id : order) {
+        auto it = sequences_.find(id);
+        const std::vector<int64_t>* ids =
+            it == sequences_.end() ? nullptr : &it->second.blockIds;
+        int64_t owned = ids ? (int64_t)ids->size() : 0;
+        RELAX_ICHECK(owned <= width)
+            << "sequence " << id << " owns " << owned
+            << " blocks, table width is only " << width;
+        for (int64_t j = 0; j < width; ++j) {
+            table.push_back(j < owned ? (double)(*ids)[j] : -1.0);
+        }
+    }
+    return NDArray::fromVector({(int64_t)order.size(), width},
+                               DataType::i64(), std::move(table));
 }
 
 } // namespace serve

@@ -68,11 +68,41 @@ class KVCacheManager
     /** Positions reserved for `seq` (0 for unknown ids). */
     int64_t reservedTokens(RequestId seq) const;
 
+    /**
+     * Records the positions actually written for `seq` (its true context
+     * length), decoupled from the block-granular reservation. The ragged
+     * decode path reads these back through lengthsView().
+     */
+    void commit(RequestId seq, int64_t tokens);
+
+    /** Committed (written) positions for `seq` (0 for unknown ids). */
+    int64_t committedTokens(RequestId seq) const;
+
+    // --- ragged-decode views ------------------------------------------------
+    //
+    // The ragged decode kernel consumes per-sequence cache lengths and the
+    // paged-KV block table as tensors. Both are host-side integer metadata
+    // (the paper's "integer host tensor"), so they carry real data in both
+    // data and timing mode.
+
+    /** [b] i64 tensor of committed context lengths, in `order`. */
+    NDArray lengthsView(const std::vector<RequestId>& order) const;
+
+    /**
+     * [b, width] i64 block table, in `order`: row i lists the physical
+     * block ids backing sequence i's pages, -1 padded to `width`. `width`
+     * must cover every listed sequence's owned blocks.
+     */
+    NDArray blockTableView(const std::vector<RequestId>& order,
+                           int64_t width) const;
+
   private:
     struct SequenceBlocks
     {
         std::vector<vm::StoragePtr> blocks;
-        int64_t tokens = 0; //!< reserved capacity in positions
+        std::vector<int64_t> blockIds; //!< physical page ids, parallel
+        int64_t tokens = 0;    //!< reserved capacity in positions
+        int64_t committed = 0; //!< positions actually written
     };
 
     vm::VirtualMachine& machine_;
@@ -82,6 +112,7 @@ class KVCacheManager
     int64_t totalBlocks_;
     int64_t usedBlocks_ = 0;
     int64_t peakBlocks_ = 0;
+    int64_t nextBlockId_ = 0;
     std::map<RequestId, SequenceBlocks> sequences_;
 };
 

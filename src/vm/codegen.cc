@@ -179,6 +179,17 @@ class FunctionCodegen
             }
             for (int i = 0; i < instr.numInputs + instr.numOutputs; ++i) {
                 instr.args.push_back(regOfExpr(call->args[1 + i]));
+                if (instr.isLibrary) {
+                    // Carry each argument's symbolic shape so the VM can
+                    // price library kernels at the padded binding inside
+                    // bucketed graph regions (DESIGN.md §4).
+                    const auto* tensor =
+                        asTensor(call->args[1 + i]->structInfo());
+                    instr.argShapes.push_back(
+                        tensor && tensor->shape
+                            ? *tensor->shape
+                            : std::vector<PrimExpr>{});
+                }
             }
             for (int64_t i = 0; i < num_sym; ++i) {
                 const Expr& arg =

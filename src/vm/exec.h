@@ -61,6 +61,17 @@ struct Instr
     int numOutputs = 0;
     std::vector<PrimExpr> symExprs; //!< evaluated into kernel sym args
     ir::Attrs attrs;
+    /**
+     * kKernelCall (library callees): per-argument symbolic shape
+     * expressions, one entry per register in `args` (empty inner vector
+     * when the argument's annotation carries no shape). Inside a
+     * bucketed graph region the VM re-evaluates these at the padded
+     * binding so library kernels are priced at the bucket ceiling,
+     * exactly like generated kernels (the padding-correctness
+     * invariant, DESIGN.md §4). Generated kernels do not need this:
+     * their cost expressions bind through the shared symbolic vars.
+     */
+    std::vector<std::vector<PrimExpr>> argShapes;
 
     // kGraphBegin / kGraphEnd
     int64_t graphId = -1;

@@ -106,6 +106,60 @@ registerAttention(LibraryRegistry& registry, const std::string& name)
 }
 
 void
+registerRaggedAttention(LibraryRegistry& registry, const std::string& name)
+{
+    // Varlen / paged-KV attention (FlashAttention's ragged entry point):
+    // one launch covers a batch of sequences with unequal context
+    // lengths. Work is data-dependent — proportional to each sequence's
+    // true length, read from the [b] length vector (a host-side integer
+    // tensor that carries data even in timing mode) — so the cost sums
+    // per-sequence, not over the padded cache shape. Shape padding from
+    // a bucketed capture region (batch rows, padded length) is benign:
+    // phantom rows carry length 0 and price ~nothing.
+    LibraryKernel kernel;
+    kernel.cost = [](const std::vector<NDArray>& args, const ir::Attrs&,
+                     const device::DeviceSpec& spec) {
+        const auto& q = args[0].shape(); // [b, h, n, d]
+        const auto& k = args[1].shape(); // [b, h, m, d] (padded)
+        const NDArray& lens = args[3];   // [b] true context lengths
+        int64_t b = q[0], h = q[1], n = q[2], d = q[3];
+        int64_t dv = args[2].shape()[3];
+        int64_t m = k[2];
+        double kv_positions = 0.0;
+        if (lens.hasData()) {
+            int64_t rows = std::min<int64_t>(b, lens.numel());
+            for (int64_t i = 0; i < rows; ++i) {
+                kv_positions += (double)std::min<int64_t>(
+                    (int64_t)lens.at(i) + n, m);
+            }
+        } else {
+            kv_positions = (double)b * (double)m; // padded worst case
+        }
+        device::KernelCost cost;
+        cost.flops = 2.0 * h * n * (double)(d + dv) * kv_positions;
+        // IO-aware: q, out, lens and block table, plus only the live K/V
+        // prefix bytes — the FlashAttention property applied per row.
+        cost.bytes = (double)args[0].sizeBytes() +
+                     (double)args.back().sizeBytes() +
+                     (double)args[3].sizeBytes() +
+                     (double)args[4].sizeBytes() +
+                     kv_positions * (double)h * (double)(d + dv) *
+                         (double)args[1].dtype().bytes();
+        cost.efficiency = spec.libAttentionEfficiency;
+        return cost;
+    };
+    kernel.compute = [](std::vector<NDArray>& args, const ir::Attrs& attrs) {
+        tir::PrimFunc func = op::makeRaggedAttentionFunc(
+            "lib_attention_ragged", staticShape(args[0]),
+            staticShape(args[1]), staticShape(args[2]),
+            staticShape(args[3]), staticShape(args[4]),
+            attrDouble(attrs, "scale", 1.0), args[0].dtype());
+        tir::run(func, args);
+    };
+    registry.registerKernel(name, kernel);
+}
+
+void
 registerNorms(LibraryRegistry& registry, const std::string& prefix)
 {
     LibraryKernel rms;
@@ -160,6 +214,29 @@ registerKvCache(LibraryRegistry& registry)
         tir::run(func, args);
     };
     registry.registerKernel("kv.append", append);
+
+    // Ragged paged append: writes the new position at each sequence's own
+    // length offset inside the padded cache layout. In-place semantics
+    // like kv.append — only the new token's K/V bytes (plus the length
+    // vector) move, regardless of the padded cache size.
+    LibraryKernel ragged;
+    ragged.cost = [](const std::vector<NDArray>& args, const ir::Attrs&,
+                     const device::DeviceSpec& spec) {
+        const NDArray& fresh = args[1]; // [b, h, 1, d]
+        device::KernelCost cost;
+        cost.bytes = 2.0 * (double)fresh.sizeBytes() +
+                     (double)args[2].sizeBytes();
+        cost.flops = 0.0;
+        cost.efficiency = spec.genElemwiseEfficiency;
+        return cost;
+    };
+    ragged.compute = [](std::vector<NDArray>& args, const ir::Attrs&) {
+        tir::PrimFunc func = op::makeKvAppendRaggedFunc(
+            "lib_kv_append_ragged", staticShape(args[0]),
+            staticShape(args[1]), staticShape(args[2]), args[0].dtype());
+        tir::run(func, args);
+    };
+    registry.registerKernel("kv.append_ragged", ragged);
 }
 
 void
@@ -199,6 +276,7 @@ ensureLibrariesRegistered()
         registerGemm(registry, "rocblas.matmul");
         registerGemm(registry, "mps.matmul");
         registerAttention(registry, "flashattn.attention");
+        registerRaggedAttention(registry, "flashattn.attention_ragged");
         registerNorms(registry, "cutlass");
         registerKvCache(registry);
         registerBuiltins(registry);

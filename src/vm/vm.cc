@@ -88,6 +88,34 @@ struct KernelCostExprs
     tir::PrimFunc pin; //!< keeps the node alive so addresses never recycle
 };
 
+/**
+ * Stand-in for `array` at the padded shape: metadata-only normally, but
+ * integer host tensors (e.g. the ragged length vector — the only data
+ * any cost model reads) keep their values in the prefix — the padded
+ * tail reads as zeros, so phantom rows price as empty sequences. Large
+ * payload tensors are never copied: their cost contribution is shape-only.
+ */
+NDArray
+padForPricing(const NDArray& array, std::vector<int64_t> padded_shape)
+{
+    bool host_metadata = array.hasData() && (array.dtype().isInt() ||
+                                             array.dtype().isUInt());
+    if (!host_metadata) {
+        return NDArray::metaOnly(std::move(padded_shape), array.dtype());
+    }
+    NDArray padded = NDArray::zeros(padded_shape, array.dtype());
+    const auto& shape = array.shape();
+    std::vector<int64_t> index(shape.size(), 0);
+    for (int64_t flat = 0; flat < array.numel(); ++flat) {
+        padded.set(padded.flatten(index), array.at(flat));
+        for (size_t d = shape.size(); d-- > 0;) {
+            if (++index[d] < shape[d]) break;
+            index[d] = 0;
+        }
+    }
+    return padded;
+}
+
 const KernelCostExprs&
 costExprsOf(const tir::PrimFunc& func)
 {
@@ -391,8 +419,36 @@ Executor::execKernelCall(const Instr& instr, Frame& frame)
             RELAX_THROW(RuntimeError)
                 << "library function not linked: " << instr.callee;
         }
-        device_->launchKernel(
-            kernel->cost(args, instr.attrs, device_->spec()));
+        // Inside a bucketed graph region, library kernels are priced at
+        // the padded binding like generated ones: each argument's shape
+        // expressions are re-evaluated with the padded symbol values and
+        // the cost model sees the padded stand-ins. Compute (below) still
+        // runs on the live tensors — padding affects the clock only.
+        if (!frame.paddedSymbols.empty() &&
+            instr.argShapes.size() == args.size()) {
+            VarBinding padded_syms = frame.symbols;
+            for (const auto& [v, value] : frame.paddedSymbols) {
+                padded_syms[v] = value;
+            }
+            std::vector<NDArray> priced = args;
+            for (size_t i = 0; i < args.size(); ++i) {
+                if (instr.argShapes[i].empty()) continue;
+                std::vector<int64_t> padded_shape;
+                padded_shape.reserve(instr.argShapes[i].size());
+                for (const auto& dim : instr.argShapes[i]) {
+                    padded_shape.push_back(evalInt(dim, padded_syms));
+                }
+                if (padded_shape != args[i].shape()) {
+                    priced[i] = padForPricing(args[i],
+                                              std::move(padded_shape));
+                }
+            }
+            device_->launchKernel(
+                kernel->cost(priced, instr.attrs, device_->spec()));
+        } else {
+            device_->launchKernel(
+                kernel->cost(args, instr.attrs, device_->spec()));
+        }
         if (dataMode_) {
             RELAX_ICHECK(kernel->compute)
                 << instr.callee << " has no data-mode implementation";

@@ -86,6 +86,26 @@ TEST(OpInferTest, AttentionShape)
               "Tensor((b, 8, 1, 64), \"f32\")");
 }
 
+TEST(OpInferTest, RaggedAttentionShape)
+{
+    SymVar b = var("b");
+    SymVar m = var("m");
+    SymVar w = var("w");
+    Var q = tensorVar("q", {b, intImm(8), intImm(1), intImm(64)});
+    Var k = tensorVar("k", {b, intImm(8), m, intImm(64)});
+    Var v = tensorVar("v", {b, intImm(8), m, intImm(64)});
+    Var lens = tensorVar("lens", {b}, DataType::i64());
+    Var table = tensorVar("table", {b, w}, DataType::i64());
+    EXPECT_EQ(ir::toString(deduceCall(
+                  attentionRagged(q, k, v, lens, table, 0.125))),
+              "Tensor((b, 8, 1, 64), \"f32\")");
+    // K and V padded lengths must agree.
+    SymVar m2 = var("m2");
+    Var v_bad = tensorVar("vb", {b, intImm(8), m2, intImm(64)});
+    EXPECT_THROW(deduceCall(attentionRagged(q, k, v_bad, lens, table, 1.0)),
+                 ShapeError);
+}
+
 TEST(OpInferTest, ReductionsAndNorms)
 {
     SymVar n = var("n");
@@ -311,6 +331,82 @@ TEST(OpLegalizeTest, CausalAttentionMasksFuture)
     EXPECT_NEAR(out.at(0), 10.0, 1e-6);
     // Query 1 sees both (equal scores) -> 15.
     EXPECT_NEAR(out.at(1), 15.0, 1e-6);
+}
+
+TEST(OpLegalizeTest, RaggedAttentionMatchesPerSequenceDense)
+{
+    // Two sequences sharing one padded cache [2, 1, 4, 1]: row 0 holds 2
+    // live positions (lens=1 plus the appended token at index 1), row 1
+    // holds all 4. Each row must equal a dense attention call over just
+    // its live prefix — padding beyond the prefix must not leak in.
+    Var q = tensorVar("q", {intImm(2), intImm(1), intImm(1), intImm(1)});
+    Var k = tensorVar("k", {intImm(2), intImm(1), intImm(4), intImm(1)});
+    Var v = tensorVar("v", {intImm(2), intImm(1), intImm(4), intImm(1)});
+    Var lens = tensorVar("lens", {intImm(2)}, DataType::i64());
+    Var table = tensorVar("table", {intImm(2), intImm(2)},
+                          DataType::i64());
+
+    NDArray qv = NDArray::fromVector({2, 1, 1, 1}, DataType::f32(),
+                                     {1.0, 0.5});
+    // Row 0's padding tail (positions 2, 3) is poisoned with large values
+    // that would dominate the softmax if the mask failed.
+    NDArray kv = NDArray::fromVector({2, 1, 4, 1}, DataType::f32(),
+                                     {1, 0, 50, 50, 2, 1, 0, 1});
+    NDArray vv = NDArray::fromVector({2, 1, 4, 1}, DataType::f32(),
+                                     {10, 20, 999, 999, 1, 2, 3, 4});
+    NDArray lens_v = NDArray::fromVector({2}, DataType::i64(), {1, 3});
+    // Page size = m / w = 2: row 0 owns one block, row 1 both.
+    NDArray table_v = NDArray::fromVector({2, 2}, DataType::i64(),
+                                          {0, -1, 0, 1});
+    NDArray out = runLegalized(
+        attentionRagged(q, k, v, lens, table, 1.0),
+        {qv, kv, vv, lens_v, table_v}, {2, 1, 1, 1});
+
+    // Dense per-sequence references over the live prefixes.
+    auto dense_row = [&](std::vector<double> qd, std::vector<double> kd,
+                         std::vector<double> vd) {
+        int64_t len = (int64_t)kd.size();
+        Var q1 = tensorVar("q1", {intImm(1), intImm(1), intImm(1),
+                                  intImm(1)});
+        Var k1 = tensorVar("k1", {intImm(1), intImm(1), intImm(len),
+                                  intImm(1)});
+        Var v1 = tensorVar("v1", {intImm(1), intImm(1), intImm(len),
+                                  intImm(1)});
+        return runLegalized(
+                   attention(q1, k1, v1, 1.0, /*causal=*/false),
+                   {NDArray::fromVector({1, 1, 1, 1}, DataType::f32(),
+                                        std::move(qd)),
+                    NDArray::fromVector({1, 1, len, 1}, DataType::f32(),
+                                        std::move(kd)),
+                    NDArray::fromVector({1, 1, len, 1}, DataType::f32(),
+                                        std::move(vd))},
+                   {1, 1, 1, 1})
+            .at(0);
+    };
+    EXPECT_NEAR(out.at(0), dense_row({1.0}, {1, 0}, {10, 20}), 1e-9);
+    EXPECT_NEAR(out.at(1),
+                dense_row({0.5}, {2, 1, 0, 1}, {1, 2, 3, 4}), 1e-9);
+}
+
+TEST(OpKernelTest, RaggedKvAppendWritesAtPerSequenceOffsets)
+{
+    // Padded caches [2, 1, 4, 1]: the fresh token lands at each row's own
+    // length offset; all other positions copy through.
+    NDArray cache = NDArray::fromVector({2, 1, 4, 1}, DataType::f32(),
+                                        {1, 2, 0, 0, 5, 6, 7, 0});
+    NDArray fresh = NDArray::fromVector({2, 1, 1, 1}, DataType::f32(),
+                                        {9, 8});
+    NDArray lens = NDArray::fromVector({2}, DataType::i64(), {2, 3});
+    NDArray out = NDArray::zeros({2, 1, 4, 1}, DataType::f32());
+    tir::PrimFunc func = makeKvAppendRaggedFunc(
+        "append_ragged",
+        {intImm(2), intImm(1), intImm(4), intImm(1)},
+        {intImm(2), intImm(1), intImm(1), intImm(1)}, {intImm(2)},
+        DataType::f32());
+    std::vector<NDArray> args{cache, fresh, lens, out};
+    tir::run(func, args);
+    EXPECT_EQ(out.data(),
+              (std::vector<double>{1, 2, 9, 0, 5, 6, 7, 8}));
 }
 
 TEST(OpKernelTest, DecodeQ4UnpacksNibbles)

@@ -107,6 +107,97 @@ TEST(EngineTest, BatchedRunMatchesSequentialRuns)
     }
 }
 
+/** Host options with execution graphs + the static-plan bounds capture
+ *  needs, for replay-on engine runs. */
+frontend::CompileOptions
+graphHostOptions()
+{
+    frontend::CompileOptions options = hostOptions();
+    options.device.supportsExecutionGraphs = true;
+    options.bounds = {{"b", 8}, {"n", 32}, {"m", 48}};
+    return options;
+}
+
+TEST(EngineTest, RaggedDecodeTokenIdenticalWithReplayOnAndOff)
+{
+    // The ragged-decode data-mode oracle: staggered prompt lengths put
+    // every sequence at a different context length, yet the single padded
+    // decode_ragged call per step must emit token-for-token what
+    // independent per-sequence sequential loops emit — with bucketed
+    // graph replay capturing/replaying and with graph offload disabled.
+    LlamaConfig config = LlamaConfig::tiny();
+    std::vector<std::vector<int64_t>> prompts = {
+        {3, 1, 4, 1, 5, 9, 2}, {2, 7}, {6, 1, 8, 3, 1}};
+    const int64_t max_new = 6;
+    std::vector<std::vector<int64_t>> expected;
+    for (const auto& prompt : prompts) {
+        expected.push_back(sequentialGreedy(config, prompt, max_new));
+    }
+
+    for (bool with_graphs : {true, false}) {
+        frontend::CompileOptions copts =
+            with_graphs ? graphHostOptions() : hostOptions();
+        EngineOptions options;
+        options.kvBlockTokens = 4;
+        options.decodeMode = DecodeMode::kRagged;
+        auto engine = Engine::build(config, copts, /*data_mode=*/true,
+                                    options);
+        for (const auto& prompt : prompts) {
+            engine->addRequest(prompt, max_new);
+        }
+        const EngineStats& stats = engine->run();
+        // One ragged decode call per step covers the whole batch.
+        EXPECT_EQ(stats.decodeBatches, stats.steps)
+            << "graphs=" << with_graphs;
+        if (with_graphs) {
+            EXPECT_GT(engine->machine().graphStats().replays, 0);
+        } else {
+            EXPECT_EQ(engine->machine().graphStats().begins, 0);
+        }
+        auto results = engine->collect();
+        ASSERT_EQ(results.size(), prompts.size());
+        for (size_t i = 0; i < prompts.size(); ++i) {
+            EXPECT_EQ(results[i].outputTokens, expected[i])
+                << "request " << i << " graphs=" << with_graphs;
+        }
+    }
+}
+
+TEST(EngineTest, RaggedDecodeIssuesOneCallPerStepAcrossContexts)
+{
+    // Three context lengths that never align: grouped decode fragments
+    // into one call per group, ragged decode covers them in one.
+    LlamaConfig config = LlamaConfig::tiny();
+    std::vector<std::vector<int64_t>> prompts = {
+        {1, 2}, {3, 4, 5, 6, 7}, {8, 9, 1, 2, 3, 4, 5, 6, 7}};
+    const int64_t max_new = 5;
+
+    auto run_mode = [&](DecodeMode mode) {
+        EngineOptions options;
+        options.decodeMode = mode;
+        auto engine = Engine::build(config, hostOptions(),
+                                    /*data_mode=*/true, options);
+        for (const auto& prompt : prompts) {
+            engine->addRequest(prompt, max_new);
+        }
+        EngineStats stats = engine->run();
+        std::vector<std::vector<int64_t>> tokens;
+        for (const auto& done : engine->collect()) {
+            tokens.push_back(done.outputTokens);
+        }
+        return std::make_pair(stats, tokens);
+    };
+
+    auto [ragged_stats, ragged_tokens] = run_mode(DecodeMode::kRagged);
+    auto [grouped_stats, grouped_tokens] = run_mode(DecodeMode::kGrouped);
+    // Identical output, fewer calls: the fragmentation fix in one assert.
+    EXPECT_EQ(ragged_tokens, grouped_tokens);
+    EXPECT_EQ(ragged_stats.decodeBatches, ragged_stats.steps);
+    EXPECT_GT(grouped_stats.decodeBatches,
+              3 * (ragged_stats.decodeBatches - 1))
+        << "grouped decode should fragment into ~3 calls per step";
+}
+
 TEST(EngineTest, EqualLengthRequestsShareDecodeBatches)
 {
     // Two same-length prompts stay context-aligned, so every decode

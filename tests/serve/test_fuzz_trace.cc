@@ -3,15 +3,21 @@
  * Randomized serving oracle: seeded fuzz over request counts, prompt
  * lengths, max-tokens, KV budgets, and both admission policies, asserting
  * that the continuously-batched data-mode engine emits token-for-token
- * what N independent single-request greedy loops emit — with bucketed
- * execution-graph replay on and with it off. This pins the whole serve
- * stack (scheduler, KV manager, eviction, batched prefill/decode, and the
- * capture/replay rewrite) to an end-to-end correctness invariant: no
- * batching, preemption, or graph-replay decision may change tokens.
+ * what N independent single-request greedy loops emit — in both decode
+ * modes (ragged paged-attention and legacy equal-context grouping), with
+ * bucketed execution-graph replay on and with it off. This pins the whole
+ * serve stack (scheduler, KV manager, eviction, batched prefill, ragged
+ * and grouped decode, and the capture/replay rewrite) to an end-to-end
+ * correctness invariant: no batching, padding, preemption, or
+ * graph-replay decision may change tokens.
+ *
+ * Seed count defaults to 40 (~3 s); set RELAX_FUZZ_SEEDS for the nightly
+ * soak (e.g. RELAX_FUZZ_SEEDS=400).
  */
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <random>
 
 #include "serve/engine.h"
@@ -177,6 +183,16 @@ drawScenario(std::mt19937& rng, const LlamaConfig& config)
     return scenario;
 }
 
+/** Seed count: 40 by default, RELAX_FUZZ_SEEDS overrides (nightly soak). */
+int64_t
+fuzzSeedCount()
+{
+    const char* env = std::getenv("RELAX_FUZZ_SEEDS");
+    if (!env) return 40;
+    int64_t count = std::atoll(env);
+    return count > 0 ? count : 40;
+}
+
 TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
 {
     LlamaConfig config = LlamaConfig::tiny();
@@ -194,51 +210,78 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
 
     int64_t total_replays = 0;
     int64_t total_evictions = 0;
-    for (unsigned seed : {11u, 23u, 37u, 58u}) {
+    int64_t ragged_steps = 0, ragged_decode_calls = 0;
+    std::mt19937 seed_rng(0xF00D);
+    const int64_t seed_count = fuzzSeedCount();
+    for (int64_t round = 0; round < seed_count; ++round) {
+        unsigned seed = (unsigned)seed_rng();
         std::mt19937 rng(seed);
         FuzzScenario scenario = drawScenario(rng, config);
 
-        EngineOptions engine_options;
-        engine_options.scheduler.policy = scenario.policy;
-        engine_options.kvBlockTokens = scenario.kvBlockTokens;
-        engine_options.kvBudgetBytes = scenario.kvBudgetBytes;
+        // One oracle pass per request; every engine variant must match it.
+        std::vector<std::vector<int64_t>> expected;
+        expected.reserve(scenario.requests.size());
+        for (const FuzzRequest& request : scenario.requests) {
+            expected.push_back(oracle.generate(
+                request.prompt, request.maxNew, request.stopToken));
+        }
 
-        for (bool with_replay : {true, false}) {
-            auto dev = std::make_shared<device::SimDevice>(
-                hostSpec(with_replay));
-            Engine engine(with_replay ? exec_on : exec_off, dev,
-                          /*data_mode=*/true, config, weights,
-                          engine_options);
-            for (const FuzzRequest& request : scenario.requests) {
-                engine.addRequest(request.prompt, request.maxNew,
-                                  request.stopToken);
+        for (DecodeMode mode : {DecodeMode::kRagged, DecodeMode::kGrouped}) {
+            EngineOptions engine_options;
+            engine_options.scheduler.policy = scenario.policy;
+            engine_options.kvBlockTokens = scenario.kvBlockTokens;
+            engine_options.kvBudgetBytes = scenario.kvBudgetBytes;
+            engine_options.decodeMode = mode;
+
+            for (bool with_replay : {true, false}) {
+                auto dev = std::make_shared<device::SimDevice>(
+                    hostSpec(with_replay));
+                Engine engine(with_replay ? exec_on : exec_off, dev,
+                              /*data_mode=*/true, config, weights,
+                              engine_options);
+                for (const FuzzRequest& request : scenario.requests) {
+                    engine.addRequest(request.prompt, request.maxNew,
+                                      request.stopToken);
+                }
+                engine.run();
+                auto results = engine.collect();
+                ASSERT_EQ(results.size(), scenario.requests.size())
+                    << "seed=" << seed << " replay=" << with_replay
+                    << " ragged=" << (mode == DecodeMode::kRagged);
+                for (size_t i = 0; i < results.size(); ++i) {
+                    EXPECT_EQ(results[i].outputTokens, expected[i])
+                        << "seed=" << seed << " request=" << i
+                        << " replay=" << with_replay
+                        << " ragged=" << (mode == DecodeMode::kRagged)
+                        << " policy=" << (int)scenario.policy;
+                }
+                if (with_replay) {
+                    total_replays += engine.machine().graphStats().replays;
+                } else {
+                    // Graph offload disabled: capture must never engage.
+                    EXPECT_EQ(engine.machine().graphStats().begins, 0);
+                }
+                total_evictions += engine.stats().evictions;
+                if (mode == DecodeMode::kRagged) {
+                    // One ragged decode call per step, never more — the
+                    // whole running batch joins a single call even when
+                    // context lengths diverge.
+                    EXPECT_LE(engine.stats().decodeBatches,
+                              engine.stats().steps)
+                        << "seed=" << seed;
+                    ragged_steps += engine.stats().steps;
+                    ragged_decode_calls += engine.stats().decodeBatches;
+                }
             }
-            engine.run();
-            auto results = engine.collect();
-            ASSERT_EQ(results.size(), scenario.requests.size())
-                << "seed=" << seed << " replay=" << with_replay;
-            for (size_t i = 0; i < results.size(); ++i) {
-                const FuzzRequest& request = scenario.requests[i];
-                EXPECT_EQ(results[i].outputTokens,
-                          oracle.generate(request.prompt, request.maxNew,
-                                          request.stopToken))
-                    << "seed=" << seed << " request=" << i
-                    << " replay=" << with_replay
-                    << " policy=" << (int)scenario.policy;
-            }
-            if (with_replay) {
-                total_replays += engine.machine().graphStats().replays;
-            } else {
-                // Graph offload disabled: capture must never engage.
-                EXPECT_EQ(engine.machine().graphStats().begins, 0);
-            }
-            total_evictions += engine.stats().evictions;
         }
     }
     // The fuzz must actually exercise the interesting machinery: some
-    // scenario replayed a bucketed graph, and some scenario evicted.
+    // scenario replayed a bucketed graph, some scenario evicted, and the
+    // ragged path issued decode calls.
     EXPECT_GT(total_replays, 0);
     EXPECT_GT(total_evictions, 0);
+    EXPECT_GT(ragged_decode_calls, 0);
+    EXPECT_LE(ragged_decode_calls, ragged_steps);
 }
 
 TEST(FuzzTraceTest, BuildWiresKvBlockSizeIntoGraphBucket)

@@ -101,6 +101,48 @@ TEST(KVCacheTest, PeakTracksHighWaterMark)
     EXPECT_EQ(kv.peakBytes(), 4 * kv.bytesPerBlock());
 }
 
+TEST(KVCacheTest, CommitTracksWrittenPositionsBelowReservation)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    kv.reserve(1, 6); // 2 blocks reserved
+    EXPECT_EQ(kv.committedTokens(1), 0);
+    kv.commit(1, 5);
+    EXPECT_EQ(kv.committedTokens(1), 5);
+    EXPECT_EQ(kv.reservedTokens(1), 6);
+    kv.commit(1, 6);
+    EXPECT_EQ(kv.committedTokens(1), 6);
+    kv.release(1);
+    EXPECT_EQ(kv.committedTokens(1), 0);
+}
+
+TEST(KVCacheTest, RaggedViewsExposeLengthsAndBlockTable)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    kv.reserve(7, 6); // blocks 0, 1
+    kv.commit(7, 5);
+    kv.reserve(9, 3); // block 2
+    kv.commit(9, 3);
+
+    NDArray lens = kv.lengthsView({9, 7});
+    ASSERT_EQ(lens.shape(), (std::vector<int64_t>{2}));
+    EXPECT_TRUE(lens.hasData()); // host metadata: data in timing mode too
+    EXPECT_EQ((int64_t)lens.at(0), 3);
+    EXPECT_EQ((int64_t)lens.at(1), 5);
+
+    NDArray table = kv.blockTableView({9, 7}, /*width=*/3);
+    ASSERT_EQ(table.shape(), (std::vector<int64_t>{2, 3}));
+    // Row 0 (seq 9): one owned block, -1 padding after.
+    EXPECT_EQ((int64_t)table.at(0), 2);
+    EXPECT_EQ((int64_t)table.at(1), -1);
+    EXPECT_EQ((int64_t)table.at(2), -1);
+    // Row 1 (seq 7): two owned blocks.
+    EXPECT_EQ((int64_t)table.at(3), 0);
+    EXPECT_EQ((int64_t)table.at(4), 1);
+    EXPECT_EQ((int64_t)table.at(5), -1);
+}
+
 TEST(KVCacheTest, DestructorReturnsOutstandingBlocks)
 {
     Fixture fx;

@@ -236,6 +236,39 @@ TEST(DeductionTest, CallTIRAndLibraryUseExplicitAnnotation)
     builder.endBlock();
 }
 
+TEST(DeductionTest, RaggedDecodeFlowKeepsSymbolicDims)
+{
+    // The ragged decode contract at the annotation level: a padded cache
+    // [b, h, m, d] plus a [b] length vector and a [b, w] block table flow
+    // through the ragged append and ragged attention with every symbolic
+    // dim preserved — no coarsening, the memory planner and graph
+    // bucketing depend on these exact expressions.
+    auto module = IRModule::create();
+    BlockBuilder builder(module);
+    SymVar b = var("b");
+    SymVar m = var("m");
+    SymVar w = var("w");
+    Var q = makeVar("q", tensorSInfo({b, intImm(2), intImm(1), intImm(4)},
+                                     DataType::f16()));
+    Var fresh = makeVar("fresh",
+                        tensorSInfo({b, intImm(2), intImm(1), intImm(4)},
+                                    DataType::f16()));
+    Var cache = makeVar("cache",
+                        tensorSInfo({b, intImm(2), m, intImm(4)},
+                                    DataType::f16()));
+    Var lens = makeVar("lens", tensorSInfo({b}, DataType::i64()));
+    Var table = makeVar("table", tensorSInfo({b, w}, DataType::i64()));
+    builder.beginDataflowBlock();
+    Var appended = builder.emit(callDPSLibrary(
+        "kv.append_ragged", {cache, fresh, lens},
+        tensorSInfo({b, intImm(2), m, intImm(4)}, DataType::f16())));
+    expectSInfo(appended->structInfo(), "Tensor((b, 2, m, 4), \"f16\")");
+    Var attn = builder.emit(
+        op::attentionRagged(q, appended, appended, lens, table, 0.5));
+    expectSInfo(attn->structInfo(), "Tensor((b, 2, 1, 4), \"f16\")");
+    builder.endBlock();
+}
+
 TEST(DeductionTest, UnifySInfoResults)
 {
     SymVar n = var("n");

@@ -134,6 +134,68 @@ TEST(GraphReplayTest, BucketPricesAtCeilingDeterministically)
     }
 }
 
+/** x:(n,8) @ w:(8,8) -> add(x): a library GEMM (symbolic row count
+ *  dispatches to cublas) followed by a generated kernel — one region. */
+ir::IRModulePtr
+buildLibChain()
+{
+    auto module = IRModule::create();
+    shape::BlockBuilder builder(module);
+    SymVar n = var("n");
+    Var x = makeVar("x", tensorSInfo({n, intImm(8)}, DataType::f32()));
+    Var w = makeVar("w", tensorSInfo({intImm(8), intImm(8)},
+                                     DataType::f32()));
+    builder.beginDataflowBlock();
+    Var lv0 = builder.emit(op::matmul(x, w));
+    Var out = builder.emitOutput(op::add(lv0, x));
+    builder.endBlock();
+    module->addFunction("main", makeFunction({x, w}, builder.finish(out),
+                                             out->structInfo()));
+    return module;
+}
+
+TEST(GraphReplayTest, LibraryKernelsPriceAtPaddedBindingInsideRegions)
+{
+    // The padding-correctness invariant for library callees: inside a
+    // bucketed region every kernel conceptually launches at the bucket
+    // ceiling, so a cublas GEMM must be priced at the padded shapes —
+    // its live-shape cost would be cheaper (the PR-3 bounded optimism
+    // this closes). Every shape in the 9..16 bucket must therefore
+    // charge exactly what the ceiling shape n=16 charges.
+    device::DeviceSpec spec = graphCapableHost();
+    spec.backend = "cuda";
+    spec.hasGemmLibrary = true;
+    frontend::CompileOptions options;
+    options.device = spec;
+    options.bounds = {{"n", 64}};
+    options.enableFusion = false;
+    options.graphBucketTokens = 16;
+    auto exec = frontend::compile(buildLibChain(), options);
+    ASSERT_NE(toString(exec->functions.at("main")).find("[lib]"),
+              std::string::npos)
+        << "matmul did not dispatch to the library";
+
+    auto dev = std::make_shared<device::SimDevice>(spec);
+    VirtualMachine machine(exec, dev, /*data_mode=*/false);
+    auto invoke = [&](int64_t rows) {
+        machine.invoke("main",
+                       {NDArray::metaOnly({rows, 8}, DataType::f32()),
+                        NDArray::metaOnly({8, 8}, DataType::f32())});
+        return machine.lastRunStats();
+    };
+
+    invoke(16); // capture the 9..16 bucket at its ceiling
+    double ceiling_latency = invoke(16).latencyUs; // replay at the ceiling
+    ASSERT_GT(machine.lastRunStats().graphReplays, 0);
+    for (int64_t rows : {9, 11, 13, 15}) {
+        RunStats stats = invoke(rows);
+        EXPECT_EQ(stats.graphCaptures, 0) << "rows=" << rows;
+        EXPECT_GT(stats.graphReplays, 0) << "rows=" << rows;
+        EXPECT_DOUBLE_EQ(stats.latencyUs, ceiling_latency)
+            << "rows=" << rows;
+    }
+}
+
 /** Decode-step arguments for a tiny Llama (metadata-only, timing mode). */
 std::vector<Value>
 tinyDecodeArgs(const frontend::LlamaConfig& config, int64_t batch,

@@ -200,6 +200,47 @@ TEST(VMTest, LibraryDispatchMatchesGeneratedKernels)
     EXPECT_EQ(gen_out.data(), lib_out.data());
 }
 
+TEST(VMTest, RaggedAttentionLibraryPricesPerSequence)
+{
+    // The ragged FlashAttention sim is data-dependent: its cost sums over
+    // the true per-sequence lengths (the [b] host tensor carries data even
+    // in timing mode), not the padded cache shape — the reason one ragged
+    // call beats per-group calls. Without length data it degrades to the
+    // padded worst case.
+    ensureLibrariesRegistered();
+    const LibraryKernel* kernel =
+        LibraryRegistry::global().find("flashattn.attention_ragged");
+    ASSERT_NE(kernel, nullptr);
+    device::DeviceSpec spec;
+    spec.name = "host";
+    spec.backend = "cpu";
+
+    const int64_t b = 4, h = 2, d = 8, m = 64, w = 4;
+    auto cost_with_lens = [&](std::vector<double> lens) {
+        std::vector<NDArray> args{
+            NDArray::metaOnly({b, h, 1, d}, DataType::f16()),
+            NDArray::metaOnly({b, h, m, d}, DataType::f16()),
+            NDArray::metaOnly({b, h, m, d}, DataType::f16()),
+            lens.empty()
+                ? NDArray::metaOnly({b}, DataType::i64())
+                : NDArray::fromVector({b}, DataType::i64(),
+                                      std::move(lens)),
+            NDArray::metaOnly({b, w}, DataType::i64()),
+            NDArray::metaOnly({b, h, 1, d}, DataType::f16())};
+        return kernel->cost(args, {}, spec);
+    };
+
+    device::KernelCost shorter = cost_with_lens({3, 5, 7, 9});
+    device::KernelCost longer = cost_with_lens({30, 50, 60, 63});
+    device::KernelCost padded = cost_with_lens({}); // no data: worst case
+    EXPECT_LT(shorter.flops, longer.flops);
+    EXPECT_LT(shorter.bytes, longer.bytes);
+    EXPECT_LT(longer.flops, padded.flops);
+    // The padded fallback prices every row at the full cache length.
+    device::KernelCost full = cost_with_lens({64, 64, 64, 64});
+    EXPECT_DOUBLE_EQ(full.flops, padded.flops);
+}
+
 TEST(VMTest, DisassemblyIsReadable)
 {
     frontend::CompileOptions options;
