@@ -4,21 +4,28 @@
  * trace through the continuous-batching engine in timing mode
  * (paper-scale model, metadata-only tensors, simulated device clock) and
  * reports tokens/s, mean and tail TTFT (p50/p99), decode-step
- * execution-graph replay hit-rate, and peak KV usage against the
- * device's VRAM budget. Arrivals are spread over virtual time by a
+ * execution-graph replay hit-rate, and peak KV page-pool usage against
+ * the device's VRAM budget. Arrivals are spread over virtual time by a
  * seeded exponential inter-arrival process, so admission interleaves
  * with decode and scheduler changes are judged on tail latency, not just
- * the mean. Both scheduler policies run over the same trace, in both
- * decode modes: ragged paged-attention (one decode call per step over
- * the whole running batch) and the legacy equal-context grouping it
- * replaces — the side-by-side is the batch-fragmentation study.
+ * the mean. Both scheduler policies run over the same trace through the
+ * page-pool ragged decode path (one pool-addressed call per step; the
+ * grouped baseline it replaced peaked at ~52 tok/s FCFS on this trace —
+ * see docs/BENCHMARKS.md history).
+ *
+ * A second scenario measures prefix sharing: N requests forking one
+ * prefilled system prompt must use measurably fewer pool pages than the
+ * same N requests without sharing, with copy-on-write keeping streams
+ * exact.
  *
  * Exit status is non-zero when the peak KV reservation exceeds the
- * budget, when ragged decode issues more than one decode call per step,
- * or when ragged FCFS fails to reach 2x the grouped FCFS tokens/s. The
- * final "decode replay hit-rate after warmup" line is the
- * bucketed-capture regression guard: scripts/check.sh parses it and
- * fails the tier-1 run when it reads below the documented 80% threshold.
+ * budget, when decode issues more than one call per step, when any run
+ * reports nonzero host-side cache relayout bytes (the zero-relayout
+ * invariant, DESIGN.md §5), when FCFS throughput regresses below the
+ * PR-4 ragged baseline (256 tok/s), or when prefix sharing fails to
+ * save pages. The final "decode replay hit-rate after warmup" line is
+ * the bucketed-capture regression guard: scripts/check.sh parses it and
+ * the relayout line and fails the tier-1 run on violation.
  */
 #include <algorithm>
 #include <iostream>
@@ -85,32 +92,45 @@ percentile(std::vector<double> values, double p)
     return values[idx];
 }
 
-TraceResult
-runTrace(const frontend::LlamaConfig& config,
-         const device::DeviceSpec& spec, serve::SchedulePolicy policy,
-         serve::DecodeMode mode, const std::vector<Arrival>& trace)
+frontend::CompileOptions
+compileOptionsFor(const device::DeviceSpec& spec)
 {
     frontend::CompileOptions options;
     options.device = spec;
-    // Bounds match the trace envelope (batch cap 8, prompts <= 256,
-    // contexts <= 256+32): static memory planning allocates worst-case
-    // activations up front, so loose bounds waste real VRAM budget.
-    options.bounds = {{"b", 8}, {"n", 256}, {"m", 320}};
+    // Bounds match the trace envelope (batch cap 8, prompts <= 256):
+    // static memory planning allocates worst-case activations up front,
+    // so loose bounds waste real VRAM budget. The page pool itself needs
+    // no bound — it is a function argument, not a planned allocation.
+    options.bounds = {{"b", 8}, {"n", 256}};
+    return options;
+}
 
+serve::EngineOptions
+engineOptionsFor(serve::SchedulePolicy policy)
+{
     serve::EngineOptions engine_options;
     engine_options.scheduler.policy = policy;
     engine_options.scheduler.maxBatchSize = 8;
     engine_options.kvBlockTokens = 16;
-    engine_options.decodeMode = mode;
     // graphBucketTokens stays 0 (auto): Engine::build aligns the
-    // execution-graph capture bucket to the 16-token KV block.
-    auto engine = serve::Engine::build(config, options,
-                                       /*data_mode=*/false, engine_options);
+    // execution-graph capture bucket to the 16-token KV page.
+    return engine_options;
+}
+
+TraceResult
+runTrace(const frontend::LlamaConfig& config,
+         const device::DeviceSpec& spec, serve::SchedulePolicy policy,
+         const std::vector<Arrival>& trace)
+{
+    serve::EngineOptions engine_options = engineOptionsFor(policy);
+    auto engine = serve::Engine::build(config, compileOptionsFor(spec),
+                                       /*data_mode=*/false,
+                                       engine_options);
     device::SimDevice& dev = engine->machine().dev();
 
     // Drive arrivals against the virtual clock: add what has arrived,
     // step while work exists, idle forward to the next arrival otherwise.
-    // The replay hit-rate is measured after a warmup of one KV block of
+    // The replay hit-rate is measured after a warmup of one KV page of
     // steps, once every early-bucket graph has had a chance to capture.
     const int64_t warmup_steps = engine_options.kvBlockTokens;
     int64_t warm_begins = 0, warm_replays = 0;
@@ -157,6 +177,49 @@ runTrace(const frontend::LlamaConfig& config,
     return result;
 }
 
+struct SharingResult
+{
+    int64_t peakPages = 0;
+    int64_t forks = 0;
+    int64_t cowCopies = 0;
+    int64_t relayoutBytes = 0;
+    int64_t prefillTokens = 0;
+};
+
+/**
+ * Shared-system-prompt scenario: one parent request prefills a 120-token
+ * prefix (deliberately mid-page, so copy-on-write fires); N followers
+ * with distinct 8-token tails then either fork the parent's pages
+ * (`with_fork`) or prefill from scratch.
+ */
+SharingResult
+runSharedPrefix(const frontend::LlamaConfig& config,
+                const device::DeviceSpec& spec, bool with_fork)
+{
+    auto engine = serve::Engine::build(
+        config, compileOptionsFor(spec), /*data_mode=*/false,
+        engineOptionsFor(serve::SchedulePolicy::kFCFS));
+    const int followers = 6;
+    std::vector<int64_t> prefix(120, 1);
+    serve::RequestId parent = engine->addRequest(prefix, 40);
+    engine->step(); // parent prefills; its prefix pages are committed
+    for (int i = 0; i < followers; ++i) {
+        std::vector<int64_t> prompt = prefix;
+        for (int t = 0; t < 8; ++t) prompt.push_back(2 + i);
+        engine->addRequest(prompt, 24, /*stop_token=*/-1,
+                           /*arrival_us=*/-1.0,
+                           with_fork ? parent : -1);
+    }
+    engine->run();
+    SharingResult result;
+    result.peakPages = engine->kv().peakPages();
+    result.forks = engine->kv().forkCount();
+    result.cowCopies = engine->kv().cowCopies();
+    result.relayoutBytes = engine->stats().relayoutBytes;
+    result.prefillTokens = engine->stats().prefillTokens;
+    return result;
+}
+
 } // namespace
 
 int
@@ -169,6 +232,9 @@ main()
     const int64_t max_new_tokens = 32;
     const double requests_per_sec = 10.0;
     const unsigned trace_seed = 42;
+    // PR-4's ragged FCFS baseline on this exact trace; the page-pool
+    // refactor must not regress it.
+    const double min_fcfs_toks = 256.0;
 
     std::cout << "Serving throughput: " << config.name << " on "
               << spec.name << ", " << num_requests
@@ -176,71 +242,85 @@ main()
               << " new tokens each), Poisson arrivals at "
               << requests_per_sec
               << " req/s (seed " << trace_seed
-              << "), continuous batching\n\n";
+              << "), continuous batching, page-pool ragged decode\n\n";
 
     std::vector<Arrival> trace =
         makeTrace(num_requests, max_new_tokens, requests_per_sec,
                   trace_seed);
 
-    TablePrinter table({"decode", "policy", "tok/s", "makespan s",
-                        "TTFT p50 ms", "TTFT p99 ms", "mean TTFT ms",
-                        "replay hit %", "steps", "decode calls",
-                        "evictions", "peak KV MB"});
+    TablePrinter table({"policy", "tok/s", "makespan s", "TTFT p50 ms",
+                        "TTFT p99 ms", "mean TTFT ms", "replay hit %",
+                        "steps", "decode calls", "evictions",
+                        "peak KV MB"});
     double min_hit_rate = 1.0;
-    double ragged_fcfs_toks = 0.0, grouped_fcfs_toks = 0.0;
-    for (serve::DecodeMode mode :
-         {serve::DecodeMode::kRagged, serve::DecodeMode::kGrouped}) {
-        for (serve::SchedulePolicy policy :
-             {serve::SchedulePolicy::kFCFS,
-              serve::SchedulePolicy::kShortestPromptFirst}) {
-            TraceResult result =
-                runTrace(config, spec, policy, mode, trace);
-            const serve::EngineStats& stats = result.stats;
-            if (stats.peakKvBytes > result.kvBudget) {
-                std::cerr << "FAIL: peak KV " << stats.peakKvBytes
-                          << " exceeds budget " << result.kvBudget << "\n";
-                return 1;
-            }
-            bool ragged = mode == serve::DecodeMode::kRagged;
-            bool fcfs = policy == serve::SchedulePolicy::kFCFS;
-            if (ragged && stats.decodeBatches > stats.steps) {
-                // Every step must cover the whole running batch with one
-                // ragged call (steps without running sequences issue none).
-                std::cerr << "FAIL: ragged decode issued "
-                          << stats.decodeBatches << " decode calls over "
-                          << stats.steps << " steps\n";
-                return 1;
-            }
-            if (ragged && fcfs) ragged_fcfs_toks = stats.tokensPerSec();
-            if (!ragged && fcfs) grouped_fcfs_toks = stats.tokensPerSec();
-            min_hit_rate = std::min(min_hit_rate, result.warmHitRate);
-            table.addRow(
-                {ragged ? "ragged" : "grouped",
-                 fcfs ? "fcfs" : "shortest-prompt",
-                 TablePrinter::fmt(stats.tokensPerSec(), 1),
-                 TablePrinter::fmt(result.makespanUs / 1e6, 2),
-                 TablePrinter::fmt(result.p50TtftUs / 1e3, 2),
-                 TablePrinter::fmt(result.p99TtftUs / 1e3, 2),
-                 TablePrinter::fmt(stats.meanTtftUs() / 1e3, 2),
-                 TablePrinter::fmt(result.warmHitRate * 100.0, 1),
-                 std::to_string(stats.steps),
-                 std::to_string(stats.decodeBatches),
-                 std::to_string(stats.evictions),
-                 TablePrinter::fmt((double)stats.peakKvBytes / (1 << 20),
-                                   1)});
+    double fcfs_toks = 0.0;
+    int64_t total_relayout = 0;
+    for (serve::SchedulePolicy policy :
+         {serve::SchedulePolicy::kFCFS,
+          serve::SchedulePolicy::kShortestPromptFirst}) {
+        TraceResult result = runTrace(config, spec, policy, trace);
+        const serve::EngineStats& stats = result.stats;
+        if (stats.peakKvBytes > result.kvBudget) {
+            std::cerr << "FAIL: peak KV " << stats.peakKvBytes
+                      << " exceeds budget " << result.kvBudget << "\n";
+            return 1;
         }
+        if (stats.decodeBatches > stats.steps) {
+            // Every step must cover the whole running batch with one
+            // ragged call (steps without running sequences issue none).
+            std::cerr << "FAIL: ragged decode issued "
+                      << stats.decodeBatches << " decode calls over "
+                      << stats.steps << " steps\n";
+            return 1;
+        }
+        bool fcfs = policy == serve::SchedulePolicy::kFCFS;
+        if (fcfs) fcfs_toks = stats.tokensPerSec();
+        min_hit_rate = std::min(min_hit_rate, result.warmHitRate);
+        total_relayout += stats.relayoutBytes;
+        table.addRow(
+            {fcfs ? "fcfs" : "shortest-prompt",
+             TablePrinter::fmt(stats.tokensPerSec(), 1),
+             TablePrinter::fmt(result.makespanUs / 1e6, 2),
+             TablePrinter::fmt(result.p50TtftUs / 1e3, 2),
+             TablePrinter::fmt(result.p99TtftUs / 1e3, 2),
+             TablePrinter::fmt(stats.meanTtftUs() / 1e3, 2),
+             TablePrinter::fmt(result.warmHitRate * 100.0, 1),
+             std::to_string(stats.steps),
+             std::to_string(stats.decodeBatches),
+             std::to_string(stats.evictions),
+             TablePrinter::fmt((double)stats.peakKvBytes / (1 << 20),
+                               1)});
     }
     table.print();
     std::cout << "\npeak KV stayed within the device VRAM budget\n";
-    double speedup = grouped_fcfs_toks > 0
-                         ? ragged_fcfs_toks / grouped_fcfs_toks
-                         : 0.0;
-    std::cout << "ragged vs grouped decode (fcfs): "
-              << TablePrinter::fmt(ragged_fcfs_toks, 1) << " vs "
-              << TablePrinter::fmt(grouped_fcfs_toks, 1) << " tok/s ("
-              << TablePrinter::fmt(speedup, 2) << "x)\n";
-    if (speedup < 2.0) {
-        std::cerr << "FAIL: ragged decode under 2x grouped throughput\n";
+
+    // Prefix-sharing scenario: forked followers must use fewer pool
+    // pages (and prefill fewer tokens) than the no-sharing baseline.
+    SharingResult shared = runSharedPrefix(config, spec, true);
+    SharingResult baseline = runSharedPrefix(config, spec, false);
+    total_relayout += shared.relayoutBytes + baseline.relayoutBytes;
+    std::cout << "shared system prompt (6 forks of a 120-token prefix): "
+              << shared.peakPages << " vs " << baseline.peakPages
+              << " peak pool pages (no sharing), " << shared.forks
+              << " forks, " << shared.cowCopies << " COW copies, "
+              << shared.prefillTokens << " vs " << baseline.prefillTokens
+              << " prefill tokens\n";
+    if (shared.forks < 1 || shared.peakPages >= baseline.peakPages) {
+        std::cerr << "FAIL: prefix sharing did not save pool pages\n";
+        return 1;
+    }
+
+    std::cout << "host cache relayout bytes: " << total_relayout << "\n";
+    if (total_relayout != 0) {
+        std::cerr << "FAIL: page-pool serving copied cache bytes on the "
+                     "host\n";
+        return 1;
+    }
+    std::cout << "fcfs throughput: " << TablePrinter::fmt(fcfs_toks, 1)
+              << " tok/s (floor " << TablePrinter::fmt(min_fcfs_toks, 1)
+              << ")\n";
+    if (fcfs_toks < min_fcfs_toks) {
+        std::cerr << "FAIL: FCFS throughput below the ragged baseline\n";
         return 1;
     }
     std::cout << "decode replay hit-rate after warmup: "

@@ -1,11 +1,13 @@
 /**
  * @file
- * Continuous-batching LLM serving on the tiny model with real data: two
- * concurrent requests with different prompt lengths run through the
- * serve::Engine against one compiled executable — the engine batches
- * their decode steps into single symbolic-batch calls, grows each
- * sequence's paged KV cache, and reports per-request latency stats, all
- * on the simulated device's virtual clock.
+ * Continuous-batching LLM serving on the tiny model with real data:
+ * three concurrent requests run through the serve::Engine against one
+ * compiled executable and one persistent KV page pool — the engine
+ * batches their decode steps into single pool-addressed calls, the
+ * third request forks the first one's prompt prefix (a shared system
+ * prompt: it reuses the parent's pool pages and prefills only its own
+ * tail, with copy-on-write keeping both streams exact), and per-request
+ * latency stats come off the simulated device's virtual clock.
  */
 #include <iostream>
 
@@ -24,14 +26,27 @@ main()
 
     serve::EngineOptions engine_options;
     engine_options.scheduler.maxBatchSize = 4;
+    engine_options.kvBlockTokens = 4;
     auto engine = serve::Engine::build(config, options, /*data_mode=*/true,
                                        engine_options);
 
     // Two requests with different prompt lengths arrive together; the
-    // engine prefills each, then decodes them as one batch whenever their
-    // context lengths line up.
-    engine->addRequest({3, 1, 4, 1}, /*max_new_tokens=*/8);
+    // engine prefills each straight into pool pages, then decodes them
+    // as one ragged batch per step whatever their context lengths.
+    std::vector<int64_t> system_prompt = {3, 1, 4, 1, 5};
+    serve::RequestId parent =
+        engine->addRequest(system_prompt, /*max_new_tokens=*/8);
     engine->addRequest({2, 7}, /*max_new_tokens=*/6);
+    engine->step(); // prefill both; the parent's prefix pages commit
+
+    // A third request shares the system prompt: fork_of maps it onto the
+    // parent's pool pages, so only its 2-token tail is prefilled.
+    std::vector<int64_t> forked_prompt = system_prompt;
+    forked_prompt.push_back(9);
+    forked_prompt.push_back(2);
+    engine->addRequest(forked_prompt, /*max_new_tokens=*/6,
+                       /*stop_token=*/-1, /*arrival_us=*/-1.0,
+                       /*fork_of=*/parent);
     const serve::EngineStats& stats = engine->run();
 
     for (const serve::FinishedRequest& done : engine->collect()) {
@@ -47,7 +62,18 @@ main()
               << stats.prefillBatches << " prefill + "
               << stats.decodeBatches << " decode batches, "
               << stats.tokensGenerated << " tokens, peak KV "
-              << stats.peakKvBytes << " bytes\n";
+              << stats.peakKvBytes << " bytes ("
+              << engine->kv().peakPages() << " pool pages)\n";
+    std::cout << "prefix sharing: " << engine->kv().forkCount()
+              << " fork(s), " << engine->kv().cowCopies()
+              << " copy-on-write page cop"
+              << (engine->kv().cowCopies() == 1 ? "y" : "ies")
+              << ", host cache relayout bytes "
+              << stats.relayoutBytes << "\n";
+    if (stats.relayoutBytes != 0) {
+        std::cerr << "llm_serving: FAILED (host relayout)\n";
+        return 1;
+    }
     std::cout << "llm_serving: OK\n";
     return 0;
 }

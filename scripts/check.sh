@@ -34,6 +34,23 @@ echo "== bench smoke: serve throughput"
 serve_out="$(./bench_serve_throughput)"
 printf '%s\n' "$serve_out"
 
+# Zero-relayout gate (DESIGN.md §5): the page-pool serving path must
+# never copy cache bytes on the host — EngineStats.relayoutBytes is a
+# tripwire that any future host-side cache stack/split/pad must
+# increment, and this gate turns tripping it into a tier-1 failure.
+relayout="$(printf '%s\n' "$serve_out" |
+  sed -n 's/^host cache relayout bytes: \([0-9]*\)$/\1/p' | tail -1)"
+if [[ -z "$relayout" ]]; then
+  echo "FAIL: bench_serve_throughput did not report relayout bytes" >&2
+  exit 1
+fi
+if [[ "$relayout" != 0 ]]; then
+  echo "FAIL: serving relayouted ${relayout} cache bytes on the host" \
+       "(page-pool decode must relayout none)" >&2
+  exit 1
+fi
+echo "zero-relayout gate passed (0 host cache bytes copied)"
+
 # Regression guard for bucketed execution-graph capture: steady-state
 # decode must replay captured graphs at the documented >= 80% post-warmup
 # rate (docs/BENCHMARKS.md). Anything lower means the serving path is

@@ -1,9 +1,11 @@
 /**
  * @file
  * Llama-family model builder: the named configs (llama3_8b ... tiny)
- * with weight/KV-cache byte accounting, and buildLlama, which emits
- * prefill and decode graph functions over symbolic batch / sequence /
- * cache-length variables through the BlockBuilder. makeLlamaWeights
+ * with weight/KV-cache byte accounting, and buildLlama, which emits the
+ * dense prefill/decode graph functions plus the pool-addressed
+ * decode_ragged serving function (persistent KV page pools gathered
+ * through the block table, in-place appends) over symbolic batch /
+ * sequence / pool variables through the BlockBuilder. makeLlamaWeights
  * fabricates parameter tensors (optionally metadata-only for timing
  * mode).
  */
@@ -195,19 +197,24 @@ class LlamaBuilder
         PrimExpr b = config_.fixedBatch > 0
                          ? PrimExpr(intImm(config_.fixedBatch))
                          : PrimExpr(bvar);
-        SymVar n = is_decode ? SymVar() : var("n");
-        SymVar m = is_decode ? var("m") : SymVar();
-        PrimExpr seq = is_decode ? PrimExpr(intImm(1)) : PrimExpr(n);
+        // The ragged pool function takes a symbolic fresh-token count n
+        // like prefill: n = 1 is the steady-state decode step, n > 1 is
+        // pool-writing (continued) prefill of a prompt chunk.
+        SymVar n = kind == FnKind::kDecode ? SymVar() : var("n");
+        SymVar m = kind == FnKind::kDecode ? var("m") : SymVar();
+        PrimExpr seq = kind == FnKind::kDecode ? PrimExpr(intImm(1))
+                                               : PrimExpr(n);
 
         Var ids = makeVar(
             "ids", tensorSInfo({b, seq}, DataType::i64()));
         params_.push_back(ids);
         if (ragged_) {
-            // Ragged decode contract: the padded cache length m is shared,
-            // each sequence's true context length rides in `seq_lens`
-            // (a host-side integer tensor, the paper's cross-level
-            // dynamism), and `block_table` [b, w] names the KV pages
-            // backing each logical block (page size = m / w).
+            // Page-pool ragged contract: each sequence's true context
+            // length rides in `seq_lens` (a host-side integer tensor, the
+            // paper's cross-level dynamism) and doubles as the write
+            // offset for the fresh tokens; `block_table` [b, w] names the
+            // physical pool pages backing each logical block. Page size
+            // comes from the pool shape, never from a padded length.
             seqLens_ = makeVar("seq_lens",
                                tensorSInfo({b}, DataType::i64()));
             params_.push_back(seqLens_);
@@ -216,20 +223,33 @@ class LlamaBuilder
                                   tensorSInfo({b, w}, DataType::i64()));
             params_.push_back(blockTable_);
         }
-        // Caches precede weights for decode.
+        // Caches precede weights for decode. The ragged function takes
+        // one persistent page-pool tensor [p, h, c, d] per layer per k/v
+        // (p pages of c positions), owned by the serving KVCacheManager
+        // as VM persistent storage; the legacy dense decode keeps the
+        // per-call [b, h, m, d] layout.
         std::vector<Var> k_caches, v_caches;
         if (is_decode) {
+            SymVar pool_pages = ragged_ ? var("p") : SymVar();
+            SymVar pool_block = ragged_ ? var("c") : SymVar();
             for (int64_t layer = 0; layer < config_.numLayers; ++layer) {
+                StructInfo cache_sinfo =
+                    ragged_ ? tensorSInfo({pool_pages,
+                                           intImm(config_.numHeads),
+                                           pool_block,
+                                           intImm(config_.headDim)},
+                                          dtype_)
+                            : tensorSInfo({b, intImm(config_.numHeads), m,
+                                           intImm(config_.headDim)},
+                                          dtype_);
                 k_caches.push_back(makeVar(
-                    "k_cache" + std::to_string(layer),
-                    tensorSInfo({b, intImm(config_.numHeads), m,
-                                 intImm(config_.headDim)},
-                                dtype_)));
+                    (ragged_ ? "k_pool" : "k_cache") +
+                        std::to_string(layer),
+                    cache_sinfo));
                 v_caches.push_back(makeVar(
-                    "v_cache" + std::to_string(layer),
-                    tensorSInfo({b, intImm(config_.numHeads), m,
-                                 intImm(config_.headDim)},
-                                dtype_)));
+                    (ragged_ ? "v_pool" : "v_cache") +
+                        std::to_string(layer),
+                    cache_sinfo));
                 params_.push_back(k_caches.back());
                 params_.push_back(v_caches.back());
             }
@@ -364,19 +384,23 @@ class LlamaBuilder
 
         Expr k_full = k, v_full = v;
         if (is_decode && ragged_) {
-            // Ragged paged append: the new position lands at each
-            // sequence's own length offset inside the padded layout; the
-            // cache shape does not change (m already covers the append).
+            // In-place page-pool append: scatter this call's fresh K/V
+            // into the persistent pool pages named by the block table at
+            // each sequence's own length offset. `inplace_arg = 0` makes
+            // the DPS output alias the pool argument, so the append
+            // allocates nothing and copies nothing — the zero-relayout
+            // contract of the serving path.
             const auto* cache_info = asTensor(k_cache->structInfo());
-            StructInfo appended = tensorSInfo(*cache_info->shape, dtype_);
-            k_full = builder.emit(
-                callDPSLibrary("kv.append_ragged", {k_cache, k, seqLens_},
-                               appended),
-                prefix + "k_full");
-            v_full = builder.emit(
-                callDPSLibrary("kv.append_ragged", {v_cache, v, seqLens_},
-                               appended),
-                prefix + "v_full");
+            Call k_append = callDPSLibrary(
+                "kv.append_ragged", {k_cache, k, seqLens_, blockTable_},
+                tensorSInfo(*cache_info->shape, dtype_));
+            k_append->attrs["inplace_arg"] = (int64_t)0;
+            k_full = builder.emit(k_append, prefix + "k_full");
+            Call v_append = callDPSLibrary(
+                "kv.append_ragged", {v_cache, v, seqLens_, blockTable_},
+                tensorSInfo(*cache_info->shape, dtype_));
+            v_append->attrs["inplace_arg"] = (int64_t)0;
+            v_full = builder.emit(v_append, prefix + "v_full");
         } else if (is_decode) {
             // Paged KV-cache append (runtime library, in-place semantics):
             // avoids copying the whole cache per step like a functional
@@ -542,89 +566,6 @@ splitBatch(const NDArray& batched)
         std::copy(batched.data().begin() + i * row,
                   batched.data().begin() + (i + 1) * row,
                   part.data().begin());
-        parts.push_back(std::move(part));
-    }
-    return parts;
-}
-
-NDArray
-stackBatchPadded(const std::vector<NDArray>& parts, int64_t target_len)
-{
-    RELAX_ICHECK(!parts.empty()) << "stackBatchPadded: no parts";
-    const NDArray& first = parts.front();
-    RELAX_ICHECK(first.shape().size() == 4 && first.shape()[0] == 1)
-        << "stackBatchPadded: parts must be [1, h, len, d]";
-    int64_t heads = first.shape()[1];
-    int64_t dim = first.shape()[3];
-    for (const NDArray& part : parts) {
-        RELAX_ICHECK(part.shape().size() == 4 && part.shape()[0] == 1 &&
-                     part.shape()[1] == heads && part.shape()[3] == dim)
-            << "stackBatchPadded: non-length dims must agree";
-        RELAX_ICHECK(part.shape()[2] <= target_len)
-            << "stackBatchPadded: row length " << part.shape()[2]
-            << " exceeds padded length " << target_len;
-        RELAX_ICHECK(part.dtype() == first.dtype())
-            << "stackBatchPadded: dtype mismatch";
-        RELAX_ICHECK(part.hasData() == first.hasData())
-            << "stackBatchPadded: mixed data/metadata parts";
-    }
-    std::vector<int64_t> shape{(int64_t)parts.size(), heads, target_len,
-                               dim};
-    if (!first.hasData()) return NDArray::metaOnly(shape, first.dtype());
-    NDArray batched = NDArray::zeros(shape, first.dtype());
-    for (size_t i = 0; i < parts.size(); ++i) {
-        const NDArray& part = parts[i];
-        int64_t len = part.shape()[2];
-        const auto& src = part.data();
-        for (int64_t head = 0; head < heads; ++head) {
-            for (int64_t j = 0; j < len; ++j) {
-                int64_t src_off = (head * len + j) * dim;
-                int64_t dst_off =
-                    (((int64_t)i * heads + head) * target_len + j) * dim;
-                std::copy(src.begin() + src_off,
-                          src.begin() + src_off + dim,
-                          batched.data().begin() + dst_off);
-            }
-        }
-    }
-    return batched;
-}
-
-std::vector<NDArray>
-splitBatchTrimmed(const NDArray& batched,
-                  const std::vector<int64_t>& lengths)
-{
-    RELAX_ICHECK(batched.shape().size() == 4)
-        << "splitBatchTrimmed: expected [b, h, m, d]";
-    int64_t b = batched.shape()[0];
-    int64_t heads = batched.shape()[1];
-    int64_t padded = batched.shape()[2];
-    int64_t dim = batched.shape()[3];
-    RELAX_ICHECK((int64_t)lengths.size() == b)
-        << "splitBatchTrimmed: lengths size mismatch";
-    std::vector<NDArray> parts;
-    parts.reserve(b);
-    for (int64_t i = 0; i < b; ++i) {
-        int64_t len = lengths[i];
-        RELAX_ICHECK(len >= 0 && len <= padded)
-            << "splitBatchTrimmed: length " << len
-            << " outside padded length " << padded;
-        std::vector<int64_t> shape{1, heads, len, dim};
-        if (!batched.hasData()) {
-            parts.push_back(NDArray::metaOnly(shape, batched.dtype()));
-            continue;
-        }
-        NDArray part = NDArray::zeros(shape, batched.dtype());
-        for (int64_t head = 0; head < heads; ++head) {
-            for (int64_t j = 0; j < len; ++j) {
-                int64_t src_off =
-                    ((i * heads + head) * padded + j) * dim;
-                int64_t dst_off = (head * len + j) * dim;
-                std::copy(batched.data().begin() + src_off,
-                          batched.data().begin() + src_off + dim,
-                          part.data().begin() + dst_off);
-            }
-        }
         parts.push_back(std::move(part));
     }
     return parts;

@@ -64,12 +64,25 @@ struct LlamaConfig
 };
 
 /**
- * Builds the model module with `prefill` and `decode` functions.
+ * Builds the model module with `prefill`, `decode` and `decode_ragged`
+ * functions.
  *
  *   prefill(ids [b, n], weights...) ->
  *       (logits [b, n, V], k_0 [b, h, n, d], v_0, ..., k_L-1, v_L-1)
  *   decode(ids [b, 1], k_0 [b, h, m, d], v_0, ..., weights...) ->
  *       (logits [b, 1, V], k_0' [b, h, m+1, d], v_0', ...)
+ *   decode_ragged(ids [b, n], seq_lens [b] i64, block_table [b, w] i64,
+ *                 k_pool_0 [p, h, c, d], v_pool_0, ..., weights...) ->
+ *       (logits [b, n, V], k_pool_0', v_pool_0', ...)
+ *
+ * `prefill`/`decode` are the dense per-call cache layout the figure
+ * benches compile. `decode_ragged` is the serving entry point: every
+ * cache access gathers/scatters through the persistent KV page pools
+ * (p physical pages of c positions per layer per k/v) via the block
+ * table, n = 1 is a steady-state decode step, and n > 1 prefills a
+ * prompt chunk straight into pool pages starting at each row's
+ * seq_lens[i] offset. The returned pools alias the inputs (in-place
+ * append) — nothing is allocated or copied per call.
  *
  * `weight_names` receives the parameter order after the data inputs, so
  * callers can construct matching argument lists.
@@ -81,14 +94,15 @@ ir::IRModulePtr buildLlama(const LlamaConfig& config,
 std::vector<NDArray> makeLlamaWeights(const LlamaConfig& config,
                                       bool with_data, unsigned seed = 7);
 
-// --- batched-decode cache layout helpers (serving engine) -----------------
+// --- batched input layout helpers (serving engine) ------------------------
 //
-// The compiled `decode` function takes one [b, h, m, d] cache tensor per
-// layer, while a serving engine tracks caches per sequence ([1, h, m, d]).
-// These helpers convert between the two layouts: stack gathers equal-shape
-// per-sequence tensors into one batched tensor before the call, split
-// scatters the updated batched caches back afterwards. Metadata-only
-// tensors (timing mode) stack/split without touching data.
+// The serving engine marshals per-request token ids into the rectangular
+// [b, n] tensor the compiled functions take. Cache data never moves on
+// the host: it lives in the persistent page pools the KVCacheManager
+// owns, and every compiled call addresses it through the block table
+// (EngineStats::relayoutBytes pins the decode path to zero host-side
+// cache copies). stackBatch/splitBatch remain for small host metadata
+// and for the dense legacy `decode` layout the figure benches use.
 
 /** Stacks per-sequence [1, rest...] tensors into one [b, rest...] tensor.
  *  All parts must agree on trailing shape, dtype and data/meta mode. */
@@ -96,26 +110,6 @@ NDArray stackBatch(const std::vector<NDArray>& parts);
 
 /** Splits a batched [b, rest...] tensor into b copies of [1, rest...]. */
 std::vector<NDArray> splitBatch(const NDArray& batched);
-
-// --- ragged-decode cache layout helpers -----------------------------------
-//
-// The ragged decode function takes one padded [b, h, m, d] cache per layer
-// whose rows hold unequal true lengths (the `seq_lens` vector). These
-// helpers convert between per-sequence exact caches [1, h, len_i, d] and
-// the padded batched layout: stack zero-pads every row's length axis up to
-// the shared padded length, split trims each row back to its true length.
-// Like stackBatch/splitBatch this is a host-side simulation artifact — the
-// modeled production system keeps pages in place and indexes them.
-
-/** Stacks per-sequence [1, h, len_i, d] caches into one [b, h, target_len,
- *  d] tensor, zero-padding each row's axis-2 tail. */
-NDArray stackBatchPadded(const std::vector<NDArray>& parts,
-                         int64_t target_len);
-
-/** Splits a padded [b, h, m, d] cache into b tensors [1, h, lengths[i], d],
- *  dropping each row's padding tail. */
-std::vector<NDArray> splitBatchTrimmed(const NDArray& batched,
-                                       const std::vector<int64_t>& lengths);
 
 } // namespace frontend
 } // namespace relax

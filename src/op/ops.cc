@@ -433,6 +433,10 @@ ensureOpsRegistered()
         }
 
         {
+            // Page-pool ragged attention: q [b,h,n,d] gathers keys/values
+            // from persistent per-layer pools [p,h,c,d] through the
+            // [b,w] block table; lens [b] carries per-sequence context
+            // lengths as data (the cross-level host tensor).
             ir::OpInfo& info = reg.registerOp("relax.attention_ragged");
             info.inferStructInfo = [](const CallNode& call) {
                 const auto* q = argTensor(call, 0, "attention_ragged");
@@ -444,8 +448,11 @@ ensureOpsRegistered()
                 if (!q->shape || !k->shape || !v->shape) {
                     return ir::tensorSInfoNDim(4, dtype);
                 }
-                RELAX_ICHECK(q->shape->size() == 4)
-                    << "attention_ragged is 4-D";
+                RELAX_ICHECK(q->shape->size() == 4 &&
+                             k->shape->size() == 4 &&
+                             v->shape->size() == 4)
+                    << "attention_ragged expects q [b,h,n,d] and "
+                       "pools [p,h,c,d]";
                 if (lens->shape) {
                     RELAX_ICHECK(lens->shape->size() == 1)
                         << "attention_ragged: lens must be [b]";
@@ -457,7 +464,8 @@ ensureOpsRegistered()
                 Analyzer analyzer;
                 if (!analyzer.proveEqual((*k->shape)[2], (*v->shape)[2])) {
                     RELAX_THROW(ShapeError)
-                        << "attention_ragged: K and V padded lengths differ";
+                        << "attention_ragged: K and V pool page sizes "
+                           "differ";
                 }
                 std::vector<PrimExpr> out{(*q->shape)[0], (*q->shape)[1],
                                           (*q->shape)[2], (*v->shape)[3]};

@@ -667,14 +667,17 @@ makeRaggedAttentionFunc(const std::string& name,
 {
     RELAX_ICHECK(q_shape.size() == 4 && k_shape.size() == 4 &&
                  v_shape.size() == 4)
-        << "ragged attention expects [b, h, seq, dim] operands";
+        << "ragged attention expects q [b,h,n,d] and pools [p,h,c,d]";
     RELAX_ICHECK(lens_shape.size() == 1 && table_shape.size() == 2)
         << "ragged attention expects lens [b] and table [b, w]";
     PrimExpr b = q_shape[0], h = q_shape[1], n = q_shape[2], d = q_shape[3];
-    PrimExpr m = k_shape[2], dv = v_shape[3];
-    // Page size in cache positions: the padded length m is always an
-    // exact multiple of the block-table width w (engine contract).
-    PrimExpr page = floordiv(m, table_shape[1]);
+    PrimExpr w = table_shape[1], dv = v_shape[3];
+    // Page size in cache positions comes straight from the pool layout;
+    // the table maps w logical blocks per row, so keys range over
+    // m = w * c positions.
+    PrimExpr page = k_shape[2];
+    Analyzer analyzer;
+    PrimExpr m = analyzer.simplify(mul(w, page));
 
     Buffer q = makeBuffer("Q", dtype, q_shape);
     Buffer k = makeBuffer("K", dtype, k_shape);
@@ -688,8 +691,8 @@ makeRaggedAttentionFunc(const std::string& name,
 
     // Key j is visible to query (i-th row, position p) iff it lies inside
     // the row's ragged prefix (j <= lens[i] + p) AND its page is mapped in
-    // the block table (>= 0). The table lookup routes every key access
-    // through the paged indirection, so its footprint is priced.
+    // the block table (>= 0). Every key/value access gathers through
+    // pool[table[i][j / c]]: the table is the address path, not a hint.
     auto visible = [&](const PrimExpr& bi, const PrimExpr& pi,
                        const PrimExpr& ji) {
         PrimExpr in_prefix = le(ji, add(bufferLoad(lens, {bi}), pi));
@@ -697,8 +700,14 @@ makeRaggedAttentionFunc(const std::string& name,
             ge(bufferLoad(table, {bi, floordiv(ji, page)}), intImm(0));
         return logicalAnd(in_prefix, mapped);
     };
+    // Physical page holding key j of row i, clamped so unmapped (-1)
+    // entries stay in bounds — their keys are masked out by `visible`.
+    auto pageOf = [&](const PrimExpr& bi, const PrimExpr& ji) {
+        return maxExpr(bufferLoad(table, {bi, floordiv(ji, page)}),
+                       intImm(0));
+    };
 
-    // scores = scale * q @ k^T, masked to the ragged prefix
+    // scores = scale * q @ k^T, keys gathered from the pool
     Var b1 = var("b"), h1 = var("h"), i1 = var("i"), j1 = var("j"),
         r1 = var("r");
     Stmt sc_init = makeIf(eq(r1, intImm(0)),
@@ -707,7 +716,8 @@ makeRaggedAttentionFunc(const std::string& name,
         scores, {b1, h1, i1, j1},
         add(bufferLoad(scores, {b1, h1, i1, j1}),
             mul(bufferLoad(q, {b1, h1, i1, r1}),
-                bufferLoad(k, {b1, h1, j1, r1}))));
+                bufferLoad(k, {pageOf(b1, j1), h1, floormod(j1, page),
+                               r1}))));
     PrimExpr scaled = select(visible(b1, i1, j1),
                              mul(bufferLoad(scores, {b1, h1, i1, j1}),
                                  floatImm(scale)),
@@ -753,7 +763,8 @@ makeRaggedAttentionFunc(const std::string& name,
     Stmt out_acc =
         makeStore(y, {b4, h4, i4, c4},
                   add(bufferLoad(y, {b4, h4, i4, c4}),
-                      mul(prob, bufferLoad(v, {b4, h4, j4, c4}))));
+                      mul(prob, bufferLoad(v, {pageOf(b4, j4), h4,
+                                               floormod(j4, page), c4}))));
     Stmt pass_out = nestLoops({b4, h4, i4, c4, j4}, {b, h, n, dv, m},
                               makeSeq({out_init, out_acc}));
 
@@ -769,29 +780,39 @@ makeRaggedAttentionFunc(const std::string& name,
 
 tir::PrimFunc
 makeKvAppendRaggedFunc(const std::string& name,
-                       const std::vector<PrimExpr>& cache_shape,
                        const std::vector<PrimExpr>& fresh_shape,
                        const std::vector<PrimExpr>& lens_shape,
+                       const std::vector<PrimExpr>& table_shape,
+                       const std::vector<PrimExpr>& pool_shape,
                        DataType dtype)
 {
-    RELAX_ICHECK(cache_shape.size() == 4 && fresh_shape.size() == 4 &&
-                 lens_shape.size() == 1)
-        << "ragged append expects cache [b,h,m,d], fresh [b,h,1,d], "
-           "lens [b]";
-    Buffer cache = makeBuffer("CACHE", dtype, cache_shape);
+    RELAX_ICHECK(fresh_shape.size() == 4 && pool_shape.size() == 4 &&
+                 lens_shape.size() == 1 && table_shape.size() == 2)
+        << "pool append expects fresh [b,h,n,d], lens [b], table [b,w], "
+           "pool [p,h,c,d]";
     Buffer fresh = makeBuffer("FRESH", dtype, fresh_shape);
     Buffer lens = makeBuffer("LENS", DataType::i64(), lens_shape);
-    Buffer out = makeBuffer("OUT", dtype, cache_shape);
+    Buffer table = makeBuffer("TABLE", DataType::i64(), table_shape);
+    Buffer pool = makeBuffer("POOL", dtype, pool_shape);
+    PrimExpr page = pool_shape[2];
 
+    // Pure scatter: fresh token j of row i lands at global position
+    // lens[i] + j, i.e. pool[table[i][pos / c], h, pos % c, d]. No other
+    // pool position is touched — the in-place append copies nothing.
     Var bi = var("b"), hi = var("h"), ji = var("j"), di = var("d");
-    PrimExpr value = select(eq(ji, bufferLoad(lens, {bi})),
-                            bufferLoad(fresh, {bi, hi, intImm(0), di}),
-                            bufferLoad(cache, {bi, hi, ji, di}));
+    PrimExpr pos = add(bufferLoad(lens, {bi}), ji);
+    PrimExpr entry = bufferLoad(table, {bi, floordiv(pos, page)});
+    Stmt store = makeStore(pool,
+                           {maxExpr(entry, intImm(0)), hi,
+                            floormod(pos, page), di},
+                           bufferLoad(fresh, {bi, hi, ji, di}));
+    // An unmapped page at a write position is an engine bug; guarding the
+    // store keeps the reference kernel memory-safe regardless.
     Stmt body = nestLoops({bi, hi, ji, di},
-                          {cache_shape[0], cache_shape[1], cache_shape[2],
-                           cache_shape[3]},
-                          makeStore(out, {bi, hi, ji, di}, value));
-    return makePrimFunc(name, {cache, fresh, lens, out}, body);
+                          {fresh_shape[0], fresh_shape[1], fresh_shape[2],
+                           fresh_shape[3]},
+                          makeIf(ge(entry, intImm(0)), store));
+    return makePrimFunc(name, {fresh, lens, table, pool}, body);
 }
 
 tir::PrimFunc

@@ -116,17 +116,19 @@ tir::PrimFunc makeAttentionFunc(const std::string& name,
                                 double scale, bool causal, DataType dtype);
 
 /**
- * Ragged (paged) scaled-dot-product attention for the serving decode
- * path: q [b,h,n,d] attends per-sequence prefixes of a padded cache
- * k/v [b,h,m,dv]. `lens` [b] (i64) holds each sequence's true context
- * length; row i of q's query p attends keys j <= lens[i] + p, so one
- * call covers a batch of sequences with unequal contexts. `table`
- * [b,w] (i64) is the paged-KV block table: entry (i, j / (m/w)) names
- * the physical page backing logical block j/(m/w) (identity mapping in
- * the dense simulation layout, -1 past the sequence's last block), and
- * the kernel consults it for every key so the table's memory footprint
- * is priced. Positions past lens[i]+p (padding) are masked, which is
- * what makes the padded layout bit-identical to per-sequence calls.
+ * Page-pool ragged (paged) attention for the serving path: q [b,h,n,d]
+ * attends keys gathered from the persistent KV page pool k/v
+ * [p, h, c, d] (p physical pages of c positions each) through the block
+ * table. Key j of row i lives at `pool[table[i][j / c], h, j % c, :]` —
+ * every key/value access routes through the table indirection, so page
+ * size comes straight from the pool shape and the gathered footprint is
+ * what gets priced. `lens` [b] (i64) holds each sequence's true context
+ * length; query p of row i attends keys j <= lens[i] + p over the loop
+ * bound m = w * c, so one call covers a batch of sequences with unequal
+ * contexts (n > 1 doubles as chunked/continued prefill: query p sits at
+ * global position lens[i] + p). Keys whose page is unmapped (table entry
+ * -1) or past the ragged prefix are masked, which is what makes the
+ * pooled layout bit-identical to per-sequence dense calls.
  */
 tir::PrimFunc makeRaggedAttentionFunc(const std::string& name,
                                       const std::vector<PrimExpr>& q_shape,
@@ -137,14 +139,18 @@ tir::PrimFunc makeRaggedAttentionFunc(const std::string& name,
                                       double scale, DataType dtype);
 
 /**
- * Ragged KV-cache append: writes fresh [b,h,1,d] into the padded cache
- * [b,h,m,d] at per-sequence position lens[i] (everything else copies
- * through). The data-mode realization of the in-place paged append.
+ * Page-pool KV append: scatters fresh [b,h,n,d] into the pool
+ * [p, h, c, d] at positions lens[i] + j of each row i, addressed through
+ * the block table (`pool[table[i][(lens[i]+j) / c], h, (lens[i]+j) % c]`).
+ * Only the fresh positions are written — nothing is copied, the
+ * data-mode realization of the in-place paged append (n > 1 is the
+ * prefill ingest of a whole prompt chunk).
  */
 tir::PrimFunc makeKvAppendRaggedFunc(const std::string& name,
-                                     const std::vector<PrimExpr>& cache_shape,
                                      const std::vector<PrimExpr>& fresh_shape,
                                      const std::vector<PrimExpr>& lens_shape,
+                                     const std::vector<PrimExpr>& table_shape,
+                                     const std::vector<PrimExpr>& pool_shape,
                                      DataType dtype);
 
 /**

@@ -68,9 +68,11 @@ tryLowerToLibrary(const Expr& value, const TargetInfo& target)
         return lowered;
     }
     if (op_name == "relax.attention_ragged" && target.attentionLibrary) {
-        // Ragged paged attention maps to the library's varlen entry point
-        // (FlashAttention's paged-KV kernel); its cost is priced
-        // per-sequence from the length vector, not the padded shape.
+        // Page-pool ragged attention maps to the library's paged-KV
+        // varlen entry point (FlashAttention's paged kernel): keys and
+        // values gather from the persistent pool through the block
+        // table, and its cost is priced per-sequence from the length
+        // vector — never from the pool size.
         Call lowered =
             callDPSLibrary(*target.attentionLibrary + ".attention_ragged",
                            call->args, out_sinfo);

@@ -56,10 +56,31 @@ lowerBinding(const Binding& binding, std::vector<Binding>* out)
     std::vector<Expr> sym_args(call->args.end() - num_sym,
                                call->args.end());
 
-    // One allocation per output annotation.
+    // In-place DPS: a call annotated with `inplace_arg = i` writes its
+    // result into input i instead of a fresh allocation — the output var
+    // IS the input var, no alloc_tensor is emitted, and the VM's out
+    // argument aliases the input tensor (how the persistent KV page pool
+    // is mutated without ever being copied).
+    int64_t inplace_arg = -1;
+    if (auto attr = call->attrs.find("inplace_arg");
+        attr != call->attrs.end()) {
+        inplace_arg = std::get<int64_t>(attr->second);
+    }
+
+    // One allocation per output annotation (or the aliased input).
     std::vector<Var> outs;
-    for (const auto& sinfo : call->sinfoArgs) {
-        outs.push_back(emitAlloc(sinfo, out));
+    if (inplace_arg >= 0) {
+        RELAX_ICHECK(call->sinfoArgs.size() == 1)
+            << "inplace_arg supports exactly one output";
+        RELAX_ICHECK(inplace_arg < (int64_t)inputs.size() &&
+                     inputs[inplace_arg]->kind() == RxKind::kVar)
+            << "inplace_arg must name a variable input";
+        outs.push_back(
+            std::static_pointer_cast<VarNode>(inputs[inplace_arg]));
+    } else {
+        for (const auto& sinfo : call->sinfoArgs) {
+            outs.push_back(emitAlloc(sinfo, out));
+        }
     }
 
     std::vector<Expr> kernel_args;

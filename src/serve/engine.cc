@@ -1,10 +1,13 @@
 /**
  * @file
- * Engine implementation: the continuous-batching step loop — admission,
- * length-grouped batched prefill, then one ragged paged-attention decode
- * call over the whole running batch (or legacy equal-context-grouped
- * decode calls) with eviction under memory pressure — plus request
- * bookkeeping and the virtual-clock statistics (see engine.h).
+ * Engine implementation: the continuous-batching step loop — admission
+ * (with prefix-sharing forks), pool-writing prefill grouped by fresh
+ * token count, then one page-pool ragged decode call over the whole
+ * running batch with copy-on-write and eviction under memory pressure —
+ * plus request bookkeeping and the virtual-clock statistics (see
+ * engine.h). Cache data never moves on the host: both phases address the
+ * persistent pool through the block table, so EngineStats::relayoutBytes
+ * stays 0.
  */
 #include "serve/engine.h"
 
@@ -42,10 +45,21 @@ Engine::Engine(vm::ExecutablePtr exec,
     int64_t budget = options_.kvBudgetBytes;
     if (budget <= 0) {
         // Auto budget: what the device has left once weights are resident,
-        // with 20% headroom for activations, floored at one block.
+        // with 20% headroom for activations, floored at one block. The
+        // pool is allocated up front, so additionally cap the auto size
+        // at the addressable envelope: maxBatchSize sequences can never
+        // hold more than maxContext positions each (plus a block of
+        // rounding slack per slot). Paper-scale configs are far above
+        // this; it keeps tiny test configs from materializing gigabyte
+        // pools in data mode. An explicit kvBudgetBytes is respected
+        // as-is.
         budget = (int64_t)((double)(machine_->dev().spec().vramBytes -
                                     config_.weightBytes()) *
                            0.8);
+        int64_t usable = config_.kvBytesPerToken() *
+                         (config_.maxContext + options_.kvBlockTokens) *
+                         options_.scheduler.maxBatchSize;
+        budget = std::min(budget, usable);
     }
     budget = std::max(budget,
                       config_.kvBytesPerToken() * options_.kvBlockTokens);
@@ -60,9 +74,11 @@ Engine::build(const frontend::LlamaConfig& config,
 {
     frontend::CompileOptions copts = compile_options;
     if (copts.graphBucketTokens == 0) {
-        // Align graph-capture buckets with KV pages: a decode group's
-        // signature then changes only when it grows into a new block,
-        // so the steps in between replay one captured graph.
+        // Align graph-capture buckets with KV pages: the decode
+        // signature (b, n=1, table width) then changes only when the
+        // batch crosses a bucket class or the longest sequence grows
+        // into a new page, so the steps in between replay one captured
+        // graph.
         copts.graphBucketTokens = options.kvBlockTokens;
     }
     auto exec = frontend::compile(frontend::buildLlama(config), copts);
@@ -75,10 +91,20 @@ Engine::build(const frontend::LlamaConfig& config,
 
 RequestId
 Engine::addRequest(std::vector<int64_t> prompt, int64_t max_new_tokens,
-                   int64_t stop_token, double arrival_us)
+                   int64_t stop_token, double arrival_us,
+                   RequestId fork_of)
 {
     RELAX_ICHECK(!prompt.empty()) << "empty prompt";
     RELAX_ICHECK(max_new_tokens >= 1) << "maxNewTokens must be >= 1";
+    if ((int64_t)prompt.size() > config_.maxContext) {
+        // Reject at submission: the pool is sized to the model's context
+        // window, so an over-long prompt could never be admitted and
+        // would otherwise surface later as a confusing stall.
+        RELAX_THROW(RuntimeError)
+            << "prompt of " << prompt.size()
+            << " tokens exceeds the model context window ("
+            << config_.maxContext << ")";
+    }
     auto seq = std::make_shared<SequenceState>();
     seq->request.id = nextId_++;
     seq->request.promptTokens = std::move(prompt);
@@ -86,7 +112,18 @@ Engine::addRequest(std::vector<int64_t> prompt, int64_t max_new_tokens,
     seq->request.stopToken = stop_token;
     seq->stats.arrivalUs =
         arrival_us >= 0 ? arrival_us : machine_->dev().clockUs();
+    if (fork_of >= 0) {
+        RELAX_ICHECK(fork_of < seq->request.id)
+            << "fork_of " << fork_of << " never existed";
+        // Sharing is best-effort: a parent that has already been
+        // collected simply yields a full prefill (its pages are gone
+        // anyway), matching the degraded path for finished/evicted
+        // parents.
+        auto parent = byId_.find(fork_of);
+        if (parent != byId_.end()) seq->forkOf = parent->second;
+    }
     RequestId id = seq->request.id;
+    byId_[id] = seq;
     scheduler_.enqueue(std::move(seq));
     return id;
 }
@@ -133,7 +170,6 @@ Engine::finishSequence(const SequenceStatePtr& seq)
 {
     seq->phase = RequestPhase::kFinished;
     seq->stats.finishUs = machine_->dev().clockUs();
-    seq->caches.clear();
     kv_->release(seq->request.id);
     running_.erase(std::find(running_.begin(), running_.end(), seq));
     finished_.push_back(seq);
@@ -144,57 +180,113 @@ Engine::finishSequence(const SequenceStatePtr& seq)
 void
 Engine::evict(const SequenceStatePtr& victim)
 {
-    victim->caches.clear();
     victim->ctxLen = 0;
     kv_->release(victim->request.id);
     running_.erase(std::find(running_.begin(), running_.end(), victim));
     ++victim->stats.preemptions;
     ++stats_.evictions;
     // Back of the queue: generated tokens ride along and are re-prefilled
-    // on re-admission, so the output stream resumes where it stopped.
+    // on re-admission (re-forking a still-resident parent prefix), so the
+    // output stream resumes where it stopped.
     scheduler_.enqueue(victim);
+}
+
+void
+Engine::ensureWritable(const SequenceStatePtr& seq, int64_t tokens,
+                       int64_t write_start)
+{
+    // Capacity plus exclusive ownership of the write range; evict the
+    // most recently admitted sequence while the pool cannot provide it.
+    // Evicting a prefix-sharing reader can itself unshare the range, so
+    // the condition is re-checked every round.
+    if (seq->phase != RequestPhase::kRunning) return;
+    while (!kv_->canHoldWrite(seq->request.id, tokens, write_start)) {
+        SequenceStatePtr victim = Scheduler::pickVictim(running_);
+        RELAX_ICHECK(victim) << "no eviction victim";
+        if (victim == seq && running_.size() == 1) {
+            RELAX_THROW(RuntimeError)
+                << "KV budget (" << kv_->budgetBytes()
+                << " bytes) cannot grow the only running sequence to "
+                << tokens << " positions";
+        }
+        evict(victim);
+        if (victim == seq) return;
+    }
+    kv_->reserveWrite(seq->request.id, tokens, write_start);
+}
+
+NDArray
+Engine::invokeRagged(const std::vector<SequenceStatePtr>& batch,
+                     const std::vector<std::vector<int64_t>>& tokens)
+{
+    std::vector<NDArray> ids_rows;
+    std::vector<RequestId> order;
+    ids_rows.reserve(batch.size());
+    order.reserve(batch.size());
+    int64_t table_width = 1;
+    for (size_t row = 0; row < batch.size(); ++row) {
+        ids_rows.push_back(
+            idsTensor(tokens[row], machine_->dataMode()));
+        order.push_back(batch[row]->request.id);
+        table_width =
+            std::max(table_width, kv_->pagesOf(batch[row]->request.id));
+    }
+    // ids, lens and the block table are the only host-marshalled inputs;
+    // cache data stays in the pool (relayoutBytes stays 0 — any future
+    // host-side cache copy must be added to that counter).
+    std::vector<vm::Value> args;
+    args.emplace_back(frontend::stackBatch(ids_rows));
+    args.emplace_back(kv_->lengthsView(order));
+    args.emplace_back(kv_->blockTableView(order, table_width));
+    for (const NDArray& pool : kv_->poolTensors()) args.emplace_back(pool);
+    auto out = std::get<vm::TupleValuePtr>(
+        machine_->invoke("decode_ragged", withWeights(std::move(args))));
+    return std::get<NDArray>(out->fields[0]);
 }
 
 void
 Engine::prefillSequences(std::vector<SequenceStatePtr> seqs)
 {
-    // One symbolic-batch prefill call per prompt length (the compiled
-    // function requires a rectangular [b, n] id tensor).
-    std::map<int64_t, std::vector<SequenceStatePtr>> by_length;
+    // One pool-writing prefill call per fresh-token count (the compiled
+    // function requires a rectangular [b, n] id tensor). A forked
+    // sequence starts at its shared committed offset, so its fresh count
+    // is only the unshared prompt tail.
+    std::map<int64_t, std::vector<SequenceStatePtr>> by_fresh;
     for (SequenceStatePtr& seq : seqs) {
-        by_length[seq->prefillLength()].push_back(std::move(seq));
+        int64_t fresh =
+            seq->prefillLength() - kv_->committedTokens(seq->request.id);
+        by_fresh[fresh].push_back(std::move(seq));
     }
-    for (auto& [length, group] : by_length) {
-        std::vector<NDArray> ids_rows;
-        ids_rows.reserve(group.size());
+    for (auto& [fresh, group] : by_fresh) {
+        // Own the write range (copy-on-write for a shared partial page);
+        // may evict under pressure, so re-filter the group.
         for (const SequenceStatePtr& seq : group) {
-            ids_rows.push_back(
-                idsTensor(seq->prefillTokens(), machine_->dataMode()));
+            ensureWritable(seq, seq->prefillLength(),
+                           kv_->committedTokens(seq->request.id));
         }
-        auto out = std::get<vm::TupleValuePtr>(machine_->invoke(
-            "prefill", withWeights({frontend::stackBatch(ids_rows)})));
+        std::vector<SequenceStatePtr> batch;
+        std::vector<std::vector<int64_t>> tokens;
+        for (const SequenceStatePtr& seq : group) {
+            if (seq->phase != RequestPhase::kRunning) continue;
+            std::vector<int64_t> all = seq->prefillTokens();
+            int64_t start = kv_->committedTokens(seq->request.id);
+            tokens.emplace_back(all.begin() + start, all.end());
+            batch.push_back(seq);
+        }
+        if (batch.empty()) continue;
+
+        NDArray logits = invokeRagged(batch, tokens);
         ++stats_.prefillBatches;
-        stats_.prefillTokens += length * (int64_t)group.size();
+        stats_.prefillTokens += fresh * (int64_t)batch.size();
         stats_.prefillGraphBegins += machine_->lastRunStats().graphBegins;
         stats_.prefillGraphReplays +=
             machine_->lastRunStats().graphReplays;
 
-        const NDArray& logits = std::get<NDArray>(out->fields[0]);
-        size_t num_caches = out->fields.size() - 1;
-        std::vector<std::vector<NDArray>> split_caches(num_caches);
-        for (size_t c = 0; c < num_caches; ++c) {
-            split_caches[c] = frontend::splitBatch(
-                std::get<NDArray>(out->fields[1 + c]));
-        }
-        for (size_t row = 0; row < group.size(); ++row) {
-            const SequenceStatePtr& seq = group[row];
-            seq->caches.resize(num_caches);
-            for (size_t c = 0; c < num_caches; ++c) {
-                seq->caches[c] = split_caches[c][row];
-            }
-            seq->ctxLen = length;
-            kv_->commit(seq->request.id, length);
-            seq->stats.prefillTokens += length;
+        for (size_t row = 0; row < batch.size(); ++row) {
+            const SequenceStatePtr& seq = batch[row];
+            seq->ctxLen = seq->prefillLength();
+            kv_->commit(seq->request.id, seq->ctxLen);
+            seq->stats.prefillTokens += fresh;
             appendToken(seq, sampleFor(logits, (int64_t)row));
         }
     }
@@ -203,170 +295,33 @@ Engine::prefillSequences(std::vector<SequenceStatePtr> seqs)
 void
 Engine::decodeRunning()
 {
-    if (options_.decodeMode == DecodeMode::kRagged) {
-        decodeRagged();
-    } else {
-        decodeGrouped();
-    }
-}
-
-void
-Engine::reserveGrowth(const SequenceStatePtr& seq)
-{
-    // Reserve the +1 growth, evicting the most recently admitted
-    // sequence while the budget cannot hold it.
-    if (seq->phase != RequestPhase::kRunning) return;
-    int64_t ctx = seq->ctxLen;
-    while (!kv_->canHold(seq->request.id, ctx + 1)) {
-        SequenceStatePtr victim = Scheduler::pickVictim(running_);
-        RELAX_ICHECK(victim) << "no eviction victim";
-        if (victim == seq && running_.size() == 1) {
-            RELAX_THROW(RuntimeError)
-                << "KV budget (" << kv_->budgetBytes()
-                << " bytes) cannot grow the only running sequence past "
-                << ctx << " positions";
-        }
-        evict(victim);
-        if (victim == seq) break;
-    }
-    if (seq->phase != RequestPhase::kRunning) return;
-    kv_->reserve(seq->request.id, ctx + 1);
-}
-
-void
-Engine::decodeRagged()
-{
-    // No grouping: one decode_ragged call covers every running sequence,
-    // whatever its context length. Reserve growth first (may evict).
+    // No grouping and no relayout: one decode_ragged call covers every
+    // running sequence, whatever its context length, against the shared
+    // page pool. Reserve the +1 growth (and copy-on-write any page
+    // shared with a forked sibling) first — this may evict.
     std::vector<SequenceStatePtr> members = running_;
     for (const SequenceStatePtr& seq : members) {
-        reserveGrowth(seq);
+        ensureWritable(seq, seq->ctxLen + 1, seq->ctxLen);
     }
     std::vector<SequenceStatePtr> batch;
+    std::vector<std::vector<int64_t>> tokens;
     for (const SequenceStatePtr& seq : running_) {
-        if (seq->phase == RequestPhase::kRunning) batch.push_back(seq);
+        if (seq->phase != RequestPhase::kRunning) continue;
+        batch.push_back(seq);
+        tokens.push_back({seq->generated.back()});
     }
     if (batch.empty()) return;
 
-    // Pad the shared cache length to the KV-block ceiling of the largest
-    // post-append context, so the shape signature (b, m, w) moves only at
-    // block boundaries and bucketed graph replay keeps hitting.
-    int64_t max_needed = 0;
-    for (const SequenceStatePtr& seq : batch) {
-        max_needed = std::max(max_needed, seq->ctxLen + 1);
-    }
-    int64_t block = options_.kvBlockTokens;
-    int64_t padded = (max_needed + block - 1) / block * block;
-    int64_t table_width = padded / block;
-
-    std::vector<vm::Value> args;
-    std::vector<NDArray> ids_rows;
-    std::vector<RequestId> order;
-    ids_rows.reserve(batch.size());
-    order.reserve(batch.size());
-    for (const SequenceStatePtr& seq : batch) {
-        ids_rows.push_back(
-            idsTensor({seq->generated.back()}, machine_->dataMode()));
-        order.push_back(seq->request.id);
-    }
-    args.emplace_back(frontend::stackBatch(ids_rows));
-    args.emplace_back(kv_->lengthsView(order));
-    args.emplace_back(kv_->blockTableView(order, table_width));
-    size_t num_caches = batch.front()->caches.size();
-    for (size_t c = 0; c < num_caches; ++c) {
-        std::vector<NDArray> parts;
-        parts.reserve(batch.size());
-        for (const SequenceStatePtr& seq : batch) {
-            parts.push_back(seq->caches[c]);
-        }
-        args.emplace_back(frontend::stackBatchPadded(parts, padded));
-    }
-    auto out = std::get<vm::TupleValuePtr>(
-        machine_->invoke("decode_ragged", withWeights(std::move(args))));
+    NDArray logits = invokeRagged(batch, tokens);
     ++stats_.decodeBatches;
     stats_.decodeGraphBegins += machine_->lastRunStats().graphBegins;
     stats_.decodeGraphReplays += machine_->lastRunStats().graphReplays;
 
-    const NDArray& logits = std::get<NDArray>(out->fields[0]);
-    std::vector<int64_t> new_lengths;
-    new_lengths.reserve(batch.size());
-    for (const SequenceStatePtr& seq : batch) {
-        new_lengths.push_back(seq->ctxLen + 1);
-    }
-    std::vector<std::vector<NDArray>> split_caches(num_caches);
-    for (size_t c = 0; c < num_caches; ++c) {
-        split_caches[c] = frontend::splitBatchTrimmed(
-            std::get<NDArray>(out->fields[1 + c]), new_lengths);
-    }
     for (size_t row = 0; row < batch.size(); ++row) {
         const SequenceStatePtr& seq = batch[row];
-        for (size_t c = 0; c < num_caches; ++c) {
-            seq->caches[c] = split_caches[c][row];
-        }
         seq->ctxLen += 1;
         kv_->commit(seq->request.id, seq->ctxLen);
         appendToken(seq, sampleFor(logits, (int64_t)row));
-    }
-}
-
-void
-Engine::decodeGrouped()
-{
-    // Group running sequences by context length: each group is one
-    // batched decode call over the shared symbolic (b, m).
-    std::map<int64_t, std::vector<SequenceStatePtr>> by_ctx;
-    for (const SequenceStatePtr& seq : running_) {
-        by_ctx[seq->ctxLen].push_back(seq);
-    }
-    for (auto& [ctx, members] : by_ctx) {
-        for (const SequenceStatePtr& seq : members) {
-            reserveGrowth(seq);
-        }
-        std::vector<SequenceStatePtr> batch;
-        for (const SequenceStatePtr& seq : members) {
-            if (seq->phase == RequestPhase::kRunning) batch.push_back(seq);
-        }
-        if (batch.empty()) continue;
-
-        std::vector<vm::Value> args;
-        std::vector<NDArray> ids_rows;
-        ids_rows.reserve(batch.size());
-        for (const SequenceStatePtr& seq : batch) {
-            ids_rows.push_back(
-                idsTensor({seq->generated.back()}, machine_->dataMode()));
-        }
-        args.emplace_back(frontend::stackBatch(ids_rows));
-        size_t num_caches = batch.front()->caches.size();
-        for (size_t c = 0; c < num_caches; ++c) {
-            std::vector<NDArray> parts;
-            parts.reserve(batch.size());
-            for (const SequenceStatePtr& seq : batch) {
-                parts.push_back(seq->caches[c]);
-            }
-            args.emplace_back(frontend::stackBatch(parts));
-        }
-        auto out = std::get<vm::TupleValuePtr>(
-            machine_->invoke("decode", withWeights(std::move(args))));
-        ++stats_.decodeBatches;
-        stats_.decodeGraphBegins += machine_->lastRunStats().graphBegins;
-        stats_.decodeGraphReplays +=
-            machine_->lastRunStats().graphReplays;
-
-        const NDArray& logits = std::get<NDArray>(out->fields[0]);
-        std::vector<std::vector<NDArray>> split_caches(num_caches);
-        for (size_t c = 0; c < num_caches; ++c) {
-            split_caches[c] = frontend::splitBatch(
-                std::get<NDArray>(out->fields[1 + c]));
-        }
-        for (size_t row = 0; row < batch.size(); ++row) {
-            const SequenceStatePtr& seq = batch[row];
-            for (size_t c = 0; c < num_caches; ++c) {
-                seq->caches[c] = split_caches[c][row];
-            }
-            seq->ctxLen = ctx + 1;
-            kv_->commit(seq->request.id, seq->ctxLen);
-            appendToken(seq, sampleFor(logits, (int64_t)row));
-        }
     }
 }
 
@@ -430,6 +385,7 @@ Engine::collect()
         done.promptTokens = seq->request.promptTokens;
         done.outputTokens = seq->generated;
         done.stats = seq->stats;
+        byId_.erase(seq->request.id);
         results.push_back(std::move(done));
     }
     finished_.clear();

@@ -1,24 +1,36 @@
 /**
  * @file
  * Engine: the continuous-batching serving front door (addRequest / step /
- * collect) over one compiled prefill/decode executable. Each step()
- * admits waiting requests (scheduler policy + KV budget), runs batched
- * prefill for the newly admitted, then one decode iteration for every
- * running sequence. The default ragged decode (DecodeMode::kRagged)
- * issues a single `decode_ragged` call per step covering the whole
- * running batch regardless of context lengths: caches are padded to the
- * block-bucketed max length, the true per-sequence lengths ride in a [b]
- * host tensor, and the KVCacheManager supplies the paged-KV block table
- * the kernel consumes — exactly the cross-level dynamism the compiler
- * was built for. The legacy grouped mode (one `decode` call per
- * equal-context group) remains for the fragmentation comparison.
+ * collect) over one compiled executable and one persistent KV page pool.
+ * Each step() admits waiting requests (scheduler policy + KV budget),
+ * prefills the newly admitted, then runs one decode iteration for every
+ * running sequence — both phases through the same pool-addressed
+ * `decode_ragged` function:
+ *
+ *  - prefill calls it with n = fresh prompt tokens: the kernels scatter
+ *    K/V straight into pool pages (at each row's committed offset, so a
+ *    forked request prefills only its unshared tail);
+ *  - decode calls it once per step with n = 1 covering the whole running
+ *    batch regardless of context lengths — the true lengths ride in a
+ *    [b] host tensor and the block table names each row's pool pages.
+ *
+ * The pool tensors pass through the call and are mutated in place
+ * (`kv.append_ragged` aliases its output to the pool), so the engine
+ * never copies cache bytes on the host: EngineStats::relayoutBytes
+ * counts any host-side cache relayout and must read 0 — the tripwire
+ * scripts/check.sh gates. Requests may fork a running parent's prompt
+ * prefix (addRequest's fork_of): admission maps the child onto the
+ * parent's committed pages (refcounted, zero copies) and copy-on-write
+ * keeps writers private (KVCacheManager::reserveWrite).
+ *
  * build() compiles the executable with the graph-capture bucket equal to
- * the KV block size, so the decode shape signature crosses a bucket
- * boundary only once per KV block: consecutive decode steps replay one
- * captured execution graph (EngineStats::decodeReplayHitRate).
- * Under memory pressure decode growth evicts
- * the most recently admitted sequence; evicted requests re-prefill
- * prompt+generated on re-admission, so outputs are preserved exactly.
+ * the KV block size, so the decode shape signature moves only when the
+ * batch or the table width crosses a bucket boundary: consecutive decode
+ * steps replay one captured execution graph
+ * (EngineStats::decodeReplayHitRate). Under memory pressure decode
+ * growth evicts the most recently admitted sequence; evicted requests
+ * re-prefill prompt+generated on re-admission (re-forking when their
+ * parent still holds pages), so outputs are preserved exactly.
  *
  * Works in both VM modes: data mode samples real logits (correctness
  * tests, examples); timing mode advances the simulated device clock with
@@ -27,6 +39,7 @@
 #ifndef RELAX_SERVE_ENGINE_H_
 #define RELAX_SERVE_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -41,37 +54,17 @@
 namespace relax {
 namespace serve {
 
-/** How the engine batches the running sequences for decode. */
-enum class DecodeMode {
-    /**
-     * Ragged paged-attention decode (default): every running sequence
-     * joins one `decode_ragged` call per step regardless of context
-     * length. Caches are padded to the bucketed max length, the true
-     * lengths travel as a [b] host tensor, and the per-layer paged-KV
-     * block tables come from the KVCacheManager.
-     */
-    kRagged,
-    /**
-     * Legacy equal-context grouping: one `decode` call per group of
-     * sequences sharing a context length. Kept for the fragmentation
-     * comparison in bench_serve_throughput.
-     */
-    kGrouped
-};
-
 struct EngineOptions
 {
     SchedulerOptions scheduler;
     SamplerOptions sampler;
     /**
-     * Byte budget for KV blocks; 0 derives one from the device:
+     * Byte budget for the KV page pool; 0 derives one from the device:
      * (vramBytes - model weightBytes) * 0.8, floored at one block.
      */
     int64_t kvBudgetBytes = 0;
-    /** Cache positions per KV block (page size). */
+    /** Cache positions per KV page (pool block size). */
     int64_t kvBlockTokens = 16;
-    /** Decode batching strategy (see DecodeMode). */
-    DecodeMode decodeMode = DecodeMode::kRagged;
 };
 
 /** Aggregate engine statistics on the virtual clock (RunStats-style). */
@@ -80,13 +73,22 @@ struct EngineStats
     int64_t steps = 0;
     int64_t prefillBatches = 0; //!< prefill invocations issued
     int64_t decodeBatches = 0;  //!< decode invocations issued
-    int64_t prefillTokens = 0;
+    int64_t prefillTokens = 0;  //!< fresh tokens prefilled into the pool
     int64_t tokensGenerated = 0;
     int64_t requestsFinished = 0;
     int64_t evictions = 0;
     double busyUs = 0.0;      //!< device-clock time spent inside step()
-    int64_t peakKvBytes = 0;  //!< high-water KV reservation
+    int64_t peakKvBytes = 0;  //!< high-water unique-page pool usage
     double ttftSumUs = 0.0;   //!< summed TTFT of finished requests
+
+    /**
+     * Host-side KV-cache bytes copied to relayout tensors for a compiled
+     * call. The page-pool path addresses the cache in place through the
+     * block table, so this must stay 0; any future host-side cache copy
+     * must add to it (the zero-relayout invariant, DESIGN.md §5, gated
+     * by bench_serve_throughput and scripts/check.sh).
+     */
+    int64_t relayoutBytes = 0;
 
     // Execution-graph counters, split by phase: with bucketed capture the
     // steady-state decode path should be almost all replays (the Fig. 17
@@ -124,7 +126,8 @@ class Engine
 {
   public:
     /**
-     * @param exec      compiled executable with `prefill` and `decode`
+     * @param exec      compiled executable with `prefill`, `decode` and
+     *                  the pool-addressed `decode_ragged`
      * @param dev       simulated device the VM runs on
      * @param data_mode true: real tensors + logits sampling; false:
      *                  metadata-only timing mode
@@ -148,14 +151,24 @@ class Engine
           EngineOptions options = {});
 
     /**
-     * Queues a generation request; returns its id. `arrival_us`
+     * Queues a generation request; returns its id. Prompts longer than
+     * the model's context window are rejected here (RuntimeError)
+     * rather than surfacing later as an admission stall. `arrival_us`
      * backdates the arrival stamp TTFT is measured from (drivers that
      * replay an arrival trace admit requests at step boundaries, after
      * the true arrival time); negative means "now" on the device clock.
+     *
+     * `fork_of` names an earlier request whose prompt prefix this one
+     * shares (a shared system prompt): at admission the new sequence is
+     * mapped onto the pool pages holding the parent's committed prefix —
+     * as far as the token streams actually agree — and only the unshared
+     * prompt tail is prefilled. Copy-on-write keeps both token streams
+     * exact. Sharing is best-effort: if the parent has finished or been
+     * evicted by then, the request prefills in full. -1 disables.
      */
     RequestId addRequest(std::vector<int64_t> prompt,
                          int64_t max_new_tokens, int64_t stop_token = -1,
-                         double arrival_us = -1.0);
+                         double arrival_us = -1.0, RequestId fork_of = -1);
 
     /**
      * One continuous-batching iteration: retire finished sequences,
@@ -189,18 +202,25 @@ class Engine
 
   private:
     void prefillSequences(std::vector<SequenceStatePtr> seqs);
+    /** One pool-addressed `decode_ragged` call covering every running
+     *  sequence. */
     void decodeRunning();
-    /** One ragged decode call covering every running sequence. */
-    void decodeRagged();
-    /** Legacy equal-context-grouped decode (one call per group). */
-    void decodeGrouped();
-    /** Reserves +1 growth for `seq`, evicting under pressure (possibly
-     *  `seq` itself — callers re-check the phase when batching). */
-    void reserveGrowth(const SequenceStatePtr& seq);
+    /**
+     * Issues one `decode_ragged` call over `batch`: ids [b, n] from
+     * per-row `tokens`, lens/table views from the KV manager, pools and
+     * weights appended. Returns the logits.
+     */
+    NDArray invokeRagged(const std::vector<SequenceStatePtr>& batch,
+                         const std::vector<std::vector<int64_t>>& tokens);
+    /** Grows `seq` to `tokens` positions with an exclusively-owned write
+     *  range [write_start, tokens), evicting under pressure (possibly
+     *  `seq` itself — callers re-check the phase afterwards). */
+    void ensureWritable(const SequenceStatePtr& seq, int64_t tokens,
+                        int64_t write_start);
     /** Appends a sampled token; finishes the sequence when done. */
     void appendToken(const SequenceStatePtr& seq, int64_t token);
     void finishSequence(const SequenceStatePtr& seq);
-    /** Preempts `victim` back to the waiting queue, dropping its cache. */
+    /** Preempts `victim` back to the waiting queue, dropping its pages. */
     void evict(const SequenceStatePtr& victim);
     int64_t sampleFor(const NDArray& logits, int64_t row);
     std::vector<vm::Value> withWeights(std::vector<vm::Value> args) const;
@@ -214,6 +234,7 @@ class Engine
     std::vector<NDArray> weights_;
     std::vector<SequenceStatePtr> running_;
     std::vector<SequenceStatePtr> finished_;
+    std::map<RequestId, SequenceStatePtr> byId_; //!< fork-parent lookup
     EngineStats stats_;
     RequestId nextId_ = 0;
     int64_t nextAdmitSeq_ = 0;

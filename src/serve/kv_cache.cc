@@ -1,9 +1,13 @@
 /**
  * @file
- * KVCacheManager implementation: block math and the reserve/release
- * lifecycle over persistent VM storage (see kv_cache.h).
+ * KVCacheManager implementation: the resident page pool, the free-list /
+ * refcount page lifecycle (reserve, fork, copy-on-write, release), and
+ * the lengths/block-table views the ragged kernels consume (see
+ * kv_cache.h).
  */
 #include "serve/kv_cache.h"
+
+#include <algorithm>
 
 namespace relax {
 namespace serve {
@@ -18,17 +22,35 @@ KVCacheManager::KVCacheManager(const frontend::LlamaConfig& config,
 {
     RELAX_ICHECK(blockTokens_ > 0) << "KV block size must be positive";
     RELAX_ICHECK(budgetBytes_ >= 0) << "negative KV budget";
+
+    // The pool is resident for the manager's lifetime: one [p, h, block,
+    // d] tensor per layer per k/v, all backed by a single persistent
+    // device allocation (vLLM preallocates its page pool the same way).
+    poolStorage_ =
+        machine_.allocPersistentStorage(totalBlocks_ * bytesPerBlock_);
+    std::vector<int64_t> pool_shape{totalBlocks_, config.numHeads,
+                                    blockTokens_, config.headDim};
+    pools_.reserve(2 * (size_t)config.numLayers);
+    for (int64_t layer = 0; layer < 2 * config.numLayers; ++layer) {
+        pools_.push_back(machine_.dataMode()
+                             ? NDArray::zeros(pool_shape, DataType::f16())
+                             : NDArray::metaOnly(pool_shape,
+                                                 DataType::f16()));
+    }
+    refCounts_.assign((size_t)totalBlocks_, 0);
+    // LIFO stack ordered so the first acquisitions hand out pages 0, 1,
+    // 2, ... (deterministic tables in tests and traces).
+    freePages_.reserve((size_t)totalBlocks_);
+    for (int64_t page = totalBlocks_; page-- > 0;) {
+        freePages_.push_back(page);
+    }
 }
 
 KVCacheManager::~KVCacheManager()
 {
-    // Return every outstanding block to the device so engine teardown
-    // leaves the accounting balanced.
-    for (auto& [id, seq] : sequences_) {
-        for (auto& block : seq.blocks) {
-            machine_.releasePersistentStorage(block);
-        }
-    }
+    // Return the whole pool to the device so engine teardown leaves the
+    // accounting balanced.
+    machine_.releasePersistentStorage(poolStorage_);
 }
 
 int64_t
@@ -37,15 +59,76 @@ KVCacheManager::blocksFor(int64_t tokens) const
     return (tokens + blockTokens_ - 1) / blockTokens_;
 }
 
+int64_t
+KVCacheManager::acquirePage()
+{
+    if (freePages_.empty()) {
+        RELAX_THROW(RuntimeError)
+            << "KV page pool exhausted: " << usedBlocks_ << "/"
+            << totalBlocks_ << " pages in use";
+    }
+    int64_t page = freePages_.back();
+    freePages_.pop_back();
+    RELAX_ICHECK(refCounts_[page] == 0) << "free page had references";
+    refCounts_[page] = 1;
+    ++usedBlocks_;
+    peakBlocks_ = std::max(peakBlocks_, usedBlocks_);
+    return page;
+}
+
+void
+KVCacheManager::copyPage(int64_t src, int64_t dst)
+{
+    // A device-side page copy (cudaMemcpyDeviceToDevice): one page of
+    // K/V across every layer is read and written once. Priced on the
+    // simulated clock — copy-on-write is not free, it is just rare.
+    device::KernelCost cost;
+    cost.bytes = 2.0 * (double)bytesPerBlock_;
+    cost.flops = 0.0;
+    cost.efficiency = machine_.dev().spec().genElemwiseEfficiency;
+    machine_.dev().launchKernel(cost);
+    ++cowCopies_;
+    if (!machine_.dataMode()) return;
+    for (NDArray& pool : pools_) {
+        int64_t row = pool.numel() / std::max<int64_t>(totalBlocks_, 1);
+        auto& data = pool.data();
+        std::copy(data.begin() + src * row, data.begin() + (src + 1) * row,
+                  data.begin() + dst * row);
+    }
+}
+
 bool
 KVCacheManager::canHold(RequestId seq, int64_t tokens) const
 {
     int64_t owned = 0;
     auto it = sequences_.find(seq);
-    if (it != sequences_.end()) owned = (int64_t)it->second.blocks.size();
+    if (it != sequences_.end()) owned = (int64_t)it->second.pages.size();
     int64_t extra = blocksFor(tokens) - owned;
     if (extra <= 0) return true;
-    return usedBlocks_ + extra <= totalBlocks_;
+    return extra <= (int64_t)freePages_.size();
+}
+
+bool
+KVCacheManager::canHoldWrite(RequestId seq, int64_t tokens,
+                             int64_t writeStart) const
+{
+    int64_t owned = 0;
+    const Sequence* state = nullptr;
+    if (auto it = sequences_.find(seq); it != sequences_.end()) {
+        state = &it->second;
+        owned = (int64_t)state->pages.size();
+    }
+    int64_t needed = std::max<int64_t>(blocksFor(tokens) - owned, 0);
+    // Each already-owned page in the write range that is shared with
+    // another sequence costs one fresh page to copy into.
+    if (state && tokens > writeStart) {
+        int64_t first = writeStart / blockTokens_;
+        int64_t last = (tokens - 1) / blockTokens_;
+        for (int64_t idx = first; idx <= last && idx < owned; ++idx) {
+            if (refCounts_[state->pages[idx]] > 1) ++needed;
+        }
+    }
+    return needed <= (int64_t)freePages_.size();
 }
 
 void
@@ -54,19 +137,43 @@ KVCacheManager::reserve(RequestId seq, int64_t tokens)
     if (!canHold(seq, tokens)) {
         RELAX_THROW(RuntimeError)
             << "KV budget exhausted: sequence " << seq << " needs "
-            << blocksFor(tokens) << " blocks, " << usedBlocks_ << "/"
+            << blocksFor(tokens) << " pages, " << usedBlocks_ << "/"
             << totalBlocks_ << " in use";
     }
-    SequenceBlocks& blocks = sequences_[seq];
+    Sequence& state = sequences_[seq];
     int64_t target = blocksFor(tokens);
-    while ((int64_t)blocks.blocks.size() < target) {
-        blocks.blocks.push_back(
-            machine_.allocPersistentStorage(bytesPerBlock_));
-        blocks.blockIds.push_back(nextBlockId_++);
-        ++usedBlocks_;
+    while ((int64_t)state.pages.size() < target) {
+        state.pages.push_back(acquirePage());
     }
-    blocks.tokens = std::max(blocks.tokens, tokens);
-    peakBlocks_ = std::max(peakBlocks_, usedBlocks_);
+    state.tokens = std::max(state.tokens, tokens);
+}
+
+void
+KVCacheManager::reserveWrite(RequestId seq, int64_t tokens,
+                             int64_t writeStart)
+{
+    if (!canHoldWrite(seq, tokens, writeStart)) {
+        RELAX_THROW(RuntimeError)
+            << "KV budget exhausted: sequence " << seq
+            << " cannot own its write range up to " << tokens
+            << " positions (" << usedBlocks_ << "/" << totalBlocks_
+            << " pages in use)";
+    }
+    reserve(seq, tokens);
+    if (tokens <= writeStart) return;
+    Sequence& state = sequences_[seq];
+    int64_t first = writeStart / blockTokens_;
+    int64_t last = (tokens - 1) / blockTokens_;
+    for (int64_t idx = first; idx <= last; ++idx) {
+        int64_t page = state.pages[idx];
+        if (refCounts_[page] <= 1) continue;
+        // Copy-on-write: the writer repoints to a private copy; readers
+        // keep the original page untouched.
+        int64_t fresh = acquirePage();
+        copyPage(page, fresh);
+        --refCounts_[page];
+        state.pages[idx] = fresh;
+    }
 }
 
 void
@@ -74,11 +181,42 @@ KVCacheManager::release(RequestId seq)
 {
     auto it = sequences_.find(seq);
     if (it == sequences_.end()) return;
-    for (auto& block : it->second.blocks) {
-        machine_.releasePersistentStorage(block);
-        --usedBlocks_;
+    for (int64_t page : it->second.pages) {
+        if (--refCounts_[page] == 0) {
+            freePages_.push_back(page);
+            --usedBlocks_;
+        }
     }
     sequences_.erase(it);
+}
+
+void
+KVCacheManager::fork(RequestId parent, RequestId child, int64_t tokens)
+{
+    auto parent_it = sequences_.find(parent);
+    if (parent_it == sequences_.end()) return;
+    tokens = std::min(tokens, parent_it->second.committed);
+    if (tokens <= 0) return;
+    RELAX_ICHECK(sequences_.find(child) == sequences_.end())
+        << "fork target " << child << " already holds pages";
+    Sequence& state = sequences_[child];
+    int64_t npages = blocksFor(tokens);
+    RELAX_ICHECK(npages <= (int64_t)parent_it->second.pages.size())
+        << "fork range exceeds parent's pages";
+    state.pages.assign(parent_it->second.pages.begin(),
+                       parent_it->second.pages.begin() + npages);
+    for (int64_t page : state.pages) ++refCounts_[page];
+    state.tokens = tokens;
+    state.committed = tokens;
+    ++forks_;
+}
+
+void
+KVCacheManager::dropFork(RequestId child)
+{
+    if (sequences_.find(child) == sequences_.end()) return;
+    release(child);
+    --forks_;
 }
 
 int64_t
@@ -86,6 +224,13 @@ KVCacheManager::reservedTokens(RequestId seq) const
 {
     auto it = sequences_.find(seq);
     return it == sequences_.end() ? 0 : it->second.tokens;
+}
+
+int64_t
+KVCacheManager::pagesOf(RequestId seq) const
+{
+    auto it = sequences_.find(seq);
+    return it == sequences_.end() ? 0 : (int64_t)it->second.pages.size();
 }
 
 void
@@ -128,14 +273,14 @@ KVCacheManager::blockTableView(const std::vector<RequestId>& order,
     table.reserve(order.size() * width);
     for (RequestId id : order) {
         auto it = sequences_.find(id);
-        const std::vector<int64_t>* ids =
-            it == sequences_.end() ? nullptr : &it->second.blockIds;
-        int64_t owned = ids ? (int64_t)ids->size() : 0;
+        const std::vector<int64_t>* pages =
+            it == sequences_.end() ? nullptr : &it->second.pages;
+        int64_t owned = pages ? (int64_t)pages->size() : 0;
         RELAX_ICHECK(owned <= width)
             << "sequence " << id << " owns " << owned
-            << " blocks, table width is only " << width;
+            << " pages, table width is only " << width;
         for (int64_t j = 0; j < width; ++j) {
-            table.push_back(j < owned ? (double)(*ids)[j] : -1.0);
+            table.push_back(j < owned ? (double)(*pages)[j] : -1.0);
         }
     }
     return NDArray::fromVector({(int64_t)order.size(), width},

@@ -1,15 +1,29 @@
 /**
  * @file
- * KVCacheManager: paged, per-sequence KV-cache accounting for the serving
- * engine. Each running sequence owns a list of fixed-size blocks (pages)
- * of `blockTokens` cache positions; blocks are persistent VM storage, so
- * every reserved byte is accounted against the simulated device's VRAM
- * (DeviceSpec::vramBytes) exactly like statically planned storage.
+ * KVCacheManager: the persistent KV page pool of the serving engine.
  *
- * The manager is pure bookkeeping: the tensors that hold cache *values*
- * travel through the compiled decode function as arguments (see
- * SequenceState::caches); what lives here is the device-byte ownership
- * that admission control and preemption decide against.
+ * The cache is one pool tensor per layer per k/v, `[p, h, block, d]` —
+ * p physical pages of `blockTokens` positions — allocated once as VM
+ * persistent storage (the whole budget is resident up front, vLLM
+ * style) and addressed by every compiled `decode_ragged` call through
+ * the block table. The manager owns the pool tensors, a free-page list,
+ * and per-page reference counts:
+ *
+ *  - reserve/release move pages between sequences and the free list;
+ *  - fork() maps a child sequence onto the pages holding a parent's
+ *    committed prefix (refcount++, zero copies) — shared-system-prompt
+ *    serving;
+ *  - reserveWrite() enforces copy-on-write: before a sequence writes a
+ *    page whose refcount exceeds one, the page is copied to a fresh one
+ *    on the device (priced on the simulated clock) and the writer's
+ *    table entry is repointed;
+ *  - eviction (release) returns pages to the pool only when their last
+ *    reference drops.
+ *
+ * Cache *values* live in the pool tensors (real data in data mode,
+ * metadata-only in timing mode); the compiled kernels mutate them in
+ * place via the in-place `kv.append_ragged` library call, so the engine
+ * never copies cache bytes on the host (EngineStats::relayoutBytes).
  */
 #ifndef RELAX_SERVE_KV_CACHE_H_
 #define RELAX_SERVE_KV_CACHE_H_
@@ -24,13 +38,17 @@
 namespace relax {
 namespace serve {
 
-/** Paged KV-block owner with a hard byte budget. */
+/** Page-pool KV-block owner with a hard byte budget. */
 class KVCacheManager
 {
   public:
     /**
+     * Allocates the page pool: `budgetBytes / bytesPerBlock()` pages,
+     * resident as VM persistent storage for the manager's lifetime.
+     *
      * @param config      model whose kvBytesPerToken() prices a position
-     * @param machine     VM whose device accounts the allocations
+     * @param machine     VM whose device accounts the pool (and whose
+     *                    data mode decides real vs metadata-only pools)
      * @param budgetBytes hard cap on total reserved KV bytes
      * @param blockTokens cache positions per page
      */
@@ -46,6 +64,13 @@ class KVCacheManager
     int64_t blockTokens() const { return blockTokens_; }
     int64_t bytesPerBlock() const { return bytesPerBlock_; }
     int64_t budgetBytes() const { return budgetBytes_; }
+    /** Total physical pages in the pool. */
+    int64_t totalPages() const { return totalBlocks_; }
+    /** Unique pages currently referenced by at least one sequence. */
+    int64_t usedPages() const { return usedBlocks_; }
+    /** High-water unique-page mark. */
+    int64_t peakPages() const { return peakBlocks_; }
+    int64_t freePages() const { return totalBlocks_ - usedBlocks_; }
     int64_t usedBytes() const { return usedBlocks_ * bytesPerBlock_; }
     int64_t peakBytes() const { return peakBlocks_ * bytesPerBlock_; }
     int64_t freeBytes() const { return budgetBytes_ - usedBytes(); }
@@ -54,19 +79,60 @@ class KVCacheManager
     int64_t blocksFor(int64_t tokens) const;
 
     /** True when growing (or admitting) `seq` to `tokens` positions fits
-     *  the budget, counting blocks it already owns. */
+     *  the pool, counting pages it already owns or shares. */
     bool canHold(RequestId seq, int64_t tokens) const;
 
-    /** Reserves blocks so `seq` owns at least `tokens` positions.
-     *  Throws RuntimeError when the budget cannot hold them — callers are
+    /** Acquires pages so `seq` owns at least `tokens` positions. Throws
+     *  RuntimeError when the pool cannot hold them — callers are
      *  expected to check canHold() and queue/evict instead. */
     void reserve(RequestId seq, int64_t tokens);
 
-    /** Releases every block owned by `seq` (no-op for unknown ids). */
+    /**
+     * canHold() plus the copy-on-write requirement: growing `seq` to
+     * `tokens` positions AND exclusively owning every page in the write
+     * range [writeStart, tokens) must fit the free list (each shared
+     * page in the range costs one fresh page to copy into).
+     */
+    bool canHoldWrite(RequestId seq, int64_t tokens,
+                      int64_t writeStart) const;
+
+    /**
+     * reserve() plus copy-on-write: after this call `seq` holds
+     * capacity for `tokens` positions and every page covering
+     * [writeStart, tokens) has refcount 1 for `seq` — shared pages are
+     * copied to fresh ones on the device (a priced page-sized copy) and
+     * repointed. The compiled call may then scatter into the pool.
+     */
+    void reserveWrite(RequestId seq, int64_t tokens, int64_t writeStart);
+
+    /** Drops every page reference held by `seq` (no-op for unknown
+     *  ids); pages return to the free list when unreferenced. */
     void release(RequestId seq);
+
+    /**
+     * Maps `child` (which must hold no pages) onto the pages backing the
+     * first `tokens` committed positions of `parent`: refcounts rise, no
+     * data moves, and `child`'s committed length becomes `tokens`.
+     * Clamped to parent's committed length; a no-op (child stays
+     * unknown) when the parent is unknown or the clamp reaches zero.
+     */
+    void fork(RequestId parent, RequestId child, int64_t tokens);
+
+    /**
+     * Undoes a speculative fork whose admission fell through before any
+     * reservation: drops `child`'s references like release() and takes
+     * the fork back out of forkCount(), so the statistic reports only
+     * forks that actually admitted. No-op when `child` is unknown
+     * (including forks that degraded to no-ops).
+     */
+    void dropFork(RequestId child);
 
     /** Positions reserved for `seq` (0 for unknown ids). */
     int64_t reservedTokens(RequestId seq) const;
+
+    /** Pages owned/shared by `seq` (0 for unknown ids) — the block-table
+     *  row width it needs. */
+    int64_t pagesOf(RequestId seq) const;
 
     /**
      * Records the positions actually written for `seq` (its true context
@@ -90,20 +156,43 @@ class KVCacheManager
 
     /**
      * [b, width] i64 block table, in `order`: row i lists the physical
-     * block ids backing sequence i's pages, -1 padded to `width`. `width`
-     * must cover every listed sequence's owned blocks.
+     * pool pages backing sequence i, -1 padded to `width`. `width` must
+     * cover every listed sequence's pages.
      */
     NDArray blockTableView(const std::vector<RequestId>& order,
                            int64_t width) const;
 
+    /**
+     * The persistent pool tensors in `decode_ragged` argument order
+     * (k_pool_0, v_pool_0, k_pool_1, ...), each [p, h, block, d]. Copies
+     * share storage with the manager's tensors, so in-place kernel
+     * writes land in the pool.
+     */
+    const std::vector<NDArray>& poolTensors() const { return pools_; }
+
+    // --- sharing statistics -------------------------------------------------
+
+    /** fork() calls that actually mapped shared pages. */
+    int64_t forkCount() const { return forks_; }
+    /** Copy-on-write page copies performed (device-priced). */
+    int64_t cowCopies() const { return cowCopies_; }
+    /** Device bytes moved by copy-on-write page copies. */
+    int64_t cowBytes() const { return cowCopies_ * bytesPerBlock_; }
+
   private:
-    struct SequenceBlocks
+    struct Sequence
     {
-        std::vector<vm::StoragePtr> blocks;
-        std::vector<int64_t> blockIds; //!< physical page ids, parallel
+        std::vector<int64_t> pages; //!< physical pool pages, in order
         int64_t tokens = 0;    //!< reserved capacity in positions
         int64_t committed = 0; //!< positions actually written
     };
+
+    /** Pops a free page (throws RuntimeError when the pool is empty). */
+    int64_t acquirePage();
+    /** Device-side page copy (all layers, k+v): prices one page-sized
+     *  read+write on the simulated clock and copies pool data rows in
+     *  data mode. */
+    void copyPage(int64_t src, int64_t dst);
 
     vm::VirtualMachine& machine_;
     int64_t blockTokens_;
@@ -112,8 +201,13 @@ class KVCacheManager
     int64_t totalBlocks_;
     int64_t usedBlocks_ = 0;
     int64_t peakBlocks_ = 0;
-    int64_t nextBlockId_ = 0;
-    std::map<RequestId, SequenceBlocks> sequences_;
+    int64_t forks_ = 0;
+    int64_t cowCopies_ = 0;
+    std::vector<NDArray> pools_;      //!< [p, h, block, d] per layer per k/v
+    std::vector<int64_t> freePages_;  //!< LIFO of unreferenced page ids
+    std::vector<int32_t> refCounts_;  //!< per-page reference counts
+    vm::StoragePtr poolStorage_;      //!< the resident pool allocation
+    std::map<RequestId, Sequence> sequences_;
 };
 
 } // namespace serve

@@ -42,10 +42,19 @@ Scheduler::admit(KVCacheManager& kv, int64_t runningCount)
     int64_t prefill_budget = options_.maxPrefillTokensPerStep;
     for (const SequenceStatePtr& seq : candidates) {
         int64_t tokens = seq->prefillLength();
+        // Prefix sharing: fork onto the parent's committed pool pages
+        // before sizing the reservation — shared pages cost nothing and
+        // only the unshared prompt tail is prefilled. Undone below when
+        // the candidate does not fit after all.
+        if (seq->forkOf) {
+            kv.fork(seq->forkOf->request.id, seq->request.id,
+                    sharedPrefixTokens(*seq->forkOf, *seq));
+        }
+        int64_t fresh = tokens - kv.committedTokens(seq->request.id);
         // A prompt above the per-step cap still admits into an idle
         // system — the cap bounds bursts, it must not strand requests.
         bool within_prefill_cap =
-            tokens <= prefill_budget ||
+            fresh <= prefill_budget ||
             (admitted.empty() && runningCount == 0);
         bool fits = runningCount + (int64_t)admitted.size() <
                         options_.maxBatchSize &&
@@ -53,9 +62,12 @@ Scheduler::admit(KVCacheManager& kv, int64_t runningCount)
                     kv.canHold(seq->request.id, tokens);
         // Stop at the first misfit: admitting someone behind a blocked
         // head would starve large requests under memory pressure.
-        if (!fits) break;
+        if (!fits) {
+            kv.dropFork(seq->request.id); // undo a speculative fork
+            break;
+        }
         kv.reserve(seq->request.id, tokens);
-        prefill_budget -= tokens;
+        prefill_budget -= fresh;
         seq->phase = RequestPhase::kRunning;
         admitted.push_back(seq);
         waiting_.erase(std::find(waiting_.begin(), waiting_.end(), seq));

@@ -108,23 +108,26 @@ registerAttention(LibraryRegistry& registry, const std::string& name)
 void
 registerRaggedAttention(LibraryRegistry& registry, const std::string& name)
 {
-    // Varlen / paged-KV attention (FlashAttention's ragged entry point):
-    // one launch covers a batch of sequences with unequal context
-    // lengths. Work is data-dependent — proportional to each sequence's
-    // true length, read from the [b] length vector (a host-side integer
-    // tensor that carries data even in timing mode) — so the cost sums
-    // per-sequence, not over the padded cache shape. Shape padding from
-    // a bucketed capture region (batch rows, padded length) is benign:
-    // phantom rows carry length 0 and price ~nothing.
+    // Varlen / paged-KV attention over the persistent page pool
+    // (FlashAttention's paged-KV entry point): one launch covers a batch
+    // of sequences with unequal context lengths, gathering keys/values
+    // from pool pages [p, h, c, d] through the [b, w] block table. Work
+    // is data-dependent — proportional to each sequence's true length,
+    // read from the [b] length vector (a host-side integer tensor that
+    // carries data even in timing mode) — so the cost sums per-sequence,
+    // never over the pool size. Shape padding from a bucketed capture
+    // region (batch rows, table width) is benign: phantom rows carry
+    // length 0 and price ~nothing.
     LibraryKernel kernel;
     kernel.cost = [](const std::vector<NDArray>& args, const ir::Attrs&,
                      const device::DeviceSpec& spec) {
-        const auto& q = args[0].shape(); // [b, h, n, d]
-        const auto& k = args[1].shape(); // [b, h, m, d] (padded)
-        const NDArray& lens = args[3];   // [b] true context lengths
+        const auto& q = args[0].shape();     // [b, h, n, d]
+        const auto& pool = args[1].shape();  // [p, h, c, d] K pool
+        const NDArray& lens = args[3];       // [b] true context lengths
         int64_t b = q[0], h = q[1], n = q[2], d = q[3];
         int64_t dv = args[2].shape()[3];
-        int64_t m = k[2];
+        // Keys range over the mapped table width, not the pool size.
+        int64_t m = args[4].shape()[1] * pool[2];
         double kv_positions = 0.0;
         if (lens.hasData()) {
             int64_t rows = std::min<int64_t>(b, lens.numel());
@@ -137,8 +140,9 @@ registerRaggedAttention(LibraryRegistry& registry, const std::string& name)
         }
         device::KernelCost cost;
         cost.flops = 2.0 * h * n * (double)(d + dv) * kv_positions;
-        // IO-aware: q, out, lens and block table, plus only the live K/V
-        // prefix bytes — the FlashAttention property applied per row.
+        // IO-aware: q, out, lens and block table, plus only the gathered
+        // live K/V page bytes — the FlashAttention property applied per
+        // row; the rest of the pool is never touched.
         cost.bytes = (double)args[0].sizeBytes() +
                      (double)args.back().sizeBytes() +
                      (double)args[3].sizeBytes() +
@@ -215,26 +219,35 @@ registerKvCache(LibraryRegistry& registry)
     };
     registry.registerKernel("kv.append", append);
 
-    // Ragged paged append: writes the new position at each sequence's own
-    // length offset inside the padded cache layout. In-place semantics
-    // like kv.append — only the new token's K/V bytes (plus the length
-    // vector) move, regardless of the padded cache size.
+    // Page-pool ragged append (in-place, `inplace_arg = 0`): scatters the
+    // fresh positions into the persistent pool at each sequence's own
+    // length offset, addressed through the block table. The DPS output
+    // aliases the pool argument, so the call allocates nothing and copies
+    // nothing — only the fresh K/V bytes (plus the integer metadata)
+    // move, regardless of the pool size. Args: pool, fresh, lens, table,
+    // out (== pool).
     LibraryKernel ragged;
     ragged.cost = [](const std::vector<NDArray>& args, const ir::Attrs&,
                      const device::DeviceSpec& spec) {
-        const NDArray& fresh = args[1]; // [b, h, 1, d]
+        const NDArray& fresh = args[1]; // [b, h, n, d]
         device::KernelCost cost;
         cost.bytes = 2.0 * (double)fresh.sizeBytes() +
-                     (double)args[2].sizeBytes();
+                     (double)args[2].sizeBytes() +
+                     (double)args[3].sizeBytes();
         cost.flops = 0.0;
         cost.efficiency = spec.genElemwiseEfficiency;
         return cost;
     };
     ragged.compute = [](std::vector<NDArray>& args, const ir::Attrs&) {
         tir::PrimFunc func = op::makeKvAppendRaggedFunc(
-            "lib_kv_append_ragged", staticShape(args[0]),
-            staticShape(args[1]), staticShape(args[2]), args[0].dtype());
-        tir::run(func, args);
+            "lib_kv_append_ragged", staticShape(args[1]),
+            staticShape(args[2]), staticShape(args[3]),
+            staticShape(args.back()), args[1].dtype());
+        // The scatter writes straight into the out tensor, which aliases
+        // the pool input — genuine in-place mutation.
+        std::vector<NDArray> scatter_args{args[1], args[2], args[3],
+                                          args.back()};
+        tir::run(func, scatter_args);
     };
     registry.registerKernel("kv.append_ragged", ragged);
 }

@@ -88,20 +88,23 @@ TEST(OpInferTest, AttentionShape)
 
 TEST(OpInferTest, RaggedAttentionShape)
 {
+    // Page-pool layout: K/V are persistent pools [p, h, c, d] addressed
+    // through the [b, w] block table; the output takes q's shape.
     SymVar b = var("b");
-    SymVar m = var("m");
+    SymVar p = var("p");
+    SymVar c = var("c");
     SymVar w = var("w");
     Var q = tensorVar("q", {b, intImm(8), intImm(1), intImm(64)});
-    Var k = tensorVar("k", {b, intImm(8), m, intImm(64)});
-    Var v = tensorVar("v", {b, intImm(8), m, intImm(64)});
+    Var k = tensorVar("k", {p, intImm(8), c, intImm(64)});
+    Var v = tensorVar("v", {p, intImm(8), c, intImm(64)});
     Var lens = tensorVar("lens", {b}, DataType::i64());
     Var table = tensorVar("table", {b, w}, DataType::i64());
     EXPECT_EQ(ir::toString(deduceCall(
                   attentionRagged(q, k, v, lens, table, 0.125))),
               "Tensor((b, 8, 1, 64), \"f32\")");
-    // K and V padded lengths must agree.
-    SymVar m2 = var("m2");
-    Var v_bad = tensorVar("vb", {b, intImm(8), m2, intImm(64)});
+    // K and V pool page sizes must agree.
+    SymVar c2 = var("c2");
+    Var v_bad = tensorVar("vb", {p, intImm(8), c2, intImm(64)});
     EXPECT_THROW(deduceCall(attentionRagged(q, k, v_bad, lens, table, 1.0)),
                  ShapeError);
 }
@@ -335,29 +338,32 @@ TEST(OpLegalizeTest, CausalAttentionMasksFuture)
 
 TEST(OpLegalizeTest, RaggedAttentionMatchesPerSequenceDense)
 {
-    // Two sequences sharing one padded cache [2, 1, 4, 1]: row 0 holds 2
-    // live positions (lens=1 plus the appended token at index 1), row 1
-    // holds all 4. Each row must equal a dense attention call over just
-    // its live prefix — padding beyond the prefix must not leak in.
+    // Two sequences gathering from one shared page pool [3, 1, 2, 1]
+    // (3 physical pages of 2 positions): row 0 holds 2 live positions
+    // (lens=1 plus the appended token) on page 0, row 1 holds 4 on pages
+    // 1 and 2. Each row must equal a dense attention call over just its
+    // live prefix — unmapped table entries and foreign pages must not
+    // leak in.
     Var q = tensorVar("q", {intImm(2), intImm(1), intImm(1), intImm(1)});
-    Var k = tensorVar("k", {intImm(2), intImm(1), intImm(4), intImm(1)});
-    Var v = tensorVar("v", {intImm(2), intImm(1), intImm(4), intImm(1)});
+    Var k = tensorVar("k", {intImm(3), intImm(1), intImm(2), intImm(1)});
+    Var v = tensorVar("v", {intImm(3), intImm(1), intImm(2), intImm(1)});
     Var lens = tensorVar("lens", {intImm(2)}, DataType::i64());
     Var table = tensorVar("table", {intImm(2), intImm(2)},
                           DataType::i64());
 
     NDArray qv = NDArray::fromVector({2, 1, 1, 1}, DataType::f32(),
                                      {1.0, 0.5});
-    // Row 0's padding tail (positions 2, 3) is poisoned with large values
-    // that would dominate the softmax if the mask failed.
-    NDArray kv = NDArray::fromVector({2, 1, 4, 1}, DataType::f32(),
-                                     {1, 0, 50, 50, 2, 1, 0, 1});
-    NDArray vv = NDArray::fromVector({2, 1, 4, 1}, DataType::f32(),
-                                     {10, 20, 999, 999, 1, 2, 3, 4});
+    // K pool pages: page 0 = row 0's {1, 0}; pages 1, 2 = row 1's
+    // {2, 1, 0, 1}. Row 0's positions 2, 3 route through table entry -1,
+    // whose clamped gather lands on page 0 — the mask must discard it.
+    NDArray kv = NDArray::fromVector({3, 1, 2, 1}, DataType::f32(),
+                                     {1, 0, 2, 1, 0, 1});
+    NDArray vv = NDArray::fromVector({3, 1, 2, 1}, DataType::f32(),
+                                     {10, 20, 1, 2, 3, 4});
     NDArray lens_v = NDArray::fromVector({2}, DataType::i64(), {1, 3});
-    // Page size = m / w = 2: row 0 owns one block, row 1 both.
+    // Block table: row 0 owns page 0 only; row 1 owns pages 1 and 2.
     NDArray table_v = NDArray::fromVector({2, 2}, DataType::i64(),
-                                          {0, -1, 0, 1});
+                                          {0, -1, 1, 2});
     NDArray out = runLegalized(
         attentionRagged(q, k, v, lens, table, 1.0),
         {qv, kv, vv, lens_v, table_v}, {2, 1, 1, 1});
@@ -388,25 +394,50 @@ TEST(OpLegalizeTest, RaggedAttentionMatchesPerSequenceDense)
                 dense_row({0.5}, {2, 1, 0, 1}, {1, 2, 3, 4}), 1e-9);
 }
 
-TEST(OpKernelTest, RaggedKvAppendWritesAtPerSequenceOffsets)
+TEST(OpKernelTest, RaggedKvAppendScattersIntoPoolPages)
 {
-    // Padded caches [2, 1, 4, 1]: the fresh token lands at each row's own
-    // length offset; all other positions copy through.
-    NDArray cache = NDArray::fromVector({2, 1, 4, 1}, DataType::f32(),
-                                        {1, 2, 0, 0, 5, 6, 7, 0});
+    // Page pool [3, 1, 2, 1] (3 pages of 2 positions). Row 0 (lens=2,
+    // pages 0 and 2) appends at global position 2 -> page 2 offset 0;
+    // row 1 (lens=1, page 1) appends at position 1 -> page 1 offset 1.
+    // Nothing else in the pool may change — the append is a pure
+    // scatter, not a copy.
+    NDArray pool = NDArray::fromVector({3, 1, 2, 1}, DataType::f32(),
+                                       {1, 2, 5, 6, 0, 0});
     NDArray fresh = NDArray::fromVector({2, 1, 1, 1}, DataType::f32(),
                                         {9, 8});
-    NDArray lens = NDArray::fromVector({2}, DataType::i64(), {2, 3});
-    NDArray out = NDArray::zeros({2, 1, 4, 1}, DataType::f32());
+    NDArray lens = NDArray::fromVector({2}, DataType::i64(), {2, 1});
+    NDArray table = NDArray::fromVector({2, 2}, DataType::i64(),
+                                        {0, 2, 1, -1});
     tir::PrimFunc func = makeKvAppendRaggedFunc(
-        "append_ragged",
-        {intImm(2), intImm(1), intImm(4), intImm(1)},
+        "append_pool",
         {intImm(2), intImm(1), intImm(1), intImm(1)}, {intImm(2)},
-        DataType::f32());
-    std::vector<NDArray> args{cache, fresh, lens, out};
+        {intImm(2), intImm(2)},
+        {intImm(3), intImm(1), intImm(2), intImm(1)}, DataType::f32());
+    std::vector<NDArray> args{fresh, lens, table, pool};
     tir::run(func, args);
-    EXPECT_EQ(out.data(),
-              (std::vector<double>{1, 2, 9, 0, 5, 6, 7, 8}));
+    // Row 0's 9 lands at pool page 2, offset 0; row 1's 8 lands at pool
+    // page 1, offset 1. Pages copy nothing.
+    EXPECT_EQ(pool.data(), (std::vector<double>{1, 2, 5, 8, 9, 0}));
+}
+
+TEST(OpKernelTest, RaggedKvAppendMultiTokenPrefillChunk)
+{
+    // n > 1 is the pool-writing prefill path: a 3-token chunk starting
+    // at offset 1 spans a page boundary (pages of 2 positions).
+    NDArray pool = NDArray::zeros({2, 1, 2, 1}, DataType::f32());
+    NDArray fresh = NDArray::fromVector({1, 1, 3, 1}, DataType::f32(),
+                                        {7, 8, 9});
+    NDArray lens = NDArray::fromVector({1}, DataType::i64(), {1});
+    NDArray table = NDArray::fromVector({1, 2}, DataType::i64(), {1, 0});
+    tir::PrimFunc func = makeKvAppendRaggedFunc(
+        "append_chunk",
+        {intImm(1), intImm(1), intImm(3), intImm(1)}, {intImm(1)},
+        {intImm(1), intImm(2)},
+        {intImm(2), intImm(1), intImm(2), intImm(1)}, DataType::f32());
+    std::vector<NDArray> args{fresh, lens, table, pool};
+    tir::run(func, args);
+    // Positions 1, 2, 3 -> page 1 offset 1, then page 0 offsets 0, 1.
+    EXPECT_EQ(pool.data(), (std::vector<double>{8, 9, 0, 7}));
 }
 
 TEST(OpKernelTest, DecodeQ4UnpacksNibbles)

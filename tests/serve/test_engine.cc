@@ -139,16 +139,17 @@ TEST(EngineTest, RaggedDecodeTokenIdenticalWithReplayOnAndOff)
             with_graphs ? graphHostOptions() : hostOptions();
         EngineOptions options;
         options.kvBlockTokens = 4;
-        options.decodeMode = DecodeMode::kRagged;
         auto engine = Engine::build(config, copts, /*data_mode=*/true,
                                     options);
         for (const auto& prompt : prompts) {
             engine->addRequest(prompt, max_new);
         }
         const EngineStats& stats = engine->run();
-        // One ragged decode call per step covers the whole batch.
+        // One ragged decode call per step covers the whole batch, and
+        // the page-pool path never copies cache bytes on the host.
         EXPECT_EQ(stats.decodeBatches, stats.steps)
             << "graphs=" << with_graphs;
+        EXPECT_EQ(stats.relayoutBytes, 0) << "graphs=" << with_graphs;
         if (with_graphs) {
             EXPECT_GT(engine->machine().graphStats().replays, 0);
         } else {
@@ -165,37 +166,88 @@ TEST(EngineTest, RaggedDecodeTokenIdenticalWithReplayOnAndOff)
 
 TEST(EngineTest, RaggedDecodeIssuesOneCallPerStepAcrossContexts)
 {
-    // Three context lengths that never align: grouped decode fragments
-    // into one call per group, ragged decode covers them in one.
+    // Three context lengths that never align: the pool-addressed ragged
+    // decode still covers the whole batch in exactly one call per step
+    // (the grouped per-context path this replaced issued ~3).
     LlamaConfig config = LlamaConfig::tiny();
     std::vector<std::vector<int64_t>> prompts = {
         {1, 2}, {3, 4, 5, 6, 7}, {8, 9, 1, 2, 3, 4, 5, 6, 7}};
     const int64_t max_new = 5;
 
-    auto run_mode = [&](DecodeMode mode) {
+    auto engine = Engine::build(config, hostOptions(),
+                                /*data_mode=*/true);
+    for (const auto& prompt : prompts) {
+        engine->addRequest(prompt, max_new);
+    }
+    const EngineStats& stats = engine->run();
+    EXPECT_EQ(stats.decodeBatches, stats.steps);
+    EXPECT_EQ(stats.relayoutBytes, 0);
+    EXPECT_EQ(engine->collect().size(), prompts.size());
+}
+
+TEST(EngineTest, ForkedRequestSharesPrefixPagesAndMatchesSolo)
+{
+    // A shared-system-prompt scenario: the parent runs with a long
+    // prompt; children fork it and extend with their own suffixes. Token
+    // streams must match independent solo runs exactly, pages must be
+    // shared (fewer peak pages than a no-fork run), and copy-on-write
+    // must have kept the streams isolated.
+    LlamaConfig config = LlamaConfig::tiny();
+    std::vector<int64_t> prefix = {3, 1, 4, 1, 5, 9};      // mid-page at 4
+    std::vector<int64_t> child_a = prefix, child_b = prefix;
+    child_a.insert(child_a.end(), {2, 6});
+    child_b.insert(child_b.end(), {8, 2, 7});
+    const int64_t max_new = 6;
+
+    auto run = [&](bool with_fork) {
         EngineOptions options;
-        options.decodeMode = mode;
+        options.kvBlockTokens = 4;
         auto engine = Engine::build(config, hostOptions(),
                                     /*data_mode=*/true, options);
-        for (const auto& prompt : prompts) {
-            engine->addRequest(prompt, max_new);
-        }
-        EngineStats stats = engine->run();
-        std::vector<std::vector<int64_t>> tokens;
+        RequestId parent = engine->addRequest(prefix, max_new);
+        // Parent prefills first so its prefix pages are committed when
+        // the children arrive.
+        engine->step();
+        engine->addRequest(child_a, max_new, -1, -1.0,
+                           with_fork ? parent : -1);
+        engine->addRequest(child_b, max_new, -1, -1.0,
+                           with_fork ? parent : -1);
+        engine->run();
+        struct Result
+        {
+            std::vector<std::vector<int64_t>> tokens;
+            int64_t peakPages, forks, cowCopies, relayout;
+        } result;
+        result.peakPages = engine->kv().peakPages();
+        result.forks = engine->kv().forkCount();
+        result.cowCopies = engine->kv().cowCopies();
+        result.relayout = engine->stats().relayoutBytes;
         for (const auto& done : engine->collect()) {
-            tokens.push_back(done.outputTokens);
+            result.tokens.push_back(done.outputTokens);
         }
-        return std::make_pair(stats, tokens);
+        return result;
     };
 
-    auto [ragged_stats, ragged_tokens] = run_mode(DecodeMode::kRagged);
-    auto [grouped_stats, grouped_tokens] = run_mode(DecodeMode::kGrouped);
-    // Identical output, fewer calls: the fragmentation fix in one assert.
-    EXPECT_EQ(ragged_tokens, grouped_tokens);
-    EXPECT_EQ(ragged_stats.decodeBatches, ragged_stats.steps);
-    EXPECT_GT(grouped_stats.decodeBatches,
-              3 * (ragged_stats.decodeBatches - 1))
-        << "grouped decode should fragment into ~3 calls per step";
+    auto forked = run(true);
+    auto solo = run(false);
+    ASSERT_EQ(forked.tokens.size(), 3u);
+    // Byte-exact token streams: prefix sharing and COW change memory
+    // addressing only, never values.
+    EXPECT_EQ(forked.tokens, solo.tokens);
+    for (size_t i = 0; i < 3; ++i) {
+        std::vector<int64_t> prompt =
+            i == 0 ? prefix : (i == 1 ? child_a : child_b);
+        EXPECT_EQ(forked.tokens[i],
+                  sequentialGreedy(config, prompt, max_new))
+            << "request " << i;
+    }
+    EXPECT_EQ(forked.forks, 2);
+    EXPECT_EQ(solo.forks, 0);
+    EXPECT_LT(forked.peakPages, solo.peakPages);
+    // The prefix ends mid-page, so the first append after a fork had to
+    // copy-on-write at least once.
+    EXPECT_GE(forked.cowCopies, 1);
+    EXPECT_EQ(forked.relayout, 0);
 }
 
 TEST(EngineTest, EqualLengthRequestsShareDecodeBatches)
@@ -260,6 +312,43 @@ TEST(EngineTest, EvictionAndReadmissionPreserveTokens)
         preempted += results[i].stats.preemptions;
     }
     EXPECT_GE(preempted, 1);
+}
+
+TEST(EngineTest, ForkOfCollectedParentDegradesToFullPrefill)
+{
+    // Sharing is best-effort: forking a request that already finished
+    // and was collect()ed must not crash — the child simply prefills in
+    // full and still emits the exact token stream.
+    LlamaConfig config = LlamaConfig::tiny();
+    std::vector<int64_t> prefix = {3, 1, 4, 1};
+    std::vector<int64_t> child = prefix;
+    child.push_back(7);
+    auto engine = Engine::build(config, hostOptions(), /*data_mode=*/true);
+    RequestId parent = engine->addRequest(prefix, 2);
+    engine->run();
+    EXPECT_EQ(engine->collect().size(), 1u); // parent gone from the engine
+    engine->addRequest(child, 4, -1, -1.0, /*fork_of=*/parent);
+    engine->run();
+    auto results = engine->collect();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].outputTokens, sequentialGreedy(config, child, 4));
+    EXPECT_EQ(engine->kv().forkCount(), 0);
+    // A fork id that never existed is still a caller bug.
+    EXPECT_THROW(engine->addRequest(child, 1, -1, -1.0, /*fork_of=*/999),
+                 InternalError);
+}
+
+TEST(EngineTest, OverlongPromptRejectedAtSubmission)
+{
+    // The pool is sized to the context window; an over-long prompt is
+    // rejected up front instead of stalling admission forever.
+    LlamaConfig config = LlamaConfig::tiny(); // maxContext = 64
+    auto engine = Engine::build(config, hostOptions(), /*data_mode=*/true);
+    EXPECT_THROW(engine->addRequest(std::vector<int64_t>(65, 1), 1),
+                 RuntimeError);
+    engine->addRequest(std::vector<int64_t>(64, 1), 1); // exactly fits
+    engine->run();
+    EXPECT_EQ(engine->collect().size(), 1u);
 }
 
 TEST(EngineTest, ZeroActiveStepIsNoOp)

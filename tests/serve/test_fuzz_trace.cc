@@ -1,18 +1,20 @@
 /**
  * @file
  * Randomized serving oracle: seeded fuzz over request counts, prompt
- * lengths, max-tokens, KV budgets, and both admission policies, asserting
- * that the continuously-batched data-mode engine emits token-for-token
- * what N independent single-request greedy loops emit — in both decode
- * modes (ragged paged-attention and legacy equal-context grouping), with
- * bucketed execution-graph replay on and with it off. This pins the whole
- * serve stack (scheduler, KV manager, eviction, batched prefill, ragged
- * and grouped decode, and the capture/replay rewrite) to an end-to-end
- * correctness invariant: no batching, padding, preemption, or
- * graph-replay decision may change tokens.
+ * lengths, max-tokens, KV budgets, prefix-fork events, and both
+ * admission policies, asserting that the continuously-batched data-mode
+ * engine emits token-for-token what N independent single-request greedy
+ * loops emit — with bucketed execution-graph replay on and with it off.
+ * This pins the whole serve stack (scheduler, page-pool KV manager with
+ * refcounted fork + copy-on-write, eviction, pool-writing prefill, the
+ * single ragged decode call, and the capture/replay rewrite) to an
+ * end-to-end correctness invariant: no batching, paging, sharing,
+ * preemption, or graph-replay decision may change tokens. The
+ * zero-relayout invariant rides along: every run must report
+ * relayoutBytes == 0.
  *
  * Seed count defaults to 40 (~3 s); set RELAX_FUZZ_SEEDS for the nightly
- * soak (e.g. RELAX_FUZZ_SEEDS=400).
+ * soak (e.g. RELAX_FUZZ_SEEDS=200).
  */
 #include <gtest/gtest.h>
 
@@ -132,6 +134,8 @@ struct FuzzRequest
     std::vector<int64_t> prompt;
     int64_t maxNew = 1;
     int64_t stopToken = -1;
+    int64_t forkOf = -1; //!< index of an earlier request whose prompt
+                         //!< this one extends (prefix sharing)
 };
 
 struct FuzzScenario
@@ -167,6 +171,18 @@ drawScenario(std::mt19937& rng, const LlamaConfig& config)
             // An occasionally-hit stop token (small vocab makes real
             // early stops likely across scenarios).
             request.stopToken = draw(0, config.vocabSize - 1);
+        }
+        if (i > 0 && rng() % 3 == 0) {
+            // Prefix fork: extend an earlier request's prompt with a
+            // short suffix and share its pool pages. Sharing is
+            // best-effort (the parent may have finished or been evicted
+            // by admission time), so tokens must match regardless.
+            request.forkOf = draw(0, i - 1);
+            request.prompt = scenario.requests[request.forkOf].prompt;
+            int64_t suffix = draw(1, 4);
+            for (int64_t t = 0; t < suffix; ++t) {
+                request.prompt.push_back(draw(0, config.vocabSize - 1));
+            }
         }
         max_need = std::max(max_need,
                             (int64_t)request.prompt.size() + request.maxNew);
@@ -210,6 +226,7 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
 
     int64_t total_replays = 0;
     int64_t total_evictions = 0;
+    int64_t total_forks = 0, total_cow = 0;
     int64_t ragged_steps = 0, ragged_decode_calls = 0;
     std::mt19937 seed_rng(0xF00D);
     const int64_t seed_count = fuzzSeedCount();
@@ -226,60 +243,65 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
                 request.prompt, request.maxNew, request.stopToken));
         }
 
-        for (DecodeMode mode : {DecodeMode::kRagged, DecodeMode::kGrouped}) {
-            EngineOptions engine_options;
-            engine_options.scheduler.policy = scenario.policy;
-            engine_options.kvBlockTokens = scenario.kvBlockTokens;
-            engine_options.kvBudgetBytes = scenario.kvBudgetBytes;
-            engine_options.decodeMode = mode;
+        EngineOptions engine_options;
+        engine_options.scheduler.policy = scenario.policy;
+        engine_options.kvBlockTokens = scenario.kvBlockTokens;
+        engine_options.kvBudgetBytes = scenario.kvBudgetBytes;
 
-            for (bool with_replay : {true, false}) {
-                auto dev = std::make_shared<device::SimDevice>(
-                    hostSpec(with_replay));
-                Engine engine(with_replay ? exec_on : exec_off, dev,
-                              /*data_mode=*/true, config, weights,
-                              engine_options);
-                for (const FuzzRequest& request : scenario.requests) {
-                    engine.addRequest(request.prompt, request.maxNew,
-                                      request.stopToken);
-                }
-                engine.run();
-                auto results = engine.collect();
-                ASSERT_EQ(results.size(), scenario.requests.size())
-                    << "seed=" << seed << " replay=" << with_replay
-                    << " ragged=" << (mode == DecodeMode::kRagged);
-                for (size_t i = 0; i < results.size(); ++i) {
-                    EXPECT_EQ(results[i].outputTokens, expected[i])
-                        << "seed=" << seed << " request=" << i
-                        << " replay=" << with_replay
-                        << " ragged=" << (mode == DecodeMode::kRagged)
-                        << " policy=" << (int)scenario.policy;
-                }
-                if (with_replay) {
-                    total_replays += engine.machine().graphStats().replays;
-                } else {
-                    // Graph offload disabled: capture must never engage.
-                    EXPECT_EQ(engine.machine().graphStats().begins, 0);
-                }
-                total_evictions += engine.stats().evictions;
-                if (mode == DecodeMode::kRagged) {
-                    // One ragged decode call per step, never more — the
-                    // whole running batch joins a single call even when
-                    // context lengths diverge.
-                    EXPECT_LE(engine.stats().decodeBatches,
-                              engine.stats().steps)
-                        << "seed=" << seed;
-                    ragged_steps += engine.stats().steps;
-                    ragged_decode_calls += engine.stats().decodeBatches;
-                }
+        for (bool with_replay : {true, false}) {
+            auto dev = std::make_shared<device::SimDevice>(
+                hostSpec(with_replay));
+            Engine engine(with_replay ? exec_on : exec_off, dev,
+                          /*data_mode=*/true, config, weights,
+                          engine_options);
+            std::vector<RequestId> ids;
+            for (const FuzzRequest& request : scenario.requests) {
+                ids.push_back(engine.addRequest(
+                    request.prompt, request.maxNew, request.stopToken,
+                    /*arrival_us=*/-1.0,
+                    request.forkOf >= 0 ? ids[request.forkOf] : -1));
             }
+            engine.run();
+            auto results = engine.collect();
+            ASSERT_EQ(results.size(), scenario.requests.size())
+                << "seed=" << seed << " replay=" << with_replay;
+            for (size_t i = 0; i < results.size(); ++i) {
+                EXPECT_EQ(results[i].outputTokens, expected[i])
+                    << "seed=" << seed << " request=" << i
+                    << " replay=" << with_replay
+                    << " fork_of=" << scenario.requests[i].forkOf
+                    << " policy=" << (int)scenario.policy;
+            }
+            if (with_replay) {
+                total_replays += engine.machine().graphStats().replays;
+            } else {
+                // Graph offload disabled: capture must never engage.
+                EXPECT_EQ(engine.machine().graphStats().begins, 0);
+            }
+            total_evictions += engine.stats().evictions;
+            total_forks += engine.kv().forkCount();
+            total_cow += engine.kv().cowCopies();
+            // One ragged decode call per step, never more — the whole
+            // running batch joins a single call even when context
+            // lengths diverge. And the page-pool path never copies
+            // cache bytes on the host.
+            EXPECT_LE(engine.stats().decodeBatches,
+                      engine.stats().steps)
+                << "seed=" << seed;
+            EXPECT_EQ(engine.stats().relayoutBytes, 0)
+                << "seed=" << seed;
+            ragged_steps += engine.stats().steps;
+            ragged_decode_calls += engine.stats().decodeBatches;
         }
     }
     // The fuzz must actually exercise the interesting machinery: some
-    // scenario replayed a bucketed graph, some scenario evicted, and the
+    // scenario replayed a bucketed graph, some scenario evicted, some
+    // scenario forked a shared prefix (and copy-on-write fired), and the
     // ragged path issued decode calls.
     EXPECT_GT(total_replays, 0);
     EXPECT_GT(total_evictions, 0);
+    EXPECT_GT(total_forks, 0);
+    EXPECT_GT(total_cow, 0);
     EXPECT_GT(ragged_decode_calls, 0);
     EXPECT_LE(ragged_decode_calls, ragged_steps);
 }

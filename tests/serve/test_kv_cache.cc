@@ -1,8 +1,9 @@
 /**
  * @file
- * KVCacheManager tests: paged block geometry, reserve/grow/release
- * lifecycle, budget enforcement, and that every reserved byte shows up in
- * the simulated device's VRAM accounting as persistent VM storage.
+ * KVCacheManager tests: page-pool geometry, the resident upfront pool
+ * allocation, the reserve/fork/copy-on-write/release page lifecycle,
+ * budget enforcement, and that the byte accounting always matches pool
+ * occupancy (used + free pages == the whole pool).
  */
 #include <gtest/gtest.h>
 
@@ -40,31 +41,58 @@ TEST(KVCacheTest, BlockGeometry)
     KVCacheManager kv(fx.config, fx.machine, /*budget=*/64 * 4 * 10,
                       /*blockTokens=*/4);
     EXPECT_EQ(kv.bytesPerBlock(), 64 * 4);
+    EXPECT_EQ(kv.totalPages(), 10);
     EXPECT_EQ(kv.blocksFor(1), 1);
     EXPECT_EQ(kv.blocksFor(4), 1);
     EXPECT_EQ(kv.blocksFor(5), 2);
     EXPECT_EQ(kv.blocksFor(12), 3);
+    // One pool tensor per layer per k/v, [p, h, block, d].
+    ASSERT_EQ(kv.poolTensors().size(), (size_t)2 * fx.config.numLayers);
+    EXPECT_EQ(kv.poolTensors()[0].shape(),
+              (std::vector<int64_t>{10, fx.config.numHeads, 4,
+                                    fx.config.headDim}));
 }
 
-TEST(KVCacheTest, ReserveGrowReleaseAccountsDeviceBytes)
+TEST(KVCacheTest, PoolIsResidentUpFront)
+{
+    // vLLM-style preallocation: the whole pool is device-resident for
+    // the manager's lifetime; reserve/release move logical pages only.
+    Fixture fx;
+    int64_t base = fx.dev->allocatedBytes();
+    {
+        KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+        EXPECT_EQ(fx.dev->allocatedBytes() - base,
+                  kv.totalPages() * kv.bytesPerBlock());
+        kv.reserve(1, 8);
+        EXPECT_EQ(fx.dev->allocatedBytes() - base,
+                  kv.totalPages() * kv.bytesPerBlock());
+    }
+    EXPECT_EQ(fx.dev->allocatedBytes(), base);
+}
+
+TEST(KVCacheTest, ReserveGrowReleaseTracksPoolOccupancy)
 {
     Fixture fx;
     KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
-    int64_t base = fx.dev->allocatedBytes();
 
-    kv.reserve(/*seq=*/1, /*tokens=*/4); // 1 block
+    kv.reserve(/*seq=*/1, /*tokens=*/4); // 1 page
+    EXPECT_EQ(kv.usedPages(), 1);
     EXPECT_EQ(kv.usedBytes(), kv.bytesPerBlock());
-    EXPECT_EQ(fx.dev->allocatedBytes() - base, kv.bytesPerBlock());
 
-    kv.reserve(1, 5); // grows to 2 blocks
-    EXPECT_EQ(kv.usedBytes(), 2 * kv.bytesPerBlock());
+    kv.reserve(1, 5); // grows to 2 pages
+    EXPECT_EQ(kv.usedPages(), 2);
     kv.reserve(1, 5); // idempotent: already holds 5 positions
-    EXPECT_EQ(kv.usedBytes(), 2 * kv.bytesPerBlock());
+    EXPECT_EQ(kv.usedPages(), 2);
     EXPECT_EQ(kv.reservedTokens(1), 5);
+    EXPECT_EQ(kv.pagesOf(1), 2);
+
+    // Accounting identity: used + free pages always cover the pool.
+    EXPECT_EQ(kv.usedPages() + kv.freePages(), kv.totalPages());
 
     kv.release(1);
+    EXPECT_EQ(kv.usedPages(), 0);
     EXPECT_EQ(kv.usedBytes(), 0);
-    EXPECT_EQ(fx.dev->allocatedBytes(), base);
+    EXPECT_EQ(kv.freePages(), kv.totalPages());
     EXPECT_EQ(kv.reservedTokens(1), 0);
     kv.release(1); // unknown id: no-op
 }
@@ -72,20 +100,20 @@ TEST(KVCacheTest, ReserveGrowReleaseAccountsDeviceBytes)
 TEST(KVCacheTest, BudgetRefusesOverCommit)
 {
     Fixture fx;
-    // Room for exactly 3 blocks.
+    // Room for exactly 3 pages.
     KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 3, 4);
     EXPECT_TRUE(kv.canHold(1, 12));
     EXPECT_FALSE(kv.canHold(1, 13));
-    kv.reserve(1, 8); // 2 blocks
+    kv.reserve(1, 8); // 2 pages
     EXPECT_EQ(kv.freeBytes(), kv.budgetBytes() - 2 * kv.bytesPerBlock());
     EXPECT_TRUE(kv.canHold(2, 4));
     EXPECT_FALSE(kv.canHold(2, 5));
-    // A sequence's own blocks count toward what it can still hold.
+    // A sequence's own pages count toward what it can still hold.
     EXPECT_TRUE(kv.canHold(1, 12));
     EXPECT_THROW(kv.reserve(2, 8), RuntimeError);
     kv.release(1);
     kv.reserve(2, 8);
-    EXPECT_EQ(kv.usedBytes(), 2 * kv.bytesPerBlock());
+    EXPECT_EQ(kv.usedPages(), 2);
 }
 
 TEST(KVCacheTest, PeakTracksHighWaterMark)
@@ -105,7 +133,7 @@ TEST(KVCacheTest, CommitTracksWrittenPositionsBelowReservation)
 {
     Fixture fx;
     KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
-    kv.reserve(1, 6); // 2 blocks reserved
+    kv.reserve(1, 6); // 2 pages reserved
     EXPECT_EQ(kv.committedTokens(1), 0);
     kv.commit(1, 5);
     EXPECT_EQ(kv.committedTokens(1), 5);
@@ -120,9 +148,9 @@ TEST(KVCacheTest, RaggedViewsExposeLengthsAndBlockTable)
 {
     Fixture fx;
     KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
-    kv.reserve(7, 6); // blocks 0, 1
+    kv.reserve(7, 6); // pages 0, 1
     kv.commit(7, 5);
-    kv.reserve(9, 3); // block 2
+    kv.reserve(9, 3); // page 2
     kv.commit(9, 3);
 
     NDArray lens = kv.lengthsView({9, 7});
@@ -133,17 +161,130 @@ TEST(KVCacheTest, RaggedViewsExposeLengthsAndBlockTable)
 
     NDArray table = kv.blockTableView({9, 7}, /*width=*/3);
     ASSERT_EQ(table.shape(), (std::vector<int64_t>{2, 3}));
-    // Row 0 (seq 9): one owned block, -1 padding after.
+    // Row 0 (seq 9): one owned page, -1 padding after.
     EXPECT_EQ((int64_t)table.at(0), 2);
     EXPECT_EQ((int64_t)table.at(1), -1);
     EXPECT_EQ((int64_t)table.at(2), -1);
-    // Row 1 (seq 7): two owned blocks.
+    // Row 1 (seq 7): two owned pages.
     EXPECT_EQ((int64_t)table.at(3), 0);
     EXPECT_EQ((int64_t)table.at(4), 1);
     EXPECT_EQ((int64_t)table.at(5), -1);
 }
 
-TEST(KVCacheTest, DestructorReturnsOutstandingBlocks)
+TEST(KVCacheTest, ForkSharesPagesByRefcount)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    kv.reserve(1, 8); // pages 0, 1
+    kv.commit(1, 7);
+
+    // Child maps onto the pages of the parent's first 6 committed
+    // positions: both pages shared, zero new pages in use.
+    kv.fork(1, 2, 6);
+    EXPECT_EQ(kv.forkCount(), 1);
+    EXPECT_EQ(kv.usedPages(), 2);
+    EXPECT_EQ(kv.pagesOf(2), 2);
+    EXPECT_EQ(kv.committedTokens(2), 6);
+    NDArray table = kv.blockTableView({1, 2}, 2);
+    EXPECT_EQ((int64_t)table.at(0), (int64_t)table.at(2));
+    EXPECT_EQ((int64_t)table.at(1), (int64_t)table.at(3));
+
+    // Fork clamps to the parent's committed positions.
+    kv.fork(1, 3, 100);
+    EXPECT_EQ(kv.committedTokens(3), 7);
+
+    // Releasing the parent keeps shared pages alive for the children.
+    kv.release(1);
+    EXPECT_EQ(kv.usedPages(), 2);
+    kv.release(2);
+    EXPECT_EQ(kv.usedPages(), 2); // seq 3 still references both
+    kv.release(3);
+    EXPECT_EQ(kv.usedPages(), 0);
+
+    // Forking from an unknown parent is a no-op (graceful degradation).
+    kv.fork(42, 5, 4);
+    EXPECT_EQ(kv.pagesOf(5), 0);
+    EXPECT_EQ(kv.forkCount(), 2);
+}
+
+TEST(KVCacheTest, CopyOnWriteUnsharesTheWriteRange)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    kv.reserve(1, 6); // pages 0, 1; position 5 is mid-page
+    kv.commit(1, 6);
+    // Poison page 1 so the copy is observable: pool row of page 1.
+    NDArray pool = kv.poolTensors()[0];
+    int64_t row = pool.numel() / kv.totalPages();
+    for (int64_t i = 0; i < row; ++i) pool.set(1 * row + i, 42.0);
+
+    kv.fork(1, 2, 6); // two children share pages 0 and 1
+    kv.fork(1, 3, 6); // (partial last page in both forks)
+    int64_t launches_before = fx.dev->kernelLaunches();
+
+    // The parent's next append writes position 6 inside shared page 1:
+    // copy-on-write gives the writer a private copy, priced on the
+    // device clock, and repoints only the writer's table row.
+    EXPECT_TRUE(kv.canHoldWrite(1, 7, 6));
+    kv.reserveWrite(1, 7, 6);
+    EXPECT_EQ(kv.cowCopies(), 1);
+    EXPECT_EQ(kv.cowBytes(), kv.bytesPerBlock());
+    EXPECT_EQ(fx.dev->kernelLaunches(), launches_before + 1);
+    EXPECT_EQ(kv.usedPages(), 3); // page 0 (shared), page 1, the copy
+
+    NDArray parent_table = kv.blockTableView({1}, 2);
+    NDArray child_table = kv.blockTableView({2}, 2);
+    EXPECT_EQ((int64_t)parent_table.at(0), (int64_t)child_table.at(0));
+    int64_t copied = (int64_t)parent_table.at(1);
+    EXPECT_NE(copied, (int64_t)child_table.at(1));
+    // The copy carried the page contents (data mode).
+    for (int64_t i = 0; i < row; ++i) {
+        EXPECT_EQ(pool.at(copied * row + i), 42.0) << "element " << i;
+    }
+
+    // Writing an exclusively-owned range never copies.
+    kv.reserveWrite(1, 8, 7);
+    EXPECT_EQ(kv.cowCopies(), 1);
+
+    // The first child's write still hits a page shared with the second
+    // child: it copies too...
+    kv.reserveWrite(2, 7, 6);
+    EXPECT_EQ(kv.cowCopies(), 2);
+    EXPECT_EQ(kv.usedPages(), 4);
+    // ...after which the second child owns the original page alone and
+    // writes without copying (refcounts transferred all the way down).
+    kv.reserveWrite(3, 7, 6);
+    EXPECT_EQ(kv.cowCopies(), 2);
+}
+
+TEST(KVCacheTest, CanHoldWriteCountsCowPages)
+{
+    Fixture fx;
+    // Pool of exactly 3 pages.
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 3, 4);
+    kv.reserve(1, 8); // pages 0, 1
+    kv.commit(1, 6);
+    kv.fork(1, 2, 6); // both pages shared; 1 page free
+    kv.reserve(3, 4); // takes the last free page
+    // The parent's write at position 6 needs one COW page, and none is
+    // free — canHoldWrite must say so instead of letting reserveWrite
+    // run the pool dry mid-copy.
+    EXPECT_FALSE(kv.canHoldWrite(1, 7, 6));
+    EXPECT_THROW(kv.reserveWrite(1, 7, 6), RuntimeError);
+    EXPECT_EQ(kv.cowCopies(), 0);
+    kv.release(3); // a page frees up: the same write now fits
+    EXPECT_TRUE(kv.canHoldWrite(1, 7, 6));
+    kv.reserveWrite(1, 7, 6);
+    EXPECT_EQ(kv.cowCopies(), 1);
+    EXPECT_EQ(kv.freePages(), 0);
+    // The COW repointed the parent, so the child now owns its last page
+    // exclusively: its own write needs no pages even with none free.
+    EXPECT_TRUE(kv.canHoldWrite(2, 7, 6));
+    kv.reserveWrite(2, 7, 6);
+    EXPECT_EQ(kv.cowCopies(), 1);
+}
+
+TEST(KVCacheTest, DestructorReturnsThePool)
 {
     Fixture fx;
     int64_t base = fx.dev->allocatedBytes();

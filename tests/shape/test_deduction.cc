@@ -238,31 +238,34 @@ TEST(DeductionTest, CallTIRAndLibraryUseExplicitAnnotation)
 
 TEST(DeductionTest, RaggedDecodeFlowKeepsSymbolicDims)
 {
-    // The ragged decode contract at the annotation level: a padded cache
-    // [b, h, m, d] plus a [b] length vector and a [b, w] block table flow
-    // through the ragged append and ragged attention with every symbolic
-    // dim preserved — no coarsening, the memory planner and graph
-    // bucketing depend on these exact expressions.
+    // The page-pool contract at the annotation level: a persistent pool
+    // [p, h, c, d] plus a [b] length vector and a [b, w] block table
+    // flow through the in-place pool append and ragged attention with
+    // every symbolic dim preserved — no coarsening, the memory planner
+    // and graph bucketing depend on these exact expressions.
     auto module = IRModule::create();
     BlockBuilder builder(module);
     SymVar b = var("b");
-    SymVar m = var("m");
+    SymVar p = var("p");
+    SymVar c = var("c");
     SymVar w = var("w");
     Var q = makeVar("q", tensorSInfo({b, intImm(2), intImm(1), intImm(4)},
                                      DataType::f16()));
     Var fresh = makeVar("fresh",
                         tensorSInfo({b, intImm(2), intImm(1), intImm(4)},
                                     DataType::f16()));
-    Var cache = makeVar("cache",
-                        tensorSInfo({b, intImm(2), m, intImm(4)},
-                                    DataType::f16()));
+    Var pool = makeVar("pool",
+                       tensorSInfo({p, intImm(2), c, intImm(4)},
+                                   DataType::f16()));
     Var lens = makeVar("lens", tensorSInfo({b}, DataType::i64()));
     Var table = makeVar("table", tensorSInfo({b, w}, DataType::i64()));
     builder.beginDataflowBlock();
-    Var appended = builder.emit(callDPSLibrary(
-        "kv.append_ragged", {cache, fresh, lens},
-        tensorSInfo({b, intImm(2), m, intImm(4)}, DataType::f16())));
-    expectSInfo(appended->structInfo(), "Tensor((b, 2, m, 4), \"f16\")");
+    ir::Call append = callDPSLibrary(
+        "kv.append_ragged", {pool, fresh, lens, table},
+        tensorSInfo({p, intImm(2), c, intImm(4)}, DataType::f16()));
+    append->attrs["inplace_arg"] = (int64_t)0;
+    Var appended = builder.emit(append);
+    expectSInfo(appended->structInfo(), "Tensor((p, 2, c, 4), \"f16\")");
     Var attn = builder.emit(
         op::attentionRagged(q, appended, appended, lens, table, 0.5));
     expectSInfo(attn->structInfo(), "Tensor((b, 2, 1, 4), \"f16\")");

@@ -202,11 +202,12 @@ TEST(VMTest, LibraryDispatchMatchesGeneratedKernels)
 
 TEST(VMTest, RaggedAttentionLibraryPricesPerSequence)
 {
-    // The ragged FlashAttention sim is data-dependent: its cost sums over
-    // the true per-sequence lengths (the [b] host tensor carries data even
-    // in timing mode), not the padded cache shape — the reason one ragged
-    // call beats per-group calls. Without length data it degrades to the
-    // padded worst case.
+    // The paged-pool FlashAttention sim is data-dependent: its cost sums
+    // over the true per-sequence lengths (the [b] host tensor carries
+    // data even in timing mode), never over the pool size — the reason
+    // one ragged call beats per-group calls and a huge resident pool
+    // costs nothing per step. Without length data it degrades to the
+    // worst case of the mapped table width.
     ensureLibrariesRegistered();
     const LibraryKernel* kernel =
         LibraryRegistry::global().find("flashattn.attention_ragged");
@@ -215,12 +216,14 @@ TEST(VMTest, RaggedAttentionLibraryPricesPerSequence)
     spec.name = "host";
     spec.backend = "cpu";
 
-    const int64_t b = 4, h = 2, d = 8, m = 64, w = 4;
+    // Pool of 40 pages of 16 positions; each row maps w = 4 pages, so
+    // keys range over m = 64 positions regardless of the pool size.
+    const int64_t b = 4, h = 2, d = 8, pages = 40, c = 16, w = 4;
     auto cost_with_lens = [&](std::vector<double> lens) {
         std::vector<NDArray> args{
             NDArray::metaOnly({b, h, 1, d}, DataType::f16()),
-            NDArray::metaOnly({b, h, m, d}, DataType::f16()),
-            NDArray::metaOnly({b, h, m, d}, DataType::f16()),
+            NDArray::metaOnly({pages, h, c, d}, DataType::f16()),
+            NDArray::metaOnly({pages, h, c, d}, DataType::f16()),
             lens.empty()
                 ? NDArray::metaOnly({b}, DataType::i64())
                 : NDArray::fromVector({b}, DataType::i64(),
