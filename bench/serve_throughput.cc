@@ -6,26 +6,31 @@
  * reports tokens/s, mean and tail TTFT (p50/p99), decode-step
  * execution-graph replay hit-rate, and peak KV page-pool usage against
  * the device's VRAM budget. Arrivals are spread over virtual time by a
- * seeded exponential inter-arrival process, so admission interleaves
- * with decode and scheduler changes are judged on tail latency, not just
- * the mean. Both scheduler policies run over the same trace through the
- * page-pool ragged decode path (one pool-addressed call per step; the
- * grouped baseline it replaced peaked at ~52 tok/s FCFS on this trace —
+ * seeded exponential inter-arrival process, so prefill chunks of fresh
+ * admissions share steps with running decodes — and each such mixed
+ * step must still issue exactly ONE packed-varlen pool-addressed call
+ * (ids [1, total_fresh] + cu_fresh offsets; the per-fresh-length
+ * grouping this replaced issued up to one call per distinct length,
+ * and the pre-ragged baseline peaked at ~52 tok/s FCFS on this trace —
  * see docs/BENCHMARKS.md history).
  *
- * A second scenario measures prefix sharing: N requests forking one
- * prefilled system prompt must use measurably fewer pool pages than the
- * same N requests without sharing, with copy-on-write keeping streams
- * exact.
+ * A second scenario measures automatic prefix caching: N requests
+ * repeating one already-served 120-token system prompt must be
+ * detected by the KV manager's block-hash index with no fork hint,
+ * reusing the parent's pool pages for every full prompt block and
+ * prefilling only their tails.
  *
  * Exit status is non-zero when the peak KV reservation exceeds the
- * budget, when decode issues more than one call per step, when any run
- * reports nonzero host-side cache relayout bytes (the zero-relayout
- * invariant, DESIGN.md §5), when FCFS throughput regresses below the
- * PR-4 ragged baseline (256 tok/s), or when prefix sharing fails to
- * save pages. The final "decode replay hit-rate after warmup" line is
- * the bucketed-capture regression guard: scripts/check.sh parses it and
- * the relayout line and fails the tier-1 run on violation.
+ * budget, when the number of packed calls differs from the number of
+ * engine steps (the one-call-per-step invariant, now an equality),
+ * when any run reports nonzero host-side cache relayout bytes (the
+ * zero-relayout invariant, DESIGN.md §5), when FCFS throughput
+ * regresses below the ragged baseline (256 tok/s), or when automatic
+ * detection misses the duplicated system prompt or fails to save pool
+ * pages and prefill tokens. The final "decode replay hit-rate after
+ * warmup" line is the bucketed-capture regression guard:
+ * scripts/check.sh parses it and the relayout line and fails the
+ * tier-1 run on violation.
  */
 #include <algorithm>
 #include <iostream>
@@ -99,9 +104,13 @@ compileOptionsFor(const device::DeviceSpec& spec)
     options.device = spec;
     // Bounds match the trace envelope (batch cap 8, prompts <= 256):
     // static memory planning allocates worst-case activations up front,
-    // so loose bounds waste real VRAM budget. The page pool itself needs
-    // no bound — it is a function argument, not a planned allocation.
-    options.bounds = {{"b", 8}, {"n", 256}};
+    // so loose bounds waste real VRAM budget. The packed token count n
+    // sums one step's fresh tokens: the 256-token per-step prefill cap
+    // plus up to 7 decode rows in normal steps, and up to prompt (256)
+    // + generated (32) when an over-cap re-prefill admits into an idle
+    // system. The page pool itself needs no bound — it is a function
+    // argument, not a planned allocation.
+    options.bounds = {{"b", 8}, {"n", 288}};
     return options;
 }
 
@@ -111,6 +120,8 @@ engineOptionsFor(serve::SchedulePolicy policy)
     serve::EngineOptions engine_options;
     engine_options.scheduler.policy = policy;
     engine_options.scheduler.maxBatchSize = 8;
+    // Keep one step's packed fresh tokens inside the compiled n bound.
+    engine_options.scheduler.maxPrefillTokensPerStep = 256;
     engine_options.kvBlockTokens = 16;
     // graphBucketTokens stays 0 (auto): Engine::build aligns the
     // execution-graph capture bucket to the 16-token KV page.
@@ -180,41 +191,45 @@ runTrace(const frontend::LlamaConfig& config,
 struct SharingResult
 {
     int64_t peakPages = 0;
-    int64_t forks = 0;
-    int64_t cowCopies = 0;
+    int64_t prefixHits = 0;
+    int64_t prefixTokens = 0;
     int64_t relayoutBytes = 0;
     int64_t prefillTokens = 0;
 };
 
 /**
- * Shared-system-prompt scenario: one parent request prefills a 120-token
- * prefix (deliberately mid-page, so copy-on-write fires); N followers
- * with distinct 8-token tails then either fork the parent's pages
- * (`with_fork`) or prefill from scratch.
+ * Shared-system-prompt scenario, automatic edition: one parent request
+ * prefills a 120-token system prompt; N followers with distinct 8-token
+ * tails then arrive WITHOUT any fork hint. In the shared variant their
+ * prompts repeat the parent's prefix verbatim and the KV manager's
+ * block-hash index must detect it at admission; the baseline gives each
+ * follower a distinct prefix of the same length, so nothing can match
+ * and every token prefills from scratch.
  */
 SharingResult
 runSharedPrefix(const frontend::LlamaConfig& config,
-                const device::DeviceSpec& spec, bool with_fork)
+                const device::DeviceSpec& spec, bool duplicate_prefix)
 {
     auto engine = serve::Engine::build(
         config, compileOptionsFor(spec), /*data_mode=*/false,
         engineOptionsFor(serve::SchedulePolicy::kFCFS));
     const int followers = 6;
     std::vector<int64_t> prefix(120, 1);
-    serve::RequestId parent = engine->addRequest(prefix, 40);
-    engine->step(); // parent prefills; its prefix pages are committed
+    engine->addRequest(prefix, 40);
+    engine->step(); // parent prefills; its full prompt blocks get indexed
     for (int i = 0; i < followers; ++i) {
-        std::vector<int64_t> prompt = prefix;
+        // Baseline followers get a content-distinct prefix (token value
+        // varies per follower) — same lengths, same schedule, no
+        // duplication for the index to find.
+        std::vector<int64_t> prompt(120, duplicate_prefix ? 1 : 100 + i);
         for (int t = 0; t < 8; ++t) prompt.push_back(2 + i);
-        engine->addRequest(prompt, 24, /*stop_token=*/-1,
-                           /*arrival_us=*/-1.0,
-                           with_fork ? parent : -1);
+        engine->addRequest(prompt, 24);
     }
     engine->run();
     SharingResult result;
     result.peakPages = engine->kv().peakPages();
-    result.forks = engine->kv().forkCount();
-    result.cowCopies = engine->kv().cowCopies();
+    result.prefixHits = engine->kv().prefixHits();
+    result.prefixTokens = engine->kv().prefixTokensMatched();
     result.relayoutBytes = engine->stats().relayoutBytes;
     result.prefillTokens = engine->stats().prefillTokens;
     return result;
@@ -265,12 +280,13 @@ main()
                       << " exceeds budget " << result.kvBudget << "\n";
             return 1;
         }
-        if (stats.decodeBatches > stats.steps) {
-            // Every step must cover the whole running batch with one
-            // ragged call (steps without running sequences issue none).
-            std::cerr << "FAIL: ragged decode issued "
-                      << stats.decodeBatches << " decode calls over "
-                      << stats.steps << " steps\n";
+        if (stats.decodeBatches != stats.steps) {
+            // The packed-varlen invariant, as an equality: every step
+            // covers the whole running batch — prefill chunks and
+            // decode rows together — with exactly one packed call.
+            std::cerr << "FAIL: packed varlen issued "
+                      << stats.decodeBatches << " calls over "
+                      << stats.steps << " steps (must be equal)\n";
             return 1;
         }
         bool fcfs = policy == serve::SchedulePolicy::kFCFS;
@@ -294,19 +310,42 @@ main()
     table.print();
     std::cout << "\npeak KV stayed within the device VRAM budget\n";
 
-    // Prefix-sharing scenario: forked followers must use fewer pool
-    // pages (and prefill fewer tokens) than the no-sharing baseline.
+    // Automatic prefix caching scenario: followers repeating the
+    // already-served system prompt must be detected with no hint, reuse
+    // the parent's pages for every full prompt block, and prefill
+    // measurably fewer tokens than the content-distinct baseline.
     SharingResult shared = runSharedPrefix(config, spec, true);
     SharingResult baseline = runSharedPrefix(config, spec, false);
     total_relayout += shared.relayoutBytes + baseline.relayoutBytes;
-    std::cout << "shared system prompt (6 forks of a 120-token prefix): "
+    // 120-token prefix + 8-token tail on 16-token pages: 7 full blocks
+    // (112 tokens) are matchable per follower — the tail block is held
+    // back so each follower prefills its own first-logits position.
+    const int followers = 6;
+    const int64_t matchable = 112;
+    std::cout << "shared system prompt (" << followers
+              << " repeats of a 120-token prefix, no fork hint): "
               << shared.peakPages << " vs " << baseline.peakPages
-              << " peak pool pages (no sharing), " << shared.forks
-              << " forks, " << shared.cowCopies << " COW copies, "
-              << shared.prefillTokens << " vs " << baseline.prefillTokens
-              << " prefill tokens\n";
-    if (shared.forks < 1 || shared.peakPages >= baseline.peakPages) {
-        std::cerr << "FAIL: prefix sharing did not save pool pages\n";
+              << " peak pool pages (distinct prefixes), "
+              << shared.prefixHits << " automatic prefix hits, "
+              << shared.prefixTokens << " prompt tokens from shared "
+              << "pages, " << shared.prefillTokens << " vs "
+              << baseline.prefillTokens << " prefill tokens\n";
+    if (shared.prefixHits != followers ||
+        shared.prefixTokens != followers * matchable) {
+        std::cerr << "FAIL: automatic detection missed the shared "
+                     "120-token prefix\n";
+        return 1;
+    }
+    if (baseline.prefixHits != 0) {
+        std::cerr << "FAIL: baseline matched distinct prefixes "
+                     "(false sharing)\n";
+        return 1;
+    }
+    if (shared.peakPages >= baseline.peakPages ||
+        baseline.prefillTokens - shared.prefillTokens !=
+            followers * matchable) {
+        std::cerr << "FAIL: prefix caching did not save pages and "
+                     "prefill tokens\n";
         return 1;
     }
 

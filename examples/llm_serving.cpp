@@ -2,12 +2,14 @@
  * @file
  * Continuous-batching LLM serving on the tiny model with real data:
  * three concurrent requests run through the serve::Engine against one
- * compiled executable and one persistent KV page pool — the engine
- * batches their decode steps into single pool-addressed calls, the
- * third request forks the first one's prompt prefix (a shared system
- * prompt: it reuses the parent's pool pages and prefills only its own
- * tail, with copy-on-write keeping both streams exact), and per-request
- * latency stats come off the simulated device's virtual clock.
+ * compiled executable and one persistent KV page pool — each step packs
+ * every running sequence's fresh tokens (prefill chunks and single
+ * decode tokens alike) into ONE pool-addressed varlen call, the third
+ * request repeats the first one's system prompt and automatic prefix
+ * caching maps its page-aligned prefix blocks onto the parent's pool
+ * pages (no fork hint: the hash index detects the duplication and
+ * verifies token content before sharing), and per-request latency
+ * stats come off the simulated device's virtual clock.
  */
 #include <iostream>
 
@@ -34,19 +36,19 @@ main()
     // engine prefills each straight into pool pages, then decodes them
     // as one ragged batch per step whatever their context lengths.
     std::vector<int64_t> system_prompt = {3, 1, 4, 1, 5};
-    serve::RequestId parent =
-        engine->addRequest(system_prompt, /*max_new_tokens=*/8);
+    engine->addRequest(system_prompt, /*max_new_tokens=*/8);
     engine->addRequest({2, 7}, /*max_new_tokens=*/6);
-    engine->step(); // prefill both; the parent's prefix pages commit
+    engine->step(); // prefill both; the first prompt's blocks get indexed
 
-    // A third request shares the system prompt: fork_of maps it onto the
-    // parent's pool pages, so only its 2-token tail is prefilled.
-    std::vector<int64_t> forked_prompt = system_prompt;
-    forked_prompt.push_back(9);
-    forked_prompt.push_back(2);
-    engine->addRequest(forked_prompt, /*max_new_tokens=*/6,
-                       /*stop_token=*/-1, /*arrival_us=*/-1.0,
-                       /*fork_of=*/parent);
+    // A third request repeats the system prompt verbatim. No hint is
+    // passed: at admission the KV manager hashes the prompt's
+    // page-aligned blocks, finds the first request's pages in its index,
+    // verifies the token content, and shares them — only the tail past
+    // the last full block is prefilled.
+    std::vector<int64_t> repeat_prompt = system_prompt;
+    repeat_prompt.push_back(9);
+    repeat_prompt.push_back(2);
+    engine->addRequest(repeat_prompt, /*max_new_tokens=*/6);
     const serve::EngineStats& stats = engine->run();
 
     for (const serve::FinishedRequest& done : engine->collect()) {
@@ -64,14 +66,17 @@ main()
               << stats.tokensGenerated << " tokens, peak KV "
               << stats.peakKvBytes << " bytes ("
               << engine->kv().peakPages() << " pool pages)\n";
-    std::cout << "prefix sharing: " << engine->kv().forkCount()
-              << " fork(s), " << engine->kv().cowCopies()
-              << " copy-on-write page cop"
-              << (engine->kv().cowCopies() == 1 ? "y" : "ies")
-              << ", host cache relayout bytes "
-              << stats.relayoutBytes << "\n";
+    std::cout << "automatic prefix caching: " << engine->kv().prefixHits()
+              << " hit(s), " << engine->kv().prefixTokensMatched()
+              << " prompt tokens served from shared pages, host cache"
+              << " relayout bytes " << stats.relayoutBytes << "\n";
     if (stats.relayoutBytes != 0) {
         std::cerr << "llm_serving: FAILED (host relayout)\n";
+        return 1;
+    }
+    if (engine->kv().prefixHits() == 0) {
+        std::cerr << "llm_serving: FAILED (prefix cache missed the"
+                  << " duplicated system prompt)\n";
         return 1;
     }
     std::cout << "llm_serving: OK\n";

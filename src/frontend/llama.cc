@@ -3,9 +3,10 @@
  * Llama-family model builder: the named configs (llama3_8b ... tiny)
  * with weight/KV-cache byte accounting, and buildLlama, which emits the
  * dense prefill/decode graph functions plus the pool-addressed
- * decode_ragged serving function (persistent KV page pools gathered
- * through the block table, in-place appends) over symbolic batch /
- * sequence / pool variables through the BlockBuilder. makeLlamaWeights
+ * decode_ragged serving function (packed varlen fresh tokens delimited
+ * by cu_fresh, persistent KV page pools gathered through the block
+ * table, in-place appends) over symbolic batch / sequence / pool
+ * variables through the BlockBuilder. makeLlamaWeights
  * fabricates parameter tensors (optionally metadata-only for timing
  * mode).
  */
@@ -191,6 +192,7 @@ class LlamaBuilder
         weights_.clear();
         params_.clear();
         seqLens_ = Var();
+        cuFresh_ = Var();
         blockTable_ = Var();
 
         SymVar bvar = var("b");
@@ -198,26 +200,38 @@ class LlamaBuilder
                          ? PrimExpr(intImm(config_.fixedBatch))
                          : PrimExpr(bvar);
         // The ragged pool function takes a symbolic fresh-token count n
-        // like prefill: n = 1 is the steady-state decode step, n > 1 is
-        // pool-writing (continued) prefill of a prompt chunk.
+        // like prefill. In the packed varlen layout n is the TOTAL fresh
+        // token count across all b rows (prefill chunks and n=1 decodes
+        // packed back to back along one axis), so the data tensors carry
+        // a literal batch dimension of 1 and `cu_fresh` delimits rows.
         SymVar n = kind == FnKind::kDecode ? SymVar() : var("n");
         SymVar m = kind == FnKind::kDecode ? var("m") : SymVar();
         PrimExpr seq = kind == FnKind::kDecode ? PrimExpr(intImm(1))
                                                : PrimExpr(n);
+        PrimExpr data_b = ragged_ ? PrimExpr(intImm(1)) : b;
 
         Var ids = makeVar(
-            "ids", tensorSInfo({b, seq}, DataType::i64()));
+            "ids", tensorSInfo({data_b, seq}, DataType::i64()));
         params_.push_back(ids);
         if (ragged_) {
-            // Page-pool ragged contract: each sequence's true context
-            // length rides in `seq_lens` (a host-side integer tensor, the
-            // paper's cross-level dynamism) and doubles as the write
-            // offset for the fresh tokens; `block_table` [b, w] names the
-            // physical pool pages backing each logical block. Page size
-            // comes from the pool shape, never from a padded length.
+            // Packed varlen page-pool contract: each row's true context
+            // length rides in `seq_lens` [b] (a host-side integer tensor,
+            // the paper's cross-level dynamism) and doubles as the write
+            // offset for the fresh tokens; `cu_fresh` [b+1] holds the
+            // cumulative fresh-token offsets that assign packed token i
+            // to the row r with cu[r] <= i < cu[r+1] (the FlashAttention
+            // varlen idiom — cu_fresh[b] == n); `block_table` [b, w]
+            // names the physical pool pages backing each logical block.
+            // Page size comes from the pool shape, never from a padded
+            // length. seq_lens binds b first, so the [b+1] dim of
+            // cu_fresh lowers to an evaluated runtime check.
             seqLens_ = makeVar("seq_lens",
                                tensorSInfo({b}, DataType::i64()));
             params_.push_back(seqLens_);
+            cuFresh_ = makeVar(
+                "cu_fresh",
+                tensorSInfo({relax::add(b, intImm(1))}, DataType::i64()));
+            params_.push_back(cuFresh_);
             SymVar w = var("w");
             blockTable_ = makeVar("block_table",
                                   tensorSInfo({b, w}, DataType::i64()));
@@ -262,7 +276,7 @@ class LlamaBuilder
 
         std::vector<Var> new_k, new_v;
         for (int64_t layer = 0; layer < config_.numLayers; ++layer) {
-            x = buildLayer(builder, x, layer, is_decode, b, seq,
+            x = buildLayer(builder, x, layer, is_decode, data_b, seq,
                            is_decode ? Expr(k_caches[layer]) : Expr(),
                            is_decode ? Expr(v_caches[layer]) : Expr(),
                            &new_k, &new_v);
@@ -392,12 +406,14 @@ class LlamaBuilder
             // contract of the serving path.
             const auto* cache_info = asTensor(k_cache->structInfo());
             Call k_append = callDPSLibrary(
-                "kv.append_ragged", {k_cache, k, seqLens_, blockTable_},
+                "kv.append_ragged",
+                {k_cache, k, seqLens_, cuFresh_, blockTable_},
                 tensorSInfo(*cache_info->shape, dtype_));
             k_append->attrs["inplace_arg"] = (int64_t)0;
             k_full = builder.emit(k_append, prefix + "k_full");
             Call v_append = callDPSLibrary(
-                "kv.append_ragged", {v_cache, v, seqLens_, blockTable_},
+                "kv.append_ragged",
+                {v_cache, v, seqLens_, cuFresh_, blockTable_},
                 tensorSInfo(*cache_info->shape, dtype_));
             v_append->attrs["inplace_arg"] = (int64_t)0;
             v_full = builder.emit(v_append, prefix + "v_full");
@@ -422,7 +438,8 @@ class LlamaBuilder
         double scale = 1.0 / std::sqrt((double)hd);
         Expr attn = builder.emit(
             ragged_ ? op::attentionRagged(q, new_k->back(), new_v->back(),
-                                          seqLens_, blockTable_, scale)
+                                          seqLens_, cuFresh_, blockTable_,
+                                          scale)
                     : op::attention(q, new_k->back(), new_v->back(), scale,
                                     /*causal=*/!is_decode),
             prefix + "attn");
@@ -460,6 +477,7 @@ class LlamaBuilder
     std::vector<Var> params_;
     bool ragged_ = false;
     Var seqLens_;   //!< [b] per-sequence context lengths (ragged only)
+    Var cuFresh_;   //!< [b+1] cumulative packed fresh offsets (ragged only)
     Var blockTable_; //!< [b, w] paged-KV block table (ragged only)
 };
 

@@ -433,17 +433,21 @@ ensureOpsRegistered()
         }
 
         {
-            // Page-pool ragged attention: q [b,h,n,d] gathers keys/values
+            // Page-pool ragged attention over a packed varlen batch:
+            // q [1,h,n,d] (n = total fresh tokens) gathers keys/values
             // from persistent per-layer pools [p,h,c,d] through the
             // [b,w] block table; lens [b] carries per-sequence context
-            // lengths as data (the cross-level host tensor).
+            // lengths and cu [b+1] the cumulative fresh offsets that
+            // delimit each row's span of the packed axis (both host i64
+            // tensors whose data crosses into kernel and cost rules).
             ir::OpInfo& info = reg.registerOp("relax.attention_ragged");
             info.inferStructInfo = [](const CallNode& call) {
                 const auto* q = argTensor(call, 0, "attention_ragged");
                 const auto* k = argTensor(call, 1, "attention_ragged");
                 const auto* v = argTensor(call, 2, "attention_ragged");
                 const auto* lens = argTensor(call, 3, "attention_ragged");
-                const auto* table = argTensor(call, 4, "attention_ragged");
+                const auto* cu = argTensor(call, 4, "attention_ragged");
+                const auto* table = argTensor(call, 5, "attention_ragged");
                 DataType dtype = commonDType(q, v, "attention_ragged");
                 if (!q->shape || !k->shape || !v->shape) {
                     return ir::tensorSInfoNDim(4, dtype);
@@ -451,11 +455,15 @@ ensureOpsRegistered()
                 RELAX_ICHECK(q->shape->size() == 4 &&
                              k->shape->size() == 4 &&
                              v->shape->size() == 4)
-                    << "attention_ragged expects q [b,h,n,d] and "
+                    << "attention_ragged expects q [1,h,n,d] and "
                        "pools [p,h,c,d]";
                 if (lens->shape) {
                     RELAX_ICHECK(lens->shape->size() == 1)
                         << "attention_ragged: lens must be [b]";
+                }
+                if (cu->shape) {
+                    RELAX_ICHECK(cu->shape->size() == 1)
+                        << "attention_ragged: cu offsets must be [b+1]";
                 }
                 if (table->shape) {
                     RELAX_ICHECK(table->shape->size() == 2)
@@ -479,6 +487,7 @@ ensureOpsRegistered()
                     legalShape(call, 2, "attention_ragged"),
                     legalShape(call, 3, "attention_ragged"),
                     legalShape(call, 4, "attention_ragged"),
+                    legalShape(call, 5, "attention_ragged"),
                     attrDouble(call, "scale", 1.0), legalDType(call, 0));
             };
         }
@@ -874,11 +883,12 @@ Call causalMask(Expr scores)
 }
 
 Call
-attentionRagged(Expr q, Expr k, Expr v, Expr lens, Expr table, double scale)
+attentionRagged(Expr q, Expr k, Expr v, Expr lens, Expr cu, Expr table,
+                double scale)
 {
     Attrs attrs;
     attrs["scale"] = scale;
-    return makeOpCall("relax.attention_ragged", {q, k, v, lens, table},
+    return makeOpCall("relax.attention_ragged", {q, k, v, lens, cu, table},
                       std::move(attrs));
 }
 

@@ -60,15 +60,19 @@ ir::Call attention(ir::Expr q, ir::Expr k, ir::Expr v, double scale,
 /** Standalone causal masking of score tensors. */
 ir::Call causalMask(ir::Expr scores);
 /**
- * Ragged paged attention over per-sequence cache lengths: for each batch
- * row i, query position p of q [b,h,n,d] attends keys j <= lens[i]+p of
- * padded k/v [b,h,m,dv] (lens[i]+p+1 positions — including the key the
- * ragged append just wrote at index lens[i]), consulting the paged-KV
- * block table [b,w]. One call serves a batch with unequal context
- * lengths — the serving decode path's cross-level dynamism.
+ * Ragged paged attention over a packed varlen batch: q [1,h,n,d] packs
+ * every row's fresh tokens back to back (n = total fresh), cu [b+1]
+ * holds the cumulative fresh offsets delimiting each row, and lens [b]
+ * the committed context lengths. Packed query i (row r, local position
+ * p = i - cu[r]) attends keys j <= lens[r]+p of the persistent KV pools
+ * [p,h,c,dv] (lens[r]+p+1 positions — including the key the ragged
+ * append just wrote at index lens[r]+p), consulting the paged-KV block
+ * table [b,w]. One call serves prefill chunks and single-token decodes
+ * with unequal fresh lengths together — the serving path's cross-level
+ * dynamism.
  */
 ir::Call attentionRagged(ir::Expr q, ir::Expr k, ir::Expr v, ir::Expr lens,
-                         ir::Expr table, double scale);
+                         ir::Expr cu, ir::Expr table, double scale);
 
 // --- shape manipulation --------------------------------------------------------
 ir::Call reshape(ir::Expr x, ir::Expr new_shape);

@@ -662,15 +662,18 @@ makeRaggedAttentionFunc(const std::string& name,
                         const std::vector<PrimExpr>& k_shape,
                         const std::vector<PrimExpr>& v_shape,
                         const std::vector<PrimExpr>& lens_shape,
+                        const std::vector<PrimExpr>& cu_shape,
                         const std::vector<PrimExpr>& table_shape,
                         double scale, DataType dtype)
 {
     RELAX_ICHECK(q_shape.size() == 4 && k_shape.size() == 4 &&
                  v_shape.size() == 4)
-        << "ragged attention expects q [b,h,n,d] and pools [p,h,c,d]";
-    RELAX_ICHECK(lens_shape.size() == 1 && table_shape.size() == 2)
-        << "ragged attention expects lens [b] and table [b, w]";
-    PrimExpr b = q_shape[0], h = q_shape[1], n = q_shape[2], d = q_shape[3];
+        << "ragged attention expects q [1,h,n,d] and pools [p,h,c,d]";
+    RELAX_ICHECK(lens_shape.size() == 1 && cu_shape.size() == 1 &&
+                 table_shape.size() == 2)
+        << "ragged attention expects lens [b], cu [b+1], table [b, w]";
+    PrimExpr h = q_shape[1], n = q_shape[2], d = q_shape[3];
+    PrimExpr b = lens_shape[0];
     PrimExpr w = table_shape[1], dv = v_shape[3];
     // Page size in cache positions comes straight from the pool layout;
     // the table maps w logical blocks per row, so keys range over
@@ -683,136 +686,166 @@ makeRaggedAttentionFunc(const std::string& name,
     Buffer k = makeBuffer("K", dtype, k_shape);
     Buffer v = makeBuffer("V", dtype, v_shape);
     Buffer lens = makeBuffer("LENS", DataType::i64(), lens_shape);
+    Buffer cu = makeBuffer("CU", DataType::i64(), cu_shape);
     Buffer table = makeBuffer("TABLE", DataType::i64(), table_shape);
-    Buffer y = makeBuffer("Y", dtype, {b, h, n, dv});
-    Buffer scores = makeBuffer("scores", DataType::f32(), {b, h, n, m});
-    Buffer row_max = makeBuffer("row_max", DataType::f32(), {b, h, n});
-    Buffer row_sum = makeBuffer("row_sum", DataType::f32(), {b, h, n});
+    Buffer y = makeBuffer("Y", dtype, {q_shape[0], h, n, dv});
+    // Packed layout: the batch axis of q/y is literal 1; scratch is
+    // indexed by the packed token axis directly.
+    Buffer row_of = makeBuffer("row_of", DataType::i64(), {n});
+    Buffer scores = makeBuffer("scores", DataType::f32(), {h, n, m});
+    Buffer row_max = makeBuffer("row_max", DataType::f32(), {h, n});
+    Buffer row_sum = makeBuffer("row_sum", DataType::f32(), {h, n});
+    PrimExpr zero = intImm(0);
 
-    // Key j is visible to query (i-th row, position p) iff it lies inside
-    // the row's ragged prefix (j <= lens[i] + p) AND its page is mapped in
-    // the block table (>= 0). Every key/value access gathers through
-    // pool[table[i][j / c]]: the table is the address path, not a hint.
-    auto visible = [&](const PrimExpr& bi, const PrimExpr& pi,
-                       const PrimExpr& ji) {
-        PrimExpr in_prefix = le(ji, add(bufferLoad(lens, {bi}), pi));
+    // Prologue: invert cu into a per-token row index. Tokens past cu[b]
+    // (bucket padding) default to row 0 so every downstream gather stays
+    // in bounds; their outputs are never read.
+    Var r0 = var("r"), i0 = var("i");
+    Stmt rows_init = makeIf(eq(r0, zero), makeStore(row_of, {i0}, zero));
+    PrimExpr in_row = logicalAnd(ge(i0, bufferLoad(cu, {r0})),
+                                 lt(i0, bufferLoad(cu, {add(r0, intImm(1))})));
+    Stmt rows_set = makeIf(in_row, makeStore(row_of, {i0}, r0));
+    Stmt pass_rows =
+        nestLoops({r0, i0}, {b, n}, makeSeq({rows_init, rows_set}));
+
+    // Key j is visible to packed query i (row r, local position
+    // p = i - cu[r]) iff it lies inside the row's ragged prefix
+    // (j <= lens[r] + p) AND its page is mapped in the block table
+    // (>= 0). Every key/value access gathers through pool[table[r][j / c]]:
+    // the table is the address path, not a hint.
+    auto rowOf = [&](const PrimExpr& ii) { return bufferLoad(row_of, {ii}); };
+    auto visible = [&](const PrimExpr& ii, const PrimExpr& ji) {
+        PrimExpr r = rowOf(ii);
+        PrimExpr p = sub(ii, bufferLoad(cu, {r}));
+        PrimExpr in_prefix = le(ji, add(bufferLoad(lens, {r}), p));
         PrimExpr mapped =
-            ge(bufferLoad(table, {bi, floordiv(ji, page)}), intImm(0));
+            ge(bufferLoad(table, {r, floordiv(ji, page)}), zero);
         return logicalAnd(in_prefix, mapped);
     };
-    // Physical page holding key j of row i, clamped so unmapped (-1)
-    // entries stay in bounds — their keys are masked out by `visible`.
-    auto pageOf = [&](const PrimExpr& bi, const PrimExpr& ji) {
-        return maxExpr(bufferLoad(table, {bi, floordiv(ji, page)}),
-                       intImm(0));
+    // Physical page holding key j of packed query i's row, clamped so
+    // unmapped (-1) entries stay in bounds — their keys are masked out
+    // by `visible`.
+    auto pageOf = [&](const PrimExpr& ii, const PrimExpr& ji) {
+        return maxExpr(bufferLoad(table, {rowOf(ii), floordiv(ji, page)}),
+                       zero);
     };
 
     // scores = scale * q @ k^T, keys gathered from the pool
-    Var b1 = var("b"), h1 = var("h"), i1 = var("i"), j1 = var("j"),
-        r1 = var("r");
-    Stmt sc_init = makeIf(eq(r1, intImm(0)),
-                          makeStore(scores, {b1, h1, i1, j1}, floatImm(0.0)));
+    Var h1 = var("h"), i1 = var("i"), j1 = var("j"), r1 = var("r");
+    Stmt sc_init = makeIf(eq(r1, zero),
+                          makeStore(scores, {h1, i1, j1}, floatImm(0.0)));
     Stmt sc_acc = makeStore(
-        scores, {b1, h1, i1, j1},
-        add(bufferLoad(scores, {b1, h1, i1, j1}),
-            mul(bufferLoad(q, {b1, h1, i1, r1}),
-                bufferLoad(k, {pageOf(b1, j1), h1, floormod(j1, page),
+        scores, {h1, i1, j1},
+        add(bufferLoad(scores, {h1, i1, j1}),
+            mul(bufferLoad(q, {zero, h1, i1, r1}),
+                bufferLoad(k, {pageOf(i1, j1), h1, floormod(j1, page),
                                r1}))));
-    PrimExpr scaled = select(visible(b1, i1, j1),
-                             mul(bufferLoad(scores, {b1, h1, i1, j1}),
+    PrimExpr scaled = select(visible(i1, j1),
+                             mul(bufferLoad(scores, {h1, i1, j1}),
                                  floatImm(scale)),
                              floatImm(-1e30));
     Stmt sc_mask = makeIf(eq(r1, sub(d, intImm(1))),
-                          makeStore(scores, {b1, h1, i1, j1}, scaled));
-    Stmt pass_scores = nestLoops({b1, h1, i1, j1, r1}, {b, h, n, m, d},
+                          makeStore(scores, {h1, i1, j1}, scaled));
+    Stmt pass_scores = nestLoops({h1, i1, j1, r1}, {h, n, m, d},
                                  makeSeq({sc_init, sc_acc, sc_mask}));
 
     // softmax over j (masked scores underflow to exactly zero weight)
-    Var b2 = var("b"), h2 = var("h"), i2 = var("i"), j2 = var("j");
-    Stmt mx_init = makeIf(eq(j2, intImm(0)),
-                          makeStore(row_max, {b2, h2, i2}, floatImm(-1e30)));
-    Stmt mx_acc = makeStore(row_max, {b2, h2, i2},
-                            maxExpr(bufferLoad(row_max, {b2, h2, i2}),
-                                    bufferLoad(scores, {b2, h2, i2, j2})));
-    Stmt pass_max = nestLoops({b2, h2, i2, j2}, {b, h, n, m},
+    Var h2 = var("h"), i2 = var("i"), j2 = var("j");
+    Stmt mx_init = makeIf(eq(j2, zero),
+                          makeStore(row_max, {h2, i2}, floatImm(-1e30)));
+    Stmt mx_acc = makeStore(row_max, {h2, i2},
+                            maxExpr(bufferLoad(row_max, {h2, i2}),
+                                    bufferLoad(scores, {h2, i2, j2})));
+    Stmt pass_max = nestLoops({h2, i2, j2}, {h, n, m},
                               makeSeq({mx_init, mx_acc}));
 
-    Var b3 = var("b"), h3 = var("h"), i3 = var("i"), j3 = var("j");
+    Var h3 = var("h"), i3 = var("i"), j3 = var("j");
     PrimExpr e3 = callIntrin(
         "exp",
-        {sub(bufferLoad(scores, {b3, h3, i3, j3}),
-             bufferLoad(row_max, {b3, h3, i3}))},
+        {sub(bufferLoad(scores, {h3, i3, j3}),
+             bufferLoad(row_max, {h3, i3}))},
         DataType::f32());
-    Stmt sm_init = makeIf(eq(j3, intImm(0)),
-                          makeStore(row_sum, {b3, h3, i3}, floatImm(0.0)));
-    Stmt sm_acc = makeStore(row_sum, {b3, h3, i3},
-                            add(bufferLoad(row_sum, {b3, h3, i3}), e3));
-    Stmt pass_sum = nestLoops({b3, h3, i3, j3}, {b, h, n, m},
+    Stmt sm_init = makeIf(eq(j3, zero),
+                          makeStore(row_sum, {h3, i3}, floatImm(0.0)));
+    Stmt sm_acc = makeStore(row_sum, {h3, i3},
+                            add(bufferLoad(row_sum, {h3, i3}), e3));
+    Stmt pass_sum = nestLoops({h3, i3, j3}, {h, n, m},
                               makeSeq({sm_init, sm_acc}));
 
     // y = softmax(scores) @ v
-    Var b4 = var("b"), h4 = var("h"), i4 = var("i"), c4 = var("c"),
-        j4 = var("j");
+    Var h4 = var("h"), i4 = var("i"), c4 = var("c"), j4 = var("j");
     PrimExpr prob = div(callIntrin("exp",
-                                   {sub(bufferLoad(scores, {b4, h4, i4, j4}),
-                                        bufferLoad(row_max, {b4, h4, i4}))},
+                                   {sub(bufferLoad(scores, {h4, i4, j4}),
+                                        bufferLoad(row_max, {h4, i4}))},
                                    DataType::f32()),
-                        bufferLoad(row_sum, {b4, h4, i4}));
-    Stmt out_init = makeIf(eq(j4, intImm(0)),
-                           makeStore(y, {b4, h4, i4, c4}, floatImm(0.0)));
+                        bufferLoad(row_sum, {h4, i4}));
+    Stmt out_init = makeIf(eq(j4, zero),
+                           makeStore(y, {zero, h4, i4, c4}, floatImm(0.0)));
     Stmt out_acc =
-        makeStore(y, {b4, h4, i4, c4},
-                  add(bufferLoad(y, {b4, h4, i4, c4}),
-                      mul(prob, bufferLoad(v, {pageOf(b4, j4), h4,
+        makeStore(y, {zero, h4, i4, c4},
+                  add(bufferLoad(y, {zero, h4, i4, c4}),
+                      mul(prob, bufferLoad(v, {pageOf(i4, j4), h4,
                                                floormod(j4, page), c4}))));
-    Stmt pass_out = nestLoops({b4, h4, i4, c4, j4}, {b, h, n, dv, m},
+    Stmt pass_out = nestLoops({h4, i4, c4, j4}, {h, n, dv, m},
                               makeSeq({out_init, out_acc}));
 
     Stmt body = makeAllocBuffer(
-        scores, "local",
+        row_of, "local",
         makeAllocBuffer(
-            row_max, "local",
-            makeAllocBuffer(row_sum, "local",
-                            makeSeq({pass_scores, pass_max, pass_sum,
-                                     pass_out}))));
-    return makePrimFunc(name, {q, k, v, lens, table, y}, body);
+            scores, "local",
+            makeAllocBuffer(
+                row_max, "local",
+                makeAllocBuffer(row_sum, "local",
+                                makeSeq({pass_rows, pass_scores, pass_max,
+                                         pass_sum, pass_out})))));
+    return makePrimFunc(name, {q, k, v, lens, cu, table, y}, body);
 }
 
 tir::PrimFunc
 makeKvAppendRaggedFunc(const std::string& name,
                        const std::vector<PrimExpr>& fresh_shape,
                        const std::vector<PrimExpr>& lens_shape,
+                       const std::vector<PrimExpr>& cu_shape,
                        const std::vector<PrimExpr>& table_shape,
                        const std::vector<PrimExpr>& pool_shape,
                        DataType dtype)
 {
     RELAX_ICHECK(fresh_shape.size() == 4 && pool_shape.size() == 4 &&
-                 lens_shape.size() == 1 && table_shape.size() == 2)
-        << "pool append expects fresh [b,h,n,d], lens [b], table [b,w], "
-           "pool [p,h,c,d]";
+                 lens_shape.size() == 1 && cu_shape.size() == 1 &&
+                 table_shape.size() == 2)
+        << "pool append expects fresh [1,h,n,d], lens [b], cu [b+1], "
+           "table [b,w], pool [p,h,c,d]";
     Buffer fresh = makeBuffer("FRESH", dtype, fresh_shape);
     Buffer lens = makeBuffer("LENS", DataType::i64(), lens_shape);
+    Buffer cu = makeBuffer("CU", DataType::i64(), cu_shape);
     Buffer table = makeBuffer("TABLE", DataType::i64(), table_shape);
     Buffer pool = makeBuffer("POOL", dtype, pool_shape);
     PrimExpr page = pool_shape[2];
+    PrimExpr b = lens_shape[0];
+    PrimExpr h = fresh_shape[1], n = fresh_shape[2], d = fresh_shape[3];
 
-    // Pure scatter: fresh token j of row i lands at global position
-    // lens[i] + j, i.e. pool[table[i][pos / c], h, pos % c, d]. No other
-    // pool position is touched — the in-place append copies nothing.
-    Var bi = var("b"), hi = var("h"), ji = var("j"), di = var("d");
-    PrimExpr pos = add(bufferLoad(lens, {bi}), ji);
-    PrimExpr entry = bufferLoad(table, {bi, floordiv(pos, page)});
+    // Pure scatter over the packed batch: token i of row r (cu[r] <= i <
+    // cu[r+1]) lands at global position lens[r] + (i - cu[r]), i.e.
+    // pool[table[r][pos / c], h, pos % c, d]. No other pool position is
+    // touched — the in-place append copies nothing.
+    Var ri = var("r"), hi = var("h"), ii = var("i"), di = var("d");
+    PrimExpr in_row = logicalAnd(ge(ii, bufferLoad(cu, {ri})),
+                                 lt(ii, bufferLoad(cu, {add(ri, intImm(1))})));
+    PrimExpr pos = add(bufferLoad(lens, {ri}),
+                       sub(ii, bufferLoad(cu, {ri})));
+    PrimExpr entry = bufferLoad(table, {ri, floordiv(pos, page)});
     Stmt store = makeStore(pool,
                            {maxExpr(entry, intImm(0)), hi,
                             floormod(pos, page), di},
-                           bufferLoad(fresh, {bi, hi, ji, di}));
+                           bufferLoad(fresh, {intImm(0), hi, ii, di}));
     // An unmapped page at a write position is an engine bug; guarding the
-    // store keeps the reference kernel memory-safe regardless.
-    Stmt body = nestLoops({bi, hi, ji, di},
-                          {fresh_shape[0], fresh_shape[1], fresh_shape[2],
-                           fresh_shape[3]},
-                          makeIf(ge(entry, intImm(0)), store));
-    return makePrimFunc(name, {fresh, lens, table, pool}, body);
+    // store keeps the reference kernel memory-safe regardless. Tokens
+    // outside the row's cu span (other rows, bucket padding) are skipped
+    // before `pos` is ever used as an address.
+    Stmt body = nestLoops(
+        {ri, hi, ii, di}, {b, h, n, d},
+        makeIf(in_row, makeIf(ge(entry, intImm(0)), store)));
+    return makePrimFunc(name, {fresh, lens, cu, table, pool}, body);
 }
 
 tir::PrimFunc

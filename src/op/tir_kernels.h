@@ -116,39 +116,48 @@ tir::PrimFunc makeAttentionFunc(const std::string& name,
                                 double scale, bool causal, DataType dtype);
 
 /**
- * Page-pool ragged (paged) attention for the serving path: q [b,h,n,d]
- * attends keys gathered from the persistent KV page pool k/v
- * [p, h, c, d] (p physical pages of c positions each) through the block
- * table. Key j of row i lives at `pool[table[i][j / c], h, j % c, :]` —
- * every key/value access routes through the table indirection, so page
- * size comes straight from the pool shape and the gathered footprint is
- * what gets priced. `lens` [b] (i64) holds each sequence's true context
- * length; query p of row i attends keys j <= lens[i] + p over the loop
- * bound m = w * c, so one call covers a batch of sequences with unequal
- * contexts (n > 1 doubles as chunked/continued prefill: query p sits at
- * global position lens[i] + p). Keys whose page is unmapped (table entry
- * -1) or past the ragged prefix are masked, which is what makes the
- * pooled layout bit-identical to per-sequence dense calls.
+ * Page-pool ragged (paged) attention over a packed varlen query batch:
+ * q [1, h, n, d] carries the fresh tokens of every sequence back to
+ * back (n = total fresh tokens), and `cu` [b+1] (i64, cumulative fresh
+ * offsets) assigns packed query i to the row r with
+ * cu[r] <= i < cu[r+1]; its local position is p = i - cu[r]. Keys are
+ * gathered from the persistent KV page pool k/v [p, h, c, d] (p
+ * physical pages of c positions each) through the block table: key j of
+ * row r lives at `pool[table[r][j / c], h, j % c, :]` — every
+ * key/value access routes through the table indirection, so page size
+ * comes straight from the pool shape and the gathered footprint is what
+ * gets priced. `lens` [b] (i64) holds each row's committed context
+ * length; packed query i attends keys j <= lens[r] + p over the loop
+ * bound m = w * c, so one call covers prefill chunks and single-token
+ * decodes with unequal fresh lengths together. Keys whose page is
+ * unmapped (table entry -1) or past the ragged prefix are masked, which
+ * is what makes the packed layout bit-identical to per-sequence dense
+ * calls.
  */
 tir::PrimFunc makeRaggedAttentionFunc(const std::string& name,
                                       const std::vector<PrimExpr>& q_shape,
                                       const std::vector<PrimExpr>& k_shape,
                                       const std::vector<PrimExpr>& v_shape,
                                       const std::vector<PrimExpr>& lens_shape,
+                                      const std::vector<PrimExpr>& cu_shape,
                                       const std::vector<PrimExpr>& table_shape,
                                       double scale, DataType dtype);
 
 /**
- * Page-pool KV append: scatters fresh [b,h,n,d] into the pool
- * [p, h, c, d] at positions lens[i] + j of each row i, addressed through
- * the block table (`pool[table[i][(lens[i]+j) / c], h, (lens[i]+j) % c]`).
- * Only the fresh positions are written — nothing is copied, the
- * data-mode realization of the in-place paged append (n > 1 is the
- * prefill ingest of a whole prompt chunk).
+ * Page-pool KV append of a packed varlen token batch: scatters fresh
+ * [1, h, n, d] (n = total fresh tokens, rows delimited by `cu` [b+1])
+ * into the pool [p, h, c, d]. Packed token i of row r (cu[r] <= i <
+ * cu[r+1]) lands at global position pos = lens[r] + (i - cu[r]),
+ * addressed through the block table
+ * (`pool[table[r][pos / c], h, pos % c]`). Only the fresh positions are
+ * written — nothing is copied, the data-mode realization of the
+ * in-place paged append (a row with cu[r+1] - cu[r] > 1 is the prefill
+ * ingest of a whole prompt chunk).
  */
 tir::PrimFunc makeKvAppendRaggedFunc(const std::string& name,
                                      const std::vector<PrimExpr>& fresh_shape,
                                      const std::vector<PrimExpr>& lens_shape,
+                                     const std::vector<PrimExpr>& cu_shape,
                                      const std::vector<PrimExpr>& table_shape,
                                      const std::vector<PrimExpr>& pool_shape,
                                      DataType dtype);

@@ -1,32 +1,56 @@
 /**
  * @file
  * Engine implementation: the continuous-batching step loop — admission
- * (with prefix-sharing forks), pool-writing prefill grouped by fresh
- * token count, then one page-pool ragged decode call over the whole
- * running batch with copy-on-write and eviction under memory pressure —
+ * (with automatic prefix matching against the KV manager's block-hash
+ * index), then ONE packed-varlen page-pool call per step in which newly
+ * admitted rows prefill their fresh prompt tails and running rows decode
+ * one token each, with copy-on-write and eviction under memory pressure —
  * plus request bookkeeping and the virtual-clock statistics (see
- * engine.h). Cache data never moves on the host: both phases address the
- * persistent pool through the block table, so EngineStats::relayoutBytes
- * stays 0.
+ * engine.h). Cache data never moves on the host: every phase addresses
+ * the persistent pool through the block table, so
+ * EngineStats::relayoutBytes stays 0.
  */
 #include "serve/engine.h"
 
 #include <algorithm>
-#include <map>
 
 namespace relax {
 namespace serve {
 
 namespace {
 
-/** Token ids as a data-mode [1, n] i64 tensor. */
+/** Per-row fresh tokens packed into one flat [1, total] i64 tensor. */
 NDArray
-idsTensor(const std::vector<int64_t>& tokens, bool data_mode)
+packedIdsTensor(const std::vector<std::vector<int64_t>>& tokens,
+                bool data_mode)
 {
-    int64_t n = (int64_t)tokens.size();
-    if (!data_mode) return NDArray::metaOnly({1, n}, DataType::i64());
-    std::vector<double> values(tokens.begin(), tokens.end());
-    return NDArray::fromVector({1, n}, DataType::i64(), std::move(values));
+    int64_t total = 0;
+    for (const auto& row : tokens) total += (int64_t)row.size();
+    if (!data_mode) return NDArray::metaOnly({1, total}, DataType::i64());
+    std::vector<double> values;
+    values.reserve((size_t)total);
+    for (const auto& row : tokens) {
+        values.insert(values.end(), row.begin(), row.end());
+    }
+    return NDArray::fromVector({1, total}, DataType::i64(),
+                               std::move(values));
+}
+
+/** Cumulative fresh offsets cu_fresh [b+1] (always host data: the
+ *  library cost model sums per-row fresh counts from it). */
+NDArray
+cuFreshTensor(const std::vector<std::vector<int64_t>>& tokens)
+{
+    std::vector<double> cu;
+    cu.reserve(tokens.size() + 1);
+    double running = 0.0;
+    cu.push_back(0.0);
+    for (const auto& row : tokens) {
+        running += (double)row.size();
+        cu.push_back(running);
+    }
+    return NDArray::fromVector({(int64_t)tokens.size() + 1},
+                               DataType::i64(), std::move(cu));
 }
 
 } // namespace
@@ -91,8 +115,7 @@ Engine::build(const frontend::LlamaConfig& config,
 
 RequestId
 Engine::addRequest(std::vector<int64_t> prompt, int64_t max_new_tokens,
-                   int64_t stop_token, double arrival_us,
-                   RequestId fork_of)
+                   int64_t stop_token, double arrival_us)
 {
     RELAX_ICHECK(!prompt.empty()) << "empty prompt";
     RELAX_ICHECK(max_new_tokens >= 1) << "maxNewTokens must be >= 1";
@@ -112,18 +135,7 @@ Engine::addRequest(std::vector<int64_t> prompt, int64_t max_new_tokens,
     seq->request.stopToken = stop_token;
     seq->stats.arrivalUs =
         arrival_us >= 0 ? arrival_us : machine_->dev().clockUs();
-    if (fork_of >= 0) {
-        RELAX_ICHECK(fork_of < seq->request.id)
-            << "fork_of " << fork_of << " never existed";
-        // Sharing is best-effort: a parent that has already been
-        // collected simply yields a full prefill (its pages are gone
-        // anyway), matching the degraded path for finished/evicted
-        // parents.
-        auto parent = byId_.find(fork_of);
-        if (parent != byId_.end()) seq->forkOf = parent->second;
-    }
     RequestId id = seq->request.id;
-    byId_[id] = seq;
     scheduler_.enqueue(std::move(seq));
     return id;
 }
@@ -143,9 +155,11 @@ Engine::withWeights(std::vector<vm::Value> args) const
 }
 
 int64_t
-Engine::sampleFor(const NDArray& logits, int64_t row)
+Engine::sampleFor(const NDArray& logits, int64_t position)
 {
-    if (machine_->dataMode()) return sampler_.sample(logits, row);
+    if (machine_->dataMode()) {
+        return sampler_.samplePacked(logits, position);
+    }
     return sampler_.sampleSynthetic(config_.vocabSize);
 }
 
@@ -219,24 +233,21 @@ NDArray
 Engine::invokeRagged(const std::vector<SequenceStatePtr>& batch,
                      const std::vector<std::vector<int64_t>>& tokens)
 {
-    std::vector<NDArray> ids_rows;
     std::vector<RequestId> order;
-    ids_rows.reserve(batch.size());
     order.reserve(batch.size());
     int64_t table_width = 1;
-    for (size_t row = 0; row < batch.size(); ++row) {
-        ids_rows.push_back(
-            idsTensor(tokens[row], machine_->dataMode()));
-        order.push_back(batch[row]->request.id);
-        table_width =
-            std::max(table_width, kv_->pagesOf(batch[row]->request.id));
+    for (const SequenceStatePtr& seq : batch) {
+        order.push_back(seq->request.id);
+        table_width = std::max(table_width, kv_->pagesOf(seq->request.id));
     }
-    // ids, lens and the block table are the only host-marshalled inputs;
-    // cache data stays in the pool (relayoutBytes stays 0 — any future
-    // host-side cache copy must be added to that counter).
+    // ids, lens, cu_fresh and the block table are the only
+    // host-marshalled inputs; cache data stays in the pool
+    // (relayoutBytes stays 0 — any future host-side cache copy must be
+    // added to that counter).
     std::vector<vm::Value> args;
-    args.emplace_back(frontend::stackBatch(ids_rows));
+    args.emplace_back(packedIdsTensor(tokens, machine_->dataMode()));
     args.emplace_back(kv_->lengthsView(order));
+    args.emplace_back(cuFreshTensor(tokens));
     args.emplace_back(kv_->blockTableView(order, table_width));
     for (const NDArray& pool : kv_->poolTensors()) args.emplace_back(pool);
     auto out = std::get<vm::TupleValuePtr>(
@@ -244,93 +255,11 @@ Engine::invokeRagged(const std::vector<SequenceStatePtr>& batch,
     return std::get<NDArray>(out->fields[0]);
 }
 
-void
-Engine::prefillSequences(std::vector<SequenceStatePtr> seqs)
-{
-    // One pool-writing prefill call per fresh-token count (the compiled
-    // function requires a rectangular [b, n] id tensor). A forked
-    // sequence starts at its shared committed offset, so its fresh count
-    // is only the unshared prompt tail.
-    std::map<int64_t, std::vector<SequenceStatePtr>> by_fresh;
-    for (SequenceStatePtr& seq : seqs) {
-        int64_t fresh =
-            seq->prefillLength() - kv_->committedTokens(seq->request.id);
-        by_fresh[fresh].push_back(std::move(seq));
-    }
-    for (auto& [fresh, group] : by_fresh) {
-        // Own the write range (copy-on-write for a shared partial page);
-        // may evict under pressure, so re-filter the group.
-        for (const SequenceStatePtr& seq : group) {
-            ensureWritable(seq, seq->prefillLength(),
-                           kv_->committedTokens(seq->request.id));
-        }
-        std::vector<SequenceStatePtr> batch;
-        std::vector<std::vector<int64_t>> tokens;
-        for (const SequenceStatePtr& seq : group) {
-            if (seq->phase != RequestPhase::kRunning) continue;
-            std::vector<int64_t> all = seq->prefillTokens();
-            int64_t start = kv_->committedTokens(seq->request.id);
-            tokens.emplace_back(all.begin() + start, all.end());
-            batch.push_back(seq);
-        }
-        if (batch.empty()) continue;
-
-        NDArray logits = invokeRagged(batch, tokens);
-        ++stats_.prefillBatches;
-        stats_.prefillTokens += fresh * (int64_t)batch.size();
-        stats_.prefillGraphBegins += machine_->lastRunStats().graphBegins;
-        stats_.prefillGraphReplays +=
-            machine_->lastRunStats().graphReplays;
-
-        for (size_t row = 0; row < batch.size(); ++row) {
-            const SequenceStatePtr& seq = batch[row];
-            seq->ctxLen = seq->prefillLength();
-            kv_->commit(seq->request.id, seq->ctxLen);
-            seq->stats.prefillTokens += fresh;
-            appendToken(seq, sampleFor(logits, (int64_t)row));
-        }
-    }
-}
-
-void
-Engine::decodeRunning()
-{
-    // No grouping and no relayout: one decode_ragged call covers every
-    // running sequence, whatever its context length, against the shared
-    // page pool. Reserve the +1 growth (and copy-on-write any page
-    // shared with a forked sibling) first — this may evict.
-    std::vector<SequenceStatePtr> members = running_;
-    for (const SequenceStatePtr& seq : members) {
-        ensureWritable(seq, seq->ctxLen + 1, seq->ctxLen);
-    }
-    std::vector<SequenceStatePtr> batch;
-    std::vector<std::vector<int64_t>> tokens;
-    for (const SequenceStatePtr& seq : running_) {
-        if (seq->phase != RequestPhase::kRunning) continue;
-        batch.push_back(seq);
-        tokens.push_back({seq->generated.back()});
-    }
-    if (batch.empty()) return;
-
-    NDArray logits = invokeRagged(batch, tokens);
-    ++stats_.decodeBatches;
-    stats_.decodeGraphBegins += machine_->lastRunStats().graphBegins;
-    stats_.decodeGraphReplays += machine_->lastRunStats().graphReplays;
-
-    for (size_t row = 0; row < batch.size(); ++row) {
-        const SequenceStatePtr& seq = batch[row];
-        seq->ctxLen += 1;
-        kv_->commit(seq->request.id, seq->ctxLen);
-        appendToken(seq, sampleFor(logits, (int64_t)row));
-    }
-}
-
 bool
 Engine::step()
 {
     if (!hasPendingWork()) return false;
     double clock_before = machine_->dev().clockUs();
-    bool did_work = false;
 
     std::vector<SequenceStatePtr> admitted =
         scheduler_.admit(*kv_, (int64_t)running_.size());
@@ -338,22 +267,89 @@ Engine::step()
         seq->admitSeq = nextAdmitSeq_++;
         running_.push_back(seq);
     }
-    if (!admitted.empty()) {
-        prefillSequences(admitted);
-        did_work = true;
-    }
-    if (!running_.empty()) {
-        decodeRunning();
-        did_work = true;
+
+    // Own every row's write range up front (this may evict, including
+    // rows admitted above — phases are re-checked when the batch is
+    // built). Admitted rows write their fresh prompt tail starting at
+    // the committed (possibly prefix-matched) offset; running rows grow
+    // by one decode position.
+    std::vector<SequenceStatePtr> members = running_;
+    for (const SequenceStatePtr& seq : members) {
+        bool is_admitted = std::find(admitted.begin(), admitted.end(),
+                                     seq) != admitted.end();
+        if (is_admitted) {
+            ensureWritable(seq, seq->prefillLength(),
+                           kv_->committedTokens(seq->request.id));
+        } else {
+            ensureWritable(seq, seq->ctxLen + 1, seq->ctxLen);
+        }
     }
 
-    if (did_work) {
-        ++stats_.steps;
-        stats_.busyUs += machine_->dev().clockUs() - clock_before;
-        stats_.peakKvBytes =
-            std::max(stats_.peakKvBytes, kv_->peakBytes());
+    // One packed-varlen call per step: prefill chunks and n=1 decode
+    // rows ride together — row r owns packed positions [cu[r], cu[r+1]).
+    std::vector<SequenceStatePtr> batch;
+    std::vector<std::vector<int64_t>> tokens;
+    std::vector<bool> is_prefill;
+    for (const SequenceStatePtr& seq : running_) {
+        if (seq->phase != RequestPhase::kRunning) continue;
+        bool admitted_now = std::find(admitted.begin(), admitted.end(),
+                                      seq) != admitted.end();
+        if (admitted_now) {
+            std::vector<int64_t> all = seq->prefillTokens();
+            int64_t start = kv_->committedTokens(seq->request.id);
+            tokens.emplace_back(all.begin() + start, all.end());
+        } else {
+            tokens.push_back({seq->generated.back()});
+        }
+        batch.push_back(seq);
+        is_prefill.push_back(admitted_now);
     }
-    return did_work;
+    if (batch.empty()) return false;
+
+    NDArray logits = invokeRagged(batch, tokens);
+    ++stats_.decodeBatches; // one packed call per step, by construction
+    bool any_prefill =
+        std::find(is_prefill.begin(), is_prefill.end(), true) !=
+        is_prefill.end();
+    if (any_prefill) {
+        // Mixed steps move the shape signature (the packed token count
+        // changes), so their graph begins/replays are accounted to the
+        // prefill counters; the steady-state pure-decode counters keep
+        // measuring the replay win.
+        ++stats_.prefillBatches;
+        stats_.prefillGraphBegins += machine_->lastRunStats().graphBegins;
+        stats_.prefillGraphReplays +=
+            machine_->lastRunStats().graphReplays;
+    } else {
+        stats_.decodeGraphBegins += machine_->lastRunStats().graphBegins;
+        stats_.decodeGraphReplays +=
+            machine_->lastRunStats().graphReplays;
+    }
+
+    int64_t packed_end = 0;
+    for (size_t row = 0; row < batch.size(); ++row) {
+        const SequenceStatePtr& seq = batch[row];
+        int64_t fresh = (int64_t)tokens[row].size();
+        packed_end += fresh; // == cu[row + 1]
+        if (is_prefill[row]) {
+            seq->ctxLen = seq->prefillLength();
+            kv_->commit(seq->request.id, seq->ctxLen);
+            seq->stats.prefillTokens += fresh;
+            stats_.prefillTokens += fresh;
+            // Register the freshly committed page-aligned blocks in the
+            // prefix index so later duplicate prompts match them.
+            kv_->registerCommitted(seq->request.id, seq->prefillTokens());
+        } else {
+            seq->ctxLen += 1;
+            kv_->commit(seq->request.id, seq->ctxLen);
+        }
+        appendToken(seq, sampleFor(logits, packed_end - 1));
+    }
+
+    ++stats_.steps;
+    stats_.busyUs += machine_->dev().clockUs() - clock_before;
+    stats_.peakKvBytes = std::max(stats_.peakKvBytes, kv_->peakBytes());
+    return true;
 }
 
 const EngineStats&
@@ -385,7 +381,6 @@ Engine::collect()
         done.promptTokens = seq->request.promptTokens;
         done.outputTokens = seq->generated;
         done.stats = seq->stats;
-        byId_.erase(seq->request.id);
         results.push_back(std::move(done));
     }
     finished_.clear();

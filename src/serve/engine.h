@@ -2,35 +2,38 @@
  * @file
  * Engine: the continuous-batching serving front door (addRequest / step /
  * collect) over one compiled executable and one persistent KV page pool.
- * Each step() admits waiting requests (scheduler policy + KV budget),
- * prefills the newly admitted, then runs one decode iteration for every
- * running sequence — both phases through the same pool-addressed
- * `decode_ragged` function:
- *
- *  - prefill calls it with n = fresh prompt tokens: the kernels scatter
- *    K/V straight into pool pages (at each row's committed offset, so a
- *    forked request prefills only its unshared tail);
- *  - decode calls it once per step with n = 1 covering the whole running
- *    batch regardless of context lengths — the true lengths ride in a
- *    [b] host tensor and the block table names each row's pool pages.
+ * Each step() admits waiting requests (scheduler policy + KV budget) and
+ * then issues exactly ONE pool-addressed `decode_ragged` call covering
+ * the whole batch — newly admitted rows contribute their fresh prompt
+ * tails, already-running rows contribute one decode token each. The
+ * packed varlen layout makes the mix rectangular-free: token ids ride in
+ * one flat [1, total_fresh] tensor, per-row extents in a cumulative
+ * offsets tensor cu_fresh [b+1] (row r owns packed positions
+ * [cu[r], cu[r+1])), true context lengths in a [b] host tensor, and the
+ * block table names each row's pool pages. The kernels scatter K/V
+ * straight into pool pages at each row's committed offset, so a prefill
+ * chunk and an n=1 decode coexist in the same call — there is no
+ * grouping loop and `decode calls == steps` by construction.
  *
  * The pool tensors pass through the call and are mutated in place
  * (`kv.append_ragged` aliases its output to the pool), so the engine
  * never copies cache bytes on the host: EngineStats::relayoutBytes
  * counts any host-side cache relayout and must read 0 — the tripwire
- * scripts/check.sh gates. Requests may fork a running parent's prompt
- * prefix (addRequest's fork_of): admission maps the child onto the
- * parent's committed pages (refcounted, zero copies) and copy-on-write
- * keeps writers private (KVCacheManager::reserveWrite).
+ * scripts/check.sh gates. Prompt prefixes dedupe automatically: the
+ * KV manager indexes committed page-aligned blocks by chained content
+ * hash, and admission maps a new request onto any indexed pages whose
+ * verified content matches its prompt (KVCacheManager::matchPrefix) —
+ * no fork hint from the caller, refcounts + copy-on-write keep writers
+ * private exactly as explicit forks did.
  *
  * build() compiles the executable with the graph-capture bucket equal to
  * the KV block size, so the decode shape signature moves only when the
- * batch or the table width crosses a bucket boundary: consecutive decode
- * steps replay one captured execution graph
- * (EngineStats::decodeReplayHitRate). Under memory pressure decode
+ * batch, the packed token count or the table width crosses a bucket
+ * boundary: consecutive pure-decode steps replay one captured execution
+ * graph (EngineStats::decodeReplayHitRate). Under memory pressure decode
  * growth evicts the most recently admitted sequence; evicted requests
- * re-prefill prompt+generated on re-admission (re-forking when their
- * parent still holds pages), so outputs are preserved exactly.
+ * re-prefill prompt+generated on re-admission (re-matching whatever
+ * prefix is still indexed), so outputs are preserved exactly.
  *
  * Works in both VM modes: data mode samples real logits (correctness
  * tests, examples); timing mode advances the simulated device clock with
@@ -39,7 +42,6 @@
 #ifndef RELAX_SERVE_ENGINE_H_
 #define RELAX_SERVE_ENGINE_H_
 
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -71,8 +73,8 @@ struct EngineOptions
 struct EngineStats
 {
     int64_t steps = 0;
-    int64_t prefillBatches = 0; //!< prefill invocations issued
-    int64_t decodeBatches = 0;  //!< decode invocations issued
+    int64_t prefillBatches = 0; //!< steps whose packed call held prefill rows
+    int64_t decodeBatches = 0;  //!< packed calls issued (== steps)
     int64_t prefillTokens = 0;  //!< fresh tokens prefilled into the pool
     int64_t tokensGenerated = 0;
     int64_t requestsFinished = 0;
@@ -158,17 +160,17 @@ class Engine
      * replay an arrival trace admit requests at step boundaries, after
      * the true arrival time); negative means "now" on the device clock.
      *
-     * `fork_of` names an earlier request whose prompt prefix this one
-     * shares (a shared system prompt): at admission the new sequence is
-     * mapped onto the pool pages holding the parent's committed prefix —
-     * as far as the token streams actually agree — and only the unshared
-     * prompt tail is prefilled. Copy-on-write keeps both token streams
-     * exact. Sharing is best-effort: if the parent has finished or been
-     * evicted by then, the request prefills in full. -1 disables.
+     * Prompt-prefix sharing needs no hint here: at admission the KV
+     * manager matches the prompt against its index of committed
+     * page-aligned blocks (content-verified chained hashes) and maps any
+     * hit onto the existing pool pages, so only the unmatched tail is
+     * prefilled. Copy-on-write keeps every token stream exact, and a
+     * request whose twin has already released its pages simply prefills
+     * in full.
      */
     RequestId addRequest(std::vector<int64_t> prompt,
                          int64_t max_new_tokens, int64_t stop_token = -1,
-                         double arrival_us = -1.0, RequestId fork_of = -1);
+                         double arrival_us = -1.0);
 
     /**
      * One continuous-batching iteration: retire finished sequences,
@@ -201,14 +203,12 @@ class Engine
     const frontend::LlamaConfig& config() const { return config_; }
 
   private:
-    void prefillSequences(std::vector<SequenceStatePtr> seqs);
-    /** One pool-addressed `decode_ragged` call covering every running
-     *  sequence. */
-    void decodeRunning();
     /**
-     * Issues one `decode_ragged` call over `batch`: ids [b, n] from
-     * per-row `tokens`, lens/table views from the KV manager, pools and
-     * weights appended. Returns the logits.
+     * Issues the step's single packed `decode_ragged` call over `batch`:
+     * ids [1, total] is the concatenation of the per-row `tokens`,
+     * cu_fresh [b+1] their cumulative offsets, lens/table views from the
+     * KV manager, pools and weights appended. Returns the packed logits
+     * [1, total, vocab].
      */
     NDArray invokeRagged(const std::vector<SequenceStatePtr>& batch,
                          const std::vector<std::vector<int64_t>>& tokens);
@@ -222,7 +222,9 @@ class Engine
     void finishSequence(const SequenceStatePtr& seq);
     /** Preempts `victim` back to the waiting queue, dropping its pages. */
     void evict(const SequenceStatePtr& victim);
-    int64_t sampleFor(const NDArray& logits, int64_t row);
+    /** Samples from packed logits at packed position (a row's last fresh
+     *  token sits at cu[r+1] - 1). */
+    int64_t sampleFor(const NDArray& logits, int64_t position);
     std::vector<vm::Value> withWeights(std::vector<vm::Value> args) const;
 
     frontend::LlamaConfig config_;
@@ -234,7 +236,6 @@ class Engine
     std::vector<NDArray> weights_;
     std::vector<SequenceStatePtr> running_;
     std::vector<SequenceStatePtr> finished_;
-    std::map<RequestId, SequenceStatePtr> byId_; //!< fork-parent lookup
     EngineStats stats_;
     RequestId nextId_ = 0;
     int64_t nextAdmitSeq_ = 0;

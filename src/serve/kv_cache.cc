@@ -1,8 +1,9 @@
 /**
  * @file
  * KVCacheManager implementation: the resident page pool, the free-list /
- * refcount page lifecycle (reserve, fork, copy-on-write, release), and
- * the lengths/block-table views the ragged kernels consume (see
+ * refcount page lifecycle (reserve, fork, copy-on-write, release), the
+ * chained-hash prefix-caching index (matchPrefix / registerCommitted),
+ * and the lengths/block-table views the ragged kernels consume (see
  * kv_cache.h).
  */
 #include "serve/kv_cache.h"
@@ -183,6 +184,9 @@ KVCacheManager::release(RequestId seq)
     if (it == sequences_.end()) return;
     for (int64_t page : it->second.pages) {
         if (--refCounts_[page] == 0) {
+            // The page's content is gone the moment it can be
+            // reacquired, so its prefix-index entry goes with it.
+            unregisterPage(page);
             freePages_.push_back(page);
             --usedBlocks_;
         }
@@ -217,6 +221,147 @@ KVCacheManager::dropFork(RequestId child)
     if (sequences_.find(child) == sequences_.end()) return;
     release(child);
     --forks_;
+}
+
+namespace {
+
+/** Default chained block hash: FNV-1a folded over the previous block's
+ *  hash and the block's token values. */
+uint64_t
+fnvBlockHash(uint64_t prev, const int64_t* tokens, int64_t count)
+{
+    uint64_t h = 1469598103934665603ull; // FNV offset basis
+    auto mix = [&h](uint64_t value) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (value >> (8 * byte)) & 0xffu;
+            h *= 1099511628211ull; // FNV prime
+        }
+    };
+    mix(prev);
+    for (int64_t i = 0; i < count; ++i) mix((uint64_t)tokens[i]);
+    return h;
+}
+
+} // namespace
+
+uint64_t
+KVCacheManager::hashBlock(uint64_t prev, const int64_t* tokens,
+                          int64_t count) const
+{
+    return hashOverride_ ? hashOverride_(prev, tokens, count)
+                         : fnvBlockHash(prev, tokens, count);
+}
+
+void
+KVCacheManager::setBlockHashForTest(BlockHashFn fn)
+{
+    hashOverride_ = std::move(fn);
+}
+
+void
+KVCacheManager::unregisterPage(int64_t page)
+{
+    auto ph = pageHash_.find(page);
+    if (ph == pageHash_.end()) return;
+    auto idx = hashIndex_.find(ph->second);
+    if (idx != hashIndex_.end()) {
+        auto& entries = idx->second;
+        entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                     [page](const IndexEntry& entry) {
+                                         return entry.page == page;
+                                     }),
+                      entries.end());
+        if (entries.empty()) hashIndex_.erase(idx);
+    }
+    pageHash_.erase(ph);
+}
+
+int64_t
+KVCacheManager::matchPrefix(RequestId child,
+                            const std::vector<int64_t>& tokens)
+{
+    RELAX_ICHECK(sequences_.find(child) == sequences_.end())
+        << "matchPrefix target " << child << " already holds pages";
+    // Cap so the child always prefills at least one token itself: the
+    // final prompt position must run through the model to produce the
+    // sequence's first logits.
+    int64_t max_blocks = ((int64_t)tokens.size() - 1) / blockTokens_;
+    if (max_blocks <= 0) return 0;
+
+    std::vector<int64_t> pages;
+    std::vector<uint64_t> hashes;
+    uint64_t prev_hash = 0;
+    int64_t prev_page = -1;
+    for (int64_t blk = 0; blk < max_blocks; ++blk) {
+        const int64_t* block = tokens.data() + blk * blockTokens_;
+        uint64_t h = hashBlock(prev_hash, block, blockTokens_);
+        auto it = hashIndex_.find(h);
+        const IndexEntry* hit = nullptr;
+        if (it != hashIndex_.end()) {
+            for (const IndexEntry& entry : it->second) {
+                // The hash only proposes; the stored token content and
+                // the chain linkage decide. A colliding entry fails one
+                // of these checks and degrades to no-share — never to a
+                // wrong share. Induction on prevPage: matching block k
+                // content plus the block-(k-1) page guarantees the whole
+                // prefix behind the page is identical, which the K/V
+                // values depend on.
+                if (entry.prevPage == prev_page &&
+                    (int64_t)entry.tokens.size() == blockTokens_ &&
+                    std::equal(entry.tokens.begin(), entry.tokens.end(),
+                               block)) {
+                    hit = &entry;
+                    break;
+                }
+            }
+        }
+        if (hit == nullptr) break;
+        pages.push_back(hit->page);
+        hashes.push_back(h);
+        prev_hash = h;
+        prev_page = hit->page;
+    }
+    if (pages.empty()) return 0;
+
+    Sequence& state = sequences_[child];
+    state.pages = std::move(pages);
+    for (int64_t page : state.pages) ++refCounts_[page];
+    state.tokens = (int64_t)state.pages.size() * blockTokens_;
+    state.committed = state.tokens;
+    state.blockHashes = std::move(hashes);
+    ++forks_;
+    ++prefixHits_;
+    prefixTokensMatched_ += state.tokens;
+    return state.tokens;
+}
+
+void
+KVCacheManager::registerCommitted(RequestId seq,
+                                  const std::vector<int64_t>& tokens)
+{
+    auto it = sequences_.find(seq);
+    if (it == sequences_.end()) return;
+    Sequence& state = it->second;
+    int64_t limit = std::min(state.committed, (int64_t)tokens.size());
+    int64_t full_blocks = limit / blockTokens_;
+    uint64_t prev_hash =
+        state.blockHashes.empty() ? 0 : state.blockHashes.back();
+    // The chain always advances (even over pages another sequence
+    // already indexed) so later blocks hash against the right prefix.
+    for (int64_t blk = (int64_t)state.blockHashes.size();
+         blk < full_blocks; ++blk) {
+        const int64_t* block = tokens.data() + blk * blockTokens_;
+        uint64_t h = hashBlock(prev_hash, block, blockTokens_);
+        state.blockHashes.push_back(h);
+        prev_hash = h;
+        int64_t page = state.pages[blk];
+        if (pageHash_.find(page) != pageHash_.end()) continue;
+        int64_t prev_page = blk == 0 ? -1 : state.pages[blk - 1];
+        hashIndex_[h].push_back(IndexEntry{
+            page, prev_page,
+            std::vector<int64_t>(block, block + blockTokens_)});
+        pageHash_[page] = h;
+    }
 }
 
 int64_t

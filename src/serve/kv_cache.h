@@ -13,12 +13,19 @@
  *  - fork() maps a child sequence onto the pages holding a parent's
  *    committed prefix (refcount++, zero copies) — shared-system-prompt
  *    serving;
+ *  - automatic prefix caching: registerCommitted() records each full
+ *    page-aligned block of a sequence's committed prompt in a
+ *    hash→page index under a chained content hash, and matchPrefix()
+ *    maps a new sequence onto every indexed page whose token content
+ *    (verified byte-for-byte, never trusted from the hash alone)
+ *    extends its matched chain — no fork_of hint required;
  *  - reserveWrite() enforces copy-on-write: before a sequence writes a
  *    page whose refcount exceeds one, the page is copied to a fresh one
  *    on the device (priced on the simulated clock) and the writer's
  *    table entry is repointed;
  *  - eviction (release) returns pages to the pool only when their last
- *    reference drops.
+ *    reference drops, at which point their index entries are removed
+ *    (the index never outlives page content).
  *
  * Cache *values* live in the pool tensors (real data in data mode,
  * metadata-only in timing mode); the compiled kernels mutate them in
@@ -28,6 +35,8 @@
 #ifndef RELAX_SERVE_KV_CACHE_H_
 #define RELAX_SERVE_KV_CACHE_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -127,6 +136,46 @@ class KVCacheManager
      */
     void dropFork(RequestId child);
 
+    /**
+     * Automatic prefix caching — the detection half: walks `tokens`
+     * (the child's pending prefill stream) in page-aligned blocks,
+     * computing the chained block hash, and maps `child` (which must
+     * hold no pages) onto every consecutive indexed pool page whose
+     * stored token content verifies byte-for-byte against the block AND
+     * whose predecessor page is the one matched for the previous block.
+     * Hash collisions are therefore safe: the hash only proposes
+     * candidates, content decides. Matching is capped so the child
+     * always prefills at least one token itself (the position producing
+     * its first logits). Returns the matched token count (a multiple of
+     * blockTokens(), 0 when nothing matched); on a match the child's
+     * committed length equals the return value and forkCount() rises,
+     * exactly as an explicit fork() would.
+     */
+    int64_t matchPrefix(RequestId child, const std::vector<int64_t>& tokens);
+
+    /**
+     * Automatic prefix caching — the registration half: records every
+     * not-yet-registered full page-aligned block of `seq`'s committed
+     * prefix of `tokens` in the hash→page index (chained hash over the
+     * block's token content, seeded by the previous block's hash).
+     * Pages already indexed (e.g. mapped from a parent by matchPrefix)
+     * only advance the chain. Full committed pages are immutable while
+     * live — copy-on-write repoints writers, and release() drops index
+     * entries with the page — so registrations never go stale. Call
+     * after committing a prefill; no-op for unknown ids.
+     */
+    void registerCommitted(RequestId seq, const std::vector<int64_t>& tokens);
+
+    /**
+     * Test hook: replaces the chained block hash function (prev hash,
+     * block tokens, count) — e.g. with a constant to force collisions,
+     * which content verification must turn into no-shares, never wrong
+     * shares. Pass nullptr to restore the default FNV-1a chain.
+     */
+    using BlockHashFn =
+        std::function<uint64_t(uint64_t, const int64_t*, int64_t)>;
+    void setBlockHashForTest(BlockHashFn fn);
+
     /** Positions reserved for `seq` (0 for unknown ids). */
     int64_t reservedTokens(RequestId seq) const;
 
@@ -172,12 +221,18 @@ class KVCacheManager
 
     // --- sharing statistics -------------------------------------------------
 
-    /** fork() calls that actually mapped shared pages. */
+    /** fork() / matchPrefix() calls that actually mapped shared pages. */
     int64_t forkCount() const { return forks_; }
     /** Copy-on-write page copies performed (device-priced). */
     int64_t cowCopies() const { return cowCopies_; }
     /** Device bytes moved by copy-on-write page copies. */
     int64_t cowBytes() const { return cowCopies_ * bytesPerBlock_; }
+    /** matchPrefix() calls that mapped at least one page. */
+    int64_t prefixHits() const { return prefixHits_; }
+    /** Total cache positions resolved from the index by matchPrefix(). */
+    int64_t prefixTokensMatched() const { return prefixTokensMatched_; }
+    /** Live hash→page index entries (test introspection). */
+    int64_t indexedBlocks() const { return (int64_t)pageHash_.size(); }
 
   private:
     struct Sequence
@@ -185,6 +240,18 @@ class KVCacheManager
         std::vector<int64_t> pages; //!< physical pool pages, in order
         int64_t tokens = 0;    //!< reserved capacity in positions
         int64_t committed = 0; //!< positions actually written
+        /** Chained content hash of each registered/matched full block
+         *  (registration progress of the prefix-caching index). */
+        std::vector<uint64_t> blockHashes;
+    };
+    /** One registered block: the page holding it, the page holding the
+     *  previous block of its chain (-1 for the first block), and the
+     *  block's token content for verify-on-match. */
+    struct IndexEntry
+    {
+        int64_t page = -1;
+        int64_t prevPage = -1;
+        std::vector<int64_t> tokens;
     };
 
     /** Pops a free page (throws RuntimeError when the pool is empty). */
@@ -193,6 +260,11 @@ class KVCacheManager
      *  read+write on the simulated clock and copies pool data rows in
      *  data mode. */
     void copyPage(int64_t src, int64_t dst);
+    /** Chained block hash (test hook aware). */
+    uint64_t hashBlock(uint64_t prev, const int64_t* tokens,
+                       int64_t count) const;
+    /** Drops `page`'s index entry, if any (page is leaving the pool). */
+    void unregisterPage(int64_t page);
 
     vm::VirtualMachine& machine_;
     int64_t blockTokens_;
@@ -203,11 +275,18 @@ class KVCacheManager
     int64_t peakBlocks_ = 0;
     int64_t forks_ = 0;
     int64_t cowCopies_ = 0;
+    int64_t prefixHits_ = 0;
+    int64_t prefixTokensMatched_ = 0;
     std::vector<NDArray> pools_;      //!< [p, h, block, d] per layer per k/v
     std::vector<int64_t> freePages_;  //!< LIFO of unreferenced page ids
     std::vector<int32_t> refCounts_;  //!< per-page reference counts
     vm::StoragePtr poolStorage_;      //!< the resident pool allocation
     std::map<RequestId, Sequence> sequences_;
+    /** chained hash → registered blocks under it (collision candidates) */
+    std::map<uint64_t, std::vector<IndexEntry>> hashIndex_;
+    /** live registered page → its chained hash (for removal on free) */
+    std::map<int64_t, uint64_t> pageHash_;
+    BlockHashFn hashOverride_; //!< test-only collision injection
 };
 
 } // namespace serve

@@ -78,15 +78,6 @@ struct SequenceState
      */
     int64_t ctxLen = 0;   //!< pool positions currently materialized
     int64_t admitSeq = -1; //!< admission order; highest = eviction victim
-    /**
-     * Prefix-sharing parent: at admission the scheduler forks this
-     * sequence onto the pool pages holding the parent's committed
-     * prefix (as far as the token streams agree), so only the
-     * non-shared prompt tail is prefilled. Null for ordinary requests;
-     * sharing degrades gracefully to a full prefill when the parent has
-     * released its pages.
-     */
-    SequenceStatePtr forkOf;
     RequestStats stats;
 
     /**
@@ -117,28 +108,6 @@ struct SequenceState
                 generated.back() == request.stopToken);
     }
 };
-
-/**
- * Tokens of `child`'s prompt that can reuse `parent`'s cached prefix:
- * the longest common prefix of parent's processed stream
- * (prompt + generated) and child's prompt, capped so the child always
- * prefills at least one token itself (the position that produces its
- * first logits). The caller further clamps to the parent's *committed*
- * pool positions (KVCacheManager::fork does this).
- */
-inline int64_t
-sharedPrefixTokens(const SequenceState& parent, const SequenceState& child)
-{
-    std::vector<int64_t> parent_tokens = parent.prefillTokens();
-    const std::vector<int64_t>& prompt = child.request.promptTokens;
-    int64_t limit = std::min((int64_t)parent_tokens.size(),
-                             (int64_t)prompt.size() - 1);
-    int64_t shared = 0;
-    while (shared < limit && parent_tokens[shared] == prompt[shared]) {
-        ++shared;
-    }
-    return shared;
-}
 
 /** A completed request as returned by Engine::collect(). */
 struct FinishedRequest

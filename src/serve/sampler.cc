@@ -27,8 +27,25 @@ Sampler::sample(const NDArray& logits, int64_t row)
     int64_t vocab = logits.shape()[2];
     RELAX_ICHECK(row >= 0 && row < logits.shape()[0])
         << "batch row out of range";
-    int64_t base = (row * seq + (seq - 1)) * vocab;
+    return sampleFromBase(logits, (row * seq + (seq - 1)) * vocab, vocab);
+}
 
+int64_t
+Sampler::samplePacked(const NDArray& logits, int64_t position)
+{
+    RELAX_ICHECK(logits.hasData())
+        << "samplePacked: metadata-only logits (use sampleSynthetic)";
+    RELAX_ICHECK(logits.shape().size() == 3 && logits.shape()[0] == 1)
+        << "expected packed [1, t, vocab]";
+    int64_t vocab = logits.shape()[2];
+    RELAX_ICHECK(position >= 0 && position < logits.shape()[1])
+        << "packed position out of range";
+    return sampleFromBase(logits, position * vocab, vocab);
+}
+
+int64_t
+Sampler::sampleFromBase(const NDArray& logits, int64_t base, int64_t vocab)
+{
     if (options_.topK == 1) {
         int64_t best = 0;
         for (int64_t v = 1; v < vocab; ++v) {

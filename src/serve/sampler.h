@@ -35,12 +35,21 @@ class Sampler
      */
     int64_t sample(const NDArray& logits, int64_t row);
 
+    /**
+     * Samples from packed varlen logits [1, t, vocab] at packed position
+     * `position` (a row's last fresh token sits at cu[r+1] - 1).
+     */
+    int64_t samplePacked(const NDArray& logits, int64_t position);
+
     /** Timing mode: a deterministic pseudo-token in [0, vocab). */
     int64_t sampleSynthetic(int64_t vocab);
 
     const SamplerOptions& options() const { return options_; }
 
   private:
+    int64_t sampleFromBase(const NDArray& logits, int64_t base,
+                           int64_t vocab);
+
     SamplerOptions options_;
     std::mt19937 rng_;
 };

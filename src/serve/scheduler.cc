@@ -42,13 +42,15 @@ Scheduler::admit(KVCacheManager& kv, int64_t runningCount)
     int64_t prefill_budget = options_.maxPrefillTokensPerStep;
     for (const SequenceStatePtr& seq : candidates) {
         int64_t tokens = seq->prefillLength();
-        // Prefix sharing: fork onto the parent's committed pool pages
-        // before sizing the reservation — shared pages cost nothing and
-        // only the unshared prompt tail is prefilled. Undone below when
-        // the candidate does not fit after all.
-        if (seq->forkOf) {
-            kv.fork(seq->forkOf->request.id, seq->request.id,
-                    sharedPrefixTokens(*seq->forkOf, *seq));
+        // Automatic prefix caching: before sizing the reservation, map
+        // the candidate onto any indexed pool pages holding its prompt
+        // prefix — shared pages cost nothing and only the unmatched
+        // tail is prefilled. No hint from the caller: the cache detects
+        // duplicates itself (re-admissions after eviction re-match the
+        // same way, against whatever is still indexed). Undone below
+        // when the candidate does not fit after all.
+        if (kv.committedTokens(seq->request.id) == 0) {
+            kv.matchPrefix(seq->request.id, seq->prefillTokens());
         }
         int64_t fresh = tokens - kv.committedTokens(seq->request.id);
         // A prompt above the per-step cap still admits into an idle

@@ -109,44 +109,59 @@ void
 registerRaggedAttention(LibraryRegistry& registry, const std::string& name)
 {
     // Varlen / paged-KV attention over the persistent page pool
-    // (FlashAttention's paged-KV entry point): one launch covers a batch
-    // of sequences with unequal context lengths, gathering keys/values
-    // from pool pages [p, h, c, d] through the [b, w] block table. Work
-    // is data-dependent — proportional to each sequence's true length,
-    // read from the [b] length vector (a host-side integer tensor that
-    // carries data even in timing mode) — so the cost sums per-sequence,
-    // never over the pool size. Shape padding from a bucketed capture
-    // region (batch rows, table width) is benign: phantom rows carry
-    // length 0 and price ~nothing.
+    // (FlashAttention's varlen paged-KV entry point): one launch covers a
+    // packed batch q [1, h, n, d] of prefill chunks and single-token
+    // decodes with unequal fresh lengths, delimited by the cumulative
+    // offsets cu [b+1], gathering keys/values from pool pages
+    // [p, h, c, d] through the [b, w] block table. Work is
+    // data-dependent — each row prices fresh_i = cu[i+1] - cu[i] queries
+    // against its own true context length, both read from host-side
+    // integer tensors that carry data even in timing mode — so the cost
+    // sums per-row fresh costs, never the padded packed axis or the pool
+    // size. Shape padding from a bucketed capture region is benign: the
+    // zero-filled tail of cu clamps to fresh 0 and prices nothing.
     LibraryKernel kernel;
     kernel.cost = [](const std::vector<NDArray>& args, const ir::Attrs&,
                      const device::DeviceSpec& spec) {
-        const auto& q = args[0].shape();     // [b, h, n, d]
+        const auto& q = args[0].shape();     // [1, h, n, d] packed
         const auto& pool = args[1].shape();  // [p, h, c, d] K pool
         const NDArray& lens = args[3];       // [b] true context lengths
-        int64_t b = q[0], h = q[1], n = q[2], d = q[3];
+        const NDArray& cu = args[4];         // [b+1] cumulative fresh
+        int64_t h = q[1], n = q[2], d = q[3];
         int64_t dv = args[2].shape()[3];
         // Keys range over the mapped table width, not the pool size.
-        int64_t m = args[4].shape()[1] * pool[2];
+        int64_t m = args[5].shape()[1] * pool[2];
+        double query_kv = 0.0;  // sum over rows of fresh_i * kv_i
         double kv_positions = 0.0;
-        if (lens.hasData()) {
-            int64_t rows = std::min<int64_t>(b, lens.numel());
+        if (lens.hasData() && cu.hasData()) {
+            int64_t rows =
+                std::min<int64_t>(lens.numel(), cu.numel() - 1);
             for (int64_t i = 0; i < rows; ++i) {
-                kv_positions += (double)std::min<int64_t>(
-                    (int64_t)lens.at(i) + n, m);
+                // Padded tails are zero-filled, so clamp the differences;
+                // phantom rows read fresh 0 and price nothing.
+                int64_t fresh = std::max<int64_t>(
+                    (int64_t)cu.at(i + 1) - (int64_t)cu.at(i), 0);
+                int64_t kv = std::min<int64_t>(
+                    (int64_t)lens.at(i) + fresh, m);
+                query_kv += (double)fresh * (double)kv;
+                if (fresh > 0) kv_positions += (double)kv;
             }
         } else {
-            kv_positions = (double)b * (double)m; // padded worst case
+            // No host data: every packed query prices the padded worst
+            // case of the mapped table width.
+            query_kv = (double)n * (double)m;
+            kv_positions = (double)lens.numel() * (double)m;
         }
         device::KernelCost cost;
-        cost.flops = 2.0 * h * n * (double)(d + dv) * kv_positions;
-        // IO-aware: q, out, lens and block table, plus only the gathered
-        // live K/V page bytes — the FlashAttention property applied per
-        // row; the rest of the pool is never touched.
+        cost.flops = 2.0 * (double)h * (double)(d + dv) * query_kv;
+        // IO-aware: q, out, lens, cu and block table, plus only the
+        // gathered live K/V page bytes — the FlashAttention property
+        // applied per row; the rest of the pool is never touched.
         cost.bytes = (double)args[0].sizeBytes() +
                      (double)args.back().sizeBytes() +
                      (double)args[3].sizeBytes() +
                      (double)args[4].sizeBytes() +
+                     (double)args[5].sizeBytes() +
                      kv_positions * (double)h * (double)(d + dv) *
                          (double)args[1].dtype().bytes();
         cost.efficiency = spec.libAttentionEfficiency;
@@ -157,6 +172,7 @@ registerRaggedAttention(LibraryRegistry& registry, const std::string& name)
             "lib_attention_ragged", staticShape(args[0]),
             staticShape(args[1]), staticShape(args[2]),
             staticShape(args[3]), staticShape(args[4]),
+            staticShape(args[5]),
             attrDouble(attrs, "scale", 1.0), args[0].dtype());
         tir::run(func, args);
     };
@@ -219,21 +235,37 @@ registerKvCache(LibraryRegistry& registry)
     };
     registry.registerKernel("kv.append", append);
 
-    // Page-pool ragged append (in-place, `inplace_arg = 0`): scatters the
-    // fresh positions into the persistent pool at each sequence's own
+    // Page-pool packed append (in-place, `inplace_arg = 0`): scatters the
+    // packed fresh tokens into the persistent pool at each row's own
     // length offset, addressed through the block table. The DPS output
     // aliases the pool argument, so the call allocates nothing and copies
-    // nothing — only the fresh K/V bytes (plus the integer metadata)
-    // move, regardless of the pool size. Args: pool, fresh, lens, table,
-    // out (== pool).
+    // nothing — only the true fresh K/V bytes (summed from the per-row
+    // cu spans, plus the integer metadata) move, regardless of the pool
+    // size or the padded packed axis. Args: pool, fresh, lens, cu,
+    // table, out (== pool).
     LibraryKernel ragged;
     ragged.cost = [](const std::vector<NDArray>& args, const ir::Attrs&,
                      const device::DeviceSpec& spec) {
-        const NDArray& fresh = args[1]; // [b, h, n, d]
+        const NDArray& fresh = args[1]; // [1, h, n, d] packed
+        const NDArray& cu = args[3];    // [b+1] cumulative fresh
+        double tokens = (double)fresh.shape()[2]; // padded worst case
+        if (cu.hasData()) {
+            // Sum of per-row fresh counts; the zero-filled padded tail
+            // clamps to zero.
+            tokens = 0.0;
+            for (int64_t i = 0; i + 1 < cu.numel(); ++i) {
+                tokens += (double)std::max<int64_t>(
+                    (int64_t)cu.at(i + 1) - (int64_t)cu.at(i), 0);
+            }
+        }
+        double token_bytes = (double)fresh.shape()[1] *
+                             (double)fresh.shape()[3] *
+                             (double)fresh.dtype().bytes();
         device::KernelCost cost;
-        cost.bytes = 2.0 * (double)fresh.sizeBytes() +
+        cost.bytes = 2.0 * tokens * token_bytes +
                      (double)args[2].sizeBytes() +
-                     (double)args[3].sizeBytes();
+                     (double)args[3].sizeBytes() +
+                     (double)args[4].sizeBytes();
         cost.flops = 0.0;
         cost.efficiency = spec.genElemwiseEfficiency;
         return cost;
@@ -242,11 +274,12 @@ registerKvCache(LibraryRegistry& registry)
         tir::PrimFunc func = op::makeKvAppendRaggedFunc(
             "lib_kv_append_ragged", staticShape(args[1]),
             staticShape(args[2]), staticShape(args[3]),
-            staticShape(args.back()), args[1].dtype());
+            staticShape(args[4]), staticShape(args.back()),
+            args[1].dtype());
         // The scatter writes straight into the out tensor, which aliases
         // the pool input — genuine in-place mutation.
         std::vector<NDArray> scatter_args{args[1], args[2], args[3],
-                                          args.back()};
+                                          args[4], args.back()};
         tir::run(func, scatter_args);
     };
     registry.registerKernel("kv.append_ragged", ragged);

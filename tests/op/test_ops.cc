@@ -88,24 +88,29 @@ TEST(OpInferTest, AttentionShape)
 
 TEST(OpInferTest, RaggedAttentionShape)
 {
-    // Page-pool layout: K/V are persistent pools [p, h, c, d] addressed
-    // through the [b, w] block table; the output takes q's shape.
+    // Packed-varlen page-pool layout: q holds all fresh tokens flat
+    // [1, h, n, d], per-row extents ride in cu_fresh [b+1], K/V are
+    // persistent pools [p, h, c, d] addressed through the [b, w] block
+    // table; the output takes q's shape.
     SymVar b = var("b");
+    SymVar n = var("n");
     SymVar p = var("p");
     SymVar c = var("c");
     SymVar w = var("w");
-    Var q = tensorVar("q", {b, intImm(8), intImm(1), intImm(64)});
+    Var q = tensorVar("q", {intImm(1), intImm(8), n, intImm(64)});
     Var k = tensorVar("k", {p, intImm(8), c, intImm(64)});
     Var v = tensorVar("v", {p, intImm(8), c, intImm(64)});
     Var lens = tensorVar("lens", {b}, DataType::i64());
+    Var cu = tensorVar("cu", {relax::add(b, intImm(1))}, DataType::i64());
     Var table = tensorVar("table", {b, w}, DataType::i64());
     EXPECT_EQ(ir::toString(deduceCall(
-                  attentionRagged(q, k, v, lens, table, 0.125))),
-              "Tensor((b, 8, 1, 64), \"f32\")");
+                  attentionRagged(q, k, v, lens, cu, table, 0.125))),
+              "Tensor((1, 8, n, 64), \"f32\")");
     // K and V pool page sizes must agree.
     SymVar c2 = var("c2");
     Var v_bad = tensorVar("vb", {p, intImm(8), c2, intImm(64)});
-    EXPECT_THROW(deduceCall(attentionRagged(q, k, v_bad, lens, table, 1.0)),
+    EXPECT_THROW(deduceCall(
+                     attentionRagged(q, k, v_bad, lens, cu, table, 1.0)),
                  ShapeError);
 }
 
@@ -338,20 +343,22 @@ TEST(OpLegalizeTest, CausalAttentionMasksFuture)
 
 TEST(OpLegalizeTest, RaggedAttentionMatchesPerSequenceDense)
 {
-    // Two sequences gathering from one shared page pool [3, 1, 2, 1]
-    // (3 physical pages of 2 positions): row 0 holds 2 live positions
-    // (lens=1 plus the appended token) on page 0, row 1 holds 4 on pages
-    // 1 and 2. Each row must equal a dense attention call over just its
-    // live prefix — unmapped table entries and foreign pages must not
-    // leak in.
-    Var q = tensorVar("q", {intImm(2), intImm(1), intImm(1), intImm(1)});
+    // Two sequences packed into one [1, 1, 2, 1] varlen call (one fresh
+    // token each, cu = {0, 1, 2}), gathering from one shared page pool
+    // [3, 1, 2, 1] (3 physical pages of 2 positions): row 0 holds 2 live
+    // positions (lens=1 plus the appended token) on page 0, row 1 holds
+    // 4 on pages 1 and 2. Each row must equal a dense attention call
+    // over just its live prefix — unmapped table entries and foreign
+    // pages must not leak in.
+    Var q = tensorVar("q", {intImm(1), intImm(1), intImm(2), intImm(1)});
     Var k = tensorVar("k", {intImm(3), intImm(1), intImm(2), intImm(1)});
     Var v = tensorVar("v", {intImm(3), intImm(1), intImm(2), intImm(1)});
     Var lens = tensorVar("lens", {intImm(2)}, DataType::i64());
+    Var cu = tensorVar("cu", {intImm(3)}, DataType::i64());
     Var table = tensorVar("table", {intImm(2), intImm(2)},
                           DataType::i64());
 
-    NDArray qv = NDArray::fromVector({2, 1, 1, 1}, DataType::f32(),
+    NDArray qv = NDArray::fromVector({1, 1, 2, 1}, DataType::f32(),
                                      {1.0, 0.5});
     // K pool pages: page 0 = row 0's {1, 0}; pages 1, 2 = row 1's
     // {2, 1, 0, 1}. Row 0's positions 2, 3 route through table entry -1,
@@ -361,12 +368,13 @@ TEST(OpLegalizeTest, RaggedAttentionMatchesPerSequenceDense)
     NDArray vv = NDArray::fromVector({3, 1, 2, 1}, DataType::f32(),
                                      {10, 20, 1, 2, 3, 4});
     NDArray lens_v = NDArray::fromVector({2}, DataType::i64(), {1, 3});
+    NDArray cu_v = NDArray::fromVector({3}, DataType::i64(), {0, 1, 2});
     // Block table: row 0 owns page 0 only; row 1 owns pages 1 and 2.
     NDArray table_v = NDArray::fromVector({2, 2}, DataType::i64(),
                                           {0, -1, 1, 2});
     NDArray out = runLegalized(
-        attentionRagged(q, k, v, lens, table, 1.0),
-        {qv, kv, vv, lens_v, table_v}, {2, 1, 1, 1});
+        attentionRagged(q, k, v, lens, cu, table, 1.0),
+        {qv, kv, vv, lens_v, cu_v, table_v}, {1, 1, 2, 1});
 
     // Dense per-sequence references over the live prefixes.
     auto dense_row = [&](std::vector<double> qd, std::vector<double> kd,
@@ -403,17 +411,18 @@ TEST(OpKernelTest, RaggedKvAppendScattersIntoPoolPages)
     // scatter, not a copy.
     NDArray pool = NDArray::fromVector({3, 1, 2, 1}, DataType::f32(),
                                        {1, 2, 5, 6, 0, 0});
-    NDArray fresh = NDArray::fromVector({2, 1, 1, 1}, DataType::f32(),
+    NDArray fresh = NDArray::fromVector({1, 1, 2, 1}, DataType::f32(),
                                         {9, 8});
     NDArray lens = NDArray::fromVector({2}, DataType::i64(), {2, 1});
+    NDArray cu = NDArray::fromVector({3}, DataType::i64(), {0, 1, 2});
     NDArray table = NDArray::fromVector({2, 2}, DataType::i64(),
                                         {0, 2, 1, -1});
     tir::PrimFunc func = makeKvAppendRaggedFunc(
         "append_pool",
-        {intImm(2), intImm(1), intImm(1), intImm(1)}, {intImm(2)},
-        {intImm(2), intImm(2)},
+        {intImm(1), intImm(1), intImm(2), intImm(1)}, {intImm(2)},
+        {intImm(3)}, {intImm(2), intImm(2)},
         {intImm(3), intImm(1), intImm(2), intImm(1)}, DataType::f32());
-    std::vector<NDArray> args{fresh, lens, table, pool};
+    std::vector<NDArray> args{fresh, lens, cu, table, pool};
     tir::run(func, args);
     // Row 0's 9 lands at pool page 2, offset 0; row 1's 8 lands at pool
     // page 1, offset 1. Pages copy nothing.
@@ -428,16 +437,146 @@ TEST(OpKernelTest, RaggedKvAppendMultiTokenPrefillChunk)
     NDArray fresh = NDArray::fromVector({1, 1, 3, 1}, DataType::f32(),
                                         {7, 8, 9});
     NDArray lens = NDArray::fromVector({1}, DataType::i64(), {1});
+    NDArray cu = NDArray::fromVector({2}, DataType::i64(), {0, 3});
     NDArray table = NDArray::fromVector({1, 2}, DataType::i64(), {1, 0});
     tir::PrimFunc func = makeKvAppendRaggedFunc(
         "append_chunk",
         {intImm(1), intImm(1), intImm(3), intImm(1)}, {intImm(1)},
-        {intImm(1), intImm(2)},
+        {intImm(2)}, {intImm(1), intImm(2)},
         {intImm(2), intImm(1), intImm(2), intImm(1)}, DataType::f32());
-    std::vector<NDArray> args{fresh, lens, table, pool};
+    std::vector<NDArray> args{fresh, lens, cu, table, pool};
     tir::run(func, args);
     // Positions 1, 2, 3 -> page 1 offset 1, then page 0 offsets 0, 1.
     EXPECT_EQ(pool.data(), (std::vector<double>{8, 9, 0, 7}));
+}
+
+TEST(OpKernelTest, PackedVarlenMatchesPerRowCalls)
+{
+    // The packed-varlen contract: one append+attention call over b rows
+    // of uneven fresh lengths must be BIT-identical to b separate
+    // single-row calls — a decode (fresh=1), a page-straddling prefill
+    // chunk (fresh=3 starting at offset 1), and a full prompt (fresh=4
+    // from an empty row) all packed together. Table width (and with it
+    // the kernel's m extent) is held equal across scenarios so the
+    // floating-point operation order matches exactly.
+    const int64_t kPage = 2, kPages = 6, kWidth = 4, kTotal = 8;
+    const std::vector<double> lens_all{2, 1, 0};
+    const std::vector<double> cu_all{0, 1, 4, 8};
+    const std::vector<double> table_all{0, 1, -1, -1, 2, 3, -1, -1,
+                                        4, 5, -1, -1};
+    const std::vector<double> kpool_init{1, -1, 0, 0, 2, 0,
+                                         0, 0,  0, 0, 0, 0};
+    const std::vector<double> vpool_init{10, 20, 0, 0, 30, 0,
+                                         0,  0,  0, 0, 0,  0};
+    const std::vector<double> fresh_k{0.5, 1.5, -0.5, 1.0,
+                                      2.0, 1.0, -1.0, 0.5};
+    const std::vector<double> fresh_v{40, 50, 60, 70, 80, 90, 100, 110};
+    const std::vector<double> q_all{1.0, 0.5,  -0.5, 1.5,
+                                    0.25, -1.0, 2.0,  0.75};
+
+    auto pool_shape = [&] {
+        return std::vector<PrimExpr>{intImm(kPages), intImm(1),
+                                     intImm(kPage), intImm(1)};
+    };
+    auto run_scenario = [&](const std::vector<std::vector<double>>& rows_q,
+                            const std::vector<std::vector<double>>& rows_k,
+                            const std::vector<std::vector<double>>& rows_v,
+                            const std::vector<std::vector<double>>& lens_r,
+                            const std::vector<std::vector<double>>& cu_r,
+                            const std::vector<std::vector<double>>& tab_r,
+                            NDArray kpool, NDArray vpool) {
+        // All appends land before any attention, as one engine step
+        // would do; rows write disjoint pages so order is immaterial.
+        std::vector<NDArray> lens_t, cu_t, tab_t;
+        for (size_t r = 0; r < rows_q.size(); ++r) {
+            int64_t b = (int64_t)lens_r[r].size();
+            int64_t n = (int64_t)rows_q[r].size();
+            lens_t.push_back(NDArray::fromVector(
+                {b}, DataType::i64(), std::vector<double>(lens_r[r])));
+            cu_t.push_back(NDArray::fromVector(
+                {b + 1}, DataType::i64(), std::vector<double>(cu_r[r])));
+            tab_t.push_back(
+                NDArray::fromVector({b, kWidth}, DataType::i64(),
+                                    std::vector<double>(tab_r[r])));
+            for (int which = 0; which < 2; ++which) {
+                tir::PrimFunc append = makeKvAppendRaggedFunc(
+                    "append",
+                    {intImm(1), intImm(1), intImm(n), intImm(1)},
+                    {intImm(b)}, {intImm(b + 1)},
+                    {intImm(b), intImm(kWidth)}, pool_shape(),
+                    DataType::f32());
+                NDArray fresh = NDArray::fromVector(
+                    {1, 1, n, 1}, DataType::f32(),
+                    std::vector<double>(which == 0 ? rows_k[r]
+                                                   : rows_v[r]));
+                std::vector<NDArray> args{fresh, lens_t[r], cu_t[r],
+                                          tab_t[r],
+                                          which == 0 ? kpool : vpool};
+                tir::run(append, args);
+            }
+        }
+        std::vector<double> out;
+        for (size_t r = 0; r < rows_q.size(); ++r) {
+            int64_t b = (int64_t)lens_r[r].size();
+            int64_t n = (int64_t)rows_q[r].size();
+            tir::PrimFunc attn = makeRaggedAttentionFunc(
+                "attn", {intImm(1), intImm(1), intImm(n), intImm(1)},
+                pool_shape(), pool_shape(), {intImm(b)},
+                {intImm(b + 1)}, {intImm(b), intImm(kWidth)}, 1.0,
+                DataType::f32());
+            NDArray qv = NDArray::fromVector(
+                {1, 1, n, 1}, DataType::f32(),
+                std::vector<double>(rows_q[r]));
+            NDArray y = NDArray::zeros({1, 1, n, 1}, DataType::f32());
+            std::vector<NDArray> args{qv,       kpool,   vpool, lens_t[r],
+                                      cu_t[r], tab_t[r], y};
+            tir::run(attn, args);
+            out.insert(out.end(), y.data().begin(), y.data().end());
+        }
+        return out;
+    };
+
+    // Scenario A: everything in one packed call.
+    NDArray kpool_a = NDArray::fromVector(std::vector<int64_t>{kPages, 1, kPage, 1},
+                                          DataType::f32(),
+                                          std::vector<double>(kpool_init));
+    NDArray vpool_a = NDArray::fromVector(std::vector<int64_t>{kPages, 1, kPage, 1},
+                                          DataType::f32(),
+                                          std::vector<double>(vpool_init));
+    std::vector<double> packed = run_scenario(
+        {q_all}, {fresh_k}, {fresh_v}, {lens_all}, {cu_all}, {table_all},
+        kpool_a, vpool_a);
+
+    // Scenario B: three separate single-row calls over clone pools.
+    NDArray kpool_b = NDArray::fromVector(std::vector<int64_t>{kPages, 1, kPage, 1},
+                                          DataType::f32(),
+                                          std::vector<double>(kpool_init));
+    NDArray vpool_b = NDArray::fromVector(std::vector<int64_t>{kPages, 1, kPage, 1},
+                                          DataType::f32(),
+                                          std::vector<double>(vpool_init));
+    auto slice = [](const std::vector<double>& v, int64_t lo, int64_t hi) {
+        return std::vector<double>(v.begin() + lo, v.begin() + hi);
+    };
+    std::vector<double> per_row = run_scenario(
+        {slice(q_all, 0, 1), slice(q_all, 1, 4), slice(q_all, 4, 8)},
+        {slice(fresh_k, 0, 1), slice(fresh_k, 1, 4),
+         slice(fresh_k, 4, 8)},
+        {slice(fresh_v, 0, 1), slice(fresh_v, 1, 4),
+         slice(fresh_v, 4, 8)},
+        {{2}, {1}, {0}}, {{0, 1}, {0, 3}, {0, 4}},
+        {slice(table_all, 0, 4), slice(table_all, 4, 8),
+         slice(table_all, 8, 12)},
+        kpool_b, vpool_b);
+
+    // Bit-identical outputs at every packed position, and bit-identical
+    // final pool contents.
+    ASSERT_EQ((int64_t)packed.size(), kTotal);
+    ASSERT_EQ(per_row.size(), packed.size());
+    for (size_t i = 0; i < packed.size(); ++i) {
+        EXPECT_DOUBLE_EQ(packed[i], per_row[i]) << "packed position " << i;
+    }
+    EXPECT_EQ(kpool_a.data(), kpool_b.data());
+    EXPECT_EQ(vpool_a.data(), vpool_b.data());
 }
 
 TEST(OpKernelTest, DecodeQ4UnpacksNibbles)

@@ -185,83 +185,98 @@ TEST(EngineTest, RaggedDecodeIssuesOneCallPerStepAcrossContexts)
     EXPECT_EQ(engine->collect().size(), prompts.size());
 }
 
-TEST(EngineTest, ForkedRequestSharesPrefixPagesAndMatchesSolo)
+TEST(EngineTest, DuplicatePromptPrefixSharesPagesAutomatically)
 {
-    // A shared-system-prompt scenario: the parent runs with a long
-    // prompt; children fork it and extend with their own suffixes. Token
-    // streams must match independent solo runs exactly, pages must be
-    // shared (fewer peak pages than a no-fork run), and copy-on-write
-    // must have kept the streams isolated.
+    // A shared-system-prompt scenario with NO hint from the caller: the
+    // parent runs with a long prompt; later requests repeat its prefix
+    // and extend with their own suffixes. The KV manager's block-hash
+    // index must detect the duplicates at admission and map them onto
+    // the parent's committed pages. Token streams must match independent
+    // solo runs exactly, and peak page usage must beat a baseline whose
+    // prompts have the same lengths but distinct prefix content (which
+    // must NOT match anything).
     LlamaConfig config = LlamaConfig::tiny();
-    std::vector<int64_t> prefix = {3, 1, 4, 1, 5, 9};      // mid-page at 4
+    std::vector<int64_t> prefix = {3, 1, 4, 1, 5, 9};
     std::vector<int64_t> child_a = prefix, child_b = prefix;
     child_a.insert(child_a.end(), {2, 6});
     child_b.insert(child_b.end(), {8, 2, 7});
     const int64_t max_new = 6;
 
-    auto run = [&](bool with_fork) {
+    auto run = [&](bool duplicate_prefix) {
         EngineOptions options;
         options.kvBlockTokens = 4;
         auto engine = Engine::build(config, hostOptions(),
                                     /*data_mode=*/true, options);
-        RequestId parent = engine->addRequest(prefix, max_new);
-        // Parent prefills first so its prefix pages are committed when
-        // the children arrive.
+        auto variant = [&](std::vector<int64_t> prompt, int64_t salt) {
+            // The baseline de-duplicates content: a distinct first
+            // token per request breaks every chained block hash.
+            if (!duplicate_prefix) prompt[0] = 10 + salt;
+            return prompt;
+        };
+        engine->addRequest(variant(prefix, 0), max_new);
+        // Parent prefills first so its prefix pages are committed (and
+        // registered in the hash index) when the children arrive.
         engine->step();
-        engine->addRequest(child_a, max_new, -1, -1.0,
-                           with_fork ? parent : -1);
-        engine->addRequest(child_b, max_new, -1, -1.0,
-                           with_fork ? parent : -1);
+        engine->addRequest(variant(child_a, 1), max_new);
+        engine->addRequest(variant(child_b, 2), max_new);
         engine->run();
         struct Result
         {
             std::vector<std::vector<int64_t>> tokens;
-            int64_t peakPages, forks, cowCopies, relayout;
+            std::vector<std::vector<int64_t>> prompts;
+            int64_t peakPages, forks, prefixHits, matched, relayout;
         } result;
         result.peakPages = engine->kv().peakPages();
         result.forks = engine->kv().forkCount();
-        result.cowCopies = engine->kv().cowCopies();
+        result.prefixHits = engine->kv().prefixHits();
+        result.matched = engine->kv().prefixTokensMatched();
         result.relayout = engine->stats().relayoutBytes;
         for (const auto& done : engine->collect()) {
             result.tokens.push_back(done.outputTokens);
+            result.prompts.push_back(done.promptTokens);
         }
         return result;
     };
 
-    auto forked = run(true);
-    auto solo = run(false);
-    ASSERT_EQ(forked.tokens.size(), 3u);
-    // Byte-exact token streams: prefix sharing and COW change memory
-    // addressing only, never values.
-    EXPECT_EQ(forked.tokens, solo.tokens);
+    auto shared = run(true);
+    auto distinct = run(false);
+    ASSERT_EQ(shared.tokens.size(), 3u);
+    // Byte-exact token streams vs solo references: automatic prefix
+    // sharing changes memory addressing only, never values.
     for (size_t i = 0; i < 3; ++i) {
-        std::vector<int64_t> prompt =
-            i == 0 ? prefix : (i == 1 ? child_a : child_b);
-        EXPECT_EQ(forked.tokens[i],
-                  sequentialGreedy(config, prompt, max_new))
+        EXPECT_EQ(shared.tokens[i],
+                  sequentialGreedy(config, shared.prompts[i], max_new))
             << "request " << i;
+        EXPECT_EQ(distinct.tokens[i],
+                  sequentialGreedy(config, distinct.prompts[i], max_new))
+            << "baseline request " << i;
     }
-    EXPECT_EQ(forked.forks, 2);
-    EXPECT_EQ(solo.forks, 0);
-    EXPECT_LT(forked.peakPages, solo.peakPages);
-    // The prefix ends mid-page, so the first append after a fork had to
-    // copy-on-write at least once.
-    EXPECT_GE(forked.cowCopies, 1);
-    EXPECT_EQ(forked.relayout, 0);
+    // Both children matched the parent's first committed block (the
+    // 6-token prefix commits one full 4-token page).
+    EXPECT_EQ(shared.forks, 2);
+    EXPECT_EQ(shared.prefixHits, 2);
+    EXPECT_EQ(shared.matched, 8);
+    EXPECT_EQ(distinct.forks, 0);
+    EXPECT_EQ(distinct.prefixHits, 0);
+    EXPECT_LT(shared.peakPages, distinct.peakPages);
+    EXPECT_EQ(shared.relayout, 0);
+    EXPECT_EQ(distinct.relayout, 0);
 }
 
 TEST(EngineTest, EqualLengthRequestsShareDecodeBatches)
 {
-    // Two same-length prompts stay context-aligned, so every decode
-    // iteration is one batched call, not two.
+    // Two prompts admitted together ride in one packed call per step:
+    // the first step prefills both rows (and samples their first
+    // tokens), the remaining four steps decode both rows at once.
     LlamaConfig config = LlamaConfig::tiny();
     auto engine = Engine::build(config, hostOptions(), true);
     engine->addRequest({1, 2, 3}, 5);
     engine->addRequest({4, 5, 6}, 5);
     const EngineStats& stats = engine->run();
     EXPECT_EQ(stats.tokensGenerated, 10);
-    EXPECT_EQ(stats.prefillBatches, 1); // one [2, 3] prefill
-    EXPECT_EQ(stats.decodeBatches, 4);  // 4 batched steps of width 2
+    EXPECT_EQ(stats.prefillBatches, 1); // one packed step held prefills
+    EXPECT_EQ(stats.decodeBatches, 5);  // == steps: 1 mixed + 4 decode
+    EXPECT_EQ(stats.decodeBatches, stats.steps);
 }
 
 TEST(EngineTest, AdmitBeyondBudgetQueuesInsteadOfCrashing)
@@ -314,28 +329,31 @@ TEST(EngineTest, EvictionAndReadmissionPreserveTokens)
     EXPECT_GE(preempted, 1);
 }
 
-TEST(EngineTest, ForkOfCollectedParentDegradesToFullPrefill)
+TEST(EngineTest, DuplicateOfReleasedPrefixPrefillsInFull)
 {
-    // Sharing is best-effort: forking a request that already finished
-    // and was collect()ed must not crash — the child simply prefills in
-    // full and still emits the exact token stream.
+    // Sharing is best-effort: when the request holding a prefix has
+    // finished and released its pages, the hash index forgets them, so
+    // a later duplicate simply prefills in full — and still emits the
+    // exact token stream.
     LlamaConfig config = LlamaConfig::tiny();
-    std::vector<int64_t> prefix = {3, 1, 4, 1};
+    std::vector<int64_t> prefix = {3, 1, 4, 1, 5, 9};
     std::vector<int64_t> child = prefix;
     child.push_back(7);
-    auto engine = Engine::build(config, hostOptions(), /*data_mode=*/true);
-    RequestId parent = engine->addRequest(prefix, 2);
+    EngineOptions options;
+    options.kvBlockTokens = 4; // the 6-token prefix commits a full page
+    auto engine = Engine::build(config, hostOptions(), /*data_mode=*/true,
+                                options);
+    engine->addRequest(prefix, 2);
     engine->run();
-    EXPECT_EQ(engine->collect().size(), 1u); // parent gone from the engine
-    engine->addRequest(child, 4, -1, -1.0, /*fork_of=*/parent);
+    EXPECT_EQ(engine->collect().size(), 1u); // twin gone from the engine
+    EXPECT_EQ(engine->kv().indexedBlocks(), 0); // release de-indexed
+    engine->addRequest(child, 4);
     engine->run();
     auto results = engine->collect();
     ASSERT_EQ(results.size(), 1u);
     EXPECT_EQ(results[0].outputTokens, sequentialGreedy(config, child, 4));
     EXPECT_EQ(engine->kv().forkCount(), 0);
-    // A fork id that never existed is still a caller bug.
-    EXPECT_THROW(engine->addRequest(child, 1, -1, -1.0, /*fork_of=*/999),
-                 InternalError);
+    EXPECT_EQ(engine->kv().prefixHits(), 0);
 }
 
 TEST(EngineTest, OverlongPromptRejectedAtSubmission)

@@ -1,20 +1,23 @@
 /**
  * @file
  * Randomized serving oracle: seeded fuzz over request counts, prompt
- * lengths, max-tokens, KV budgets, prefix-fork events, and both
- * admission policies, asserting that the continuously-batched data-mode
- * engine emits token-for-token what N independent single-request greedy
- * loops emit — with bucketed execution-graph replay on and with it off.
- * This pins the whole serve stack (scheduler, page-pool KV manager with
- * refcounted fork + copy-on-write, eviction, pool-writing prefill, the
- * single ragged decode call, and the capture/replay rewrite) to an
- * end-to-end correctness invariant: no batching, paging, sharing,
- * preemption, or graph-replay decision may change tokens. The
- * zero-relayout invariant rides along: every run must report
- * relayoutBytes == 0.
+ * lengths, max-tokens, KV budgets, mid-stream arrival steps, duplicated
+ * prompt prefixes, and both admission policies, asserting that the
+ * continuously-batched data-mode engine emits token-for-token what N
+ * independent single-request greedy loops emit — with bucketed
+ * execution-graph replay on and with it off. This pins the whole serve
+ * stack (scheduler, page-pool KV manager with the automatic
+ * prefix-caching hash index, eviction, and the ONE packed-varlen call
+ * per step that carries prefill chunks and n=1 decode rows together) to
+ * an end-to-end correctness invariant: no batching, paging, sharing,
+ * preemption, or graph-replay decision may change tokens. Structural
+ * invariants ride along: decode calls == steps on every trace (mixed
+ * prefill+decode steps never split into extra calls), relayoutBytes ==
+ * 0, and prompt-prefix duplicates must hit the hash index with no
+ * fork hint from the driver.
  *
- * Seed count defaults to 40 (~3 s); set RELAX_FUZZ_SEEDS for the nightly
- * soak (e.g. RELAX_FUZZ_SEEDS=200).
+ * Seed count defaults to 40 (~3 s); set RELAX_FUZZ_SEEDS for the
+ * scheduled soak (the cron workflow runs 2000).
  */
 #include <gtest/gtest.h>
 
@@ -48,8 +51,10 @@ fuzzOptions(bool with_graphs)
 {
     frontend::CompileOptions options;
     options.device = hostSpec(with_graphs);
-    // Envelope of every fuzzed trace: prompts <= 12, generated <= 8,
-    // batch <= 8 (re-prefills cover prompt+generated <= 20).
+    // Envelope of every fuzzed trace: prompts <= 12, generated <= 8
+    // (re-prefills cover prompt+generated <= 20), batch <= 8. The
+    // packed token count n sums one step's fresh tokens: the 24-token
+    // per-step prefill cap plus up to 7 decode rows stays under 32.
     options.bounds = {{"b", 8}, {"n", 32}, {"m", 48}};
     return options;
 }
@@ -134,8 +139,10 @@ struct FuzzRequest
     std::vector<int64_t> prompt;
     int64_t maxNew = 1;
     int64_t stopToken = -1;
-    int64_t forkOf = -1; //!< index of an earlier request whose prompt
-                         //!< this one extends (prefix sharing)
+    int64_t arrivalStep = 0; //!< engine step at which the request is added
+    int64_t dupOf = -1; //!< index of the earlier request whose prompt this
+                        //!< one duplicates (content only — NO engine hint;
+                        //!< the hash index must detect it by itself)
 };
 
 struct FuzzScenario
@@ -147,7 +154,7 @@ struct FuzzScenario
 };
 
 /** Draws one scenario; budgets always fit the largest single request so
- *  run() can finish, but may force serialization and eviction. */
+ *  the trace can finish, but may force serialization and eviction. */
 FuzzScenario
 drawScenario(std::mt19937& rng, const LlamaConfig& config)
 {
@@ -167,22 +174,32 @@ drawScenario(std::mt19937& rng, const LlamaConfig& config)
             request.prompt.push_back(draw(0, config.vocabSize - 1));
         }
         request.maxNew = draw(1, 8);
+        // Mid-stream arrival: requests land across the first steps of
+        // the trace, so prefill chunks and running decodes coexist in
+        // the same packed call.
+        request.arrivalStep = draw(0, 4);
         if (rng() % 4 == 0) {
             // An occasionally-hit stop token (small vocab makes real
             // early stops likely across scenarios).
             request.stopToken = draw(0, config.vocabSize - 1);
         }
         if (i > 0 && rng() % 3 == 0) {
-            // Prefix fork: extend an earlier request's prompt with a
-            // short suffix and share its pool pages. Sharing is
-            // best-effort (the parent may have finished or been evicted
-            // by admission time), so tokens must match regardless.
-            request.forkOf = draw(0, i - 1);
-            request.prompt = scenario.requests[request.forkOf].prompt;
+            // Duplicate prompt prefix: repeat an earlier request's
+            // prompt and extend it with a short suffix. There is no
+            // fork hint anywhere — automatic prefix caching must find
+            // the shared pages itself whenever the twin's blocks are
+            // still resident, and tokens must match regardless.
+            request.dupOf = draw(0, i - 1);
+            const FuzzRequest& twin = scenario.requests[request.dupOf];
+            request.prompt = twin.prompt;
             int64_t suffix = draw(1, 4);
             for (int64_t t = 0; t < suffix; ++t) {
                 request.prompt.push_back(draw(0, config.vocabSize - 1));
             }
+            // Arriving after the twin's prefill makes a live match
+            // possible (same-step arrivals admit before registration).
+            request.arrivalStep =
+                std::max(request.arrivalStep, twin.arrivalStep + 1);
         }
         max_need = std::max(max_need,
                             (int64_t)request.prompt.size() + request.maxNew);
@@ -199,7 +216,7 @@ drawScenario(std::mt19937& rng, const LlamaConfig& config)
     return scenario;
 }
 
-/** Seed count: 40 by default, RELAX_FUZZ_SEEDS overrides (nightly soak). */
+/** Seed count: 40 by default, RELAX_FUZZ_SEEDS overrides (cron soak). */
 int64_t
 fuzzSeedCount()
 {
@@ -226,7 +243,8 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
 
     int64_t total_replays = 0;
     int64_t total_evictions = 0;
-    int64_t total_forks = 0, total_cow = 0;
+    int64_t total_prefix_hits = 0, total_prefix_tokens = 0;
+    int64_t mixed_step_traces = 0;
     int64_t ragged_steps = 0, ragged_decode_calls = 0;
     std::mt19937 seed_rng(0xF00D);
     const int64_t seed_count = fuzzSeedCount();
@@ -234,6 +252,12 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
         unsigned seed = (unsigned)seed_rng();
         std::mt19937 rng(seed);
         FuzzScenario scenario = drawScenario(rng, config);
+        // Requests are added in arrival order; sorting once up front
+        // makes engine request ids line up with this vector's indices.
+        std::stable_sort(scenario.requests.begin(), scenario.requests.end(),
+                         [](const FuzzRequest& a, const FuzzRequest& b) {
+                             return a.arrivalStep < b.arrivalStep;
+                         });
 
         // One oracle pass per request; every engine variant must match it.
         std::vector<std::vector<int64_t>> expected;
@@ -245,6 +269,9 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
 
         EngineOptions engine_options;
         engine_options.scheduler.policy = scenario.policy;
+        // Cap per-step prefill so one packed call (prefills + decode
+        // rows) stays inside the compiled n=32 bound.
+        engine_options.scheduler.maxPrefillTokensPerStep = 24;
         engine_options.kvBlockTokens = scenario.kvBlockTokens;
         engine_options.kvBudgetBytes = scenario.kvBudgetBytes;
 
@@ -254,22 +281,41 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
             Engine engine(with_replay ? exec_on : exec_off, dev,
                           /*data_mode=*/true, config, weights,
                           engine_options);
-            std::vector<RequestId> ids;
-            for (const FuzzRequest& request : scenario.requests) {
-                ids.push_back(engine.addRequest(
-                    request.prompt, request.maxNew, request.stopToken,
-                    /*arrival_us=*/-1.0,
-                    request.forkOf >= 0 ? ids[request.forkOf] : -1));
+            // Mid-stream arrival driver: add each request at its
+            // arrival step, stepping the engine in between so fresh
+            // prefills join an already-decoding batch.
+            size_t next_request = 0;
+            for (int64_t tick = 0;; ++tick) {
+                while (next_request < scenario.requests.size() &&
+                       scenario.requests[next_request].arrivalStep <= tick) {
+                    const FuzzRequest& request =
+                        scenario.requests[next_request];
+                    engine.addRequest(request.prompt, request.maxNew,
+                                      request.stopToken);
+                    ++next_request;
+                }
+                bool progressed = engine.step();
+                if (next_request == scenario.requests.size() &&
+                    !engine.hasPendingWork()) {
+                    break;
+                }
+                ASSERT_TRUE(progressed ||
+                            next_request < scenario.requests.size())
+                    << "stalled: seed=" << seed
+                    << " replay=" << with_replay;
             }
-            engine.run();
             auto results = engine.collect();
             ASSERT_EQ(results.size(), scenario.requests.size())
                 << "seed=" << seed << " replay=" << with_replay;
+            // collect() orders by request id == the order added above.
+            std::sort(results.begin(), results.end(),
+                      [](const FinishedRequest& a, const FinishedRequest& b) {
+                          return a.id < b.id;
+                      });
             for (size_t i = 0; i < results.size(); ++i) {
                 EXPECT_EQ(results[i].outputTokens, expected[i])
                     << "seed=" << seed << " request=" << i
                     << " replay=" << with_replay
-                    << " fork_of=" << scenario.requests[i].forkOf
                     << " policy=" << (int)scenario.policy;
             }
             if (with_replay) {
@@ -279,15 +325,22 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
                 EXPECT_EQ(engine.machine().graphStats().begins, 0);
             }
             total_evictions += engine.stats().evictions;
-            total_forks += engine.kv().forkCount();
-            total_cow += engine.kv().cowCopies();
-            // One ragged decode call per step, never more — the whole
-            // running batch joins a single call even when context
-            // lengths diverge. And the page-pool path never copies
-            // cache bytes on the host.
-            EXPECT_LE(engine.stats().decodeBatches,
-                      engine.stats().steps)
-                << "seed=" << seed;
+            total_prefix_hits += engine.kv().prefixHits();
+            total_prefix_tokens += engine.kv().prefixTokensMatched();
+            if (engine.stats().prefillBatches < engine.stats().steps &&
+                engine.stats().prefillBatches > 1) {
+                // More than one arrival wave and some pure-decode steps:
+                // this trace genuinely mixed prefills into a running
+                // batch at least once.
+                ++mixed_step_traces;
+            }
+            // THE packed-varlen invariant: exactly one call per step,
+            // even when prefill chunks and decode rows share the step —
+            // the grouping loop this replaced issued up to one call per
+            // distinct fresh length. And the page-pool path never
+            // copies cache bytes on the host.
+            EXPECT_EQ(engine.stats().decodeBatches, engine.stats().steps)
+                << "seed=" << seed << " replay=" << with_replay;
             EXPECT_EQ(engine.stats().relayoutBytes, 0)
                 << "seed=" << seed;
             ragged_steps += engine.stats().steps;
@@ -296,14 +349,16 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
     }
     // The fuzz must actually exercise the interesting machinery: some
     // scenario replayed a bucketed graph, some scenario evicted, some
-    // scenario forked a shared prefix (and copy-on-write fired), and the
-    // ragged path issued decode calls.
+    // trace mixed prefill and decode rows in one step, and automatic
+    // prefix caching detected duplicated prompts (saving real pages)
+    // without ever being hinted.
     EXPECT_GT(total_replays, 0);
     EXPECT_GT(total_evictions, 0);
-    EXPECT_GT(total_forks, 0);
-    EXPECT_GT(total_cow, 0);
+    EXPECT_GT(mixed_step_traces, 0);
+    EXPECT_GT(total_prefix_hits, 0);
+    EXPECT_GT(total_prefix_tokens, 0);
     EXPECT_GT(ragged_decode_calls, 0);
-    EXPECT_LE(ragged_decode_calls, ragged_steps);
+    EXPECT_EQ(ragged_decode_calls, ragged_steps);
 }
 
 TEST(FuzzTraceTest, BuildWiresKvBlockSizeIntoGraphBucket)

@@ -284,6 +284,177 @@ TEST(KVCacheTest, CanHoldWriteCountsCowPages)
     EXPECT_EQ(kv.cowCopies(), 1);
 }
 
+TEST(KVCacheTest, PrefixIndexLifecycleMatchForkThenCowOnDivergence)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    std::vector<int64_t> prompt = {3, 1, 4, 1, 5, 9, 2, 6};
+
+    // Nothing indexed yet: a probe matches nothing and leaves no trace.
+    EXPECT_EQ(kv.matchPrefix(9, prompt), 0);
+    EXPECT_EQ(kv.committedTokens(9), 0);
+
+    // Prefill seq 1 and register: both full blocks land in the index.
+    kv.reserve(1, 8);
+    kv.commit(1, 8);
+    kv.registerCommitted(1, prompt);
+    EXPECT_EQ(kv.indexedBlocks(), 2);
+    // Registration is idempotent (pages already indexed only advance
+    // the chain).
+    kv.registerCommitted(1, prompt);
+    EXPECT_EQ(kv.indexedBlocks(), 2);
+
+    // A duplicate prompt with a fresh tail matches both blocks and maps
+    // straight onto seq 1's pages — a fork in refcount terms, no copies.
+    std::vector<int64_t> duplicate = prompt;
+    duplicate.push_back(8);
+    EXPECT_EQ(kv.matchPrefix(2, duplicate), 8);
+    EXPECT_EQ(kv.committedTokens(2), 8);
+    EXPECT_EQ(kv.pagesOf(2), 2);
+    EXPECT_EQ(kv.usedPages(), 2); // fully shared
+    EXPECT_EQ(kv.forkCount(), 1);
+    EXPECT_EQ(kv.prefixHits(), 1);
+    EXPECT_EQ(kv.prefixTokensMatched(), 8);
+    NDArray tables = kv.blockTableView({1, 2}, 2);
+    EXPECT_EQ((int64_t)tables.at(0), (int64_t)tables.at(2));
+    EXPECT_EQ((int64_t)tables.at(1), (int64_t)tables.at(3));
+
+    // An identical-prompt probe is capped so the child still prefills
+    // its first-logits token itself: 8 tokens match only the first block.
+    EXPECT_EQ(kv.matchPrefix(3, prompt), 4);
+    EXPECT_EQ(kv.prefixTokensMatched(), 12);
+
+    // Divergence inside a shared block (the COW safety net): a write
+    // into matched page 0 copies it for the writer and leaves the other
+    // holders' tables untouched.
+    int64_t shared_page = (int64_t)tables.at(0);
+    kv.reserveWrite(2, 4, 2);
+    EXPECT_EQ(kv.cowCopies(), 1);
+    NDArray after = kv.blockTableView({1, 2}, 2);
+    EXPECT_EQ((int64_t)after.at(0), shared_page);
+    EXPECT_NE((int64_t)after.at(2), shared_page);
+    kv.release(1);
+    kv.release(2);
+    kv.release(3);
+    EXPECT_EQ(kv.usedPages(), 0);
+    EXPECT_EQ(kv.indexedBlocks(), 0);
+}
+
+TEST(KVCacheTest, HashCollisionsFallBackToNoShareViaContentVerify)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    // Force every block onto one hash chain: the index degenerates into
+    // a single collision bucket, so content verification alone decides.
+    kv.setBlockHashForTest(
+        [](uint64_t, const int64_t*, int64_t) { return (uint64_t)42; });
+
+    std::vector<int64_t> prompt_a = {1, 2, 3, 4, 5, 6, 7, 8};
+    kv.reserve(1, 8);
+    kv.commit(1, 8);
+    kv.registerCommitted(1, prompt_a);
+    EXPECT_EQ(kv.indexedBlocks(), 2);
+
+    // Different tokens, same (forced) hash: the colliding candidate must
+    // be rejected, never shared — wrong shares would serve another
+    // prompt's KV values.
+    std::vector<int64_t> prompt_b = {9, 9, 9, 9, 5};
+    EXPECT_EQ(kv.matchPrefix(2, prompt_b), 0);
+    EXPECT_EQ(kv.committedTokens(2), 0);
+    EXPECT_EQ(kv.pagesOf(2), 0);
+    EXPECT_EQ(kv.prefixHits(), 0);
+
+    // Identical content still matches under the degenerate hash...
+    std::vector<int64_t> duplicate_a = prompt_a;
+    duplicate_a.push_back(1);
+    EXPECT_EQ(kv.matchPrefix(3, duplicate_a), 8);
+    kv.release(3);
+
+    // ...and the prev-page chain rejects a block candidate from the
+    // wrong chain even when its content matches: the probe's block 0
+    // matches seq 4's chain, its block 1 content equals seq 1's block 1
+    // ({5,6,7,8}) — but that entry's predecessor is seq 1's block-0
+    // page, not seq 4's, so accepting it would serve KV values computed
+    // under a different prefix. The match must stop after block 0.
+    std::vector<int64_t> prompt_c = {7, 7, 7, 7, 9, 9, 9, 9};
+    kv.reserve(4, 8);
+    kv.commit(4, 8);
+    kv.registerCommitted(4, prompt_c);
+    std::vector<int64_t> probe = {7, 7, 7, 7, 5, 6, 7, 8, 0};
+    EXPECT_EQ(kv.matchPrefix(5, probe), 4);
+    kv.release(5);
+
+    kv.setBlockHashForTest(nullptr); // restore FNV chain
+    kv.release(1);
+    kv.release(4);
+    EXPECT_EQ(kv.indexedBlocks(), 0);
+}
+
+TEST(KVCacheTest, EvictionRemovesIndexEntriesAndReRegistrationRevives)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    std::vector<int64_t> prompt = {2, 7, 1, 8, 2, 8, 1, 8};
+    kv.reserve(1, 8);
+    kv.commit(1, 8);
+    kv.registerCommitted(1, prompt);
+    EXPECT_EQ(kv.indexedBlocks(), 2);
+
+    // Shared pages stay indexed while ANY holder is live: releasing the
+    // registrant does not strand the matcher that still references them.
+    kv.matchPrefix(2, prompt); // matches block 0
+    kv.release(1);
+    EXPECT_EQ(kv.indexedBlocks(), 1); // block 1's page freed, block 0 lives
+    std::vector<int64_t> longer = prompt;
+    longer.push_back(3);
+    EXPECT_EQ(kv.matchPrefix(3, longer), 4); // block 0 still matchable
+    kv.release(3);
+
+    // Last reference gone -> pages freed -> index fully emptied; a
+    // stale-index match is now impossible by construction.
+    kv.release(2);
+    EXPECT_EQ(kv.usedPages(), 0);
+    EXPECT_EQ(kv.indexedBlocks(), 0);
+    EXPECT_EQ(kv.matchPrefix(4, longer), 0);
+
+    // Re-prefill after eviction re-registers under the new pages and
+    // serves matches again — the index tracks content, not history.
+    kv.reserve(5, 8);
+    kv.commit(5, 8);
+    kv.registerCommitted(5, prompt);
+    EXPECT_EQ(kv.indexedBlocks(), 2);
+    EXPECT_EQ(kv.matchPrefix(6, longer), 8);
+    EXPECT_EQ(kv.usedPages(), 2);
+}
+
+TEST(KVCacheTest, RegisterCommittedCoversGeneratedTokensForReAdmission)
+{
+    // An evicted-and-requeued sequence re-prefills prompt + generated:
+    // registration is keyed on committed content, whatever its origin,
+    // so a requeued twin can reuse the survivor's pages.
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    std::vector<int64_t> prompt_plus_generated = {5, 3, 0, 9, 4, 4, 1};
+    kv.reserve(1, 7);
+    kv.commit(1, 7); // only block 0 is full (7 < 2*4)
+    kv.registerCommitted(1, prompt_plus_generated);
+    EXPECT_EQ(kv.indexedBlocks(), 1);
+    EXPECT_EQ(kv.matchPrefix(2, prompt_plus_generated), 4);
+    EXPECT_EQ(kv.committedTokens(2), 4);
+
+    // Growing the committed prefix to the next full block extends the
+    // registration chain incrementally.
+    std::vector<int64_t> grown = prompt_plus_generated;
+    grown.push_back(6);
+    kv.reserve(1, 8);
+    kv.commit(1, 8);
+    kv.registerCommitted(1, grown);
+    EXPECT_EQ(kv.indexedBlocks(), 2);
+    std::vector<int64_t> probe = grown;
+    probe.push_back(0);
+    EXPECT_EQ(kv.matchPrefix(3, probe), 8);
+}
+
 TEST(KVCacheTest, DestructorReturnsThePool)
 {
     Fixture fx;

@@ -238,37 +238,42 @@ TEST(DeductionTest, CallTIRAndLibraryUseExplicitAnnotation)
 
 TEST(DeductionTest, RaggedDecodeFlowKeepsSymbolicDims)
 {
-    // The page-pool contract at the annotation level: a persistent pool
-    // [p, h, c, d] plus a [b] length vector and a [b, w] block table
-    // flow through the in-place pool append and ragged attention with
-    // every symbolic dim preserved — no coarsening, the memory planner
-    // and graph bucketing depend on these exact expressions.
+    // The packed-varlen page-pool contract at the annotation level: a
+    // persistent pool [p, h, c, d] plus a [b] length vector, a [b+1]
+    // cumulative fresh-offset vector and a [b, w] block table flow
+    // through the in-place pool append and ragged attention with every
+    // symbolic dim preserved — no coarsening, the memory planner and
+    // graph bucketing depend on these exact expressions.
     auto module = IRModule::create();
     BlockBuilder builder(module);
     SymVar b = var("b");
+    SymVar n = var("n");
     SymVar p = var("p");
     SymVar c = var("c");
     SymVar w = var("w");
-    Var q = makeVar("q", tensorSInfo({b, intImm(2), intImm(1), intImm(4)},
-                                     DataType::f16()));
+    Var q = makeVar("q",
+                    tensorSInfo({intImm(1), intImm(2), n, intImm(4)},
+                                DataType::f16()));
     Var fresh = makeVar("fresh",
-                        tensorSInfo({b, intImm(2), intImm(1), intImm(4)},
+                        tensorSInfo({intImm(1), intImm(2), n, intImm(4)},
                                     DataType::f16()));
     Var pool = makeVar("pool",
                        tensorSInfo({p, intImm(2), c, intImm(4)},
                                    DataType::f16()));
     Var lens = makeVar("lens", tensorSInfo({b}, DataType::i64()));
+    Var cu = makeVar("cu", tensorSInfo({relax::add(b, intImm(1))},
+                                       DataType::i64()));
     Var table = makeVar("table", tensorSInfo({b, w}, DataType::i64()));
     builder.beginDataflowBlock();
     ir::Call append = callDPSLibrary(
-        "kv.append_ragged", {pool, fresh, lens, table},
+        "kv.append_ragged", {pool, fresh, lens, cu, table},
         tensorSInfo({p, intImm(2), c, intImm(4)}, DataType::f16()));
     append->attrs["inplace_arg"] = (int64_t)0;
     Var appended = builder.emit(append);
     expectSInfo(appended->structInfo(), "Tensor((p, 2, c, 4), \"f16\")");
     Var attn = builder.emit(
-        op::attentionRagged(q, appended, appended, lens, table, 0.5));
-    expectSInfo(attn->structInfo(), "Tensor((b, 2, 1, 4), \"f16\")");
+        op::attentionRagged(q, appended, appended, lens, cu, table, 0.5));
+    expectSInfo(attn->structInfo(), "Tensor((1, 2, n, 4), \"f16\")");
     builder.endBlock();
 }
 

@@ -203,11 +203,12 @@ TEST(VMTest, LibraryDispatchMatchesGeneratedKernels)
 TEST(VMTest, RaggedAttentionLibraryPricesPerSequence)
 {
     // The paged-pool FlashAttention sim is data-dependent: its cost sums
-    // over the true per-sequence lengths (the [b] host tensor carries
-    // data even in timing mode), never over the pool size — the reason
-    // one ragged call beats per-group calls and a huge resident pool
-    // costs nothing per step. Without length data it degrades to the
-    // worst case of the mapped table width.
+    // per-row fresh-token counts (from cu_fresh) times true per-sequence
+    // lengths (the [b] host tensor carries data even in timing mode),
+    // never the pool size — the reason one packed varlen call beats
+    // per-group calls and a huge resident pool costs nothing per step.
+    // Without host data it degrades to the worst case of the mapped
+    // table width.
     ensureLibrariesRegistered();
     const LibraryKernel* kernel =
         LibraryRegistry::global().find("flashattn.attention_ragged");
@@ -218,30 +219,66 @@ TEST(VMTest, RaggedAttentionLibraryPricesPerSequence)
 
     // Pool of 40 pages of 16 positions; each row maps w = 4 pages, so
     // keys range over m = 64 positions regardless of the pool size.
-    const int64_t b = 4, h = 2, d = 8, pages = 40, c = 16, w = 4;
-    auto cost_with_lens = [&](std::vector<double> lens) {
+    const int64_t h = 2, d = 8, pages = 40, c = 16, w = 4;
+    auto cost_with = [&](std::vector<double> lens, std::vector<double> cu,
+                         int64_t n) {
+        int64_t b = (int64_t)std::max<size_t>(lens.size(), 1);
+        int64_t cu_n = (int64_t)cu.size();
         std::vector<NDArray> args{
-            NDArray::metaOnly({b, h, 1, d}, DataType::f16()),
+            NDArray::metaOnly({1, h, n, d}, DataType::f16()),
             NDArray::metaOnly({pages, h, c, d}, DataType::f16()),
             NDArray::metaOnly({pages, h, c, d}, DataType::f16()),
             lens.empty()
-                ? NDArray::metaOnly({b}, DataType::i64())
+                ? NDArray::metaOnly({4}, DataType::i64())
                 : NDArray::fromVector({b}, DataType::i64(),
                                       std::move(lens)),
+            cu.empty() ? NDArray::metaOnly({5}, DataType::i64())
+                       : NDArray::fromVector({cu_n}, DataType::i64(),
+                                             std::move(cu)),
             NDArray::metaOnly({b, w}, DataType::i64()),
-            NDArray::metaOnly({b, h, 1, d}, DataType::f16())};
+            NDArray::metaOnly({1, h, n, d}, DataType::f16())};
         return kernel->cost(args, {}, spec);
     };
 
-    device::KernelCost shorter = cost_with_lens({3, 5, 7, 9});
-    device::KernelCost longer = cost_with_lens({30, 50, 60, 63});
-    device::KernelCost padded = cost_with_lens({}); // no data: worst case
+    // Pure decode: four rows of one fresh token each.
+    device::KernelCost shorter =
+        cost_with({3, 5, 7, 9}, {0, 1, 2, 3, 4}, 4);
+    device::KernelCost longer =
+        cost_with({30, 50, 60, 63}, {0, 1, 2, 3, 4}, 4);
+    device::KernelCost padded = cost_with({}, {}, 4); // no data
     EXPECT_LT(shorter.flops, longer.flops);
     EXPECT_LT(shorter.bytes, longer.bytes);
     EXPECT_LT(longer.flops, padded.flops);
-    // The padded fallback prices every row at the full cache length.
-    device::KernelCost full = cost_with_lens({64, 64, 64, 64});
+    // The no-data fallback prices every row at the full cache length.
+    device::KernelCost full =
+        cost_with({63, 63, 63, 63}, {0, 1, 2, 3, 4}, 4);
     EXPECT_DOUBLE_EQ(full.flops, padded.flops);
+
+    // Packed mixed prefill+decode pricing equals the sum of per-row
+    // costs: rows of fresh {4, 1, 3, 1} against lens {0, 10, 2, 5}.
+    std::vector<double> mix_lens{0, 10, 2, 5};
+    std::vector<double> mix_cu{0, 4, 5, 8, 9};
+    device::KernelCost packed = cost_with(mix_lens, mix_cu, 9);
+    double sum_flops = 0.0, sum_bytes = 0.0;
+    for (size_t r = 0; r < mix_lens.size(); ++r) {
+        double fresh = mix_cu[r + 1] - mix_cu[r];
+        device::KernelCost row = cost_with(
+            {mix_lens[r]}, {0, fresh}, (int64_t)fresh);
+        sum_flops += row.flops;
+        sum_bytes += row.bytes;
+    }
+    EXPECT_DOUBLE_EQ(packed.flops, sum_flops);
+    // Byte streams agree up to the cu_fresh metadata the per-row split
+    // duplicates: four {0, fresh} tensors hold 8 entries where the
+    // packed call's [b+1] holds 5 — three extra i64s.
+    EXPECT_DOUBLE_EQ(packed.bytes + 3 * 8.0, sum_bytes);
+
+    // Padded bucket bindings: zero-filled phantom rows (padForPricing's
+    // contract) must price nothing — the clamp max(cu[i+1]-cu[i], 0)
+    // ignores the zero tail.
+    device::KernelCost bucketed = cost_with(
+        {0, 10, 2, 5, 0, 0}, {0, 4, 5, 8, 9, 0, 0}, 9);
+    EXPECT_DOUBLE_EQ(bucketed.flops, packed.flops);
 }
 
 TEST(VMTest, DisassemblyIsReadable)
