@@ -31,14 +31,31 @@
  * warmup" line is the bucketed-capture regression guard:
  * scripts/check.sh parses it and the relayout line and fails the
  * tier-1 run on violation.
+ *
+ * Observability (DESIGN.md §7): the driver always writes a machine-
+ * readable result snapshot to BENCH_serve.json (override with
+ * --bench-json=PATH) — tok/s, TTFT and inter-token-latency percentiles
+ * from the engine's MetricsRegistry, replay hit-rate, peak pool pages.
+ * With --trace-out=PATH and/or --metrics-out=PATH it repeats the FCFS
+ * run with the TraceRecorder enabled and dumps the Chrome trace-event
+ * timeline / metrics snapshot; that run must (a) reproduce the untraced
+ * run's simulated outcome exactly (tracing observes the clock, never
+ * advances it), (b) emit a well-nested trace whose pure-decode step
+ * spans contain >= 95% replay-flagged graph regions. All JSON output is
+ * byte-deterministic for a fixed trace seed — scripts/check.sh diffs
+ * two runs to pin that.
  */
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common.h"
 #include "serve/engine.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -58,9 +75,67 @@ struct TraceResult
     double makespanUs = 0.0;
     double p50TtftUs = 0.0;
     double p99TtftUs = 0.0;
+    /** Inter-token-latency percentiles from the engine's registry. */
+    double p50ItlUs = 0.0;
+    double p99ItlUs = 0.0;
+    int64_t peakPages = 0;
     /** Decode replay hit-rate measured after the warmup steps. */
     double warmHitRate = 0.0;
+    // Instrumented runs only:
+    bool traceWellNested = true;
+    std::string nestError;
+    /** Fraction of graph regions inside pure-decode step spans that are
+     *  replay-flagged (-1 when not instrumented / no such region). */
+    double replayFlaggedFraction = -1.0;
 };
+
+/** Integer arg lookup on a recorded trace event. */
+int64_t
+eventArg(const TraceRecorder::Event& event, const char* key, int64_t def)
+{
+    for (const TraceArg& arg : event.args) {
+        if (arg.key == key) {
+            return arg.kind == TraceArg::Kind::kDouble ? (int64_t)arg.d
+                                                       : arg.i;
+        }
+    }
+    return def;
+}
+
+/**
+ * Joins VM graph-region spans against the engine's pure-decode step
+ * spans: of the graph regions contained in a step span with mixed == 0,
+ * what fraction executed as replay? Steady-state decode should be
+ * nearly all replays (the bucketed-capture win, gated >= 95% below).
+ */
+double
+replayFlaggedFraction(const TraceRecorder& trace)
+{
+    std::vector<std::pair<double, double>> decode_steps;
+    for (const TraceRecorder::Event& e : trace.events()) {
+        if (e.ph == 'X' && e.pid == trace_lanes::kEngine &&
+            e.tid == trace_lanes::kSteps &&
+            eventArg(e, "mixed", 1) == 0) {
+            decode_steps.emplace_back(e.ts, e.ts + e.dur);
+        }
+    }
+    int64_t regions = 0, flagged = 0;
+    for (const TraceRecorder::Event& e : trace.events()) {
+        if (e.ph != 'X' || e.pid != trace_lanes::kVm || e.cat != "graph")
+            continue;
+        bool inside = false;
+        for (const auto& step : decode_steps) {
+            if (e.ts >= step.first && e.ts + e.dur <= step.second) {
+                inside = true;
+                break;
+            }
+        }
+        if (!inside) continue;
+        ++regions;
+        if (eventArg(e, "replay", 0) == 1) ++flagged;
+    }
+    return regions > 0 ? (double)flagged / (double)regions : -1.0;
+}
 
 /**
  * A mixed trace: `num_requests` requests with prompt lengths cycling
@@ -131,13 +206,16 @@ engineOptionsFor(serve::SchedulePolicy policy)
 TraceResult
 runTrace(const frontend::LlamaConfig& config,
          const device::DeviceSpec& spec, serve::SchedulePolicy policy,
-         const std::vector<Arrival>& trace)
+         const std::vector<Arrival>& trace, bool instrument = false,
+         const std::string& trace_path = "",
+         const std::string& metrics_path = "")
 {
     serve::EngineOptions engine_options = engineOptionsFor(policy);
     auto engine = serve::Engine::build(config, compileOptionsFor(spec),
                                        /*data_mode=*/false,
                                        engine_options);
     device::SimDevice& dev = engine->machine().dev();
+    if (instrument) dev.trace().enable();
 
     // Drive arrivals against the virtual clock: add what has arrived,
     // step while work exists, idle forward to the next arrival otherwise.
@@ -185,6 +263,26 @@ runTrace(const frontend::LlamaConfig& config,
     }
     result.p50TtftUs = percentile(ttfts, 0.50);
     result.p99TtftUs = percentile(ttfts, 0.99);
+    // Inter-token latency comes from the always-on registry (same
+    // nearest-rank convention as percentile() above).
+    const Histogram& itl = engine->metrics().histogram("serve.itl_us");
+    result.p50ItlUs = itl.count() > 0 ? itl.percentile(0.50) : 0.0;
+    result.p99ItlUs = itl.count() > 0 ? itl.percentile(0.99) : 0.0;
+    result.peakPages = engine->kv().peakPages();
+
+    if (instrument) {
+        result.traceWellNested =
+            dev.trace().wellNested(&result.nestError);
+        result.replayFlaggedFraction = replayFlaggedFraction(dev.trace());
+        if (!trace_path.empty()) {
+            std::ofstream os(trace_path);
+            dev.trace().writeChromeTrace(os);
+        }
+        if (!metrics_path.empty()) {
+            std::ofstream os(metrics_path);
+            engine->metrics().snapshotJson(os);
+        }
+    }
     return result;
 }
 
@@ -235,12 +333,66 @@ runSharedPrefix(const frontend::LlamaConfig& config,
     return result;
 }
 
+/** Fixed "%.3f" float formatting (deterministic, locale-free). */
+std::string
+fmt3(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    return buf;
+}
+
+/** One policy's block of the BENCH_serve.json snapshot. */
+void
+writePolicyJson(std::ostream& os, const char* name,
+                const TraceResult& result)
+{
+    const serve::EngineStats& stats = result.stats;
+    os << "    \"" << name << "\": {\n"
+       << "      \"tokens_per_sec\": " << fmt3(stats.tokensPerSec())
+       << ",\n"
+       << "      \"ttft_p50_us\": " << fmt3(result.p50TtftUs) << ",\n"
+       << "      \"ttft_p99_us\": " << fmt3(result.p99TtftUs) << ",\n"
+       << "      \"itl_p50_us\": " << fmt3(result.p50ItlUs) << ",\n"
+       << "      \"itl_p99_us\": " << fmt3(result.p99ItlUs) << ",\n"
+       << "      \"replay_hit_rate\": " << fmt3(result.warmHitRate)
+       << ",\n"
+       << "      \"peak_pool_pages\": " << result.peakPages << ",\n"
+       << "      \"steps\": " << stats.steps << ",\n"
+       << "      \"evictions\": " << stats.evictions << "\n"
+       << "    }";
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace relax;
+    // --trace-out / --metrics-out trigger one extra instrumented FCFS
+    // run; --bench-json overrides the always-written result snapshot.
+    std::string trace_out, metrics_out, bench_json = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char* flag) -> std::string {
+            std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+            if (arg == flag && i + 1 < argc) return argv[++i];
+            return "";
+        };
+        if (std::string v = value("--trace-out"); !v.empty()) {
+            trace_out = v;
+        } else if (std::string v = value("--metrics-out"); !v.empty()) {
+            metrics_out = v;
+        } else if (std::string v = value("--bench-json"); !v.empty()) {
+            bench_json = v;
+        } else {
+            std::cerr << "unknown argument: " << arg
+                      << " (expected --trace-out=PATH, --metrics-out=PATH"
+                         " or --bench-json=PATH)\n";
+            return 2;
+        }
+    }
     frontend::LlamaConfig config = frontend::LlamaConfig::llama3_8b();
     device::DeviceSpec spec = device::rtx4090();
     const int num_requests = 24;
@@ -264,12 +416,13 @@ main()
                   trace_seed);
 
     TablePrinter table({"policy", "tok/s", "makespan s", "TTFT p50 ms",
-                        "TTFT p99 ms", "mean TTFT ms", "replay hit %",
-                        "steps", "decode calls", "evictions",
-                        "peak KV MB"});
+                        "TTFT p99 ms", "ITL p50 ms", "ITL p99 ms",
+                        "replay hit %", "steps", "decode calls",
+                        "evictions", "peak KV MB"});
     double min_hit_rate = 1.0;
     double fcfs_toks = 0.0;
     int64_t total_relayout = 0;
+    TraceResult fcfs_result, spf_result;
     for (serve::SchedulePolicy policy :
          {serve::SchedulePolicy::kFCFS,
           serve::SchedulePolicy::kShortestPromptFirst}) {
@@ -290,7 +443,12 @@ main()
             return 1;
         }
         bool fcfs = policy == serve::SchedulePolicy::kFCFS;
-        if (fcfs) fcfs_toks = stats.tokensPerSec();
+        if (fcfs) {
+            fcfs_toks = stats.tokensPerSec();
+            fcfs_result = result;
+        } else {
+            spf_result = result;
+        }
         min_hit_rate = std::min(min_hit_rate, result.warmHitRate);
         total_relayout += stats.relayoutBytes;
         table.addRow(
@@ -299,7 +457,8 @@ main()
              TablePrinter::fmt(result.makespanUs / 1e6, 2),
              TablePrinter::fmt(result.p50TtftUs / 1e3, 2),
              TablePrinter::fmt(result.p99TtftUs / 1e3, 2),
-             TablePrinter::fmt(stats.meanTtftUs() / 1e3, 2),
+             TablePrinter::fmt(result.p50ItlUs / 1e3, 2),
+             TablePrinter::fmt(result.p99ItlUs / 1e3, 2),
              TablePrinter::fmt(result.warmHitRate * 100.0, 1),
              std::to_string(stats.steps),
              std::to_string(stats.decodeBatches),
@@ -364,5 +523,58 @@ main()
     }
     std::cout << "decode replay hit-rate after warmup: "
               << TablePrinter::fmt(min_hit_rate * 100.0, 1) << "%\n";
+
+    if (!trace_out.empty() || !metrics_out.empty()) {
+        // Instrumented repeat of the FCFS run: same trace, recorder on.
+        TraceResult traced =
+            runTrace(config, spec, serve::SchedulePolicy::kFCFS, trace,
+                     /*instrument=*/true, trace_out, metrics_out);
+        // Zero-cost-when-disabled has a stronger sibling: enabling the
+        // recorder may not change the simulated outcome at all.
+        if (traced.stats.steps != fcfs_result.stats.steps ||
+            traced.stats.tokensGenerated !=
+                fcfs_result.stats.tokensGenerated ||
+            traced.stats.evictions != fcfs_result.stats.evictions ||
+            traced.stats.busyUs != fcfs_result.stats.busyUs) {
+            std::cerr << "FAIL: enabling tracing changed the simulated "
+                         "run (steps/tokens/evictions/busyUs differ)\n";
+            return 1;
+        }
+        if (!traced.traceWellNested) {
+            std::cerr << "FAIL: trace spans are not well nested: "
+                      << traced.nestError << "\n";
+            return 1;
+        }
+        std::cout << "traced decode-step graph regions replay-flagged: "
+                  << TablePrinter::fmt(
+                         traced.replayFlaggedFraction * 100.0, 1)
+                  << "%\n";
+        if (traced.replayFlaggedFraction < 0.95) {
+            std::cerr << "FAIL: < 95% of graph regions inside pure-decode "
+                         "step spans are replay-flagged\n";
+            return 1;
+        }
+        if (!trace_out.empty()) {
+            std::cout << "chrome trace written to " << trace_out << "\n";
+        }
+        if (!metrics_out.empty()) {
+            std::cout << "metrics snapshot written to " << metrics_out
+                      << "\n";
+        }
+    }
+
+    std::ofstream json(bench_json);
+    json << "{\n"
+         << "  \"bench\": \"serve_throughput\",\n"
+         << "  \"model\": \"" << config.name << "\",\n"
+         << "  \"device\": \"" << spec.name << "\",\n"
+         << "  \"requests\": " << num_requests << ",\n"
+         << "  \"trace_seed\": " << trace_seed << ",\n"
+         << "  \"policies\": {\n";
+    writePolicyJson(json, "fcfs", fcfs_result);
+    json << ",\n";
+    writePolicyJson(json, "shortest_prompt", spf_result);
+    json << "\n  }\n}\n";
+    std::cout << "bench snapshot written to " << bench_json << "\n";
     return 0;
 }

@@ -71,3 +71,37 @@ if ! awk -v rate="$hit_rate" -v min="$min_hit_rate" \
   exit 1
 fi
 echo "decode replay hit-rate gate passed (${hit_rate}% >= ${min_hit_rate}%)"
+
+# Observability gates (DESIGN.md §7). The instrumented bench run gates
+# inside the binary that >= 95% of graph regions inside pure-decode step
+# spans are replay-flagged and that enabling tracing does not perturb
+# the simulated run; here we pin the two exported artifacts themselves:
+#  1. determinism — two identical seeded runs must produce byte-identical
+#     trace and metrics JSON (fixed float formatting, insertion order);
+#  2. validity — every exported file parses as JSON.
+echo "== bench smoke: serve throughput (traced, determinism tripwire)"
+./bench_serve_throughput --trace-out=trace_a.json --metrics-out=metrics_a.json \
+  --bench-json=bench_a.json > /dev/null
+./bench_serve_throughput --trace-out=trace_b.json --metrics-out=metrics_b.json \
+  --bench-json=bench_b.json > /dev/null
+for pair in "trace_a.json trace_b.json" "metrics_a.json metrics_b.json" \
+            "bench_a.json bench_b.json"; do
+  # shellcheck disable=SC2086  # pair is two known filenames
+  if ! cmp -s $pair; then
+    echo "FAIL: identical seeded runs produced different JSON ($pair)" >&2
+    exit 1
+  fi
+done
+echo "determinism tripwire passed (trace/metrics/bench JSON byte-identical)"
+
+if command -v python3 > /dev/null; then
+  for f in trace_a.json metrics_a.json bench_a.json; do
+    if ! python3 -m json.tool "$f" > /dev/null; then
+      echo "FAIL: $f is not valid JSON" >&2
+      exit 1
+    fi
+  done
+  echo "exported JSON validated (trace, metrics, bench snapshot)"
+else
+  echo "python3 not found; skipping JSON schema validation"
+fi

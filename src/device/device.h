@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "support/error.h"
+#include "support/trace.h"
 
 namespace relax {
 namespace device {
@@ -78,9 +79,21 @@ class SimDevice
 
     const DeviceSpec& spec() const { return spec_; }
 
-    /** Advances the clock for one kernel launch; returns its latency. */
+    /**
+     * The device's trace recorder — the one clock domain of the whole
+     * stack (every subsystem stamps events with this device's clockUs).
+     * Disabled by default; enabling it never changes simulated timing.
+     */
+    TraceRecorder& trace() { return trace_; }
+    const TraceRecorder& trace() const { return trace_; }
+
+    /**
+     * Advances the clock for one kernel launch; returns its latency.
+     * `name` labels the launch span when tracing is enabled (callers
+     * that know the kernel symbol pass it; nullptr traces as "kernel").
+     */
     double
-    launchKernel(const KernelCost& cost)
+    launchKernel(const KernelCost& cost, const char* name = nullptr)
     {
         double compute_us =
             cost.flops /
@@ -91,8 +104,17 @@ class SimDevice
         double overhead_us = spec_.kernelLaunchUs;
         if (replaying_) overhead_us = spec_.graphReplayUs;
         double latency = std::max(compute_us, memory_us) + overhead_us;
+        double start = clockUs_;
         clockUs_ += latency;
         ++kernelLaunches_;
+        if (trace_.enabled()) {
+            trace_.span(trace_lanes::kDevice, trace_lanes::kKernels,
+                        name ? name : "kernel", "kernel", start, latency,
+                        {{"flops", cost.flops},
+                         {"bytes", cost.bytes},
+                         {"launch_us", overhead_us},
+                         {"replay", (int64_t)(replaying_ ? 1 : 0)}});
+        }
         return latency;
     }
 
@@ -110,6 +132,7 @@ class SimDevice
         allocatedBytes_ += bytes;
         totalAllocatedBytes_ += bytes;
         peakBytes_ = std::max(peakBytes_, allocatedBytes_);
+        if (trace_.enabled()) traceMemory("alloc", bytes);
         if (allocatedBytes_ > spec_.vramBytes) {
             RELAX_THROW(RuntimeError)
                 << spec_.name << ": out of device memory (" << allocatedBytes_
@@ -121,6 +144,7 @@ class SimDevice
     free(int64_t bytes)
     {
         allocatedBytes_ -= bytes;
+        if (trace_.enabled()) traceMemory("free", bytes);
     }
 
     // --- execution graph (CUDA Graph) state --------------------------------
@@ -170,6 +194,18 @@ class SimDevice
     }
 
   private:
+    /** Memory-lane instant + allocated-bytes counter sample (cold path:
+     *  only reached with tracing on). */
+    void
+    traceMemory(const char* what, int64_t bytes)
+    {
+        trace_.instant(trace_lanes::kDevice, trace_lanes::kMemory, what,
+                       "memory", clockUs_, {{"bytes", bytes}});
+        trace_.counter(trace_lanes::kDevice, trace_lanes::kMemory,
+                       "allocated_bytes", clockUs_,
+                       {{"bytes", allocatedBytes_}});
+    }
+
     DeviceSpec spec_;
     double clockUs_ = 0.0;
     int64_t allocatedBytes_ = 0;
@@ -181,6 +217,7 @@ class SimDevice
     bool capturing_ = false;
     bool replaying_ = false;
     std::set<std::string> capturedGraphs_;
+    TraceRecorder trace_;
 };
 
 /** Catalog of the devices used in the paper's evaluation (§5). */

@@ -89,6 +89,11 @@ Engine::Engine(vm::ExecutablePtr exec,
                       config_.kvBytesPerToken() * options_.kvBlockTokens);
     kv_ = std::make_unique<KVCacheManager>(config_, *machine_, budget,
                                            options_.kvBlockTokens);
+    // One observability spine: the KV manager mirrors its event tallies
+    // into the engine's registry, and the scheduler stamps lifecycle
+    // instants with the device clock + TraceRecorder.
+    kv_->setMetrics(&metrics_);
+    scheduler_.attachDevice(&machine_->dev());
 }
 
 std::unique_ptr<Engine>
@@ -136,6 +141,18 @@ Engine::addRequest(std::vector<int64_t> prompt, int64_t max_new_tokens,
     seq->stats.arrivalUs =
         arrival_us >= 0 ? arrival_us : machine_->dev().clockUs();
     RequestId id = seq->request.id;
+    metrics_.counter("serve.requests_submitted").add();
+    TraceRecorder& trace = machine_->dev().trace();
+    if (trace.enabled()) {
+        // The request's whole lifetime is one async span keyed by its id
+        // (async pairs may overlap, unlike 'X' spans), opened at the
+        // arrival stamp — possibly backdated by the caller's trace.
+        trace.asyncBegin(
+            trace_lanes::kEngine, trace_lanes::kRequests, "request",
+            "request", id, seq->stats.arrivalUs,
+            {{"prompt_tokens", (int64_t)seq->request.promptTokens.size()},
+             {"max_new_tokens", max_new_tokens}});
+    }
     scheduler_.enqueue(std::move(seq));
     return id;
 }
@@ -169,9 +186,29 @@ Engine::appendToken(const SequenceStatePtr& seq, int64_t token)
     seq->generated.push_back(token);
     ++seq->stats.generatedTokens;
     ++stats_.tokensGenerated;
+    double now = machine_->dev().clockUs();
     if (seq->stats.firstTokenUs < 0) {
-        seq->stats.firstTokenUs = machine_->dev().clockUs();
+        seq->stats.firstTokenUs = now;
+        // TTFT from the ORIGINAL arrival stamp: eviction + re-admission
+        // never rebase arrivalUs, so a request preempted before its
+        // first token contributes its full queue + retry wait here
+        // (engine.h metrics() contract; pinned by test_engine.cc).
+        metrics_.histogram("serve.ttft_us")
+            .record(now - seq->stats.arrivalUs);
+        TraceRecorder& trace = machine_->dev().trace();
+        if (trace.enabled()) {
+            trace.instant(trace_lanes::kEngine, trace_lanes::kRequests,
+                          "first_token", "lifecycle", now,
+                          {{"request", seq->request.id},
+                           {"ttft_us", now - seq->stats.arrivalUs}});
+        }
+    } else {
+        // Inter-token gap on the virtual clock; eviction stalls between
+        // two tokens land here as real tail latency.
+        metrics_.histogram("serve.itl_us")
+            .record(now - seq->stats.lastTokenUs);
     }
+    seq->stats.lastTokenUs = now;
     // Done by budget/stop token, or the cache hit the trained context
     // window and cannot grow another position.
     if (seq->done() || seq->ctxLen >= config_.maxContext) {
@@ -189,11 +226,29 @@ Engine::finishSequence(const SequenceStatePtr& seq)
     finished_.push_back(seq);
     ++stats_.requestsFinished;
     stats_.ttftSumUs += seq->stats.ttftUs();
+    metrics_.counter("serve.requests_finished").add();
+    TraceRecorder& trace = machine_->dev().trace();
+    if (trace.enabled()) {
+        trace.asyncEnd(trace_lanes::kEngine, trace_lanes::kRequests,
+                       "request", "request", seq->request.id,
+                       seq->stats.finishUs,
+                       {{"generated", (int64_t)seq->generated.size()},
+                        {"preemptions", seq->stats.preemptions}});
+    }
 }
 
 void
 Engine::evict(const SequenceStatePtr& victim)
 {
+    metrics_.counter("serve.evictions").add();
+    TraceRecorder& trace = machine_->dev().trace();
+    if (trace.enabled()) {
+        trace.instant(trace_lanes::kEngine, trace_lanes::kRequests,
+                      "evict", "lifecycle", machine_->dev().clockUs(),
+                      {{"request", victim->request.id},
+                       {"ctx_len", victim->ctxLen},
+                       {"generated", (int64_t)victim->generated.size()}});
+    }
     victim->ctxLen = 0;
     kv_->release(victim->request.id);
     running_.erase(std::find(running_.begin(), running_.end(), victim));
@@ -326,11 +381,20 @@ Engine::step()
             machine_->lastRunStats().graphReplays;
     }
 
+    TraceRecorder& trace = machine_->dev().trace();
+    double clock_after = machine_->dev().clockUs();
     int64_t packed_end = 0;
     for (size_t row = 0; row < batch.size(); ++row) {
         const SequenceStatePtr& seq = batch[row];
         int64_t fresh = (int64_t)tokens[row].size();
         packed_end += fresh; // == cu[row + 1]
+        if (trace.enabled()) {
+            trace.instant(trace_lanes::kEngine, trace_lanes::kRequests,
+                          is_prefill[row] ? "prefill" : "decode", "phase",
+                          clock_after,
+                          {{"request", seq->request.id},
+                           {"tokens", fresh}});
+        }
         if (is_prefill[row]) {
             seq->ctxLen = seq->prefillLength();
             kv_->commit(seq->request.id, seq->ctxLen);
@@ -349,6 +413,33 @@ Engine::step()
     ++stats_.steps;
     stats_.busyUs += machine_->dev().clockUs() - clock_before;
     stats_.peakKvBytes = std::max(stats_.peakKvBytes, kv_->peakBytes());
+
+    // Per-step registry sampling (always on: the counters feed the fuzz
+    // oracle's cross-checks, the gauges the BENCH_serve.json snapshot).
+    metrics_.counter("serve.steps").add();
+    metrics_.counter("serve.decode_calls").add();
+    metrics_.gauge("kv.used_pages").sample((double)kv_->usedPages());
+    metrics_.gauge("kv.free_pages").sample((double)kv_->freePages());
+    metrics_.gauge("kv.occupancy")
+        .sample(kv_->totalPages() > 0 ? (double)kv_->usedPages() /
+                                            (double)kv_->totalPages()
+                                      : 0.0);
+    metrics_.gauge("serve.running").sample((double)running_.size());
+    metrics_.gauge("serve.decode_replay_hit_rate")
+        .sample(stats_.decodeReplayHitRate());
+
+    if (trace.enabled()) {
+        trace.span(trace_lanes::kEngine, trace_lanes::kSteps, "step",
+                   "step", clock_before, clock_after - clock_before,
+                   {{"step", stats_.steps - 1},
+                    {"rows", (int64_t)batch.size()},
+                    {"fresh_tokens", packed_end},
+                    {"mixed", (int64_t)(any_prefill ? 1 : 0)}});
+        trace.counter(trace_lanes::kEngine, trace_lanes::kKvPool,
+                      "kv_pages", clock_after,
+                      {{"used", kv_->usedPages()},
+                       {"free", kv_->freePages()}});
+    }
     return true;
 }
 

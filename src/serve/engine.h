@@ -51,6 +51,7 @@
 #include "serve/request.h"
 #include "serve/sampler.h"
 #include "serve/scheduler.h"
+#include "support/metrics.h"
 #include "vm/vm.h"
 
 namespace relax {
@@ -198,6 +199,28 @@ class Engine
     std::vector<FinishedRequest> collect();
 
     const EngineStats& stats() const { return stats_; }
+
+    /**
+     * The engine's metrics registry (always on; EngineStats keeps the
+     * cheap aggregate view, the registry carries what aggregates cannot:
+     * full TTFT and inter-token latency distributions plus per-step KV
+     * pool gauges — see docs/DESIGN.md §7).
+     *
+     *  - serve.ttft_us / serve.itl_us histograms: recorded at token
+     *    emission on the virtual clock. TTFT is measured from the
+     *    request's ORIGINAL arrivalUs — a request evicted before its
+     *    first token and re-admitted contributes its full queue+retry
+     *    wait, never a rebased re-admission stamp; ITL gaps likewise
+     *    include eviction stalls (real tail latency, vLLM semantics).
+     *  - kv.used_pages / kv.free_pages / kv.occupancy gauges sampled
+     *    once per step; serve.decode_replay_hit_rate likewise.
+     *  - serve.* / kv.* counters mirror the event tallies (steps,
+     *    tokens, evictions, COW copies, prefix hits, ...) — the fuzz
+     *    oracle cross-checks them against the internal fields.
+     */
+    const MetricsRegistry& metrics() const { return metrics_; }
+    MetricsRegistry& metrics() { return metrics_; }
+
     KVCacheManager& kv() { return *kv_; }
     vm::VirtualMachine& machine() { return *machine_; }
     const frontend::LlamaConfig& config() const { return config_; }
@@ -237,6 +260,7 @@ class Engine
     std::vector<SequenceStatePtr> running_;
     std::vector<SequenceStatePtr> finished_;
     EngineStats stats_;
+    MetricsRegistry metrics_;
     RequestId nextId_ = 0;
     int64_t nextAdmitSeq_ = 0;
 };

@@ -87,8 +87,9 @@ KVCacheManager::copyPage(int64_t src, int64_t dst)
     cost.bytes = 2.0 * (double)bytesPerBlock_;
     cost.flops = 0.0;
     cost.efficiency = machine_.dev().spec().genElemwiseEfficiency;
-    machine_.dev().launchKernel(cost);
+    machine_.dev().launchKernel(cost, "kv.cow_copy_page");
     ++cowCopies_;
+    if (metrics_) metrics_->counter("kv.cow_copies").add();
     if (!machine_.dataMode()) return;
     for (NDArray& pool : pools_) {
         int64_t row = pool.numel() / std::max<int64_t>(totalBlocks_, 1);
@@ -174,6 +175,14 @@ KVCacheManager::reserveWrite(RequestId seq, int64_t tokens,
         copyPage(page, fresh);
         --refCounts_[page];
         state.pages[idx] = fresh;
+        TraceRecorder& trace = machine_.dev().trace();
+        if (trace.enabled()) {
+            trace.instant(trace_lanes::kEngine, trace_lanes::kKvPool,
+                          "cow_copy", "kv", machine_.dev().clockUs(),
+                          {{"request", seq},
+                           {"src_page", page},
+                           {"dst_page", fresh}});
+        }
     }
 }
 
@@ -332,6 +341,18 @@ KVCacheManager::matchPrefix(RequestId child,
     ++forks_;
     ++prefixHits_;
     prefixTokensMatched_ += state.tokens;
+    if (metrics_) {
+        metrics_->counter("kv.prefix_hits").add();
+        metrics_->counter("kv.prefix_tokens_matched").add(state.tokens);
+    }
+    TraceRecorder& trace = machine_.dev().trace();
+    if (trace.enabled()) {
+        trace.instant(trace_lanes::kEngine, trace_lanes::kKvPool,
+                      "prefix_hit", "kv", machine_.dev().clockUs(),
+                      {{"request", child},
+                       {"tokens", state.tokens},
+                       {"pages", (int64_t)state.pages.size()}});
+    }
     return state.tokens;
 }
 

@@ -42,6 +42,7 @@
 
 #include "frontend/llama.h"
 #include "serve/request.h"
+#include "support/metrics.h"
 #include "vm/vm.h"
 
 namespace relax {
@@ -234,6 +235,19 @@ class KVCacheManager
     /** Live hash→page index entries (test introspection). */
     int64_t indexedBlocks() const { return (int64_t)pageHash_.size(); }
 
+    // --- observability ------------------------------------------------------
+
+    /**
+     * Attaches the owning engine's MetricsRegistry: the manager then
+     * mirrors its sharing tallies into the `kv.*` counters (cow_copies,
+     * prefix_hits, prefix_tokens_matched) at the event sites, so a
+     * registry snapshot carries them without polling. Null detaches;
+     * the manager never owns the registry. COW-copy and prefix-hit
+     * trace instants ride the device's TraceRecorder independently of
+     * this (keyed by request id, engine kv-pool lane).
+     */
+    void setMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   private:
     struct Sequence
     {
@@ -267,6 +281,7 @@ class KVCacheManager
     void unregisterPage(int64_t page);
 
     vm::VirtualMachine& machine_;
+    MetricsRegistry* metrics_ = nullptr; //!< engine-owned, optional
     int64_t blockTokens_;
     int64_t bytesPerBlock_;
     int64_t budgetBytes_;

@@ -41,6 +41,12 @@ struct RequestStats
 {
     double arrivalUs = 0.0;     //!< clock when addRequest() ran
     double firstTokenUs = -1.0; //!< clock when the first token was emitted
+    /** Clock when the most recent token was emitted — the base the
+     *  engine's inter-token-latency histogram measures each gap from.
+     *  Evictions do NOT reset it (nor arrivalUs): the stall a preempted
+     *  request suffers is real tail latency and must land in the
+     *  distribution, measured from the original timeline. */
+    double lastTokenUs = -1.0;
     double finishUs = -1.0;     //!< clock when the request completed
     int64_t prefillTokens = 0;  //!< total tokens prefilled (re-prefills count)
     int64_t generatedTokens = 0;

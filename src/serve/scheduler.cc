@@ -21,7 +21,15 @@ void
 Scheduler::enqueue(SequenceStatePtr seq)
 {
     seq->phase = RequestPhase::kWaiting;
+    RequestId id = seq->request.id;
     waiting_.push_back(std::move(seq));
+    if (dev_ && dev_->trace().enabled()) {
+        dev_->trace().instant(trace_lanes::kEngine,
+                              trace_lanes::kRequests, "enqueue",
+                              "lifecycle", dev_->clockUs(),
+                              {{"request", id},
+                               {"queue_depth", (int64_t)waiting_.size()}});
+    }
 }
 
 std::vector<SequenceStatePtr>
@@ -73,6 +81,15 @@ Scheduler::admit(KVCacheManager& kv, int64_t runningCount)
         seq->phase = RequestPhase::kRunning;
         admitted.push_back(seq);
         waiting_.erase(std::find(waiting_.begin(), waiting_.end(), seq));
+        if (dev_ && dev_->trace().enabled()) {
+            dev_->trace().instant(
+                trace_lanes::kEngine, trace_lanes::kRequests, "admit",
+                "lifecycle", dev_->clockUs(),
+                {{"request", seq->request.id},
+                 {"prefill_tokens", fresh},
+                 {"prefix_matched", tokens - fresh},
+                 {"queue_depth", (int64_t)waiting_.size()}});
+        }
     }
     return admitted;
 }

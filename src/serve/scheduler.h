@@ -39,6 +39,16 @@ class Scheduler
   public:
     explicit Scheduler(SchedulerOptions options = {});
 
+    /**
+     * Attaches the simulated device whose clock and TraceRecorder the
+     * scheduler stamps its lifecycle events with (enqueue instants with
+     * queue depth, per-request admission instants with the prefix-match
+     * size). Null (the default) disables emission; the engine attaches
+     * its device at construction. Purely observational — admission
+     * decisions never depend on it.
+     */
+    void attachDevice(device::SimDevice* dev) { dev_ = dev; }
+
     /** Adds a sequence to the waiting queue (arrival order preserved). */
     void enqueue(SequenceStatePtr seq);
 
@@ -68,6 +78,7 @@ class Scheduler
   private:
     std::deque<SequenceStatePtr> waiting_;
     SchedulerOptions options_;
+    device::SimDevice* dev_ = nullptr; //!< clock + trace lane (optional)
 };
 
 } // namespace serve

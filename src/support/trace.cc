@@ -1,0 +1,283 @@
+/**
+ * @file
+ * TraceRecorder implementation: event recording, the per-lane span
+ * nesting check, and the deterministic Chrome trace-event JSON writer
+ * (see trace.h for the lane map and the export contract).
+ */
+#include "support/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+namespace relax {
+
+void
+TraceRecorder::span(int pid, int tid, std::string name, std::string cat,
+                    double ts, double dur, std::vector<TraceArg> args)
+{
+    if (!enabled_) return;
+    Event event;
+    event.ph = 'X';
+    event.pid = pid;
+    event.tid = tid;
+    event.ts = ts;
+    event.dur = dur;
+    event.name = std::move(name);
+    event.cat = std::move(cat);
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::instant(int pid, int tid, std::string name, std::string cat,
+                       double ts, std::vector<TraceArg> args)
+{
+    if (!enabled_) return;
+    Event event;
+    event.ph = 'i';
+    event.pid = pid;
+    event.tid = tid;
+    event.ts = ts;
+    event.name = std::move(name);
+    event.cat = std::move(cat);
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::asyncBegin(int pid, int tid, std::string name,
+                          std::string cat, int64_t id, double ts,
+                          std::vector<TraceArg> args)
+{
+    if (!enabled_) return;
+    Event event;
+    event.ph = 'b';
+    event.pid = pid;
+    event.tid = tid;
+    event.ts = ts;
+    event.id = id;
+    event.name = std::move(name);
+    event.cat = std::move(cat);
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::asyncEnd(int pid, int tid, std::string name, std::string cat,
+                        int64_t id, double ts, std::vector<TraceArg> args)
+{
+    if (!enabled_) return;
+    Event event;
+    event.ph = 'e';
+    event.pid = pid;
+    event.tid = tid;
+    event.ts = ts;
+    event.id = id;
+    event.name = std::move(name);
+    event.cat = std::move(cat);
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::counter(int pid, int tid, std::string name, double ts,
+                       std::vector<TraceArg> args)
+{
+    if (!enabled_) return;
+    Event event;
+    event.ph = 'C';
+    event.pid = pid;
+    event.tid = tid;
+    event.ts = ts;
+    event.name = std::move(name);
+    event.cat = "counter";
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+bool
+TraceRecorder::wellNested(std::string* error) const
+{
+    // Per lane, walk the 'X' spans in start order with an interval
+    // stack: each span must begin after every already-open span it does
+    // not fit inside has closed. A small epsilon absorbs floating-point
+    // noise in clock arithmetic (children whose end lands ~1 ulp past
+    // the parent's).
+    constexpr double kEps = 1e-6;
+    std::map<std::pair<int, int>, std::vector<const Event*>> lanes;
+    for (const Event& event : events_) {
+        if (event.ph == 'X') {
+            lanes[{event.pid, event.tid}].push_back(&event);
+        }
+    }
+    for (auto& [lane, spans] : lanes) {
+        std::stable_sort(spans.begin(), spans.end(),
+                         [](const Event* a, const Event* b) {
+                             if (a->ts != b->ts) return a->ts < b->ts;
+                             // Equal starts: the longer span is the parent.
+                             return a->dur > b->dur;
+                         });
+        std::vector<const Event*> open;
+        for (const Event* span : spans) {
+            while (!open.empty() &&
+                   span->ts >= open.back()->ts + open.back()->dur - kEps) {
+                open.pop_back();
+            }
+            if (!open.empty()) {
+                const Event* parent = open.back();
+                if (span->ts + span->dur >
+                    parent->ts + parent->dur + kEps) {
+                    if (error) {
+                        char buf[256];
+                        std::snprintf(
+                            buf, sizeof(buf),
+                            "lane (%d,%d): span '%s' [%.3f, %.3f) "
+                            "overlaps '%s' [%.3f, %.3f) without nesting",
+                            lane.first, lane.second, span->name.c_str(),
+                            span->ts, span->ts + span->dur,
+                            parent->name.c_str(), parent->ts,
+                            parent->ts + parent->dur);
+                        *error = buf;
+                    }
+                    return false;
+                }
+            }
+            open.push_back(span);
+        }
+    }
+    return true;
+}
+
+namespace {
+
+/** Minimal JSON string escaping (names/categories are ASCII). */
+void
+writeJsonString(std::ostream& os, const std::string& value)
+{
+    os << '"';
+    for (char c : value) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Fixed-precision float formatting: the determinism contract requires
+ *  byte-identical output for identical virtual-clock values. */
+void
+writeJsonDouble(std::ostream& os, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    os << buf;
+}
+
+void
+writeArgs(std::ostream& os, const std::vector<TraceArg>& args)
+{
+    os << "{";
+    bool first = true;
+    for (const TraceArg& arg : args) {
+        if (!first) os << ",";
+        first = false;
+        writeJsonString(os, arg.key);
+        os << ":";
+        switch (arg.kind) {
+          case TraceArg::Kind::kInt: os << arg.i; break;
+          case TraceArg::Kind::kDouble: writeJsonDouble(os, arg.d); break;
+          case TraceArg::Kind::kString: writeJsonString(os, arg.s); break;
+        }
+    }
+    os << "}";
+}
+
+void
+writeMetadata(std::ostream& os, int pid, int tid, const char* record,
+              const char* label, bool thread)
+{
+    os << "{\"ph\":\"M\",\"pid\":" << pid;
+    if (thread) os << ",\"tid\":" << tid;
+    os << ",\"name\":\"" << record << "\",\"args\":{\"name\":\"" << label
+       << "\"}}";
+}
+
+} // namespace
+
+void
+TraceRecorder::writeChromeTrace(std::ostream& os) const
+{
+    using namespace trace_lanes;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    // Lane map metadata: pid = subsystem, tid = track within it. The
+    // sort_index args keep Perfetto's lane order matching the stack
+    // (device above vm above engine).
+    struct Lane { int pid; int tid; const char* label; };
+    const Lane processes[] = {{kDevice, 0, "device"},
+                              {kVm, 0, "vm"},
+                              {kEngine, 0, "engine"}};
+    const Lane threads[] = {{kDevice, kKernels, "kernels"},
+                            {kDevice, kMemory, "memory"},
+                            {kVm, kFrames, "frames"},
+                            {kEngine, kSteps, "steps"},
+                            {kEngine, kRequests, "requests"},
+                            {kEngine, kKvPool, "kv-pool"}};
+    bool first = true;
+    auto separator = [&]() {
+        if (!first) os << ",\n";
+        first = false;
+    };
+    for (const Lane& lane : processes) {
+        separator();
+        writeMetadata(os, lane.pid, lane.tid, "process_name", lane.label,
+                      /*thread=*/false);
+    }
+    for (const Lane& lane : threads) {
+        separator();
+        writeMetadata(os, lane.pid, lane.tid, "thread_name", lane.label,
+                      /*thread=*/true);
+    }
+    for (const Event& event : events_) {
+        separator();
+        os << "{\"ph\":\"" << event.ph << "\",\"pid\":" << event.pid
+           << ",\"tid\":" << event.tid << ",\"ts\":";
+        writeJsonDouble(os, event.ts);
+        if (event.ph == 'X') {
+            os << ",\"dur\":";
+            writeJsonDouble(os, event.dur);
+        }
+        if (event.ph == 'b' || event.ph == 'e') {
+            os << ",\"id\":\"" << event.id << "\"";
+        }
+        if (event.ph == 'i') {
+            os << ",\"s\":\"t\""; // thread-scoped instant
+        }
+        os << ",\"name\":";
+        writeJsonString(os, event.name);
+        if (!event.cat.empty()) {
+            os << ",\"cat\":";
+            writeJsonString(os, event.cat);
+        }
+        if (!event.args.empty()) {
+            os << ",\"args\":";
+            writeArgs(os, event.args);
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace relax

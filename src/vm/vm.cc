@@ -226,6 +226,15 @@ VirtualMachine::invoke(const std::string& name,
     frame.regs.resize(func.numRegs);
     for (size_t i = 0; i < args.size(); ++i) frame.regs[i] = args[i];
 
+    // Trace state for the currently-open execution-graph region (regions
+    // never nest): its span is emitted at kGraphEnd, inside this call's
+    // frame span in the vm lane.
+    TraceRecorder& trace = device_->trace();
+    double graph_start_ts = 0.0;
+    bool graph_replay = false;
+    std::string graph_signature;
+    int64_t open_graph_id = -1;
+
     Value result;
     for (const Instr& instr : func.instrs) {
         switch (instr.op) {
@@ -267,12 +276,31 @@ VirtualMachine::invoke(const std::string& name,
             for (const auto& [name, value] : dims) {
                 signature << name << "=" << value << ",";
             }
-            device_->beginGraph(instr.graphId, signature.str());
+            graph_start_ts = device_->clockUs();
+            graph_replay =
+                device_->beginGraph(instr.graphId, signature.str());
+            graph_signature = signature.str();
+            open_graph_id = instr.graphId;
             break;
           }
           case Instr::Op::kGraphEnd:
             device_->endGraph();
             frame.paddedSymbols.clear();
+            if (trace.enabled()) {
+                // Capture vs replay is THE flag downstream tools read:
+                // the Fig. 17 launch-overhead story is visible as
+                // replay-flagged regions whose kernels carry the
+                // graphReplayUs overhead instead of kernelLaunchUs.
+                trace.span(trace_lanes::kVm, trace_lanes::kFrames,
+                           graph_replay ? "graph(replay)"
+                                        : "graph(capture)",
+                           "graph", graph_start_ts,
+                           device_->clockUs() - graph_start_ts,
+                           {{"graph_id", open_graph_id},
+                            {"signature", graph_signature},
+                            {"replay", (int64_t)(graph_replay ? 1 : 0)}});
+            }
+            open_graph_id = -1;
             break;
           case Instr::Op::kLoadConst:
             frame.regs[instr.dst] = instr.constant;
@@ -315,6 +343,13 @@ VirtualMachine::invoke(const std::string& name,
     graphStats_.begins += lastStats_.graphBegins;
     graphStats_.captures += lastStats_.graphCaptures;
     graphStats_.replays += lastStats_.graphReplays;
+    if (trace.enabled()) {
+        trace.span(trace_lanes::kVm, trace_lanes::kFrames, name, "frame",
+                   start_clock, lastStats_.latencyUs,
+                   {{"kernels", lastStats_.kernelLaunches},
+                    {"graph_begins", lastStats_.graphBegins},
+                    {"graph_replays", lastStats_.graphReplays}});
+    }
     return result;
 }
 
@@ -444,10 +479,12 @@ Executor::execKernelCall(const Instr& instr, Frame& frame)
                 }
             }
             device_->launchKernel(
-                kernel->cost(priced, instr.attrs, device_->spec()));
+                kernel->cost(priced, instr.attrs, device_->spec()),
+                instr.callee.c_str());
         } else {
             device_->launchKernel(
-                kernel->cost(args, instr.attrs, device_->spec()));
+                kernel->cost(args, instr.attrs, device_->spec()),
+                instr.callee.c_str());
         }
         if (dataMode_) {
             RELAX_ICHECK(kernel->compute)
@@ -486,7 +523,8 @@ Executor::execKernelCall(const Instr& instr, Frame& frame)
     kernel_cost.bytes = (double)evalInt(cost.bytes, *priced);
     kernel_cost.efficiency = generatedKernelEfficiency(
         cost, func, *priced, device_->spec());
-    double latency = device_->launchKernel(kernel_cost);
+    double latency =
+        device_->launchKernel(kernel_cost, instr.callee.c_str());
     if (getenv("RELAX_DEBUG_KERNELS") && latency > 1000.0) {
         fprintf(stderr, "SLOW %s: %.2f ms flops=%.3g bytes=%.3g eff=%.2f\n",
                 instr.callee.c_str(), latency / 1e3, kernel_cost.flops,
@@ -508,7 +546,8 @@ Executor::execPackedCall(const Instr& instr, Frame& frame)
     for (RegIndex reg : instr.args) {
         args.push_back(asTensorValue(frame.regs[reg], "packed_call"));
     }
-    device_->launchKernel(kernel->cost(args, instr.attrs, device_->spec()));
+    device_->launchKernel(kernel->cost(args, instr.attrs, device_->spec()),
+                          instr.callee.c_str());
     if (dataMode_) {
         RELAX_ICHECK(kernel->compute) << instr.callee << " not computable";
         kernel->compute(args, instr.attrs);

@@ -329,6 +329,57 @@ TEST(EngineTest, EvictionAndReadmissionPreserveTokens)
     EXPECT_GE(preempted, 1);
 }
 
+TEST(EngineTest, TtftHistogramMeasuresFromOriginalArrivalAcrossEviction)
+{
+    // The blind-spot regression: a request admitted and then evicted
+    // BEFORE its first token (the engine evicts the most recently
+    // admitted victim, which can be a row admitted earlier in the same
+    // step) must contribute a TTFT measured from its ORIGINAL arrival
+    // stamp — covering the whole eviction + re-admission wait — to the
+    // serve.ttft_us histogram. Rebasing arrivalUs at re-admission would
+    // shrink it to one step and fail the assertions below.
+    LlamaConfig config = LlamaConfig::tiny();
+    EngineOptions options;
+    options.kvBlockTokens = 4;
+    // 3 blocks. A's prompt takes 2 and its growth needs all 3, so when
+    // B (1 block) admits, A's next decode position evicts it again.
+    options.kvBudgetBytes = 64 * 4 * 3;
+    auto engine = Engine::build(config, hostOptions(), /*data_mode=*/true,
+                                options);
+
+    std::vector<int64_t> prompt_a(8, 1);
+    engine->addRequest(prompt_a, /*max_new_tokens=*/4);
+    ASSERT_TRUE(engine->step()); // A prefills; its first token is out
+    engine->addRequest({2, 7, 1, 8}, /*max_new_tokens=*/2);
+    ASSERT_TRUE(engine->step()); // B admits, then A's growth evicts it
+    const EngineStats& stats = engine->run();
+
+    EXPECT_GE(stats.evictions, 1);
+    auto results = engine->collect();
+    ASSERT_EQ(results.size(), 2u);
+    const RequestStats& a = results[0].stats;
+    const RequestStats& b = results[1].stats;
+    EXPECT_EQ(b.preemptions, 1);
+    // Evicted before ever prefilling: B's one and only prefill happens
+    // after re-admission (a post-first-token eviction would re-prefill
+    // and double this).
+    EXPECT_EQ(b.prefillTokens, 4);
+    // B's first token comes after A's whole run...
+    EXPECT_GE(b.firstTokenUs, a.finishUs);
+    // ...and its TTFT spans the full wait from the original arrival.
+    EXPECT_GE(b.ttftUs(), a.finishUs - b.arrivalUs);
+
+    const Histogram& ttft = engine->metrics().histogram("serve.ttft_us");
+    EXPECT_EQ(ttft.count(), stats.requestsFinished);
+    EXPECT_DOUBLE_EQ(ttft.max(), std::max(a.ttftUs(), b.ttftUs()));
+    EXPECT_DOUBLE_EQ(ttft.max(), b.ttftUs()); // B waited longest
+    // One inter-token gap per token after the first, eviction or not.
+    const Histogram& itl = engine->metrics().histogram("serve.itl_us");
+    EXPECT_EQ(itl.count(),
+              stats.tokensGenerated - stats.requestsFinished);
+    EXPECT_GT(itl.count(), 0);
+}
+
 TEST(EngineTest, DuplicateOfReleasedPrefixPrefillsInFull)
 {
     // Sharing is best-effort: when the request holding a prefix has

@@ -278,6 +278,11 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
         for (bool with_replay : {true, false}) {
             auto dev = std::make_shared<device::SimDevice>(
                 hostSpec(with_replay));
+            // Tracing on for every seed: the token oracle below then
+            // also pins the observation-only invariant (recording may
+            // not change any token), and each trace must be well
+            // nested.
+            dev->trace().enable();
             Engine engine(with_replay ? exec_on : exec_off, dev,
                           /*data_mode=*/true, config, weights,
                           engine_options);
@@ -345,6 +350,45 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
                 << "seed=" << seed;
             ragged_steps += engine.stats().steps;
             ragged_decode_calls += engine.stats().decodeBatches;
+
+            // Metrics cross-checks against ground truth: the registry
+            // is updated at the event sites, the fields it mirrors are
+            // maintained independently — any drift between the two is a
+            // lost or double-counted event.
+            MetricsRegistry& metrics = engine.metrics();
+            EXPECT_EQ(metrics.histogram("serve.ttft_us").count(),
+                      engine.stats().requestsFinished)
+                << "seed=" << seed << " replay=" << with_replay;
+            EXPECT_EQ(metrics.histogram("serve.itl_us").count(),
+                      engine.stats().tokensGenerated -
+                          engine.stats().requestsFinished)
+                << "seed=" << seed << " replay=" << with_replay;
+            EXPECT_EQ(metrics.counter("serve.evictions").value(),
+                      engine.stats().evictions)
+                << "seed=" << seed;
+            EXPECT_EQ(metrics.counter("serve.requests_finished").value(),
+                      engine.stats().requestsFinished)
+                << "seed=" << seed;
+            EXPECT_EQ(metrics.counter("serve.steps").value(),
+                      engine.stats().steps)
+                << "seed=" << seed;
+            EXPECT_EQ(metrics.counter("kv.cow_copies").value(),
+                      engine.kv().cowCopies())
+                << "seed=" << seed;
+            EXPECT_EQ(metrics.counter("kv.prefix_hits").value(),
+                      engine.kv().prefixHits())
+                << "seed=" << seed;
+            EXPECT_EQ(metrics.counter("kv.prefix_tokens_matched").value(),
+                      engine.kv().prefixTokensMatched())
+                << "seed=" << seed;
+
+            // Structural trace invariant: per-lane 'X' spans nest.
+            std::string nest_error;
+            EXPECT_TRUE(dev->trace().wellNested(&nest_error))
+                << "seed=" << seed << " replay=" << with_replay << ": "
+                << nest_error;
+            EXPECT_FALSE(dev->trace().events().empty())
+                << "seed=" << seed;
         }
     }
     // The fuzz must actually exercise the interesting machinery: some

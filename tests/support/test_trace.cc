@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the TraceRecorder: the zero-cost-when-disabled invariant,
+ * event recording, the well-nestedness structural check, Chrome
+ * trace-event JSON export, and byte-determinism of the serialization.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/trace.h"
+
+namespace relax {
+namespace {
+
+TEST(TraceTest, DisabledRecorderRecordsNothing)
+{
+    TraceRecorder trace;
+    EXPECT_FALSE(trace.enabled());
+    trace.span(0, 0, "k", "kernel", 0.0, 5.0);
+    trace.instant(0, 0, "i", "event", 1.0);
+    trace.asyncBegin(0, 0, "r", "request", 7, 0.0);
+    trace.asyncEnd(0, 0, "r", "request", 7, 9.0);
+    trace.counter(0, 0, "c", 2.0, {{"v", (int64_t)1}});
+    EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceTest, RecordsEventsWithArgsInInsertionOrder)
+{
+    TraceRecorder trace;
+    trace.enable();
+    trace.span(trace_lanes::kDevice, trace_lanes::kKernels, "matmul",
+               "kernel", 10.0, 4.0,
+               {{"flops", (int64_t)128}, {"replay", (int64_t)1}});
+    trace.instant(trace_lanes::kEngine, trace_lanes::kRequests, "admit",
+                  "lifecycle", 11.0, {{"request", (int64_t)3}});
+    ASSERT_EQ(trace.events().size(), 2u);
+    const TraceRecorder::Event& span = trace.events()[0];
+    EXPECT_EQ(span.ph, 'X');
+    EXPECT_EQ(span.name, "matmul");
+    EXPECT_DOUBLE_EQ(span.ts, 10.0);
+    EXPECT_DOUBLE_EQ(span.dur, 4.0);
+    ASSERT_EQ(span.args.size(), 2u);
+    EXPECT_EQ(span.args[0].key, "flops");
+    EXPECT_EQ(span.args[0].i, 128);
+    EXPECT_EQ(trace.events()[1].ph, 'i');
+
+    trace.clear();
+    EXPECT_TRUE(trace.events().empty());
+    EXPECT_TRUE(trace.enabled()); // clear drops events, not the switch
+}
+
+TEST(TraceTest, WellNestedAcceptsContainmentAndDisjoint)
+{
+    TraceRecorder trace;
+    trace.enable();
+    // outer [0, 10) contains inner [2, 5); [12, 14) is disjoint.
+    trace.span(0, 0, "outer", "c", 0.0, 10.0);
+    trace.span(0, 0, "inner", "c", 2.0, 3.0);
+    trace.span(0, 0, "later", "c", 12.0, 2.0);
+    // A same-boundary span on ANOTHER lane must not interact.
+    trace.span(1, 0, "other-lane", "c", 4.0, 100.0);
+    std::string error;
+    EXPECT_TRUE(trace.wellNested(&error)) << error;
+}
+
+TEST(TraceTest, WellNestedRejectsPartialOverlap)
+{
+    TraceRecorder trace;
+    trace.enable();
+    trace.span(0, 0, "a", "c", 0.0, 10.0);
+    trace.span(0, 0, "b", "c", 5.0, 10.0); // straddles a's end
+    std::string error;
+    EXPECT_FALSE(trace.wellNested(&error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceTest, AsyncPairsAndInstantsAreExemptFromNesting)
+{
+    TraceRecorder trace;
+    trace.enable();
+    // Two overlapping request lifetimes on one lane: legal for 'b'/'e'.
+    trace.asyncBegin(2, 1, "request", "request", 0, 0.0);
+    trace.asyncBegin(2, 1, "request", "request", 1, 5.0);
+    trace.asyncEnd(2, 1, "request", "request", 0, 8.0);
+    trace.asyncEnd(2, 1, "request", "request", 1, 12.0);
+    trace.instant(2, 1, "tick", "c", 6.0);
+    EXPECT_TRUE(trace.wellNested());
+}
+
+TEST(TraceTest, ChromeTraceJsonCarriesLanesEventsAndArgs)
+{
+    TraceRecorder trace;
+    trace.enable();
+    trace.span(trace_lanes::kDevice, trace_lanes::kKernels, "gemm",
+               "kernel", 1.5, 2.25,
+               {{"bytes", (int64_t)64},
+                {"label", std::string("a\"b")}, // needs escaping
+                {"ratio", 0.5}});
+    trace.asyncBegin(trace_lanes::kEngine, trace_lanes::kRequests,
+                     "request", "request", 42, 3.0);
+    std::ostringstream os;
+    trace.writeChromeTrace(os);
+    std::string json = os.str();
+    // Lane metadata + the events themselves.
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"gemm\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":2.250"), std::string::npos);
+    EXPECT_NE(json.find("\"bytes\":64"), std::string::npos);
+    EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":\"42\""), std::string::npos);
+}
+
+TEST(TraceTest, SerializationIsByteDeterministic)
+{
+    auto build = [] {
+        TraceRecorder trace;
+        trace.enable();
+        trace.span(0, 0, "k", "kernel", 0.125, 3.375,
+                   {{"flops", (int64_t)7}, {"ratio", 1.0 / 3.0}});
+        trace.instant(2, 1, "evt", "lifecycle", 9.0);
+        std::ostringstream os;
+        trace.writeChromeTrace(os);
+        return os.str();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+} // namespace
+} // namespace relax
