@@ -46,7 +46,9 @@
  * two runs to pin that.
  */
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <random>
@@ -173,7 +175,7 @@ percentile(std::vector<double> values, double p)
 }
 
 frontend::CompileOptions
-compileOptionsFor(const device::DeviceSpec& spec)
+compileOptionsFor(const device::DeviceSpec& spec, int64_t spec_k = 0)
 {
     frontend::CompileOptions options;
     options.device = spec;
@@ -183,10 +185,31 @@ compileOptionsFor(const device::DeviceSpec& spec)
     // sums one step's fresh tokens: the 256-token per-step prefill cap
     // plus up to 7 decode rows in normal steps, and up to prompt (256)
     // + generated (32) when an over-cap re-prefill admits into an idle
-    // system. The page pool itself needs no bound — it is a function
-    // argument, not a planned allocation.
-    options.bounds = {{"b", 8}, {"n", 288}};
+    // system. With speculation each decode row widens from 1 fresh token
+    // to a 1 + k verify window. The page pool itself needs no bound — it
+    // is a function argument, not a planned allocation.
+    options.bounds = {{"b", 8}, {"n", 288 + 8 * spec_k}};
     return options;
+}
+
+/**
+ * The draft model for --spec-k runs: same vocabulary and context window
+ * as the target (token ids and positions cross between the two models),
+ * roughly a tenth of the compute — the classic big-target/small-draft
+ * pairing, so a verified-accepted token costs about one draft decode
+ * plus its share of one (memory-bound, nearly n-independent) target
+ * verify call.
+ */
+frontend::LlamaConfig
+draftConfigFor(const frontend::LlamaConfig& target)
+{
+    frontend::LlamaConfig draft = target;
+    draft.name = target.name + "-draft";
+    draft.hiddenSize = 1024;
+    draft.numLayers = 8;
+    draft.numHeads = 8;
+    draft.ffnSize = 3584;
+    return draft;
 }
 
 serve::EngineOptions
@@ -208,10 +231,18 @@ runTrace(const frontend::LlamaConfig& config,
          const device::DeviceSpec& spec, serve::SchedulePolicy policy,
          const std::vector<Arrival>& trace, bool instrument = false,
          const std::string& trace_path = "",
-         const std::string& metrics_path = "")
+         const std::string& metrics_path = "", int64_t spec_k = 0,
+         double acceptance_rate = 0.0)
 {
     serve::EngineOptions engine_options = engineOptionsFor(policy);
-    auto engine = serve::Engine::build(config, compileOptionsFor(spec),
+    if (spec_k > 0) {
+        engine_options.speculation.draftTokens = spec_k;
+        engine_options.speculation.draftConfig = draftConfigFor(config);
+        engine_options.speculation.syntheticAcceptanceRate =
+            acceptance_rate;
+    }
+    auto engine = serve::Engine::build(config,
+                                       compileOptionsFor(spec, spec_k),
                                        /*data_mode=*/false,
                                        engine_options);
     device::SimDevice& dev = engine->machine().dev();
@@ -370,8 +401,11 @@ main(int argc, char** argv)
 {
     using namespace relax;
     // --trace-out / --metrics-out trigger one extra instrumented FCFS
-    // run; --bench-json overrides the always-written result snapshot.
+    // run; --bench-json overrides the always-written result snapshot;
+    // --spec-k=K adds a speculative-decoding sweep over synthetic
+    // acceptance rates with a K-token draft window.
     std::string trace_out, metrics_out, bench_json = "BENCH_serve.json";
+    int64_t spec_k = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto value = [&](const char* flag) -> std::string {
@@ -386,10 +420,16 @@ main(int argc, char** argv)
             metrics_out = v;
         } else if (std::string v = value("--bench-json"); !v.empty()) {
             bench_json = v;
+        } else if (std::string v = value("--spec-k"); !v.empty()) {
+            spec_k = std::atoll(v.c_str());
+            if (spec_k <= 0) {
+                std::cerr << "--spec-k expects a positive draft window\n";
+                return 2;
+            }
         } else {
             std::cerr << "unknown argument: " << arg
-                      << " (expected --trace-out=PATH, --metrics-out=PATH"
-                         " or --bench-json=PATH)\n";
+                      << " (expected --trace-out=PATH, --metrics-out=PATH,"
+                         " --bench-json=PATH or --spec-k=K)\n";
             return 2;
         }
     }
@@ -524,6 +564,94 @@ main(int argc, char** argv)
     std::cout << "decode replay hit-rate after warmup: "
               << TablePrinter::fmt(min_hit_rate * 100.0, 1) << "%\n";
 
+    // Speculative decoding sweep: the same FCFS trace with a K-token
+    // draft window, across synthetic acceptance rates. Timing mode has
+    // no logits, so acceptance is a per-position Bernoulli(rate) chain —
+    // exactly the knob the tokens/s-vs-acceptance tradeoff turns on.
+    // The structural invariants (ONE target call per step, zero host
+    // relayout, pool within budget) must hold at every rate, and high
+    // acceptance must convert into real uplift over the k=0 baseline.
+    std::vector<std::pair<double, TraceResult>> spec_results;
+    if (spec_k > 0) {
+        const double rates[] = {0.0, 0.5, 0.8, 0.95};
+        std::cout << "\nspeculative decoding (draft "
+                  << draftConfigFor(config).name << ", k = " << spec_k
+                  << ", FCFS):\n";
+        TablePrinter spec_table({"acceptance rate", "measured", "tok/s",
+                                 "uplift", "steps", "draft calls",
+                                 "tokens/step"});
+        for (double rate : rates) {
+            TraceResult result =
+                runTrace(config, spec, serve::SchedulePolicy::kFCFS,
+                         trace, /*instrument=*/false, "", "", spec_k,
+                         rate);
+            const serve::EngineStats& stats = result.stats;
+            if (stats.decodeBatches != stats.steps) {
+                std::cerr << "FAIL: speculation broke the one-call-per-"
+                             "step invariant at rate "
+                          << fmt3(rate) << "\n";
+                return 1;
+            }
+            if (stats.relayoutBytes != 0) {
+                std::cerr << "FAIL: speculation copied cache bytes on "
+                             "the host at rate "
+                          << fmt3(rate) << "\n";
+                return 1;
+            }
+            if (stats.peakKvBytes > result.kvBudget) {
+                std::cerr << "FAIL: speculation peak KV exceeds budget "
+                             "at rate "
+                          << fmt3(rate) << "\n";
+                return 1;
+            }
+            if (stats.tokensGenerated !=
+                fcfs_result.stats.tokensGenerated) {
+                std::cerr << "FAIL: speculation changed the number of "
+                             "generated tokens at rate "
+                          << fmt3(rate) << "\n";
+                return 1;
+            }
+            // The acceptance chain stops at the first rejection, but all
+            // k positions count as proposed, so the expected measured
+            // rate over full windows is (sum_{i=1..k} rate^i) / k — not
+            // rate itself (0.5 with k=4 measures ~0.23).
+            double expect = 0.0;
+            for (int64_t i = 1; i <= spec_k; ++i) {
+                expect += std::pow(rate, (double)i);
+            }
+            expect /= (double)spec_k;
+            double measured = stats.specAcceptanceRate();
+            if (rate == 0.0 ? stats.specAccepted != 0
+                            : std::abs(measured - expect) > 0.1) {
+                std::cerr << "FAIL: measured acceptance "
+                          << fmt3(measured) << " drifted from the "
+                          << fmt3(expect)
+                          << " the Bernoulli chain at rate " << fmt3(rate)
+                          << " predicts\n";
+                return 1;
+            }
+            double uplift = stats.tokensPerSec() / fcfs_toks;
+            spec_table.addRow(
+                {fmt3(rate), fmt3(measured),
+                 TablePrinter::fmt(stats.tokensPerSec(), 1), fmt3(uplift),
+                 std::to_string(stats.steps),
+                 std::to_string(stats.draftCalls),
+                 fmt3((double)stats.tokensGenerated
+                      / (double)stats.steps)});
+            spec_results.emplace_back(rate, result);
+        }
+        spec_table.print();
+        double best_uplift =
+            spec_results.back().second.stats.tokensPerSec() / fcfs_toks;
+        std::cout << "speculation uplift at 0.95 acceptance: "
+                  << fmt3(best_uplift) << "x\n";
+        if (best_uplift <= 1.0) {
+            std::cerr << "FAIL: speculative decoding shows no uplift at "
+                         "0.95 acceptance\n";
+            return 1;
+        }
+    }
+
     if (!trace_out.empty() || !metrics_out.empty()) {
         // Instrumented repeat of the FCFS run: same trace, recorder on.
         TraceResult traced =
@@ -574,7 +702,35 @@ main(int argc, char** argv)
     writePolicyJson(json, "fcfs", fcfs_result);
     json << ",\n";
     writePolicyJson(json, "shortest_prompt", spf_result);
-    json << "\n  }\n}\n";
+    json << "\n  }";
+    if (!spec_results.empty()) {
+        // Tokens/s uplift against the k=0 FCFS run, per acceptance rate.
+        json << ",\n  \"speculation\": {\n"
+             << "    \"draft_tokens\": " << spec_k << ",\n"
+             << "    \"rates\": [\n";
+        for (size_t i = 0; i < spec_results.size(); ++i) {
+            const auto& [rate, result] = spec_results[i];
+            const serve::EngineStats& stats = result.stats;
+            json << "      {\n"
+                 << "        \"acceptance_rate\": " << fmt3(rate) << ",\n"
+                 << "        \"measured_acceptance\": "
+                 << fmt3(stats.specAcceptanceRate()) << ",\n"
+                 << "        \"tokens_per_sec\": "
+                 << fmt3(stats.tokensPerSec()) << ",\n"
+                 << "        \"uplift\": "
+                 << fmt3(stats.tokensPerSec() / fcfs_toks) << ",\n"
+                 << "        \"steps\": " << stats.steps << ",\n"
+                 << "        \"draft_calls\": " << stats.draftCalls
+                 << ",\n"
+                 << "        \"spec_proposed\": " << stats.specProposed
+                 << ",\n"
+                 << "        \"spec_accepted\": " << stats.specAccepted
+                 << "\n      }" << (i + 1 < spec_results.size() ? "," : "")
+                 << "\n";
+        }
+        json << "    ]\n  }";
+    }
+    json << "\n}\n";
     std::cout << "bench snapshot written to " << bench_json << "\n";
     return 0;
 }

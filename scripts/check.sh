@@ -72,6 +72,38 @@ if ! awk -v rate="$hit_rate" -v min="$min_hit_rate" \
 fi
 echo "decode replay hit-rate gate passed (${hit_rate}% >= ${min_hit_rate}%)"
 
+# Speculative decoding gates (DESIGN.md §8). The --spec-k run sweeps
+# synthetic acceptance rates; the binary gates the per-rate invariants
+# (one target call per step, zero relayout, pool within budget, token
+# counts unchanged). Here we pin two things on top:
+#  1. the k=0 baseline inside the speculative binary is byte-identical
+#     to the plain run's FCFS result — merely carrying the speculation
+#     machinery may not perturb the non-speculative path;
+#  2. tokens/s uplift at high acceptance is real (> 1.0x).
+echo "== bench smoke: serve throughput (speculative, k=4)"
+spec_out="$(./bench_serve_throughput --spec-k=4 --bench-json=bench_spec.json)"
+printf '%s\n' "$spec_out" | sed -n '/^speculative decoding/,$p'
+plain_fcfs="$(printf '%s\n' "$serve_out" | sed -n 's/^fcfs throughput: //p')"
+spec_fcfs="$(printf '%s\n' "$spec_out" | sed -n 's/^fcfs throughput: //p')"
+if [[ -z "$spec_fcfs" || "$spec_fcfs" != "$plain_fcfs" ]]; then
+  echo "FAIL: speculation-off baseline drifted inside the --spec-k run" \
+       "('$spec_fcfs' vs '$plain_fcfs')" >&2
+  exit 1
+fi
+echo "speculation-off identity gate passed (k=0 FCFS: ${spec_fcfs})"
+uplift="$(printf '%s\n' "$spec_out" |
+  sed -n 's/^speculation uplift at 0.95 acceptance: \([0-9.]*\)x$/\1/p' |
+  tail -1)"
+if [[ -z "$uplift" ]]; then
+  echo "FAIL: --spec-k run did not report an uplift" >&2
+  exit 1
+fi
+if ! awk -v u="$uplift" 'BEGIN { exit (u > 1.0) ? 0 : 1 }'; then
+  echo "FAIL: speculative decoding uplift is ${uplift}x (must be > 1)" >&2
+  exit 1
+fi
+echo "speculation uplift gate passed (${uplift}x at 0.95 acceptance)"
+
 # Observability gates (DESIGN.md §7). The instrumented bench run gates
 # inside the binary that >= 95% of graph regions inside pure-decode step
 # spans are replay-flagged and that enabling tracing does not perturb
@@ -95,7 +127,7 @@ done
 echo "determinism tripwire passed (trace/metrics/bench JSON byte-identical)"
 
 if command -v python3 > /dev/null; then
-  for f in trace_a.json metrics_a.json bench_a.json; do
+  for f in trace_a.json metrics_a.json bench_a.json bench_spec.json; do
     if ! python3 -m json.tool "$f" > /dev/null; then
       echo "FAIL: $f is not valid JSON" >&2
       exit 1

@@ -53,6 +53,18 @@ cuFreshTensor(const std::vector<std::vector<int64_t>>& tokens)
                                DataType::i64(), std::move(cu));
 }
 
+/** The draft KV pool is sized to the full addressable envelope — every
+ *  batch slot at the draft's context ceiling plus a block of rounding
+ *  slack — so draft reservations can never exhaust it (the draft must
+ *  never trigger evictions of its own). */
+int64_t
+draftPoolBytes(const SpeculationOptions& spec, const EngineOptions& opts)
+{
+    return spec.draftConfig.kvBytesPerToken() *
+           (spec.draftConfig.maxContext + opts.kvBlockTokens) *
+           opts.scheduler.maxBatchSize;
+}
+
 } // namespace
 
 Engine::Engine(vm::ExecutablePtr exec,
@@ -61,7 +73,7 @@ Engine::Engine(vm::ExecutablePtr exec,
                EngineOptions options)
     : config_(std::move(config)), options_(options),
       scheduler_(options.scheduler), sampler_(options.sampler),
-      weights_(std::move(weights))
+      weights_(std::move(weights)), draftSampler_(options.sampler)
 {
     machine_ = std::make_unique<vm::VirtualMachine>(std::move(exec),
                                                     std::move(dev),
@@ -76,9 +88,15 @@ Engine::Engine(vm::ExecutablePtr exec,
         // rounding slack per slot). Paper-scale configs are far above
         // this; it keeps tiny test configs from materializing gigabyte
         // pools in data mode. An explicit kvBudgetBytes is respected
-        // as-is.
+        // as-is. With speculation configured, the draft model's weights
+        // and pool envelope come off the top first.
+        int64_t resident = config_.weightBytes();
+        if (options_.speculation.draftTokens > 0) {
+            resident += options_.speculation.draftConfig.weightBytes() +
+                        draftPoolBytes(options_.speculation, options_);
+        }
         budget = (int64_t)((double)(machine_->dev().spec().vramBytes -
-                                    config_.weightBytes()) *
+                                    resident) *
                            0.8);
         int64_t usable = config_.kvBytesPerToken() *
                          (config_.maxContext + options_.kvBlockTokens) *
@@ -113,9 +131,53 @@ Engine::build(const frontend::LlamaConfig& config,
     auto exec = frontend::compile(frontend::buildLlama(config), copts);
     auto dev = std::make_shared<device::SimDevice>(copts.device);
     auto weights = frontend::makeLlamaWeights(config, data_mode);
-    return std::make_unique<Engine>(std::move(exec), std::move(dev),
-                                    data_mode, config, std::move(weights),
-                                    options);
+    auto engine = std::make_unique<Engine>(std::move(exec), std::move(dev),
+                                           data_mode, config,
+                                           std::move(weights), options);
+    if (options.speculation.draftTokens > 0) {
+        // The draft compiles under the same options (device, bounds,
+        // bucket): its verify-free n=1 decode reuses the exact symbolic
+        // machinery, just over a smaller config.
+        const frontend::LlamaConfig& dconfig =
+            options.speculation.draftConfig;
+        auto dexec =
+            frontend::compile(frontend::buildLlama(dconfig), copts);
+        engine->enableSpeculation(
+            std::move(dexec),
+            frontend::makeLlamaWeights(dconfig, data_mode,
+                                       options.speculation.draftWeightSeed));
+    }
+    return engine;
+}
+
+void
+Engine::enableSpeculation(vm::ExecutablePtr draft_exec,
+                          std::vector<NDArray> draft_weights)
+{
+    const SpeculationOptions& spec = options_.speculation;
+    RELAX_ICHECK(spec.draftTokens > 0)
+        << "enableSpeculation: options.speculation.draftTokens must be "
+           "positive at engine construction (the KV budget accounts for "
+           "the draft footprint there)";
+    RELAX_ICHECK(!draftMachine_) << "draft model already attached";
+    RELAX_ICHECK(spec.draftConfig.vocabSize == config_.vocabSize)
+        << "draft vocabulary (" << spec.draftConfig.vocabSize
+        << ") must match the target's (" << config_.vocabSize
+        << "): token ids cross between the two models";
+    RELAX_ICHECK(spec.draftConfig.maxContext >= config_.maxContext)
+        << "draft context window (" << spec.draftConfig.maxContext
+        << ") must cover the target's (" << config_.maxContext << ")";
+    draftMachine_ = std::make_unique<vm::VirtualMachine>(
+        std::move(draft_exec), machine_->devPtr(), machine_->dataMode());
+    // Namespace the draft's captured graphs: graph ids restart per
+    // executable, so without this a draft region could replay a graph
+    // the target captured on the shared device.
+    draftMachine_->setGraphKeyspace("draft");
+    draftKv_ = std::make_unique<KVCacheManager>(
+        spec.draftConfig, *draftMachine_, draftPoolBytes(spec, options_),
+        options_.kvBlockTokens);
+    draftKv_->setMetrics(&metrics_);
+    draftWeights_ = std::move(draft_weights);
 }
 
 RequestId
@@ -161,14 +223,6 @@ bool
 Engine::hasPendingWork() const
 {
     return scheduler_.hasWaiting() || !running_.empty();
-}
-
-std::vector<vm::Value>
-Engine::withWeights(std::vector<vm::Value> args) const
-{
-    args.reserve(args.size() + weights_.size());
-    for (const NDArray& w : weights_) args.emplace_back(w);
-    return args;
 }
 
 int64_t
@@ -222,6 +276,7 @@ Engine::finishSequence(const SequenceStatePtr& seq)
     seq->phase = RequestPhase::kFinished;
     seq->stats.finishUs = machine_->dev().clockUs();
     kv_->release(seq->request.id);
+    if (draftKv_) draftKv_->release(seq->request.id);
     running_.erase(std::find(running_.begin(), running_.end(), seq));
     finished_.push_back(seq);
     ++stats_.requestsFinished;
@@ -251,6 +306,9 @@ Engine::evict(const SequenceStatePtr& victim)
     }
     victim->ctxLen = 0;
     kv_->release(victim->request.id);
+    // The draft cache rebuilds by catch-up after re-admission, exactly
+    // as the target re-prefills.
+    if (draftKv_) draftKv_->release(victim->request.id);
     running_.erase(std::find(running_.begin(), running_.end(), victim));
     ++victim->stats.preemptions;
     ++stats_.evictions;
@@ -285,29 +343,144 @@ Engine::ensureWritable(const SequenceStatePtr& seq, int64_t tokens,
 }
 
 NDArray
-Engine::invokeRagged(const std::vector<SequenceStatePtr>& batch,
-                     const std::vector<std::vector<int64_t>>& tokens)
+Engine::invokeRaggedOn(vm::VirtualMachine& vm, KVCacheManager& kv,
+                       const std::vector<NDArray>& weights,
+                       const std::vector<RequestId>& order,
+                       const std::vector<std::vector<int64_t>>& tokens)
 {
-    std::vector<RequestId> order;
-    order.reserve(batch.size());
     int64_t table_width = 1;
-    for (const SequenceStatePtr& seq : batch) {
-        order.push_back(seq->request.id);
-        table_width = std::max(table_width, kv_->pagesOf(seq->request.id));
+    for (RequestId id : order) {
+        table_width = std::max(table_width, kv.pagesOf(id));
     }
     // ids, lens, cu_fresh and the block table are the only
     // host-marshalled inputs; cache data stays in the pool
     // (relayoutBytes stays 0 — any future host-side cache copy must be
     // added to that counter).
     std::vector<vm::Value> args;
-    args.emplace_back(packedIdsTensor(tokens, machine_->dataMode()));
-    args.emplace_back(kv_->lengthsView(order));
+    args.emplace_back(packedIdsTensor(tokens, vm.dataMode()));
+    args.emplace_back(kv.lengthsView(order));
     args.emplace_back(cuFreshTensor(tokens));
-    args.emplace_back(kv_->blockTableView(order, table_width));
-    for (const NDArray& pool : kv_->poolTensors()) args.emplace_back(pool);
+    args.emplace_back(kv.blockTableView(order, table_width));
+    for (const NDArray& pool : kv.poolTensors()) args.emplace_back(pool);
+    args.reserve(args.size() + weights.size());
+    for (const NDArray& w : weights) args.emplace_back(w);
     auto out = std::get<vm::TupleValuePtr>(
-        machine_->invoke("decode_ragged", withWeights(std::move(args))));
+        vm.invoke("decode_ragged", std::move(args)));
     return std::get<NDArray>(out->fields[0]);
+}
+
+NDArray
+Engine::invokeRagged(const std::vector<SequenceStatePtr>& batch,
+                     const std::vector<std::vector<int64_t>>& tokens)
+{
+    std::vector<RequestId> order;
+    order.reserve(batch.size());
+    for (const SequenceStatePtr& seq : batch) {
+        order.push_back(seq->request.id);
+    }
+    return invokeRaggedOn(*machine_, *kv_, weights_, order, tokens);
+}
+
+void
+Engine::proposeDrafts(const std::vector<SequenceStatePtr>& rows,
+                      const std::map<RequestId, int64_t>& spec_k,
+                      std::map<RequestId, SpecPlan>& plans)
+{
+    // --- catch-up: the draft pool may lag the target's committed
+    // context (just-admitted rows, the bonus token of an all-accept
+    // step, re-admission after eviction). Replay each row's token
+    // stream into the draft pool, chunked under the prefill-token cap
+    // so one call never exceeds the compiled packed-token bound.
+    int64_t cap = std::max<int64_t>(
+        scheduler_.options().maxPrefillTokensPerStep, 1);
+    while (true) {
+        std::vector<RequestId> order;
+        std::vector<std::vector<int64_t>> chunks;
+        std::vector<int64_t> new_commits;
+        int64_t total = 0;
+        for (const SequenceStatePtr& seq : rows) {
+            RequestId id = seq->request.id;
+            int64_t have = draftKv_->committedTokens(id);
+            int64_t want = seq->ctxLen;
+            if (have >= want || total >= cap) continue;
+            int64_t take = std::min(want - have, cap - total);
+            std::vector<int64_t> stream = seq->prefillTokens();
+            chunks.emplace_back(stream.begin() + have,
+                                stream.begin() + have + take);
+            order.push_back(id);
+            new_commits.push_back(have + take);
+            draftKv_->reserveWrite(id, have + take, have);
+            total += take;
+        }
+        if (order.empty()) break;
+        invokeRaggedOn(*draftMachine_, *draftKv_, draftWeights_, order,
+                       chunks);
+        ++stats_.draftCalls;
+        metrics_.counter("serve.draft_calls").add();
+        for (size_t i = 0; i < order.size(); ++i) {
+            draftKv_->commit(order[i], new_commits[i]);
+        }
+    }
+
+    // --- propose: k batched single-token draft decodes. Call j feeds
+    // each row its previous draft token (the pending target token for
+    // j = 0) and samples the next proposal from the draft logits; rows
+    // whose per-row budget ran out drop from later calls.
+    int64_t max_k = 0;
+    for (const auto& [id, k_row] : spec_k) max_k = std::max(max_k, k_row);
+    for (int64_t j = 0; j < max_k; ++j) {
+        std::vector<RequestId> order;
+        std::vector<std::vector<int64_t>> toks;
+        std::vector<SequenceStatePtr> call_rows;
+        for (const SequenceStatePtr& seq : rows) {
+            RequestId id = seq->request.id;
+            auto it = spec_k.find(id);
+            if (it == spec_k.end() || it->second <= j) continue;
+            const SpecPlan& plan = plans[id];
+            int64_t tok = j == 0 ? seq->generated.back()
+                                 : plan.drafts.back();
+            draftKv_->reserveWrite(id, seq->ctxLen + j + 1,
+                                   seq->ctxLen + j);
+            order.push_back(id);
+            toks.push_back({tok});
+            call_rows.push_back(seq);
+        }
+        if (order.empty()) break;
+        NDArray logits = invokeRaggedOn(*draftMachine_, *draftKv_,
+                                        draftWeights_, order, toks);
+        ++stats_.draftCalls;
+        metrics_.counter("serve.draft_calls").add();
+        for (size_t r = 0; r < order.size(); ++r) {
+            SpecPlan& plan = plans[order[r]];
+            // One fresh token per row, so row r's logits sit at packed
+            // position r (== cu[r + 1] - 1).
+            if (machine_->dataMode()) {
+                plan.drafts.push_back(
+                    draftSampler_.samplePacked(logits, (int64_t)r));
+                if (options_.sampler.topK > 1) {
+                    plan.probs.push_back(
+                        draftSampler_.topKProbs(logits, (int64_t)r));
+                }
+            } else {
+                plan.drafts.push_back(
+                    draftSampler_.sampleSynthetic(config_.vocabSize));
+            }
+            draftKv_->commit(order[r], call_rows[r]->ctxLen + j + 1);
+        }
+    }
+
+    TraceRecorder& trace = machine_->dev().trace();
+    if (trace.enabled()) {
+        for (const SequenceStatePtr& seq : rows) {
+            auto it = plans.find(seq->request.id);
+            if (it == plans.end()) continue;
+            trace.instant(trace_lanes::kEngine, trace_lanes::kSpeculation,
+                          "propose", "speculation",
+                          machine_->dev().clockUs(),
+                          {{"request", seq->request.id},
+                           {"tokens", (int64_t)it->second.drafts.size()}});
+        }
+    }
 }
 
 bool
@@ -323,25 +496,68 @@ Engine::step()
         running_.push_back(seq);
     }
 
+    int64_t spec_budget =
+        speculationEnabled() ? options_.speculation.draftTokens : 0;
+
     // Own every row's write range up front (this may evict, including
     // rows admitted above — phases are re-checked when the batch is
     // built). Admitted rows write their fresh prompt tail starting at
     // the committed (possibly prefix-matched) offset; running rows grow
-    // by one decode position.
+    // by one decode position plus their speculation window. The whole
+    // sweep shares one COW pricing batch, so b sequences copying shared
+    // pages in the same step pay one burst launch, not b.
+    std::map<RequestId, int64_t> spec_k;
     std::vector<SequenceStatePtr> members = running_;
+    kv_->beginCowBatch();
     for (const SequenceStatePtr& seq : members) {
         bool is_admitted = std::find(admitted.begin(), admitted.end(),
                                      seq) != admitted.end();
         if (is_admitted) {
             ensureWritable(seq, seq->prefillLength(),
                            kv_->committedTokens(seq->request.id));
-        } else {
-            ensureWritable(seq, seq->ctxLen + 1, seq->ctxLen);
+            continue;
         }
+        int64_t k_row = 0;
+        if (spec_budget > 0) {
+            // Per-row window: never propose past the request's token
+            // budget or the context ceiling (the verify row writes
+            // k+1 positions), and degrade speculation before letting
+            // it evict anyone — pressure behavior must match k=0.
+            k_row = std::min(spec_budget,
+                             seq->request.maxNewTokens -
+                                 (int64_t)seq->generated.size() - 1);
+            k_row = std::min(k_row, config_.maxContext - seq->ctxLen - 1);
+            k_row = std::max<int64_t>(k_row, 0);
+            while (k_row > 0 &&
+                   !kv_->canHoldWrite(seq->request.id,
+                                      seq->ctxLen + 1 + k_row,
+                                      seq->ctxLen)) {
+                --k_row;
+            }
+        }
+        ensureWritable(seq, seq->ctxLen + 1 + k_row, seq->ctxLen);
+        if (k_row > 0) spec_k[seq->request.id] = k_row;
+    }
+    kv_->flushCowBatch();
+
+    // Draft proposals for the rows that survived the reservation sweep
+    // (eviction may have reclaimed some).
+    std::map<RequestId, SpecPlan> plans;
+    if (!spec_k.empty()) {
+        std::vector<SequenceStatePtr> spec_rows;
+        for (const SequenceStatePtr& seq : running_) {
+            if (seq->phase == RequestPhase::kRunning &&
+                spec_k.count(seq->request.id) > 0) {
+                spec_rows.push_back(seq);
+            }
+        }
+        if (!spec_rows.empty()) proposeDrafts(spec_rows, spec_k, plans);
     }
 
-    // One packed-varlen call per step: prefill chunks and n=1 decode
-    // rows ride together — row r owns packed positions [cu[r], cu[r+1]).
+    // One packed-varlen call per step: prefill chunks, n=1 decode rows
+    // and n=k+1 verify rows ride together — row r owns packed positions
+    // [cu[r], cu[r+1]). A verify row's fresh tokens are its pending
+    // token followed by the draft proposals.
     std::vector<SequenceStatePtr> batch;
     std::vector<std::vector<int64_t>> tokens;
     std::vector<bool> is_prefill;
@@ -354,7 +570,13 @@ Engine::step()
             int64_t start = kv_->committedTokens(seq->request.id);
             tokens.emplace_back(all.begin() + start, all.end());
         } else {
-            tokens.push_back({seq->generated.back()});
+            std::vector<int64_t> fresh{seq->generated.back()};
+            auto plan_it = plans.find(seq->request.id);
+            if (plan_it != plans.end()) {
+                fresh.insert(fresh.end(), plan_it->second.drafts.begin(),
+                             plan_it->second.drafts.end());
+            }
+            tokens.push_back(std::move(fresh));
         }
         batch.push_back(seq);
         is_prefill.push_back(admitted_now);
@@ -386,28 +608,88 @@ Engine::step()
     int64_t packed_end = 0;
     for (size_t row = 0; row < batch.size(); ++row) {
         const SequenceStatePtr& seq = batch[row];
+        RequestId id = seq->request.id;
         int64_t fresh = (int64_t)tokens[row].size();
-        packed_end += fresh; // == cu[row + 1]
+        int64_t packed_start = packed_end; // == cu[row]
+        packed_end += fresh;               // == cu[row + 1]
         if (trace.enabled()) {
             trace.instant(trace_lanes::kEngine, trace_lanes::kRequests,
                           is_prefill[row] ? "prefill" : "decode", "phase",
                           clock_after,
-                          {{"request", seq->request.id},
-                           {"tokens", fresh}});
+                          {{"request", id}, {"tokens", fresh}});
         }
         if (is_prefill[row]) {
             seq->ctxLen = seq->prefillLength();
-            kv_->commit(seq->request.id, seq->ctxLen);
+            kv_->commit(id, seq->ctxLen);
             seq->stats.prefillTokens += fresh;
             stats_.prefillTokens += fresh;
             // Register the freshly committed page-aligned blocks in the
             // prefix index so later duplicate prompts match them.
-            kv_->registerCommitted(seq->request.id, seq->prefillTokens());
-        } else {
-            seq->ctxLen += 1;
-            kv_->commit(seq->request.id, seq->ctxLen);
+            kv_->registerCommitted(id, seq->prefillTokens());
+            appendToken(seq, sampleFor(logits, packed_end - 1));
+            continue;
         }
-        appendToken(seq, sampleFor(logits, packed_end - 1));
+        auto plan_it = plans.find(id);
+        if (plan_it == plans.end()) {
+            // Plain decode row (speculation off, or this row's window
+            // collapsed to zero).
+            seq->ctxLen += 1;
+            kv_->commit(id, seq->ctxLen);
+            appendToken(seq, sampleFor(logits, packed_end - 1));
+            continue;
+        }
+
+        // Verify row: the packed positions [packed_start, packed_end)
+        // hold the target distributions for the pending token and every
+        // draft; accept a prefix, emit its tokens exactly as sequential
+        // decode steps would (stop token / budget / context checks per
+        // token), then roll both caches back to the accepted stream.
+        const SpecPlan& plan = plan_it->second;
+        int64_t k_row = (int64_t)plan.drafts.size();
+        if (trace.enabled()) {
+            trace.instant(trace_lanes::kEngine, trace_lanes::kSpeculation,
+                          "verify", "speculation", clock_after,
+                          {{"request", id}, {"proposed", k_row}});
+        }
+        SpecAcceptance acc;
+        if (machine_->dataMode()) {
+            acc = sampler_.acceptDrafts(logits, packed_start, plan.drafts,
+                                        plan.probs);
+        } else {
+            acc.accepted = sampler_.sampleSyntheticAcceptance(
+                k_row, options_.speculation.syntheticAcceptanceRate);
+            acc.next = sampler_.sampleSynthetic(config_.vocabSize);
+        }
+        stats_.specProposed += k_row;
+        stats_.specAccepted += acc.accepted;
+        metrics_.counter("serve.spec_proposed_tokens").add(k_row);
+        metrics_.counter("serve.spec_accepted_tokens").add(acc.accepted);
+        metrics_.histogram("serve.spec_accepted").record(
+            (double)acc.accepted);
+        for (int64_t i = 0;
+             i <= acc.accepted && seq->phase == RequestPhase::kRunning;
+             ++i) {
+            seq->ctxLen += 1;
+            kv_->commit(id, seq->ctxLen);
+            appendToken(seq, i < acc.accepted ? plan.drafts[i] : acc.next);
+        }
+        if (trace.enabled()) {
+            trace.instant(trace_lanes::kEngine, trace_lanes::kSpeculation,
+                          "accept", "speculation",
+                          machine_->dev().clockUs(),
+                          {{"request", id},
+                           {"proposed", k_row},
+                           {"accepted", acc.accepted}});
+        }
+        if (seq->phase == RequestPhase::kRunning) {
+            // Rejected drafts leave K/V junk past the committed length
+            // and surplus reserved pages: return whole pages and drop
+            // any index entry the rewind invalidated. The draft cache
+            // rewinds to the accepted stream the same way (clamped to a
+            // no-op when every draft survived).
+            kv_->truncate(id, seq->ctxLen);
+            draftKv_->truncate(id, seq->ctxLen);
+        }
     }
 
     ++stats_.steps;
@@ -427,6 +709,10 @@ Engine::step()
     metrics_.gauge("serve.running").sample((double)running_.size());
     metrics_.gauge("serve.decode_replay_hit_rate")
         .sample(stats_.decodeReplayHitRate());
+    if (speculationEnabled()) {
+        metrics_.gauge("serve.spec_acceptance_rate")
+            .sample(stats_.specAcceptanceRate());
+    }
 
     if (trace.enabled()) {
         trace.span(trace_lanes::kEngine, trace_lanes::kSteps, "step",

@@ -35,6 +35,19 @@
  * re-prefill prompt+generated on re-admission (re-matching whatever
  * prefix is still indexed), so outputs are preserved exactly.
  *
+ * enableSpeculation() attaches a draft model (a second LlamaConfig with
+ * its own weights, VM and KV pool on the shared device; own graph
+ * keyspace so the two VMs never cross-replay captures). Decoding rows
+ * then run propose/verify/accept per step: the draft proposes k tokens,
+ * the target verifies pending+drafts as one packed n=k+1 row inside the
+ * SAME step call (the prefill-chunk shape — decodeBatches == steps is
+ * preserved; draft calls count in EngineStats::draftCalls), and the
+ * Sampler accepts a prefix (greedy: longest argmax match + bonus token,
+ * token-identical to sequential greedy; top-k: rejection sampling,
+ * target-distribution preserving). Rejected tokens rewind both pools
+ * via KVCacheManager::truncate; a step's COW copies price as one burst
+ * launch. docs/DESIGN.md §8 is the contract.
+ *
  * Works in both VM modes: data mode samples real logits (correctness
  * tests, examples); timing mode advances the simulated device clock with
  * metadata-only tensors (throughput benchmarks).
@@ -42,6 +55,7 @@
 #ifndef RELAX_SERVE_ENGINE_H_
 #define RELAX_SERVE_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -57,13 +71,45 @@
 namespace relax {
 namespace serve {
 
+/**
+ * Speculative decoding configuration. When `draftTokens` > 0 a second,
+ * smaller model (the draft) proposes up to k tokens per running row per
+ * step and the target model verifies all k+1 positions in its ONE
+ * packed-varlen call — an n=k+1 row instead of n=1, no new kernels. The
+ * draft runs on the same simulated device (one clock, one VRAM pool)
+ * through its own VM, weights and KV page pool.
+ */
+struct SpeculationOptions
+{
+    /** Draft tokens proposed per running row per step; 0 disables. */
+    int64_t draftTokens = 0;
+    /**
+     * The draft model. Must share the target's vocabulary (token ids
+     * cross between the two models) and cover its context window.
+     * Engine::build compiles it; direct-constructor callers compile it
+     * themselves and hand the executable to enableSpeculation().
+     */
+    frontend::LlamaConfig draftConfig;
+    /** Weight seed for the draft model in Engine::build. */
+    unsigned draftWeightSeed = 7;
+    /**
+     * Timing mode has no logits to verify against, so acceptance is
+     * simulated: each draft position survives an independent
+     * Bernoulli(rate) draw until the first failure. Benches sweep this
+     * to chart tokens/s uplift as a function of acceptance rate.
+     */
+    double syntheticAcceptanceRate = 0.8;
+};
+
 struct EngineOptions
 {
     SchedulerOptions scheduler;
     SamplerOptions sampler;
+    SpeculationOptions speculation;
     /**
      * Byte budget for the KV page pool; 0 derives one from the device:
-     * (vramBytes - model weightBytes) * 0.8, floored at one block.
+     * (vramBytes - model weightBytes - draft footprint) * 0.8, floored
+     * at one block.
      */
     int64_t kvBudgetBytes = 0;
     /** Cache positions per KV page (pool block size). */
@@ -100,6 +146,22 @@ struct EngineStats
     int64_t decodeGraphReplays = 0;
     int64_t prefillGraphBegins = 0;
     int64_t prefillGraphReplays = 0;
+
+    // Speculative decoding counters. The target's packed call stays ONE
+    // per step (decodeBatches == steps holds with speculation on); the
+    // draft model's catch-up and propose calls are tallied separately.
+    int64_t draftCalls = 0;    //!< draft-model packed calls issued
+    int64_t specProposed = 0;  //!< draft tokens submitted for verification
+    int64_t specAccepted = 0;  //!< draft tokens the target accepted
+
+    /** Fraction of proposed draft tokens the target accepted. */
+    double
+    specAcceptanceRate() const
+    {
+        return specProposed > 0
+                   ? (double)specAccepted / (double)specProposed
+                   : 0.0;
+    }
 
     double
     tokensPerSec() const
@@ -146,12 +208,31 @@ class Engine
      * Compiles `config` for `options.device` and builds a ready engine.
      * When `compile_options.graphBucketTokens` is 0 (auto), the capture
      * bucket is set to `options.kvBlockTokens` so execution-graph buckets
-     * and KV pages share one boundary.
+     * and KV pages share one boundary. When
+     * `options.speculation.draftTokens` > 0 the draft model is compiled
+     * with the same options and attached via enableSpeculation().
      */
     static std::unique_ptr<Engine>
     build(const frontend::LlamaConfig& config,
           const frontend::CompileOptions& compile_options, bool data_mode,
           EngineOptions options = {});
+
+    /**
+     * Attaches the draft model for speculative decoding:
+     * `options.speculation` must have been configured (draftTokens > 0,
+     * draftConfig set) at construction so the KV budget accounted for the
+     * draft's footprint. The draft VM shares the engine's device — one
+     * virtual clock, one VRAM pool — with its captured-graph keys
+     * namespaced apart, and its KV pool is sized to the full addressable
+     * envelope so draft reservations never evict. Engine::build calls
+     * this automatically; direct-constructor callers (tests, fuzz
+     * harnesses) pass their own compiled draft executable and weights.
+     */
+    void enableSpeculation(vm::ExecutablePtr draft_exec,
+                           std::vector<NDArray> draft_weights);
+
+    /** True once a draft model is attached and draftTokens > 0. */
+    bool speculationEnabled() const { return draftMachine_ != nullptr; }
 
     /**
      * Queues a generation request; returns its id. Prompts longer than
@@ -222,10 +303,23 @@ class Engine
     MetricsRegistry& metrics() { return metrics_; }
 
     KVCacheManager& kv() { return *kv_; }
+    /** The draft model's KV pool (null until enableSpeculation()). */
+    KVCacheManager* draftKv() { return draftKv_.get(); }
     vm::VirtualMachine& machine() { return *machine_; }
+    /** The draft model's VM (null until enableSpeculation()). */
+    vm::VirtualMachine* draftMachine() { return draftMachine_.get(); }
     const frontend::LlamaConfig& config() const { return config_; }
 
   private:
+    /** Per-row speculation state for one step: the proposed draft tokens
+     *  and (top-k sampling only) the draft distribution each was drawn
+     *  from, for the rejection-sampling acceptance ratio. */
+    struct SpecPlan
+    {
+        std::vector<int64_t> drafts;
+        std::vector<TokenProbs> probs;
+    };
+
     /**
      * Issues the step's single packed `decode_ragged` call over `batch`:
      * ids [1, total] is the concatenation of the per-row `tokens`,
@@ -235,6 +329,23 @@ class Engine
      */
     NDArray invokeRagged(const std::vector<SequenceStatePtr>& batch,
                          const std::vector<std::vector<int64_t>>& tokens);
+    /** The packed-varlen call on an arbitrary (VM, KV pool, weights)
+     *  triple — the target and the draft share this marshalling. */
+    NDArray invokeRaggedOn(vm::VirtualMachine& vm, KVCacheManager& kv,
+                           const std::vector<NDArray>& weights,
+                           const std::vector<RequestId>& order,
+                           const std::vector<std::vector<int64_t>>& tokens);
+    /**
+     * Runs the draft model for this step's speculating rows: first
+     * catch-up calls replaying each row's token stream into the draft
+     * pool up to the target's committed context (chunked under the
+     * prefill-token cap), then k batched n=1 propose calls, each row
+     * sampling its next draft token from the draft logits. Fills
+     * `plans` keyed by request id.
+     */
+    void proposeDrafts(const std::vector<SequenceStatePtr>& rows,
+                       const std::map<RequestId, int64_t>& spec_k,
+                       std::map<RequestId, SpecPlan>& plans);
     /** Grows `seq` to `tokens` positions with an exclusively-owned write
      *  range [write_start, tokens), evicting under pressure (possibly
      *  `seq` itself — callers re-check the phase afterwards). */
@@ -248,7 +359,6 @@ class Engine
     /** Samples from packed logits at packed position (a row's last fresh
      *  token sits at cu[r+1] - 1). */
     int64_t sampleFor(const NDArray& logits, int64_t position);
-    std::vector<vm::Value> withWeights(std::vector<vm::Value> args) const;
 
     frontend::LlamaConfig config_;
     EngineOptions options_;
@@ -257,6 +367,13 @@ class Engine
     Scheduler scheduler_;
     Sampler sampler_;
     std::vector<NDArray> weights_;
+    // Speculative decoding: the draft model's VM (same device, own
+    // graph keyspace), weights, KV pool and sampler (a separate rng so
+    // draft sampling never perturbs the target's stream).
+    std::unique_ptr<vm::VirtualMachine> draftMachine_;
+    std::unique_ptr<KVCacheManager> draftKv_;
+    std::vector<NDArray> draftWeights_;
+    Sampler draftSampler_;
     std::vector<SequenceStatePtr> running_;
     std::vector<SequenceStatePtr> finished_;
     EngineStats stats_;

@@ -83,11 +83,18 @@ KVCacheManager::copyPage(int64_t src, int64_t dst)
     // A device-side page copy (cudaMemcpyDeviceToDevice): one page of
     // K/V across every layer is read and written once. Priced on the
     // simulated clock — copy-on-write is not free, it is just rare.
-    device::KernelCost cost;
-    cost.bytes = 2.0 * (double)bytesPerBlock_;
-    cost.flops = 0.0;
-    cost.efficiency = machine_.dev().spec().genElemwiseEfficiency;
-    machine_.dev().launchKernel(cost, "kv.cow_copy_page");
+    // Inside a COW batch the cost is deferred: one step's copies flush
+    // as a single burst launch instead of paying the per-launch
+    // overhead b times.
+    if (cowBatchActive_) {
+        ++cowBatchPages_;
+    } else {
+        device::KernelCost cost;
+        cost.bytes = 2.0 * (double)bytesPerBlock_;
+        cost.flops = 0.0;
+        cost.efficiency = machine_.dev().spec().genElemwiseEfficiency;
+        machine_.dev().launchKernel(cost, "kv.cow_copy_page");
+    }
     ++cowCopies_;
     if (metrics_) metrics_->counter("kv.cow_copies").add();
     if (!machine_.dataMode()) return;
@@ -201,6 +208,89 @@ KVCacheManager::release(RequestId seq)
         }
     }
     sequences_.erase(it);
+}
+
+int64_t
+KVCacheManager::truncate(RequestId seq, int64_t tokens)
+{
+    RELAX_ICHECK(tokens >= 0) << "cannot truncate to a negative length";
+    auto it = sequences_.find(seq);
+    if (it == sequences_.end()) return 0;
+    Sequence& state = it->second;
+    int64_t new_committed = std::min(state.committed, tokens);
+    int64_t keep = std::min((int64_t)state.pages.size(), blocksFor(tokens));
+    if (new_committed == state.committed &&
+        keep == (int64_t)state.pages.size()) {
+        return 0;
+    }
+
+    int64_t dropped = (int64_t)state.pages.size() - keep;
+    for (int64_t idx = keep; idx < (int64_t)state.pages.size(); ++idx) {
+        int64_t page = state.pages[idx];
+        if (--refCounts_[page] == 0) {
+            unregisterPage(page);
+            freePages_.push_back(page);
+            --usedBlocks_;
+        }
+    }
+    state.pages.resize((size_t)keep);
+
+    // Retained pages whose block is no longer fully committed will be
+    // rewritten in place once decode resumes — if this sequence is the
+    // sole owner, their index entries' token snapshots would diverge
+    // from the pool content, so they must go before the page can be
+    // re-matched. Shared pages stay indexed: copy-on-write repoints this
+    // writer to a private copy, leaving the original content (and its
+    // entry) intact for the other holders.
+    int64_t full_blocks = new_committed / blockTokens_;
+    for (int64_t idx = full_blocks; idx < keep; ++idx) {
+        if (refCounts_[state.pages[idx]] == 1) {
+            unregisterPage(state.pages[idx]);
+        }
+    }
+    if ((int64_t)state.blockHashes.size() > full_blocks) {
+        state.blockHashes.resize((size_t)full_blocks);
+    }
+    state.committed = new_committed;
+    state.tokens = std::min(state.tokens, keep * blockTokens_);
+    ++truncates_;
+    if (metrics_) metrics_->counter("kv.truncates").add();
+    TraceRecorder& trace = machine_.dev().trace();
+    if (trace.enabled()) {
+        trace.instant(trace_lanes::kEngine, trace_lanes::kKvPool,
+                      "truncate", "kv", machine_.dev().clockUs(),
+                      {{"request", seq},
+                       {"tokens", new_committed},
+                       {"pages_dropped", dropped}});
+    }
+    return dropped;
+}
+
+void
+KVCacheManager::beginCowBatch()
+{
+    RELAX_ICHECK(!cowBatchActive_) << "COW batch already open";
+    cowBatchActive_ = true;
+    cowBatchPages_ = 0;
+}
+
+int64_t
+KVCacheManager::flushCowBatch()
+{
+    RELAX_ICHECK(cowBatchActive_) << "no COW batch open";
+    cowBatchActive_ = false;
+    int64_t pages = cowBatchPages_;
+    cowBatchPages_ = 0;
+    if (pages == 0) return 0;
+    // All of the step's page copies land as one burst: the bytes add up
+    // but the launch overhead is paid once, the way a batched
+    // cudaMemcpyAsync sweep behaves.
+    device::KernelCost cost;
+    cost.bytes = 2.0 * (double)bytesPerBlock_ * (double)pages;
+    cost.flops = 0.0;
+    cost.efficiency = machine_.dev().spec().genElemwiseEfficiency;
+    machine_.dev().launchKernel(cost, "kv.cow_copy_burst");
+    return pages;
 }
 
 void

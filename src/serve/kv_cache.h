@@ -120,6 +120,40 @@ class KVCacheManager
     void release(RequestId seq);
 
     /**
+     * Rolls `seq` back to `tokens` committed positions — the rejection
+     * path of speculative decoding. Whole pages past the new length drop
+     * their reference (returning to the free list when unreferenced, as
+     * release() would), the committed length rewinds inside the last
+     * retained page, and reserved capacity shrinks to the retained
+     * pages. Prefix-index entries for retained pages whose block is no
+     * longer fully committed are dropped when `seq` is their sole owner:
+     * the rewound positions will be rewritten in place, so the entry's
+     * token snapshot would otherwise diverge from the pool content and a
+     * later matchPrefix() could serve rejected-draft K/V. Shared pages
+     * keep their entries — copy-on-write repoints this writer before the
+     * page can change. Returns the number of page references dropped.
+     * No-op (returns 0) for unknown ids or when nothing exceeds
+     * `tokens`.
+     */
+    int64_t truncate(RequestId seq, int64_t tokens);
+
+    /**
+     * Opens a copy-on-write pricing batch: until flushCowBatch(), page
+     * copies made by reserveWrite() keep copying data eagerly but defer
+     * their device cost into one accumulated burst. The engine brackets
+     * each step's ensureWritable sweep with this so b sequences COW-ing
+     * in one step price one cudaMemcpyAsync-burst-shaped launch instead
+     * of b independent ones. Without an open batch copyPage prices each
+     * copy immediately (the historical behavior, kept for direct
+     * callers).
+     */
+    void beginCowBatch();
+
+    /** Closes the batch, pricing all deferred copies as one launch
+     *  (`kv.cow_copy_burst`). Returns the number of pages flushed. */
+    int64_t flushCowBatch();
+
+    /**
      * Maps `child` (which must hold no pages) onto the pages backing the
      * first `tokens` committed positions of `parent`: refcounts rise, no
      * data moves, and `child`'s committed length becomes `tokens`.
@@ -228,6 +262,9 @@ class KVCacheManager
     int64_t cowCopies() const { return cowCopies_; }
     /** Device bytes moved by copy-on-write page copies. */
     int64_t cowBytes() const { return cowCopies_ * bytesPerBlock_; }
+    /** truncate() calls that dropped at least one page or rewound the
+     *  committed length. */
+    int64_t truncateCount() const { return truncates_; }
     /** matchPrefix() calls that mapped at least one page. */
     int64_t prefixHits() const { return prefixHits_; }
     /** Total cache positions resolved from the index by matchPrefix(). */
@@ -290,6 +327,9 @@ class KVCacheManager
     int64_t peakBlocks_ = 0;
     int64_t forks_ = 0;
     int64_t cowCopies_ = 0;
+    int64_t truncates_ = 0;
+    bool cowBatchActive_ = false;   //!< inside begin/flushCowBatch()
+    int64_t cowBatchPages_ = 0;     //!< copies deferred in the open batch
     int64_t prefixHits_ = 0;
     int64_t prefixTokensMatched_ = 0;
     std::vector<NDArray> pools_;      //!< [p, h, block, d] per layer per k/v

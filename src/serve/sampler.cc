@@ -1,7 +1,8 @@
 /**
  * @file
  * Sampler implementation: argmax fast path, softmax-weighted top-k
- * sampling, and the timing-mode synthetic token stream (see sampler.h).
+ * sampling, speculative draft acceptance, and the timing-mode synthetic
+ * token stream (see sampler.h).
  */
 #include "serve/sampler.h"
 
@@ -10,6 +11,15 @@
 
 namespace relax {
 namespace serve {
+
+double
+TokenProbs::probOf(int64_t token) const
+{
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i] == token) return probs[i];
+    }
+    return 0.0;
+}
 
 Sampler::Sampler(SamplerOptions options)
     : options_(options), rng_(options.seed)
@@ -43,6 +53,72 @@ Sampler::samplePacked(const NDArray& logits, int64_t position)
     return sampleFromBase(logits, position * vocab, vocab);
 }
 
+TokenProbs
+Sampler::topKProbs(const NDArray& logits, int64_t position)
+{
+    RELAX_ICHECK(logits.hasData())
+        << "topKProbs: metadata-only logits (use sampleSyntheticAcceptance)";
+    RELAX_ICHECK(logits.shape().size() == 3 && logits.shape()[0] == 1)
+        << "expected packed [1, t, vocab]";
+    int64_t vocab = logits.shape()[2];
+    RELAX_ICHECK(position >= 0 && position < logits.shape()[1])
+        << "packed position out of range";
+    return probsFromBase(logits, position * vocab, vocab);
+}
+
+std::vector<int64_t>
+Sampler::topKOrder(const NDArray& logits, int64_t base, int64_t vocab,
+                   int64_t k)
+{
+    std::vector<int64_t> order(vocab);
+    for (int64_t v = 0; v < vocab; ++v) order[v] = v;
+    // Stable (logit desc, index asc) order: equal logits must not reorder
+    // across platforms or libstdc++ versions, or tied distributions would
+    // sample different tokens from the same seed.
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](int64_t a, int64_t b) {
+                          double la = logits.at(base + a);
+                          double lb = logits.at(base + b);
+                          if (la != lb) return la > lb;
+                          return a < b;
+                      });
+    order.resize(k);
+    return order;
+}
+
+TokenProbs
+Sampler::probsFromBase(const NDArray& logits, int64_t base, int64_t vocab)
+{
+    int64_t k = std::min(options_.topK, vocab);
+    TokenProbs out;
+    out.tokens = topKOrder(logits, base, vocab, k);
+    out.probs.resize(k);
+    double max_logit = logits.at(base + out.tokens[0]);
+    double total = 0.0;
+    for (int64_t i = 0; i < k; ++i) {
+        out.probs[i] = std::exp(logits.at(base + out.tokens[i]) - max_logit);
+        total += out.probs[i];
+    }
+    for (int64_t i = 0; i < k; ++i) out.probs[i] /= total;
+    return out;
+}
+
+int64_t
+Sampler::sampleWeighted(const std::vector<int64_t>& tokens,
+                        const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights) total += w;
+    RELAX_ICHECK(total > 0.0) << "sampleWeighted: empty distribution";
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    double target = unit(rng_) * total;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        target -= weights[i];
+        if (target <= 0) return tokens[i];
+    }
+    return tokens.back();
+}
+
 int64_t
 Sampler::sampleFromBase(const NDArray& logits, int64_t base, int64_t vocab)
 {
@@ -53,30 +129,64 @@ Sampler::sampleFromBase(const NDArray& logits, int64_t base, int64_t vocab)
         }
         return best;
     }
+    TokenProbs dist = probsFromBase(logits, base, vocab);
+    return sampleWeighted(dist.tokens, dist.probs);
+}
 
-    // Top-k: softmax over the k best logits, sample the renormalized
-    // distribution with the seeded generator.
-    int64_t k = std::min(options_.topK, vocab);
-    std::vector<int64_t> order(vocab);
-    for (int64_t v = 0; v < vocab; ++v) order[v] = v;
-    std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                      [&](int64_t a, int64_t b) {
-                          return logits.at(base + a) > logits.at(base + b);
-                      });
-    double max_logit = logits.at(base + order[0]);
-    std::vector<double> probs(k);
-    double total = 0.0;
-    for (int64_t i = 0; i < k; ++i) {
-        probs[i] = std::exp(logits.at(base + order[i]) - max_logit);
-        total += probs[i];
+SpecAcceptance
+Sampler::acceptDrafts(const NDArray& target_logits, int64_t base,
+                      const std::vector<int64_t>& drafts,
+                      const std::vector<TokenProbs>& draft_probs)
+{
+    int64_t k = (int64_t)drafts.size();
+    SpecAcceptance out;
+
+    if (options_.topK == 1) {
+        // Greedy: the accepted prefix is exactly what sequential greedy
+        // decode would have produced, so identity with speculation off is
+        // structural rather than statistical.
+        for (int64_t i = 0; i < k; ++i) {
+            int64_t argmax = samplePacked(target_logits, base + i);
+            if (argmax != drafts[i]) {
+                out.accepted = i;
+                out.next = argmax;
+                return out;
+            }
+        }
+        out.accepted = k;
+        out.next = samplePacked(target_logits, base + k);
+        return out;
     }
+
+    RELAX_ICHECK(draft_probs.size() == drafts.size())
+        << "acceptDrafts: draft_probs must align with drafts";
     std::uniform_real_distribution<double> unit(0.0, 1.0);
-    double target = unit(rng_) * total;
     for (int64_t i = 0; i < k; ++i) {
-        target -= probs[i];
-        if (target <= 0) return order[i];
+        TokenProbs p = topKProbs(target_logits, base + i);
+        double px = p.probOf(drafts[i]);
+        double qx = draft_probs[i].probOf(drafts[i]);
+        RELAX_ICHECK(qx > 0.0)
+            << "draft token outside its own proposal distribution";
+        if (unit(rng_) <= px / qx) continue; // accepted (ratio >= 1 always is)
+
+        // Rejected: resample from the residual max(p - q, 0) over the
+        // target's support; if the draft dominates everywhere (residual
+        // empty), fall back to the target distribution itself.
+        std::vector<double> residual(p.tokens.size());
+        double total = 0.0;
+        for (size_t j = 0; j < p.tokens.size(); ++j) {
+            residual[j] =
+                std::max(0.0, p.probs[j] - draft_probs[i].probOf(p.tokens[j]));
+            total += residual[j];
+        }
+        out.accepted = i;
+        out.next = (total > 0.0) ? sampleWeighted(p.tokens, residual)
+                                 : sampleWeighted(p.tokens, p.probs);
+        return out;
     }
-    return order[k - 1];
+    out.accepted = k;
+    out.next = samplePacked(target_logits, base + k);
+    return out;
 }
 
 int64_t
@@ -84,6 +194,17 @@ Sampler::sampleSynthetic(int64_t vocab)
 {
     RELAX_ICHECK(vocab > 0) << "empty vocabulary";
     return (int64_t)(rng_() % (uint64_t)vocab);
+}
+
+int64_t
+Sampler::sampleSyntheticAcceptance(int64_t k, double rate)
+{
+    RELAX_ICHECK(k >= 0) << "negative draft count";
+    RELAX_ICHECK(rate >= 0.0 && rate <= 1.0) << "rate must be in [0, 1]";
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    int64_t accepted = 0;
+    while (accepted < k && unit(rng_) < rate) ++accepted;
+    return accepted;
 }
 
 } // namespace serve

@@ -5,11 +5,20 @@
  * the llm_serving example used to hand-roll. Timing mode has no logits
  * data, so a deterministic synthetic path stands in (token identity does
  * not affect the simulated clock).
+ *
+ * Speculative decoding extends the same surface: the draft proposes k
+ * tokens, the target scores all k+1 positions in one packed call, and
+ * `acceptDrafts` decides how long a prefix survives. Greedy acceptance is
+ * the longest prefix whose target argmax equals the draft token; top-k
+ * acceptance is standard rejection sampling (accept with probability
+ * p(x)/q(x), resample the first rejected position from the adjusted
+ * residual distribution max(p - q, 0)).
  */
 #ifndef RELAX_SERVE_SAMPLER_H_
 #define RELAX_SERVE_SAMPLER_H_
 
 #include <random>
+#include <vector>
 
 #include "tir/ndarray.h"
 
@@ -21,6 +30,33 @@ struct SamplerOptions
     /** 1 = greedy argmax; k > 1 samples from the k best logits. */
     int64_t topK = 1;
     unsigned seed = 7;
+};
+
+/**
+ * A renormalized top-k distribution snapshot at one packed position.
+ * Tokens are held in sampling order: descending logit, ties broken by
+ * ascending token id so equal logits cannot reorder across platforms.
+ */
+struct TokenProbs
+{
+    std::vector<int64_t> tokens;
+    std::vector<double> probs;
+
+    /** Probability of `token` under this distribution (0 outside support). */
+    double probOf(int64_t token) const;
+};
+
+/** Outcome of verifying k draft tokens against the target distribution. */
+struct SpecAcceptance
+{
+    /** Number of draft tokens accepted (0..k). */
+    int64_t accepted = 0;
+    /**
+     * The token the target emits at position `accepted`: the bonus token
+     * when every draft survived, otherwise the replacement resampled from
+     * the adjusted distribution.
+     */
+    int64_t next = 0;
 };
 
 /** Greedy / top-k sampler (deterministic under a fixed seed). */
@@ -41,14 +77,46 @@ class Sampler
      */
     int64_t samplePacked(const NDArray& logits, int64_t position);
 
+    /**
+     * The renormalized top-k distribution at packed `position` — the draft
+     * model records this at propose time so `acceptDrafts` can form the
+     * p/q acceptance ratio without holding the draft logits alive.
+     */
+    TokenProbs topKProbs(const NDArray& logits, int64_t position);
+
+    /**
+     * Verifies `drafts` against packed target logits: position `base + i`
+     * holds the target distribution for draft token i, and `base + k` the
+     * bonus position. `draft_probs` must align with `drafts` (ignored on
+     * the greedy path, which needs only the target argmax).
+     */
+    SpecAcceptance acceptDrafts(const NDArray& target_logits, int64_t base,
+                                const std::vector<int64_t>& drafts,
+                                const std::vector<TokenProbs>& draft_probs);
+
     /** Timing mode: a deterministic pseudo-token in [0, vocab). */
     int64_t sampleSynthetic(int64_t vocab);
+
+    /**
+     * Timing mode stand-in for acceptDrafts: draws Bernoulli(rate) per
+     * draft position until the first failure, so benches can sweep the
+     * acceptance-rate axis without token data.
+     */
+    int64_t sampleSyntheticAcceptance(int64_t k, double rate);
 
     const SamplerOptions& options() const { return options_; }
 
   private:
     int64_t sampleFromBase(const NDArray& logits, int64_t base,
                            int64_t vocab);
+    /** The k best token ids at `base`, ordered (logit desc, index asc). */
+    std::vector<int64_t> topKOrder(const NDArray& logits, int64_t base,
+                                   int64_t vocab, int64_t k);
+    TokenProbs probsFromBase(const NDArray& logits, int64_t base,
+                             int64_t vocab);
+    /** Samples a token id from an explicit (token, weight) distribution. */
+    int64_t sampleWeighted(const std::vector<int64_t>& tokens,
+                           const std::vector<double>& weights);
 
     SamplerOptions options_;
     std::mt19937 rng_;

@@ -234,7 +234,8 @@ TraceRecorder::writeChromeTrace(std::ostream& os) const
                             {kVm, kFrames, "frames"},
                             {kEngine, kSteps, "steps"},
                             {kEngine, kRequests, "requests"},
-                            {kEngine, kKvPool, "kv-pool"}};
+                            {kEngine, kKvPool, "kv-pool"},
+                            {kEngine, kSpeculation, "speculation"}};
     bool first = true;
     auto separator = [&]() {
         if (!first) os << ",\n";

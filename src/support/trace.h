@@ -54,6 +54,7 @@ constexpr int kFrames = 0;
 constexpr int kSteps = 0;
 constexpr int kRequests = 1;
 constexpr int kKvPool = 2;
+constexpr int kSpeculation = 3; //!< propose/verify/accept instants
 } // namespace trace_lanes
 
 /** One typed key/value pair in an event's args dictionary. */

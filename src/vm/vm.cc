@@ -273,6 +273,12 @@ VirtualMachine::invoke(const std::string& name,
             // are unique within a function: b, n, m, ...).
             std::sort(dims.begin(), dims.end());
             std::ostringstream signature;
+            // The keyspace prefix keeps VMs running different
+            // executables on one device from replaying each other's
+            // graphs (graph ids restart per executable).
+            if (!graphKeyspace_.empty()) {
+                signature << graphKeyspace_ << ":";
+            }
             for (const auto& [name, value] : dims) {
                 signature << name << "=" << value << ",";
             }

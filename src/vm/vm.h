@@ -134,12 +134,31 @@ class VirtualMachine
     const GraphStats& graphStats() const { return graphStats_; }
 
     device::SimDevice& dev() { return *device_; }
+    /** The shared device handle — lets a second VM (a serving engine's
+     *  draft model) run on the same simulated clock and VRAM pool. */
+    std::shared_ptr<device::SimDevice> devPtr() const { return device_; }
     bool dataMode() const { return dataMode_; }
+
+    /**
+     * Namespaces this VM's captured-graph keys on the device. Two VMs
+     * running different executables on one shared device (a serving
+     * engine's target and draft models) would otherwise collide: graph
+     * ids are per-executable counters and bucketed shape signatures look
+     * alike across models, so a draft region could "replay" a graph the
+     * target captured. Defaults to the empty keyspace, which preserves
+     * the single-VM key format.
+     */
+    void setGraphKeyspace(std::string keyspace)
+    {
+        graphKeyspace_ = std::move(keyspace);
+    }
+    const std::string& graphKeyspace() const { return graphKeyspace_; }
 
   private:
     ExecutablePtr exec_;
     std::shared_ptr<device::SimDevice> device_;
     bool dataMode_;
+    std::string graphKeyspace_;
     RunStats lastStats_;
     GraphStats graphStats_;
     /** Statically planned storages, pre-allocated once and kept. */

@@ -550,6 +550,263 @@ TEST(EngineTest, ShortestPromptFirstImprovesShortRequestTtft)
     EXPECT_LT(spf, fcfs);
 }
 
+TEST(SamplerSpecTest, TopKTieBreakIsStable)
+{
+    // Tied logits must select candidates by (logit desc, token id asc).
+    // Before the fix the partial_sort comparator ignored ties, so the
+    // sampled support depended on heap internals — two platforms (or two
+    // libstdc++ versions) could emit different tokens from one seed.
+    SamplerOptions two;
+    two.topK = 2;
+    Sampler sampler(two);
+    NDArray logits = NDArray::fromVector(
+        {1, 1, 6}, DataType::f32(), {0.5, 2.0, 2.0, 2.0, 2.0, 1.0});
+    TokenProbs probs = sampler.topKProbs(logits, 0);
+    ASSERT_EQ(probs.tokens, (std::vector<int64_t>{1, 2}));
+    // Equal logits carry equal renormalized mass.
+    ASSERT_EQ(probs.probs.size(), 2u);
+    EXPECT_NEAR(probs.probs[0], 0.5, 1e-9);
+    EXPECT_NEAR(probs.probs[1], 0.5, 1e-9);
+    EXPECT_NEAR(probs.probOf(1) + probs.probOf(2), 1.0, 1e-9);
+    EXPECT_EQ(probs.probOf(3), 0.0); // tied but outside the stable top-2
+    for (int i = 0; i < 64; ++i) {
+        int64_t token = sampler.samplePacked(logits, 0);
+        EXPECT_TRUE(token == 1 || token == 2) << "draw " << i;
+    }
+}
+
+TEST(SamplerSpecTest, AcceptDraftsGreedyTakesLongestMatchingPrefix)
+{
+    // Packed target logits for k=2: positions 0 and 1 verify the drafts,
+    // position 2 is the bonus. Argmaxes per position: 3, 1, 2.
+    Sampler greedy;
+    NDArray logits = NDArray::fromVector(
+        {1, 3, 4}, DataType::f32(),
+        {0, 1, 2, 9, /**/ 0, 9, 1, 2, /**/ 0, 1, 9, 2});
+    SpecAcceptance all = greedy.acceptDrafts(logits, 0, {3, 1}, {});
+    EXPECT_EQ(all.accepted, 2);
+    EXPECT_EQ(all.next, 2); // bonus token from the extra position
+    SpecAcceptance none = greedy.acceptDrafts(logits, 0, {0, 1}, {});
+    EXPECT_EQ(none.accepted, 0);
+    EXPECT_EQ(none.next, 3); // the target's own argmax replaces it
+    SpecAcceptance one = greedy.acceptDrafts(logits, 0, {3, 0}, {});
+    EXPECT_EQ(one.accepted, 1);
+    EXPECT_EQ(one.next, 1);
+}
+
+TEST(SamplerSpecTest, AcceptDraftsRejectionSamplingRatio)
+{
+    // Top-k acceptance is p(x)/q(x) rejection sampling. Two analytic
+    // corners pin it without statistics: q == p accepts every draft
+    // (ratio 1 beats any uniform draw), and a draft from outside the
+    // target's support is always rejected (ratio 0), with the
+    // replacement resampled from the residual max(p - q, 0) — here p
+    // itself, since the supports are disjoint.
+    SamplerOptions two;
+    two.topK = 2;
+    Sampler sampler(two);
+    // Every packed position: target top-2 = tokens {2, 3}.
+    std::vector<double> row = {0, 0, 5, 4};
+    std::vector<double> packed;
+    for (int i = 0; i < 3; ++i) {
+        packed.insert(packed.end(), row.begin(), row.end());
+    }
+    NDArray logits =
+        NDArray::fromVector({1, 3, 4}, DataType::f32(), packed);
+
+    TokenProbs q_same = sampler.topKProbs(logits, 0);
+    std::vector<TokenProbs> same = {q_same, q_same};
+    for (int trial = 0; trial < 32; ++trial) {
+        SpecAcceptance acc = sampler.acceptDrafts(logits, 0, {2, 3}, same);
+        EXPECT_EQ(acc.accepted, 2) << "trial " << trial;
+        EXPECT_TRUE(acc.next == 2 || acc.next == 3); // bonus from p
+    }
+
+    TokenProbs q_disjoint;
+    q_disjoint.tokens = {0, 1};
+    q_disjoint.probs = {0.5, 0.5};
+    std::vector<TokenProbs> disjoint = {q_disjoint, q_disjoint};
+    for (int trial = 0; trial < 32; ++trial) {
+        SpecAcceptance acc =
+            sampler.acceptDrafts(logits, 0, {0, 1}, disjoint);
+        EXPECT_EQ(acc.accepted, 0) << "trial " << trial;
+        EXPECT_TRUE(acc.next == 2 || acc.next == 3); // residual == p
+    }
+}
+
+TEST(EngineSpecTest, SpeculativeDecodeMatchesSequentialGreedy)
+{
+    // THE speculation invariant: propose-k/verify/accept-prefix may not
+    // change a single token relative to plain decoding. An identical
+    // draft (same config, same weight seed) agrees with the target at
+    // every position, so this run exercises the all-accept + bonus path
+    // and must convert accepted prefixes into real step savings.
+    LlamaConfig config = LlamaConfig::tiny();
+    std::vector<std::vector<int64_t>> prompts = {
+        {3, 1, 4, 1}, {2, 7}, {5, 9, 2, 6, 5}};
+    const int64_t max_new = 8;
+    std::vector<std::vector<int64_t>> expected;
+    for (const auto& prompt : prompts) {
+        expected.push_back(sequentialGreedy(config, prompt, max_new));
+    }
+
+    int64_t baseline_steps = 0;
+    {
+        auto engine = Engine::build(config, hostOptions(), true);
+        for (const auto& prompt : prompts) {
+            engine->addRequest(prompt, max_new);
+        }
+        baseline_steps = engine->run().steps;
+    }
+
+    for (int64_t k : {2, 4}) {
+        EngineOptions options;
+        options.speculation.draftTokens = k;
+        options.speculation.draftConfig = config; // identical draft
+        auto engine = Engine::build(config, hostOptions(), true, options);
+        ASSERT_TRUE(engine->speculationEnabled());
+        for (const auto& prompt : prompts) {
+            engine->addRequest(prompt, max_new);
+        }
+        const EngineStats& stats = engine->run();
+        auto results = engine->collect();
+        ASSERT_EQ(results.size(), prompts.size()) << "k=" << k;
+        for (size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(results[i].outputTokens, expected[i])
+                << "k=" << k << " request " << i;
+        }
+        // The target still issues ONE packed call per step; the draft's
+        // calls are tallied separately.
+        EXPECT_EQ(stats.decodeBatches, stats.steps) << "k=" << k;
+        EXPECT_EQ(stats.relayoutBytes, 0) << "k=" << k;
+        EXPECT_GT(stats.draftCalls, 0) << "k=" << k;
+        EXPECT_GT(stats.specProposed, 0) << "k=" << k;
+        EXPECT_GT(stats.specAcceptanceRate(), 0.9) << "k=" << k;
+        EXPECT_LT(stats.steps, baseline_steps) << "k=" << k;
+    }
+}
+
+TEST(EngineSpecTest, MismatchedDraftStaysExactAndRollsBack)
+{
+    // A draft with different weights disagrees with the target most of
+    // the time: every rejected token must be rolled back — KV rewound
+    // via truncate, outputs still token-identical to plain decoding.
+    LlamaConfig config = LlamaConfig::tiny();
+    std::vector<std::vector<int64_t>> prompts = {
+        {3, 1, 4, 1}, {2, 7, 1, 8, 2, 8}, {6, 1}};
+    const int64_t max_new = 8;
+
+    EngineOptions options;
+    options.kvBlockTokens = 4;
+    options.speculation.draftTokens = 3;
+    options.speculation.draftConfig = config;
+    options.speculation.draftWeightSeed = 11; // disagrees with target
+    auto engine = Engine::build(config, hostOptions(), true, options);
+    for (const auto& prompt : prompts) {
+        engine->addRequest(prompt, max_new);
+    }
+    const EngineStats& stats = engine->run();
+    auto results = engine->collect();
+    ASSERT_EQ(results.size(), prompts.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].outputTokens,
+                  sequentialGreedy(config, prompts[i], max_new))
+            << "request " << i;
+    }
+    EXPECT_EQ(stats.decodeBatches, stats.steps);
+    EXPECT_GT(stats.specProposed, 0);
+    EXPECT_LT(stats.specAccepted, stats.specProposed);
+    // Rejections rewound the draft pool past its committed frontier.
+    ASSERT_NE(engine->draftKv(), nullptr);
+    EXPECT_GT(engine->draftKv()->truncateCount(), 0);
+    // Metrics mirror the speculation tallies.
+    EXPECT_EQ(engine->metrics().counter("serve.spec_proposed_tokens").value(),
+              stats.specProposed);
+    EXPECT_EQ(engine->metrics().counter("serve.spec_accepted_tokens").value(),
+              stats.specAccepted);
+    EXPECT_EQ(engine->metrics().counter("serve.draft_calls").value(),
+              stats.draftCalls);
+    EXPECT_EQ(engine->metrics().counter("kv.truncates").value(),
+              engine->kv().truncateCount() +
+                  engine->draftKv()->truncateCount());
+}
+
+TEST(EngineSpecTest, PrefixSharedSiblingSurvivesSiblingRejections)
+{
+    // A prefix-cache fork shares pool pages between two requests while
+    // one of them keeps proposing (and mostly rejecting) draft tokens.
+    // Rollback must stay private: the sharer's stream and the rejecter's
+    // stream both match their sequential oracles exactly.
+    LlamaConfig config = LlamaConfig::tiny();
+    std::vector<int64_t> parent = {3, 1, 4, 1, 5, 9, 2, 6, 5};
+    std::vector<int64_t> child = parent;
+    child.push_back(8);
+    const int64_t max_new = 6;
+
+    EngineOptions options;
+    options.kvBlockTokens = 4;
+    options.speculation.draftTokens = 3;
+    options.speculation.draftConfig = config;
+    options.speculation.draftWeightSeed = 11;
+    auto engine = Engine::build(config, hostOptions(), true, options);
+    engine->addRequest(parent, max_new);
+    engine->step(); // parent prefills and registers its full blocks
+    engine->addRequest(child, max_new);
+    engine->run();
+
+    auto results = engine->collect();
+    ASSERT_EQ(results.size(), 2u);
+    std::sort(results.begin(), results.end(),
+              [](const FinishedRequest& a, const FinishedRequest& b) {
+                  return a.id < b.id;
+              });
+    EXPECT_EQ(results[0].outputTokens,
+              sequentialGreedy(config, parent, max_new));
+    EXPECT_EQ(results[1].outputTokens,
+              sequentialGreedy(config, child, max_new));
+    // The child really did share the parent's pages (no fork hint), and
+    // speculation really did reject and roll back next to it.
+    EXPECT_GE(engine->kv().prefixHits(), 1);
+    EXPECT_GE(engine->kv().forkCount(), 1);
+    EXPECT_GT(engine->stats().specProposed, engine->stats().specAccepted);
+    EXPECT_GT(engine->draftKv()->truncateCount(), 0);
+}
+
+TEST(EngineSpecTest, TimingModeSyntheticAcceptanceSpeedsDecode)
+{
+    // The bench path: no logits, acceptance simulated per draft position
+    // as Bernoulli(rate). High acceptance must beat k=0 on generated
+    // tokens per unit of virtual clock; rate 0 degenerates to k=0-like
+    // progress while still paying the draft, and every mode preserves
+    // decodeBatches == steps.
+    LlamaConfig config = LlamaConfig::tiny();
+    auto run_with = [&](int64_t k, double rate) {
+        EngineOptions options;
+        options.speculation.draftTokens = k;
+        options.speculation.draftConfig = config;
+        options.speculation.syntheticAcceptanceRate = rate;
+        auto engine =
+            Engine::build(config, hostOptions(), /*data_mode=*/false,
+                          options);
+        for (int i = 0; i < 4; ++i) {
+            engine->addRequest(std::vector<int64_t>(6, 1), 12);
+        }
+        EngineStats stats = engine->run();
+        EXPECT_EQ(stats.decodeBatches, stats.steps)
+            << "k=" << k << " rate=" << rate;
+        EXPECT_EQ(stats.tokensGenerated, 4 * 12);
+        return stats;
+    };
+    EngineStats plain = run_with(0, 0.0);
+    EXPECT_EQ(plain.specProposed, 0);
+    EngineStats eager = run_with(4, 1.0);
+    EXPECT_GT(eager.specAcceptanceRate(), 0.99);
+    EXPECT_LT(eager.steps, plain.steps);
+    EngineStats hopeless = run_with(4, 0.0);
+    EXPECT_EQ(hopeless.specAccepted, 0);
+    EXPECT_GE(hopeless.steps, eager.steps);
+}
+
 } // namespace
 } // namespace serve
 } // namespace relax

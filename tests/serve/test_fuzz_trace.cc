@@ -10,11 +10,16 @@
  * prefix-caching hash index, eviction, and the ONE packed-varlen call
  * per step that carries prefill chunks and n=1 decode rows together) to
  * an end-to-end correctness invariant: no batching, paging, sharing,
- * preemption, or graph-replay decision may change tokens. Structural
+ * preemption, or graph-replay decision may change tokens. A speculation
+ * axis (k in {0, 2, 4}) rides on top: every scenario also runs with a
+ * draft model proposing k tokens per row per step — alternating between
+ * an identical draft (near-total acceptance: the all-accept + bonus
+ * path) and a mismatched one (mostly rejections: the truncate-rollback
+ * path) — and the token streams must STILL be identical. Structural
  * invariants ride along: decode calls == steps on every trace (mixed
- * prefill+decode steps never split into extra calls), relayoutBytes ==
- * 0, and prompt-prefix duplicates must hit the hash index with no
- * fork hint from the driver.
+ * prefill+decode steps never split into extra calls, and draft calls
+ * are tallied separately), relayoutBytes == 0, and prompt-prefix
+ * duplicates must hit the hash index with no fork hint from the driver.
  *
  * Seed count defaults to 40 (~3 s); set RELAX_FUZZ_SEEDS for the
  * scheduled soak (the cron workflow runs 2000).
@@ -54,8 +59,9 @@ fuzzOptions(bool with_graphs)
     // Envelope of every fuzzed trace: prompts <= 12, generated <= 8
     // (re-prefills cover prompt+generated <= 20), batch <= 8. The
     // packed token count n sums one step's fresh tokens: the 24-token
-    // per-step prefill cap plus up to 7 decode rows stays under 32.
-    options.bounds = {{"b", 8}, {"n", 32}, {"m", 48}};
+    // per-step prefill cap plus up to 8 speculating decode rows of
+    // 1 + k <= 5 fresh tokens each (the verify window) stays under 96.
+    options.bounds = {{"b", 8}, {"n", 96}, {"m", 48}};
     return options;
 }
 
@@ -240,12 +246,23 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
     auto exec_off =
         frontend::compile(frontend::buildLlama(config), replay_off);
     auto weights = frontend::makeLlamaWeights(config, /*with_data=*/true);
+    // Draft weights for the speculation axis. The draft reuses the same
+    // tiny architecture (and compiled executable — graph keyspaces keep
+    // the two VMs' captures apart), so the identical-seed draft agrees
+    // with the target everywhere (all-accept) while the alternate seed
+    // mostly disagrees (reject + rollback). Identity must hold either way.
+    auto draft_weights_same =
+        frontend::makeLlamaWeights(config, /*with_data=*/true, 7);
+    auto draft_weights_alt =
+        frontend::makeLlamaWeights(config, /*with_data=*/true, 11);
 
     int64_t total_replays = 0;
     int64_t total_evictions = 0;
     int64_t total_prefix_hits = 0, total_prefix_tokens = 0;
     int64_t mixed_step_traces = 0;
     int64_t ragged_steps = 0, ragged_decode_calls = 0;
+    int64_t total_spec_proposed = 0, total_spec_accepted = 0;
+    int64_t total_truncates = 0, total_draft_calls = 0;
     std::mt19937 seed_rng(0xF00D);
     const int64_t seed_count = fuzzSeedCount();
     for (int64_t round = 0; round < seed_count; ++round) {
@@ -275,6 +292,7 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
         engine_options.kvBlockTokens = scenario.kvBlockTokens;
         engine_options.kvBudgetBytes = scenario.kvBudgetBytes;
 
+        for (int64_t spec_k : {int64_t(0), int64_t(2), int64_t(4)})
         for (bool with_replay : {true, false}) {
             auto dev = std::make_shared<device::SimDevice>(
                 hostSpec(with_replay));
@@ -283,9 +301,18 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
             // not change any token), and each trace must be well
             // nested.
             dev->trace().enable();
+            EngineOptions variant_options = engine_options;
+            variant_options.speculation.draftTokens = spec_k;
+            variant_options.speculation.draftConfig = config;
             Engine engine(with_replay ? exec_on : exec_off, dev,
                           /*data_mode=*/true, config, weights,
-                          engine_options);
+                          variant_options);
+            if (spec_k > 0) {
+                engine.enableSpeculation(with_replay ? exec_on : exec_off,
+                                         round % 2 == 0
+                                             ? draft_weights_same
+                                             : draft_weights_alt);
+            }
             // Mid-stream arrival driver: add each request at its
             // arrival step, stepping the engine in between so fresh
             // prefills join an already-decoding batch.
@@ -320,7 +347,8 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
             for (size_t i = 0; i < results.size(); ++i) {
                 EXPECT_EQ(results[i].outputTokens, expected[i])
                     << "seed=" << seed << " request=" << i
-                    << " replay=" << with_replay
+                    << " replay=" << with_replay << " spec_k=" << spec_k
+                    << " draft=" << (round % 2 == 0 ? "same" : "alt")
                     << " policy=" << (int)scenario.policy;
             }
             if (with_replay) {
@@ -381,6 +409,37 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
             EXPECT_EQ(metrics.counter("kv.prefix_tokens_matched").value(),
                       engine.kv().prefixTokensMatched())
                 << "seed=" << seed;
+            if (spec_k > 0) {
+                // Speculation tallies mirror the stats fields, and the
+                // truncate counter covers both pools (the draft rewinds
+                // on every rejection; the target returns surplus pages).
+                EXPECT_EQ(
+                    metrics.counter("serve.spec_proposed_tokens").value(),
+                    engine.stats().specProposed)
+                    << "seed=" << seed;
+                EXPECT_EQ(
+                    metrics.counter("serve.spec_accepted_tokens").value(),
+                    engine.stats().specAccepted)
+                    << "seed=" << seed;
+                EXPECT_EQ(metrics.counter("serve.draft_calls").value(),
+                          engine.stats().draftCalls)
+                    << "seed=" << seed;
+                ASSERT_NE(engine.draftKv(), nullptr);
+                EXPECT_EQ(metrics.counter("kv.truncates").value(),
+                          engine.kv().truncateCount() +
+                              engine.draftKv()->truncateCount())
+                    << "seed=" << seed;
+                total_spec_proposed += engine.stats().specProposed;
+                total_spec_accepted += engine.stats().specAccepted;
+                total_draft_calls += engine.stats().draftCalls;
+                total_truncates += engine.kv().truncateCount() +
+                                   engine.draftKv()->truncateCount();
+            } else {
+                // Speculation off must leave no trace at all.
+                EXPECT_EQ(engine.stats().specProposed, 0);
+                EXPECT_EQ(engine.stats().draftCalls, 0);
+                EXPECT_EQ(engine.kv().truncateCount(), 0);
+            }
 
             // Structural trace invariant: per-lane 'X' spans nest.
             std::string nest_error;
@@ -403,6 +462,14 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
     EXPECT_GT(total_prefix_tokens, 0);
     EXPECT_GT(ragged_decode_calls, 0);
     EXPECT_EQ(ragged_decode_calls, ragged_steps);
+    // The speculation axis must have exercised both regimes: drafts were
+    // proposed, some were accepted (the identical-draft rounds), and
+    // some were rejected hard enough to roll KV state back.
+    EXPECT_GT(total_draft_calls, 0);
+    EXPECT_GT(total_spec_proposed, 0);
+    EXPECT_GT(total_spec_accepted, 0);
+    EXPECT_LT(total_spec_accepted, total_spec_proposed);
+    EXPECT_GT(total_truncates, 0);
 }
 
 TEST(FuzzTraceTest, BuildWiresKvBlockSizeIntoGraphBucket)

@@ -455,6 +455,132 @@ TEST(KVCacheTest, RegisterCommittedCoversGeneratedTokensForReAdmission)
     EXPECT_EQ(kv.matchPrefix(3, probe), 8);
 }
 
+TEST(KVCacheTest, TruncateReturnsWholePagesAndRewindsCommitted)
+{
+    // Speculative-decode rollback: rejected draft positions are discarded
+    // by rewinding the sequence, returning any page that held only
+    // un-kept positions and clamping the committed frontier in the last
+    // retained page.
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    kv.reserve(1, 10); // pages 0, 1, 2
+    kv.commit(1, 10);
+    EXPECT_EQ(kv.usedPages(), 3);
+
+    // Rewind to 5 positions: page 2 goes back to the pool whole, page 1
+    // rewinds in place (reservation stays page-granular).
+    EXPECT_EQ(kv.truncate(1, 5), 1);
+    EXPECT_EQ(kv.usedPages(), 2);
+    EXPECT_EQ(kv.committedTokens(1), 5);
+    EXPECT_EQ(kv.reservedTokens(1), 8);
+    EXPECT_EQ(kv.truncateCount(), 1);
+    EXPECT_EQ(kv.usedPages() + kv.freePages(), kv.totalPages());
+
+    // Truncating to the current length is a no-op and counts nothing —
+    // the all-accepted speculation window costs no bookkeeping.
+    EXPECT_EQ(kv.truncate(1, 5), 0);
+    EXPECT_EQ(kv.truncate(1, 8), 0);
+    EXPECT_EQ(kv.truncateCount(), 1);
+
+    // Regrowing reuses the freed page; truncate(0) returns everything
+    // while the id stays known; unknown ids are a graceful no-op.
+    kv.reserve(1, 12);
+    EXPECT_EQ(kv.usedPages(), 3);
+    EXPECT_EQ(kv.truncate(1, 0), 3);
+    EXPECT_EQ(kv.usedPages(), 0);
+    EXPECT_EQ(kv.committedTokens(1), 0);
+    EXPECT_EQ(kv.truncate(42, 0), 0);
+}
+
+TEST(KVCacheTest, TruncateDropsStaleIndexEntriesBeforeReMatching)
+{
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    // Constant hash: every block lands on one collision chain, so only
+    // the entry bookkeeping — never hash luck — decides what a probe
+    // can see.
+    kv.setBlockHashForTest(
+        [](uint64_t, const int64_t*, int64_t) { return (uint64_t)7; });
+    std::vector<int64_t> prompt = {1, 2, 3, 4, 5, 6, 7, 8};
+    kv.reserve(1, 8);
+    kv.commit(1, 8);
+    kv.registerCommitted(1, prompt);
+    EXPECT_EQ(kv.indexedBlocks(), 2);
+
+    // Rollback rewinds seq 1 into block 1. The page stays with its sole
+    // owner, who will rewrite positions 5.. in place — but its index
+    // entry still advertises the OLD tokens {5,6,7,8}. Serving that
+    // entry to a matcher would share about-to-diverge content, so the
+    // entry must be dropped before any re-match.
+    EXPECT_EQ(kv.truncate(1, 5), 0); // rewind only: no page returned
+    EXPECT_EQ(kv.indexedBlocks(), 1);
+    std::vector<int64_t> probe = prompt;
+    probe.push_back(9);
+    EXPECT_EQ(kv.matchPrefix(2, probe), 4); // block 0 only
+    kv.release(2);
+
+    // Shared pages keep their entries: re-register, let a child map both
+    // blocks, then rewind the registrant again. Copy-on-write repoints
+    // the rewinder to a private page before it can write, so the shared
+    // original (and its index entry) stays valid for everyone else.
+    kv.commit(1, 8);
+    kv.registerCommitted(1, prompt);
+    EXPECT_EQ(kv.indexedBlocks(), 2);
+    EXPECT_EQ(kv.matchPrefix(3, probe), 8);
+    EXPECT_EQ(kv.truncate(1, 5), 0);
+    EXPECT_EQ(kv.indexedBlocks(), 2);
+    EXPECT_EQ(kv.matchPrefix(4, probe), 8);
+
+    kv.setBlockHashForTest(nullptr);
+    kv.release(1);
+    kv.release(3);
+    kv.release(4);
+    EXPECT_EQ(kv.usedPages(), 0);
+    EXPECT_EQ(kv.indexedBlocks(), 0);
+}
+
+TEST(KVCacheTest, CowBatchPricesOneBurstLaunch)
+{
+    // One engine step can trigger several copy-on-write page copies (one
+    // per diverging writer). Inside a begin/flush bracket the data still
+    // moves eagerly, but the device is charged ONE burst launch for the
+    // whole sweep — the cudaMemcpyAsync-batch shape — instead of one
+    // launch per page.
+    Fixture fx;
+    KVCacheManager kv(fx.config, fx.machine, 64 * 4 * 8, 4);
+    kv.reserve(1, 6); // pages 0, 1; position 5 mid-page
+    kv.commit(1, 6);
+    NDArray pool = kv.poolTensors()[0];
+    int64_t row = pool.numel() / kv.totalPages();
+    for (int64_t i = 0; i < row; ++i) pool.set(1 * row + i, 42.0);
+    kv.fork(1, 2, 6);
+    kv.fork(1, 3, 6);
+
+    int64_t launches_before = fx.dev->kernelLaunches();
+    kv.beginCowBatch();
+    kv.reserveWrite(1, 7, 6); // COW of page 1 (three-way shared)
+    kv.reserveWrite(2, 7, 6); // COW of the original (still shared with 3)
+    EXPECT_EQ(kv.cowCopies(), 2);
+    EXPECT_EQ(kv.cowBytes(), 2 * kv.bytesPerBlock());
+    // Pricing is deferred until the flush...
+    EXPECT_EQ(fx.dev->kernelLaunches(), launches_before);
+    EXPECT_EQ(kv.flushCowBatch(), 2);
+    // ...which issues exactly one launch for both pages.
+    EXPECT_EQ(fx.dev->kernelLaunches(), launches_before + 1);
+
+    // The copies carried the page contents despite deferred pricing.
+    NDArray parent_table = kv.blockTableView({1}, 2);
+    int64_t copied = (int64_t)parent_table.at(1);
+    for (int64_t i = 0; i < row; ++i) {
+        EXPECT_EQ(pool.at(copied * row + i), 42.0) << "element " << i;
+    }
+
+    // An empty batch flushes to nothing — no phantom launch.
+    kv.beginCowBatch();
+    EXPECT_EQ(kv.flushCowBatch(), 0);
+    EXPECT_EQ(fx.dev->kernelLaunches(), launches_before + 1);
+}
+
 TEST(KVCacheTest, DestructorReturnsThePool)
 {
     Fixture fx;
