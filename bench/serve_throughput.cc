@@ -83,6 +83,11 @@ struct TraceResult
     int64_t peakPages = 0;
     /** Decode replay hit-rate measured after the warmup steps. */
     double warmHitRate = 0.0;
+    // Compiler memory-plan report (sampled once at engine build):
+    int64_t planStorages = 0;
+    int64_t planBytes = 0;      //!< Table 2 activation watermark
+    int64_t planReuseHits = 0;
+    int64_t inplaceRewrites = 0;
     // Instrumented runs only:
     bool traceWellNested = true;
     std::string nestError;
@@ -300,6 +305,14 @@ runTrace(const frontend::LlamaConfig& config,
     result.p50ItlUs = itl.count() > 0 ? itl.percentile(0.50) : 0.0;
     result.p99ItlUs = itl.count() > 0 ? itl.percentile(0.99) : 0.0;
     result.peakPages = engine->kv().peakPages();
+    result.planStorages =
+        (int64_t)engine->metrics().gauge("plan.storages").last();
+    result.planBytes =
+        (int64_t)engine->metrics().gauge("plan.total_bytes").last();
+    result.planReuseHits =
+        (int64_t)engine->metrics().gauge("plan.reuse_hits").last();
+    result.inplaceRewrites =
+        (int64_t)engine->metrics().gauge("plan.inplace_rewrites").last();
 
     if (instrument) {
         result.traceWellNested =
@@ -548,6 +561,16 @@ main(int argc, char** argv)
         return 1;
     }
 
+    std::cout << "memory plan: " << fcfs_result.planStorages
+              << " storages, " << fcfs_result.planBytes
+              << " activation plan bytes, " << fcfs_result.planReuseHits
+              << " reuse hits, " << fcfs_result.inplaceRewrites
+              << " in-place rewrites\n";
+    if (fcfs_result.inplaceRewrites < 3) {
+        std::cerr << "FAIL: in-place planning rewrote fewer than 3 "
+                     "sites across the serving functions\n";
+        return 1;
+    }
     std::cout << "host cache relayout bytes: " << total_relayout << "\n";
     if (total_relayout != 0) {
         std::cerr << "FAIL: page-pool serving copied cache bytes on the "

@@ -137,3 +137,35 @@ if command -v python3 > /dev/null; then
 else
   echo "python3 not found; skipping JSON schema validation"
 fi
+
+# Aliasing-contract gates (DESIGN.md §9). The serve bench fails internally
+# when InplacePlanPass rediscovers fewer than 3 in-place rewrites on the
+# decode path; here we pin the exported plan report (Table 2 activation
+# memory tracking) and the differential instrumentation:
+#  1. the memory-plan line must be present (storages/bytes/reuse/in-place);
+#  2. RELAX_ALIAS_CHECK=1 must not perturb the timing-mode run — the
+#     shadow copy-in/copy-out reference only engages in data mode;
+#  3. the 40-seed fuzz corpus re-runs with every in-place kernel executed
+#     twice (aliased vs copy-in/copy-out) and bit-compared.
+plan_line="$(printf '%s\n' "$serve_out" | sed -n 's/^memory plan: //p' | tail -1)"
+if [[ -z "$plan_line" ]]; then
+  echo "FAIL: bench_serve_throughput did not report a memory plan" >&2
+  exit 1
+fi
+echo "memory plan report: ${plan_line}"
+
+echo "== bench smoke: serve throughput (RELAX_ALIAS_CHECK identity)"
+alias_out="$(RELAX_ALIAS_CHECK=1 ./bench_serve_throughput)"
+base_fcfs="$(printf '%s\n' "$serve_out" | sed -n 's/^fcfs throughput: //p')"
+alias_fcfs="$(printf '%s\n' "$alias_out" | sed -n 's/^fcfs throughput: //p')"
+if [[ -z "$alias_fcfs" || "$alias_fcfs" != "$base_fcfs" ]]; then
+  echo "FAIL: RELAX_ALIAS_CHECK perturbed the timing-mode bench" \
+       "('$alias_fcfs' vs '$base_fcfs')" >&2
+  exit 1
+fi
+echo "alias-check identity gate passed (FCFS: ${alias_fcfs})"
+
+echo "== instrumented fuzz smoke (differential alias verification)"
+RELAX_ALIAS_CHECK=1 RELAX_VERIFY_ALIAS=1 \
+  ./test_serve --gtest_filter='FuzzTraceTest.*' > /dev/null
+echo "instrumented fuzz smoke passed (in-place kernels bit-identical)"

@@ -56,8 +56,11 @@ compile(ir::IRModulePtr module, const CompileOptions& options)
         pipeline.add(passes::fuseOpsPass())
             .add(passes::fuseTensorIRPass());
     }
-    pipeline.add(passes::workspaceLiftingPass())
-        .add(passes::lowerCallTIRPass());
+    pipeline.add(passes::workspaceLiftingPass());
+    if (options.enableInplacePlanning) {
+        pipeline.add(passes::inplacePlanPass());
+    }
+    pipeline.add(passes::lowerCallTIRPass());
     if (options.enableMemoryPlanning) {
         pipeline.add(passes::staticMemoryPlanPass(options.bounds));
     }

@@ -22,6 +22,9 @@ struct CompileOptions
     passes::SymBounds bounds;
     bool enableLibraryLowering = true;
     bool enableFusion = true;
+    /** Automatic in-place planning (alias/liveness-driven `inplace_arg`
+     *  rewriting). Off = every DPS call allocates its output. */
+    bool enableInplacePlanning = true;
     bool enableMemoryPlanning = true;
     bool enableGraphOffload = true;
     /**

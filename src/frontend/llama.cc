@@ -307,6 +307,22 @@ class LlamaBuilder
         const char* fn_name = kind == FnKind::kPrefill ? "prefill"
                               : ragged_                ? "decode_ragged"
                                                        : "decode";
+        if (ragged_ && is_decode) {
+            // The serving engine passes each layer's persistent page
+            // pool with the intent that the kernel writes through it;
+            // donating the pool params licenses InplacePlanPass to alias
+            // the KV-append outputs onto them. Weights and token inputs
+            // are NOT donated — writing through those is never legal.
+            std::string donated;
+            for (const auto& cache : k_caches) {
+                donated += cache->name + ";";
+            }
+            for (const auto& cache : v_caches) {
+                donated += cache->name + ";";
+            }
+            if (!donated.empty()) donated.pop_back();
+            func->attrs["donatable_params"] = donated;
+        }
         module_->addFunction(fn_name, func);
         if (weightNames_ && kind == FnKind::kDecode) {
             weightNames_->clear();
@@ -398,24 +414,24 @@ class LlamaBuilder
 
         Expr k_full = k, v_full = v;
         if (is_decode && ragged_) {
-            // In-place page-pool append: scatter this call's fresh K/V
-            // into the persistent pool pages named by the block table at
-            // each sequence's own length offset. `inplace_arg = 0` makes
-            // the DPS output alias the pool argument, so the append
-            // allocates nothing and copies nothing — the zero-relayout
-            // contract of the serving path.
+            // Page-pool append: scatter this call's fresh K/V into the
+            // persistent pool pages named by the block table at each
+            // sequence's own length offset. The frontend emits a plain
+            // DPS call; InplacePlanPass proves the pool argument is dead
+            // (it is donated and never read again) and rewrites the site
+            // with `inplace_arg = 0`, so the append allocates nothing and
+            // copies nothing — the zero-relayout contract of the serving
+            // path — without any hand-placed aliasing attribute here.
             const auto* cache_info = asTensor(k_cache->structInfo());
             Call k_append = callDPSLibrary(
                 "kv.append_ragged",
                 {k_cache, k, seqLens_, cuFresh_, blockTable_},
                 tensorSInfo(*cache_info->shape, dtype_));
-            k_append->attrs["inplace_arg"] = (int64_t)0;
             k_full = builder.emit(k_append, prefix + "k_full");
             Call v_append = callDPSLibrary(
                 "kv.append_ragged",
                 {v_cache, v, seqLens_, cuFresh_, blockTable_},
                 tensorSInfo(*cache_info->shape, dtype_));
-            v_append->attrs["inplace_arg"] = (int64_t)0;
             v_full = builder.emit(v_append, prefix + "v_full");
         } else if (is_decode) {
             // Paged KV-cache append (runtime library, in-place semantics):

@@ -118,6 +118,7 @@ buildDefaultPipeline(const TargetInfo& target, const SymBounds& bounds)
         .add(fuseOpsPass())
         .add(fuseTensorIRPass())
         .add(workspaceLiftingPass())
+        .add(inplacePlanPass())
         .add(lowerCallTIRPass())
         .add(staticMemoryPlanPass(bounds))
         .add(graphOffloadPass(target));

@@ -23,6 +23,7 @@
 
 #include "arith/analyzer.h"
 #include "ir/utils.h"
+#include "passes/alias_analysis.h"
 
 namespace relax {
 namespace passes {
@@ -82,45 +83,16 @@ class Planner
             << "memory planning expects the lowered single-block form";
         const auto& bindings = seq->blocks[0]->bindings;
 
-        // Liveness: last binding index at which each alloc var is used.
-        std::unordered_map<const VarNode*, size_t> last_use;
-        for (size_t i = 0; i < bindings.size(); ++i) {
-            std::unordered_set<const VarNode*> used;
-            collectVarUses(bindings[i].value, &used);
-            for (const auto* v : used) last_use[v] = i;
-        }
-        {
-            std::unordered_set<const VarNode*> used;
-            collectVarUses(seq->body, &used);
-            for (const auto* v : used) last_use[v] = bindings.size();
-        }
-        // Aliases: `var = alloc` rebinding keeps the tensor alive.
-        std::unordered_map<const VarNode*, const VarNode*> alias;
-        for (const auto& binding : bindings) {
-            if (binding.value->kind() == RxKind::kVar) {
-                alias[static_cast<const VarNode*>(binding.value.get())] =
-                    binding.var.get();
-            }
-            if (binding.value->kind() == RxKind::kTuple) {
-                for (const auto& field : static_cast<const TupleNode*>(
-                         binding.value.get())->fields) {
-                    if (field->kind() == RxKind::kVar) {
-                        alias[static_cast<const VarNode*>(field.get())] =
-                            binding.var.get();
-                    }
-                }
-            }
-        }
+        // Liveness and aliasing come from the shared analysis: a tensor
+        // dies at the last use of ANY var sharing one of its storage
+        // roots — rebinds, tuple packaging and in-place kernel outputs
+        // chained onto it all extend the live range, so the planner's
+        // reuse decisions agree with the alias facts by construction
+        // (VerifyAliasSafety re-checks the planned module in debug).
+        AliasLivenessAnalysis analysis(func_);
         auto lastUseOf = [&](const VarNode* v) {
-            size_t last = last_use.count(v) ? last_use[v] : 0;
-            const VarNode* cursor = v;
-            while (alias.count(cursor)) {
-                cursor = alias[cursor];
-                if (last_use.count(cursor)) {
-                    last = std::max(last, last_use[cursor]);
-                }
-            }
-            return last;
+            size_t last = analysis.lastLiveIndex(v);
+            return last == AliasLivenessAnalysis::kNeverUsed ? 0 : last;
         };
 
         // Walk bindings, assigning storage to each allocation.
@@ -185,6 +157,9 @@ class Planner
         if (total_known) {
             updated->attrs["planned.total_bytes"] = std::to_string(total);
         }
+        updated->attrs["planned.reuse_hits"] = std::to_string(reuseHits_);
+        updated->attrs["planned.bytes_reused"] =
+            std::to_string(bytesReused_);
         updated->attrs["static_plan"] =
             (all_static && total_known) ? "1" : "0";
         return updated;
@@ -204,7 +179,11 @@ class Planner
                 // Upper-bound mode: any request that fits reuses.
                 reusable = *upper <= *storage.upper;
             }
-            if (reusable) return sid;
+            if (reusable) {
+                ++reuseHits_;
+                if (upper) bytesReused_ += *upper;
+                return sid;
+            }
         }
         // NewStorage: bind `s = relax.memory.alloc_storage(size)`.
         PlannedStorage storage;
@@ -223,6 +202,8 @@ class Planner
     Function func_;
     Analyzer analyzer_;
     std::vector<PlannedStorage> storages_;
+    int64_t reuseHits_ = 0;
+    int64_t bytesReused_ = 0;
 };
 
 } // namespace

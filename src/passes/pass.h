@@ -23,6 +23,11 @@ struct Pass
     std::function<ir::IRModulePtr(ir::IRModulePtr)> run;
 };
 
+// Defined in alias_analysis.cc; declared here (not via alias_analysis.h,
+// which includes this header) so pipelines can lint every pass boundary.
+void verifyAliasSafety(const ir::IRModulePtr& module);
+bool aliasVerifierEnabled();
+
 /** Ordered pass sequence with optional per-pass tracing. */
 class Pipeline
 {
@@ -33,13 +38,19 @@ class Pipeline
         return *this;
     }
 
-    /** Runs every pass in order; validates well-formedness when enabled. */
+    /** Runs every pass in order; validates well-formedness when enabled.
+     *  Debug builds (or RELAX_VERIFY_ALIAS=1) additionally lint the
+     *  aliasing contract after every pass, independent of
+     *  `check_well_formed` — passes that are not yet well-formed in the
+     *  annotation sense must still respect storage aliasing. */
     ir::IRModulePtr
     run(ir::IRModulePtr module, bool check_well_formed = true) const
     {
+        bool verify_alias = aliasVerifierEnabled();
         for (const auto& pass : passes_) {
             module = pass.run(std::move(module));
             if (check_well_formed) ir::wellFormed(module);
+            if (verify_alias) verifyAliasSafety(module);
         }
         return module;
     }

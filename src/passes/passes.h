@@ -87,6 +87,11 @@ Pass fuseTensorIRPass();
  *  allocations out of tensor programs into graph-level allocations. */
 Pass workspaceLiftingPass();
 
+/** Automatic in-place planning: proves DPS outputs may alias dead inputs
+ *  and annotates call sites with `inplace_arg` ahead of LowerCallTIR
+ *  (declared with its analysis in passes/alias_analysis.h). */
+Pass inplacePlanPass();
+
 /** Lowers call_tir / call_dps_library to explicit alloc_tensor plus DPS
  *  kernel invocation (Fig. 5 semantics made explicit). */
 Pass lowerCallTIRPass();

@@ -14,6 +14,8 @@
 
 #include <algorithm>
 
+#include "passes/alias_analysis.h"
+
 namespace relax {
 namespace serve {
 
@@ -75,6 +77,23 @@ Engine::Engine(vm::ExecutablePtr exec,
       scheduler_(options.scheduler), sampler_(options.sampler),
       weights_(std::move(weights)), draftSampler_(options.sampler)
 {
+    // Memory-plan observability: the compiler's plan for the serving
+    // functions is static, so its footprint is sampled once here (the
+    // Table 2 "activation memory" figure is plan.total_bytes of the
+    // decode path; in-place rewrites are what keep it flat).
+    {
+        passes::MemoryPlanReport plan = passes::memoryPlanReport(
+            exec->module);
+        metrics_.gauge("plan.storages")
+            .sample((double)plan.storagesAllocated);
+        metrics_.gauge("plan.total_bytes")
+            .sample((double)plan.bytesAllocated);
+        metrics_.gauge("plan.reuse_hits").sample((double)plan.reuseHits);
+        metrics_.gauge("plan.bytes_reused")
+            .sample((double)plan.bytesReused);
+        metrics_.gauge("plan.inplace_rewrites")
+            .sample((double)plan.inplaceWrites);
+    }
     machine_ = std::make_unique<vm::VirtualMachine>(std::move(exec),
                                                     std::move(dev),
                                                     data_mode);

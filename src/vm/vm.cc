@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "tir/analysis.h"
@@ -16,6 +17,75 @@
 
 namespace relax {
 namespace vm {
+
+namespace {
+
+/** Cumulative count of instrumented in-place kernel verifications. */
+std::atomic<int64_t> g_aliasChecks{0};
+
+/** RELAX_ALIAS_CHECK=1 turns on the differential in-place verifier. */
+bool
+aliasCheckEnabled()
+{
+    const char* env = getenv("RELAX_ALIAS_CHECK");
+    return env && std::string(env) != "0";
+}
+
+/**
+ * Differential in-place verification (the ASPIS-style instrumented
+ * check): the aliased run already executed on `aliased`; `ref` holds
+ * deep copies taken before it, on which the caller re-ran the kernel
+ * with NO aliasing (the copied output buffer is distinct from the
+ * copied input — copy-in/copy-out semantics). Every argument except the
+ * aliased input itself must now be bit-identical across the two runs:
+ * outputs prove the in-place rewrite did not change results, inputs
+ * prove the kernel wrote nothing it does not own.
+ */
+void
+diffAliasedRun(const Instr& instr, const std::vector<NDArray>& aliased,
+               const std::vector<NDArray>& ref)
+{
+    auto inplace = std::get<int64_t>(instr.attrs.at("inplace_arg"));
+    for (size_t i = 0; i < aliased.size(); ++i) {
+        // The aliased input shares storage with the output in the
+        // aliased run only; its pre-state copy legitimately differs.
+        if ((int64_t)i == inplace) continue;
+        if (!aliased[i].hasData() || !ref[i].hasData()) continue;
+        if (aliased[i].data() != ref[i].data()) {
+            RELAX_THROW(RuntimeError)
+                << "RELAX_ALIAS_CHECK: '" << instr.callee << "' arg " << i
+                << " diverges between the aliased run and the "
+                << "copy-in/copy-out reference"
+                << (i >= (size_t)instr.numInputs
+                        ? " (in-place output corrupted)"
+                        : " (kernel wrote a non-aliased input)");
+        }
+    }
+    g_aliasChecks.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** Deep copies of every data-bearing argument, for the reference run. */
+std::vector<NDArray>
+copyArgsForReference(const std::vector<NDArray>& args)
+{
+    std::vector<NDArray> copies;
+    copies.reserve(args.size());
+    for (const auto& arg : args) {
+        copies.push_back(arg.hasData()
+                             ? NDArray::fromVector(arg.shape(),
+                                                   arg.dtype(), arg.data())
+                             : arg);
+    }
+    return copies;
+}
+
+} // namespace
+
+int64_t
+aliasChecksPerformed()
+{
+    return g_aliasChecks.load(std::memory_order_relaxed);
+}
 
 LibraryRegistry&
 LibraryRegistry::global()
@@ -453,6 +523,14 @@ Executor::execKernelCall(const Instr& instr, Frame& frame)
         args.push_back(asTensorValue(frame.regs[reg],
                                      instr.callee.c_str()));
     }
+    // Instrumented differential mode: for in-place kernel calls, snapshot
+    // every argument before the aliased run so a no-aliasing reference
+    // run can be replayed on the copies and bit-compared afterwards. The
+    // reference run touches neither the device clock nor the pool.
+    bool alias_check = dataMode_ && aliasCheckEnabled() &&
+                       instr.attrs.count("inplace_arg");
+    std::vector<NDArray> ref_args;
+    if (alias_check) ref_args = copyArgsForReference(args);
     if (instr.isLibrary) {
         const LibraryKernel* kernel =
             LibraryRegistry::global().find(instr.callee);
@@ -496,6 +574,10 @@ Executor::execKernelCall(const Instr& instr, Frame& frame)
             RELAX_ICHECK(kernel->compute)
                 << instr.callee << " has no data-mode implementation";
             kernel->compute(args, instr.attrs);
+            if (alias_check) {
+                kernel->compute(ref_args, instr.attrs);
+                diffAliasedRun(instr, args, ref_args);
+            }
         }
         return;
     }
@@ -536,7 +618,13 @@ Executor::execKernelCall(const Instr& instr, Frame& frame)
                 instr.callee.c_str(), latency / 1e3, kernel_cost.flops,
                 kernel_cost.bytes, kernel_cost.efficiency);
     }
-    if (dataMode_) tir::run(func, args, sym_args);
+    if (dataMode_) {
+        tir::run(func, args, sym_args);
+        if (alias_check) {
+            tir::run(func, ref_args, sym_args);
+            diffAliasedRun(instr, args, ref_args);
+        }
+    }
 }
 
 void

@@ -101,6 +101,14 @@ class LibraryRegistry
  *  and runtime builtins (idempotent). */
 void ensureLibrariesRegistered();
 
+/**
+ * Cumulative count (process-wide) of in-place kernel invocations verified
+ * by the RELAX_ALIAS_CHECK differential mode: each one ran twice — once
+ * aliased, once copy-in/copy-out — and bit-compared clean. Zero when the
+ * mode is off or no in-place sites executed in data mode.
+ */
+int64_t aliasChecksPerformed();
+
 /** The virtual machine. */
 class VirtualMachine
 {

@@ -234,6 +234,14 @@ fuzzSeedCount()
 
 TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
 {
+    // Instrumented differential mode for the whole corpus: every
+    // in-place kernel call in every seed below runs twice — aliased and
+    // copy-in/copy-out — and throws on any bit difference, so the token
+    // oracle here simultaneously proves the aliasing rewrites are
+    // behavior-preserving across the fuzzed serving space.
+    setenv("RELAX_ALIAS_CHECK", "1", 1);
+    const int64_t alias_checks_before = vm::aliasChecksPerformed();
+
     LlamaConfig config = LlamaConfig::tiny();
     SequentialOracle oracle(config);
 
@@ -470,6 +478,15 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
     EXPECT_GT(total_spec_accepted, 0);
     EXPECT_LT(total_spec_accepted, total_spec_proposed);
     EXPECT_GT(total_truncates, 0);
+    // The instrumented differential verifier must have actually fired:
+    // every seed decoded through the planner's in-place KV appends (and
+    // any in-place elementwise sites), each invocation double-executed
+    // and bit-compared. A zero here means the corpus silently stopped
+    // covering the aliasing machinery.
+    unsetenv("RELAX_ALIAS_CHECK");
+    EXPECT_GT(vm::aliasChecksPerformed() - alias_checks_before,
+              seed_count * 4)
+        << "differential alias checking did not run across the corpus";
 }
 
 TEST(FuzzTraceTest, BuildWiresKvBlockSizeIntoGraphBucket)
