@@ -104,6 +104,39 @@ if ! awk -v u="$uplift" 'BEGIN { exit (u > 1.0) ? 0 : 1 }'; then
 fi
 echo "speculation uplift gate passed (${uplift}x at 0.95 acceptance)"
 
+# Tensor-parallel gates (DESIGN.md §10). The --tp=4 run shards the
+# serving model across four simulated devices with priced ring
+# collectives; the binary itself gates the >= 2x saturated speedup, the
+# one-call-per-step invariant under sharding, and that the collectives
+# carry nonzero time. Here we pin the single-device contract on top:
+# a --tp=1 invocation must be byte-identical to the default run — the
+# tensor-parallel machinery may not perturb the tp=1 path at all.
+echo "== bench smoke: serve throughput (tensor parallel)"
+./bench_serve_throughput --tp=1 --bench-json=bench_tp1.json > /dev/null
+if ! cmp -s BENCH_serve.json bench_tp1.json; then
+  echo "FAIL: --tp=1 bench JSON differs from the default run" \
+       "(tensor-parallel plumbing perturbed the single-device path)" >&2
+  exit 1
+fi
+echo "tp=1 identity gate passed (bench JSON byte-identical)"
+tp_out="$(./bench_serve_throughput --tp=4 --bench-json=bench_tp4.json)"
+printf '%s\n' "$tp_out" | sed -n '/^tensor parallel/p'
+if ! printf '%s\n' "$tp_out" | grep -q '^tensor parallel (tp = 4'; then
+  echo "FAIL: --tp=4 run did not report a tensor-parallel result" >&2
+  exit 1
+fi
+echo "tensor-parallel gates passed (speedup and collective pricing" \
+     "enforced inside the binary)"
+
+# Cluster-router gates: the overload bench fails internally when the
+# shed arm does not improve admitted p99 TTFT >= 4x over the unshedded
+# control at 2.5x offered load, when shedding rejects everything, or
+# when per-tenant budgets fail to isolate the flooding tenant.
+echo "== bench smoke: router overload"
+./bench_router_overload --bench-json=bench_router.json |
+  sed -n '/^admitted p99/p;/^tenant budgets/p'
+echo "router overload gates passed (p99 bound, shed valve, tenant budgets)"
+
 # Observability gates (DESIGN.md §7). The instrumented bench run gates
 # inside the binary that >= 95% of graph regions inside pure-decode step
 # spans are replay-flagged and that enabling tracing does not perturb
@@ -127,7 +160,8 @@ done
 echo "determinism tripwire passed (trace/metrics/bench JSON byte-identical)"
 
 if command -v python3 > /dev/null; then
-  for f in trace_a.json metrics_a.json bench_a.json bench_spec.json; do
+  for f in trace_a.json metrics_a.json bench_a.json bench_spec.json \
+           bench_tp4.json bench_router.json; do
     if ! python3 -m json.tool "$f" > /dev/null; then
       echo "FAIL: $f is not valid JSON" >&2
       exit 1

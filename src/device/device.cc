@@ -1,223 +1,130 @@
 /**
  * @file
- * The device catalog: one constructor per evaluation platform
- * (rtx4090 ... steamDeck) with roofline parameters — bandwidth,
- * throughput, launch overhead, library availability, efficiency
- * factors — calibrated to public spec sheets. The virtual-clock cost
- * model itself lives in device.h.
+ * The device catalog as one data-driven registry table: each evaluation
+ * platform (rtx4090 ... webgpu_m3max) is a row of roofline parameters —
+ * bandwidth, throughput, launch overhead, library availability,
+ * efficiency factors — calibrated to public spec sheets. The named
+ * factory functions and `deviceByName` both read the same table, so a
+ * preset exists in exactly one place. The virtual-clock cost model
+ * itself lives in device.h.
  */
 #include "device/device.h"
+
+#include <array>
 
 namespace relax {
 namespace device {
 
-// Parameters are calibrated to public spec sheets; efficiencies are chosen
-// so headline single-device numbers land in the bands the paper reports
-// (EXPERIMENTS.md records paper-vs-measured for each).
+namespace {
+
+// Library-availability bitmask (the `libs` column below).
+constexpr unsigned kGemm = 1u;      //!< cuBLAS / rocBLAS / MPS
+constexpr unsigned kAttention = 2u; //!< FlashAttention
+constexpr unsigned kEpilogue = 4u;  //!< CUTLASS-style fused norms
+constexpr unsigned kGraphs = 8u;    //!< CUDA Graph equivalent
+
+/**
+ * One catalog row. Columns mirror DeviceSpec; fields the catalog never
+ * varies (graphCaptureUs, libAttentionEfficiency) keep their DeviceSpec
+ * defaults in fromRow().
+ */
+struct PresetRow
+{
+    const char* key;     //!< deviceByName lookup key
+    const char* name;    //!< marketing name reported in benches
+    const char* backend; //!< cuda / rocm / metal / opencl / vulkan / webgpu
+    double bwGBs;        //!< memory bandwidth
+    double fp16Tflops;
+    double fp32Tflops;
+    double launchUs;   //!< kernel launch overhead
+    double replayUs;   //!< per-kernel cost inside graph replay
+    int64_t vramMB;    //!< device memory budget, MiB
+    unsigned libs;     //!< kGemm|kAttention|kEpilogue|kGraphs
+    double libGemmEff; //!< vendor GEMM efficiency
+    double genGemmEff; //!< generated GEMM
+    double genGemvEff; //!< generated matrix-vector (bs=1)
+    double genElemEff; //!< generated elementwise
+};
+
+// Parameters are calibrated to public spec sheets; efficiencies are
+// chosen so headline single-device numbers land in the bands the paper
+// reports (EXPERIMENTS.md records paper-vs-measured for each).
+// clang-format off
+constexpr std::array<PresetRow, 10> kCatalog = {{
+    //  key              name                  backend    bw      fp16   fp32   lau   rep  vramMB  libs                             libG  genG  genV  elem
+    {"rtx4090",       "NVIDIA RTX 4090",      "cuda",   1008.0, 165.0, 82.6,  3.0, 0.4, 24576, kGemm|kAttention|kEpilogue|kGraphs, 0.88, 0.55, 0.88, 0.80},
+    {"radeon7900xtx", "AMD Radeon 7900 XTX",  "rocm",    960.0, 122.8, 61.4,  5.0, 0.5, 24576, kGemm,                              0.70, 0.45, 0.82, 0.80},
+    {"m2ultra",       "Apple M2 Ultra",       "metal",   800.0,  27.2, 27.2,  8.0, 0.5, 98304, kGemm,                              0.72, 0.45, 0.80, 0.80},
+    {"iphone14pro",   "iPhone 14 Pro",        "metal",    34.0,   2.0,  1.0, 20.0, 0.5,  3800, 0,                                  0.85, 0.35, 0.62, 0.60},
+    {"s23",           "Samsung S23",          "opencl",   67.0,   3.4,  1.7, 30.0, 0.5,  6144, 0,                                  0.85, 0.30, 0.50, 0.55},
+    {"s24",           "Samsung S24",          "opencl",   77.0,   4.6,  2.3, 25.0, 0.5,  8192, 0,                                  0.85, 0.30, 0.55, 0.55},
+    {"orangepi5",     "Orange Pi 5",          "opencl",   17.0,   0.5, 0.25, 60.0, 0.5,  7168, 0,                                  0.85, 0.25, 0.55, 0.50},
+    {"steamdeck",     "Steam Deck",           "vulkan",   88.0,   3.2,  1.6, 12.0, 0.5, 12288, 0,                                  0.85, 0.40, 0.72, 0.80},
+    {"jetsonorin",    "Jetson Orin",          "cuda",    204.8,  21.0, 10.5,  6.0, 0.8, 32768, kGemm|kAttention|kGraphs,           0.80, 0.45, 0.80, 0.80},
+    {"webgpu_m3max",  "WebGPU (M3 Max)",      "webgpu",  300.0,  28.0, 14.0, 15.0, 0.5, 24576, 0,                                  0.85, 0.35, 0.62, 0.80},
+}};
+// clang-format on
 
 DeviceSpec
-rtx4090()
+fromRow(const PresetRow& row)
 {
     DeviceSpec spec;
-    spec.name = "NVIDIA RTX 4090";
-    spec.backend = "cuda";
-    spec.memBandwidthGBs = 1008.0;
-    spec.fp16Tflops = 165.0;
-    spec.fp32Tflops = 82.6;
-    spec.kernelLaunchUs = 3.0;
-    spec.graphReplayUs = 0.4;
-    spec.vramBytes = int64_t(24) << 30;
-    spec.hasGemmLibrary = true;
-    spec.hasAttentionLibrary = true;
-    spec.hasEpilogueLibrary = true;
-    spec.supportsExecutionGraphs = true;
-    spec.libGemmEfficiency = 0.88;
-    spec.genGemmEfficiency = 0.55;
-    spec.genGemvEfficiency = 0.88;
+    spec.name = row.name;
+    spec.backend = row.backend;
+    spec.memBandwidthGBs = row.bwGBs;
+    spec.fp16Tflops = row.fp16Tflops;
+    spec.fp32Tflops = row.fp32Tflops;
+    spec.kernelLaunchUs = row.launchUs;
+    spec.graphReplayUs = row.replayUs;
+    spec.vramBytes = row.vramMB << 20;
+    spec.hasGemmLibrary = (row.libs & kGemm) != 0;
+    spec.hasAttentionLibrary = (row.libs & kAttention) != 0;
+    spec.hasEpilogueLibrary = (row.libs & kEpilogue) != 0;
+    spec.supportsExecutionGraphs = (row.libs & kGraphs) != 0;
+    spec.libGemmEfficiency = row.libGemmEff;
+    spec.genGemmEfficiency = row.genGemmEff;
+    spec.genGemvEfficiency = row.genGemvEff;
+    spec.genElemwiseEfficiency = row.genElemEff;
     return spec;
 }
 
-DeviceSpec
-radeon7900xtx()
-{
-    DeviceSpec spec;
-    spec.name = "AMD Radeon 7900 XTX";
-    spec.backend = "rocm";
-    spec.memBandwidthGBs = 960.0;
-    spec.fp16Tflops = 122.8;
-    spec.fp32Tflops = 61.4;
-    spec.kernelLaunchUs = 5.0;
-    spec.vramBytes = int64_t(24) << 30;
-    spec.hasGemmLibrary = true;       // rocBLAS
-    spec.hasAttentionLibrary = false; // no FlashAttention on ROCm then
-    spec.hasEpilogueLibrary = false;
-    spec.supportsExecutionGraphs = false;
-    spec.libGemmEfficiency = 0.70; // rocBLAS less tuned than cuBLAS
-    spec.genGemmEfficiency = 0.45;
-    spec.genGemvEfficiency = 0.82;
-    return spec;
-}
-
-DeviceSpec
-appleM2Ultra()
-{
-    DeviceSpec spec;
-    spec.name = "Apple M2 Ultra";
-    spec.backend = "metal";
-    spec.memBandwidthGBs = 800.0;
-    spec.fp16Tflops = 27.2;
-    spec.fp32Tflops = 27.2;
-    spec.kernelLaunchUs = 8.0;
-    spec.vramBytes = int64_t(96) << 30; // unified memory budget
-    spec.hasGemmLibrary = true; // MPS
-    spec.hasAttentionLibrary = false;
-    spec.hasEpilogueLibrary = false;
-    spec.supportsExecutionGraphs = false;
-    spec.libGemmEfficiency = 0.72;
-    spec.genGemmEfficiency = 0.45;
-    spec.genGemvEfficiency = 0.80;
-    return spec;
-}
-
-DeviceSpec
-iphone14Pro()
-{
-    DeviceSpec spec;
-    spec.name = "iPhone 14 Pro";
-    spec.backend = "metal";
-    spec.memBandwidthGBs = 34.0; // LPDDR5, thermally constrained
-    spec.fp16Tflops = 2.0;
-    spec.fp32Tflops = 1.0;
-    spec.kernelLaunchUs = 20.0;
-    spec.vramBytes = int64_t(3800) << 20; // usable app memory
-    spec.genGemvEfficiency = 0.62;
-    spec.genGemmEfficiency = 0.35;
-    spec.genElemwiseEfficiency = 0.6;
-    return spec;
-}
-
-DeviceSpec
-samsungS23()
-{
-    DeviceSpec spec;
-    spec.name = "Samsung S23";
-    spec.backend = "opencl";
-    spec.memBandwidthGBs = 67.0; // LPDDR5X
-    spec.fp16Tflops = 3.4;       // Adreno 740
-    spec.fp32Tflops = 1.7;
-    spec.kernelLaunchUs = 30.0;
-    spec.vramBytes = int64_t(6) << 30;
-    spec.genGemvEfficiency = 0.50;
-    spec.genGemmEfficiency = 0.30;
-    spec.genElemwiseEfficiency = 0.55;
-    return spec;
-}
-
-DeviceSpec
-samsungS24()
-{
-    DeviceSpec spec = samsungS23();
-    spec.name = "Samsung S24";
-    spec.memBandwidthGBs = 77.0; // LPDDR5X-4800
-    spec.fp16Tflops = 4.6;       // Adreno 750
-    spec.fp32Tflops = 2.3;
-    spec.kernelLaunchUs = 25.0;
-    spec.vramBytes = int64_t(8) << 30;
-    spec.genGemvEfficiency = 0.55;
-    return spec;
-}
-
-DeviceSpec
-orangePi5()
-{
-    DeviceSpec spec;
-    spec.name = "Orange Pi 5";
-    spec.backend = "opencl";
-    spec.memBandwidthGBs = 17.0; // LPDDR4X shared
-    spec.fp16Tflops = 0.5;       // Mali-G610 MP4
-    spec.fp32Tflops = 0.25;
-    spec.kernelLaunchUs = 60.0;
-    spec.vramBytes = int64_t(7) << 30;
-    spec.genGemvEfficiency = 0.55;
-    spec.genGemmEfficiency = 0.25;
-    spec.genElemwiseEfficiency = 0.5;
-    return spec;
-}
-
-DeviceSpec
-steamDeck()
-{
-    DeviceSpec spec;
-    spec.name = "Steam Deck";
-    spec.backend = "vulkan";
-    spec.memBandwidthGBs = 88.0; // LPDDR5 quad-channel
-    spec.fp16Tflops = 3.2;       // RDNA2 8 CU
-    spec.fp32Tflops = 1.6;
-    spec.kernelLaunchUs = 12.0;
-    spec.vramBytes = int64_t(12) << 30;
-    spec.genGemvEfficiency = 0.72;
-    spec.genGemmEfficiency = 0.40;
-    return spec;
-}
-
-DeviceSpec
-jetsonOrin()
-{
-    DeviceSpec spec;
-    spec.name = "Jetson Orin";
-    spec.backend = "cuda";
-    spec.memBandwidthGBs = 204.8;
-    spec.fp16Tflops = 21.0; // Ampere 2048-core dev kit
-    spec.fp32Tflops = 10.5;
-    spec.kernelLaunchUs = 6.0;
-    spec.graphReplayUs = 0.8;
-    spec.vramBytes = int64_t(32) << 30;
-    spec.hasGemmLibrary = true;
-    spec.hasAttentionLibrary = true;
-    spec.supportsExecutionGraphs = true;
-    spec.libGemmEfficiency = 0.80;
-    spec.genGemvEfficiency = 0.80;
-    spec.genGemmEfficiency = 0.45;
-    return spec;
-}
-
-DeviceSpec
-webgpuM3Max()
-{
-    DeviceSpec spec;
-    spec.name = "WebGPU (M3 Max)";
-    spec.backend = "webgpu";
-    spec.memBandwidthGBs = 300.0; // 400 GB/s part, browser overhead
-    spec.fp16Tflops = 28.0;
-    spec.fp32Tflops = 14.0;
-    spec.kernelLaunchUs = 15.0; // browser dispatch
-    spec.vramBytes = int64_t(24) << 30;
-    spec.genGemvEfficiency = 0.62;
-    spec.genGemmEfficiency = 0.35;
-    return spec;
-}
+} // namespace
 
 DeviceSpec
 deviceByName(const std::string& name)
 {
-    static const std::map<std::string, DeviceSpec (*)()> catalog = {
-        {"rtx4090", rtx4090},
-        {"radeon7900xtx", radeon7900xtx},
-        {"m2ultra", appleM2Ultra},
-        {"iphone14pro", iphone14Pro},
-        {"s23", samsungS23},
-        {"s24", samsungS24},
-        {"orangepi5", orangePi5},
-        {"steamdeck", steamDeck},
-        {"jetsonorin", jetsonOrin},
-        {"webgpu_m3max", webgpuM3Max},
-    };
-    auto it = catalog.find(name);
-    if (it == catalog.end()) {
-        RELAX_THROW(RuntimeError) << "unknown device: " << name;
+    for (const PresetRow& row : kCatalog) {
+        if (name == row.key) return fromRow(row);
     }
-    return it->second();
+    // Unknown name: list the registry so the caller can self-correct.
+    std::string known;
+    for (const PresetRow& row : kCatalog) {
+        known += known.empty() ? "" : ", ";
+        known += row.key;
+    }
+    RELAX_THROW(RuntimeError)
+        << "unknown device: " << name << " (known devices: " << known << ")";
 }
+
+std::vector<std::string>
+deviceNames()
+{
+    std::vector<std::string> names;
+    names.reserve(kCatalog.size());
+    for (const PresetRow& row : kCatalog) names.emplace_back(row.key);
+    return names;
+}
+
+DeviceSpec rtx4090() { return deviceByName("rtx4090"); }
+DeviceSpec radeon7900xtx() { return deviceByName("radeon7900xtx"); }
+DeviceSpec appleM2Ultra() { return deviceByName("m2ultra"); }
+DeviceSpec iphone14Pro() { return deviceByName("iphone14pro"); }
+DeviceSpec samsungS23() { return deviceByName("s23"); }
+DeviceSpec samsungS24() { return deviceByName("s24"); }
+DeviceSpec orangePi5() { return deviceByName("orangepi5"); }
+DeviceSpec steamDeck() { return deviceByName("steamdeck"); }
+DeviceSpec jetsonOrin() { return deviceByName("jetsonorin"); }
+DeviceSpec webgpuM3Max() { return deviceByName("webgpu_m3max"); }
 
 } // namespace device
 } // namespace relax

@@ -83,9 +83,30 @@ class SimDevice
      * The device's trace recorder — the one clock domain of the whole
      * stack (every subsystem stamps events with this device's clockUs).
      * Disabled by default; enabling it never changes simulated timing.
+     * Devices in a DeviceGroup share shard 0's recorder (shareTrace), so
+     * one export holds every shard's lane.
      */
-    TraceRecorder& trace() { return trace_; }
-    const TraceRecorder& trace() const { return trace_; }
+    TraceRecorder& trace() { return external_trace_ ? *external_trace_ : trace_; }
+    const TraceRecorder&
+    trace() const
+    {
+        return external_trace_ ? *external_trace_ : trace_;
+    }
+
+    /**
+     * Routes this device's trace events into `recorder` on pid `lane`
+     * (the per-device trace lane: pid = device index within a group).
+     * The recorder must outlive this device.
+     */
+    void
+    shareTrace(TraceRecorder& recorder, int lane)
+    {
+        external_trace_ = &recorder;
+        traceLane_ = lane;
+    }
+
+    /** The pid this device stamps on its trace events. */
+    int traceLane() const { return traceLane_; }
 
     /**
      * Advances the clock for one kernel launch; returns its latency.
@@ -107,13 +128,13 @@ class SimDevice
         double start = clockUs_;
         clockUs_ += latency;
         ++kernelLaunches_;
-        if (trace_.enabled()) {
-            trace_.span(trace_lanes::kDevice, trace_lanes::kKernels,
-                        name ? name : "kernel", "kernel", start, latency,
-                        {{"flops", cost.flops},
-                         {"bytes", cost.bytes},
-                         {"launch_us", overhead_us},
-                         {"replay", (int64_t)(replaying_ ? 1 : 0)}});
+        if (trace().enabled()) {
+            trace().span(traceLane_, trace_lanes::kKernels,
+                         name ? name : "kernel", "kernel", start, latency,
+                         {{"flops", cost.flops},
+                          {"bytes", cost.bytes},
+                          {"launch_us", overhead_us},
+                          {"replay", (int64_t)(replaying_ ? 1 : 0)}});
         }
         return latency;
     }
@@ -132,7 +153,7 @@ class SimDevice
         allocatedBytes_ += bytes;
         totalAllocatedBytes_ += bytes;
         peakBytes_ = std::max(peakBytes_, allocatedBytes_);
-        if (trace_.enabled()) traceMemory("alloc", bytes);
+        if (trace().enabled()) traceMemory("alloc", bytes);
         if (allocatedBytes_ > spec_.vramBytes) {
             RELAX_THROW(RuntimeError)
                 << spec_.name << ": out of device memory (" << allocatedBytes_
@@ -144,7 +165,7 @@ class SimDevice
     free(int64_t bytes)
     {
         allocatedBytes_ -= bytes;
-        if (trace_.enabled()) traceMemory("free", bytes);
+        if (trace().enabled()) traceMemory("free", bytes);
     }
 
     // --- execution graph (CUDA Graph) state --------------------------------
@@ -199,11 +220,11 @@ class SimDevice
     void
     traceMemory(const char* what, int64_t bytes)
     {
-        trace_.instant(trace_lanes::kDevice, trace_lanes::kMemory, what,
-                       "memory", clockUs_, {{"bytes", bytes}});
-        trace_.counter(trace_lanes::kDevice, trace_lanes::kMemory,
-                       "allocated_bytes", clockUs_,
-                       {{"bytes", allocatedBytes_}});
+        trace().instant(traceLane_, trace_lanes::kMemory, what, "memory",
+                        clockUs_, {{"bytes", bytes}});
+        trace().counter(traceLane_, trace_lanes::kMemory,
+                        "allocated_bytes", clockUs_,
+                        {{"bytes", allocatedBytes_}});
     }
 
     DeviceSpec spec_;
@@ -218,6 +239,9 @@ class SimDevice
     bool replaying_ = false;
     std::set<std::string> capturedGraphs_;
     TraceRecorder trace_;
+    /** When set (DeviceGroup members), events go here instead. */
+    TraceRecorder* external_trace_ = nullptr;
+    int traceLane_ = trace_lanes::kDevice;
 };
 
 /** Catalog of the devices used in the paper's evaluation (§5). */
@@ -234,6 +258,9 @@ DeviceSpec webgpuM3Max();
 
 /** Looks up a device spec by name; throws on unknown names. */
 DeviceSpec deviceByName(const std::string& name);
+
+/** Every registry key, in catalog order (the deviceByName domain). */
+std::vector<std::string> deviceNames();
 
 } // namespace device
 } // namespace relax

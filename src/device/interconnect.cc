@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The interconnect catalog: named link presets for multi-device groups,
+ * same registry idiom as the device catalog (one data row per preset,
+ * `interconnectByName` and the named factories read the same table).
+ */
+#include "device/interconnect.h"
+
+#include <array>
+
+namespace relax {
+namespace device {
+
+namespace {
+
+struct LinkRow
+{
+    const char* key;
+    double bandwidthGBs;
+    double latencyUs;
+};
+
+// clang-format off
+constexpr std::array<LinkRow, 2> kLinks = {{
+    // key         bw GB/s  hop us
+    {"nvlink",      300.0,   1.0}, // NVLink 4.0-class intra-node pod
+    {"pcie_gen4",    24.0,   2.5}, // PCIe 4.0 x16 effective p2p
+}};
+// clang-format on
+
+InterconnectSpec
+fromRow(const LinkRow& row)
+{
+    InterconnectSpec spec;
+    spec.name = row.key;
+    spec.linkBandwidthGBs = row.bandwidthGBs;
+    spec.linkLatencyUs = row.latencyUs;
+    return spec;
+}
+
+} // namespace
+
+InterconnectSpec
+interconnectByName(const std::string& name)
+{
+    for (const LinkRow& row : kLinks) {
+        if (name == row.key) return fromRow(row);
+    }
+    std::string known;
+    for (const LinkRow& row : kLinks) {
+        known += known.empty() ? "" : ", ";
+        known += row.key;
+    }
+    RELAX_THROW(RuntimeError) << "unknown interconnect: " << name
+                              << " (known interconnects: " << known << ")";
+}
+
+InterconnectSpec nvlink() { return interconnectByName("nvlink"); }
+InterconnectSpec pcieGen4() { return interconnectByName("pcie_gen4"); }
+
+} // namespace device
+} // namespace relax

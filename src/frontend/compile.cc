@@ -45,6 +45,11 @@ compile(ir::IRModulePtr module, const CompileOptions& options)
 {
     passes::TargetInfo target = targetFromDevice(options.device, options);
     passes::Pipeline pipeline;
+    if (options.tensorParallel > 1) {
+        // Sharding must see the frontend's tp annotations before any
+        // lowering rewrites them away.
+        pipeline.add(passes::shardPass(options.tensorParallel));
+    }
     pipeline.add(passes::normalizePass()).add(passes::constantFoldPass());
     if (options.enableLibraryLowering) {
         pipeline.add(passes::partialLibraryLoweringPass(target));

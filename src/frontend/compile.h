@@ -38,6 +38,15 @@ struct CompileOptions
     int64_t graphBucketTokens = 0;
     /** Minimum GEMM row count for library dispatch (see TargetInfo). */
     int64_t libraryGemmMinRows = 2;
+    /**
+     * Tensor-parallel shard count. When > 1, ShardPass rewrites
+     * `decode_ragged` into the per-shard program of an N-way device
+     * group (weights and KV pools divided, explicit ccl.* collective
+     * sites) before any other pass runs; one compiled executable then
+     * serves every shard. 1 leaves the pipeline byte-identical to the
+     * single-device build.
+     */
+    int64_t tensorParallel = 1;
 };
 
 /** Derives the pass-facing target description from a device spec. */

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <random>
 
 #include "op/ops.h"
@@ -285,8 +286,8 @@ class LlamaBuilder
         Expr normed = builder.emit(op::rmsNorm(x, norm_w), "final_norm_out");
         Var head = weight("lm_head", {config_.vocabSize,
                                       config_.hiddenSize});
-        Var logits = builder.emitOutput(matmulWeight(builder, normed, head),
-                                        "logits");
+        Var logits = builder.emitOutput(
+            matmulWeight(builder, normed, head, "vocab"), "logits");
 
         // Outputs: logits plus the updated caches.
         std::vector<Expr> outs{logits};
@@ -346,13 +347,22 @@ class LlamaBuilder
      * x @ W^T for an [out, in] weight; under q4 quantization the weight is
      * stored packed and decoded by the Fig. 9 custom tensor program that
      * fusion later merges into the matmul.
+     *
+     * `tp` is the Megatron-style tensor-parallel role of the weight —
+     * "col" (output-dim split, no communication), "row" (input-dim split,
+     * partial sums all-reduced) or "vocab" (output-dim split, results
+     * all-gathered) — recorded as a call attribute for ShardPass. The
+     * annotation is inert unless the sharding pass runs; quantized
+     * weights are not annotated (not shardable yet).
      */
     Expr
-    matmulWeight(shape::BlockBuilder& builder, Expr x, Var w)
+    matmulWeight(shape::BlockBuilder& builder, Expr x, Var w,
+                 const char* tp = nullptr)
     {
         if (config_.quant == Quant::kF16) {
-            return builder.emit(op::matmul(x, w, /*transpose_b=*/true),
-                                w->name + "_mm");
+            ir::Call mm = op::matmul(x, w, /*transpose_b=*/true);
+            if (tp) mm->attrs["tp"] = std::string(tp);
+            return builder.emit(mm, w->name + "_mm");
         }
         // Quantized: w holds [out, in]; the packed params replace it.
         const auto* tensor = asTensor(w->structInfo());
@@ -400,11 +410,14 @@ class LlamaBuilder
 
         auto project = [&](const std::string& name) {
             Var w = weight(prefix + name, {proj, h});
-            Expr p = matmulWeight(builder, normed, w);
-            Expr reshaped = builder.emit(
-                op::reshape(p, makeShapeExpr({b, seq, intImm(heads),
-                                              intImm(hd)})),
-                prefix + name + "_r");
+            Expr p = matmulWeight(builder, normed, w, "col");
+            // Under tensor parallelism the head axis is the sharded one:
+            // each shard reshapes its proj/N columns into heads/N heads.
+            ir::Call reshape_call = op::reshape(
+                p, makeShapeExpr({b, seq, intImm(heads), intImm(hd)}));
+            reshape_call->attrs["tp_dim"] = (int64_t)2;
+            Expr reshaped =
+                builder.emit(reshape_call, prefix + name + "_r");
             return builder.emit(op::permuteDims(reshaped, {0, 2, 1, 3}),
                                 prefix + name + "_t");
         };
@@ -427,11 +440,13 @@ class LlamaBuilder
                 "kv.append_ragged",
                 {k_cache, k, seqLens_, cuFresh_, blockTable_},
                 tensorSInfo(*cache_info->shape, dtype_));
+            k_append->attrs["tp_dim"] = (int64_t)1; // pool head axis
             k_full = builder.emit(k_append, prefix + "k_full");
             Call v_append = callDPSLibrary(
                 "kv.append_ragged",
                 {v_cache, v, seqLens_, cuFresh_, blockTable_},
                 tensorSInfo(*cache_info->shape, dtype_));
+            v_append->attrs["tp_dim"] = (int64_t)1;
             v_full = builder.emit(v_append, prefix + "v_full");
         } else if (is_decode) {
             // Paged KV-cache append (runtime library, in-place semantics):
@@ -461,11 +476,12 @@ class LlamaBuilder
             prefix + "attn");
         Expr attn_t = builder.emit(op::permuteDims(attn, {0, 2, 1, 3}),
                                    prefix + "attn_t");
-        Expr attn_flat = builder.emit(
-            op::reshape(attn_t, makeShapeExpr({b, seq, intImm(proj)})),
-            prefix + "attn_flat");
+        ir::Call flat_call =
+            op::reshape(attn_t, makeShapeExpr({b, seq, intImm(proj)}));
+        flat_call->attrs["tp_dim"] = (int64_t)2;
+        Expr attn_flat = builder.emit(flat_call, prefix + "attn_flat");
         Var wo = weight(prefix + "wo", {h, proj});
-        Expr o = matmulWeight(builder, attn_flat, wo);
+        Expr o = matmulWeight(builder, attn_flat, wo, "row");
         Expr x1 = builder.emit(op::add(x, o), prefix + "resid1");
 
         Var ffn_norm_w = weight(prefix + "ffn_norm", {h});
@@ -473,15 +489,15 @@ class LlamaBuilder
                                prefix + "ffn_norm_out");
         Var w_gate = weight(prefix + "w_gate", {config_.ffnSize, h});
         Var w_up = weight(prefix + "w_up", {config_.ffnSize, h});
-        Expr gate = matmulWeight(builder, h1, w_gate);
-        Expr up = matmulWeight(builder, h1, w_up);
+        Expr gate = matmulWeight(builder, h1, w_gate, "col");
+        Expr up = matmulWeight(builder, h1, w_up, "col");
         Expr act = builder.emit(config_.activation == "gelu"
                                     ? op::gelu(gate)
                                     : op::silu(gate),
                                 prefix + "act");
         Expr prod = builder.emit(op::multiply(act, up), prefix + "ffn_mul");
         Var w_down = weight(prefix + "w_down", {h, config_.ffnSize});
-        Expr down = matmulWeight(builder, prod, w_down);
+        Expr down = matmulWeight(builder, prod, w_down, "row");
         return builder.emit(op::add(x1, down), prefix + "resid2");
     }
 
@@ -549,6 +565,100 @@ makeLlamaWeights(const LlamaConfig& config, bool with_data, unsigned seed)
         weights.push_back(array);
     }
     return weights;
+}
+
+namespace {
+
+/** Slices `count` indices starting at `start` along `dim`. Metadata-only
+ *  inputs slice shape-only (timing mode never materializes weights). */
+NDArray
+sliceDim(const NDArray& src, size_t dim, int64_t start, int64_t count)
+{
+    std::vector<int64_t> shape = src.shape();
+    RELAX_ICHECK(dim < shape.size()) << "sliceDim: dim out of range";
+    RELAX_ICHECK(start >= 0 && start + count <= shape[dim])
+        << "sliceDim: slice out of range";
+    int64_t src_dim = shape[dim];
+    shape[dim] = count;
+    if (!src.hasData()) return NDArray::metaOnly(shape, src.dtype());
+    NDArray out = NDArray::zeros(shape, src.dtype());
+    int64_t inner = 1;
+    for (size_t d = dim + 1; d < shape.size(); ++d) inner *= shape[d];
+    int64_t outer = src.numel() / (src_dim * inner);
+    const auto& in = src.data();
+    auto& dst = out.data();
+    for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t c = 0; c < count; ++c) {
+            int64_t src_off = (o * src_dim + start + c) * inner;
+            int64_t dst_off = (o * count + c) * inner;
+            std::copy(in.begin() + src_off, in.begin() + src_off + inner,
+                      dst.begin() + dst_off);
+        }
+    }
+    return out;
+}
+
+/** Which axis of a named llama weight is sharded (Megatron layout):
+ *  0 = output-dim (column-parallel + vocab split), 1 = input-dim
+ *  (row-parallel), -1 = replicated. Matches the `tp` tags the builder
+ *  places on the corresponding matmuls. */
+int
+shardAxisOf(const std::string& name)
+{
+    auto ends_with = [&](const char* suffix) {
+        size_t n = std::strlen(suffix);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+    };
+    if (name.find("norm") != std::string::npos ||
+        name == "tok_embeddings") {
+        return -1;
+    }
+    if (ends_with("wo") || ends_with("w_down")) return 1;
+    // wq / wk / wv / w_gate / w_up / lm_head: output-dim split.
+    return 0;
+}
+
+} // namespace
+
+std::vector<NDArray>
+shardLlamaWeights(const LlamaConfig& config,
+                  const std::vector<NDArray>& full, int shard,
+                  int num_shards)
+{
+    RELAX_ICHECK(num_shards >= 1 && shard >= 0 && shard < num_shards)
+        << "shardLlamaWeights: bad shard index " << shard << "/"
+        << num_shards;
+    if (config.quant != Quant::kF16) {
+        RELAX_THROW(RuntimeError)
+            << "shardLlamaWeights: quantized weights are not shardable";
+    }
+    std::vector<std::string> names;
+    buildLlama(config, &names);
+    RELAX_ICHECK(names.size() == full.size())
+        << "shardLlamaWeights: expected " << names.size()
+        << " weights, got " << full.size();
+    std::vector<NDArray> out;
+    out.reserve(full.size());
+    for (size_t i = 0; i < full.size(); ++i) {
+        int axis = shardAxisOf(names[i]);
+        if (axis < 0 || num_shards == 1) {
+            // Replicated: share the handle — weights are read-only.
+            out.push_back(full[i]);
+            continue;
+        }
+        int64_t extent = full[i].shape()[(size_t)axis];
+        if (extent % num_shards != 0) {
+            RELAX_THROW(RuntimeError)
+                << "shardLlamaWeights: " << names[i] << " dim " << axis
+                << " (" << extent << ") not divisible by " << num_shards
+                << " shards";
+        }
+        int64_t chunk = extent / num_shards;
+        out.push_back(
+            sliceDim(full[i], (size_t)axis, shard * chunk, chunk));
+    }
+    return out;
 }
 
 NDArray

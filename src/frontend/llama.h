@@ -94,6 +94,19 @@ ir::IRModulePtr buildLlama(const LlamaConfig& config,
 std::vector<NDArray> makeLlamaWeights(const LlamaConfig& config,
                                       bool with_data, unsigned seed = 7);
 
+/**
+ * Slices full weight tensors into the shard-local set the ShardPass'd
+ * `decode_ragged` function of `shard` expects (Megatron layout): wq / wk /
+ * wv / w_gate / w_up / lm_head are split along the output dim, wo /
+ * w_down along the input dim, norms and embeddings replicated (shared by
+ * handle — weights are read-only). Metadata-only weights slice shape-only.
+ * Throws when a sharded dim is not divisible by `num_shards` or the
+ * config is quantized.
+ */
+std::vector<NDArray> shardLlamaWeights(const LlamaConfig& config,
+                                       const std::vector<NDArray>& full,
+                                       int shard, int num_shards);
+
 // --- batched input layout helpers (serving engine) ------------------------
 //
 // The serving engine marshals per-request token ids into the rectangular

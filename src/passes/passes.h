@@ -51,6 +51,18 @@ using SymBounds = std::unordered_map<std::string, int64_t>;
 /** Re-runs forward deduction over every binding, refreshing annotations. */
 Pass normalizePass();
 
+/**
+ * Megatron-style tensor parallelism over `decode_ragged`: consumes the
+ * frontend's `tp` / `tp_dim` annotations to divide attention heads and
+ * FFN intermediate dims across `num_shards` devices and splices explicit
+ * `ccl.all_reduce` / `ccl.all_gather` sites (two all-reduces per layer,
+ * one logits all-gather). Runs FIRST in the pipeline, before any
+ * lowering. No-op for num_shards <= 1 or modules without the function;
+ * throws RuntimeError when a sharded dim does not divide evenly or no
+ * annotations exist (quantized weights).
+ */
+Pass shardPass(int64_t num_shards);
+
 /** Removes dataflow bindings whose results are never used (§3.1). */
 Pass deadCodeEliminationPass();
 

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * ShardPass: Megatron-style tensor parallelism for the serving function.
+ * Rewrites `decode_ragged` into the per-shard program of an N-way device
+ * group — every shard runs the SAME executable over its slice of the
+ * weights and KV pools, with explicit `ccl.*` collective sites where
+ * shards must exchange data (DESIGN.md §10, the sharding contract).
+ *
+ * The frontend annotates the split points; this pass only consumes them:
+ *  - matmul attr `tp = "col"`: weight [out, in] splits along out — each
+ *    shard computes a column slice of the activation, no communication
+ *    (wq/wk/wv and w_gate/w_up; the following ops are head-local).
+ *  - matmul attr `tp = "row"`: weight splits along in — each shard holds
+ *    a PARTIAL sum of the full output, so a `ccl.all_reduce` follows
+ *    (wo and w_down: exactly two all-reduces per layer).
+ *  - matmul attr `tp = "vocab"`: lm_head splits along the vocab dim and a
+ *    `ccl.all_gather` concatenates shard logits back to the full vocab.
+ *  - attr `tp_dim = d` on reshapes and `kv.append_ragged` sites: the
+ *    literal extent at dim d (head count / flattened projection / pool
+ *    head axis) divides by N.
+ *
+ * Collectives are inserted with the rebind trick: the tagged binding's
+ * value moves to a fresh `*_part` var and the ORIGINAL var rebinds to
+ * the collective's result — downstream uses see the full value without
+ * any use-replacement. The pass renormalizes at the end, so every
+ * annotation (and the function signature) reflects the sharded shapes.
+ *
+ * Uniformity is what lets one compiled executable serve all N shards:
+ * the split is exact (divisibility is checked at every site; violations
+ * throw RuntimeError naming the offending dimension).
+ */
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "passes/passes.h"
+
+namespace relax {
+namespace passes {
+
+using namespace ir;
+using Var = ir::Var;
+using VarNode = ir::VarNode;
+using CallNode = ir::CallNode;
+
+namespace {
+
+/** The divided literal at `dim`, or a thrown RuntimeError naming the
+ *  non-divisible extent. */
+int64_t
+dividedExtent(const PrimExpr& extent, int64_t num_shards,
+              const std::string& what, size_t dim)
+{
+    const int64_t* value = asIntImm(extent);
+    if (!value) {
+        RELAX_THROW(RuntimeError)
+            << "ShardPass: " << what << " dim " << dim
+            << " is symbolic; only literal extents shard";
+    }
+    if (*value % num_shards != 0) {
+        RELAX_THROW(RuntimeError)
+            << "ShardPass: " << what << " dim " << dim << " (" << *value
+            << ") not divisible by " << num_shards << " shards";
+    }
+    return *value / num_shards;
+}
+
+/** A fresh tensor annotation with dim `dim` divided by `num_shards`.
+ *  Never mutates PrimExpr nodes in place — literal dims may be shared
+ *  across annotations. */
+StructInfo
+dividedTensorSInfo(const StructInfo& sinfo, size_t dim, int64_t num_shards,
+                   const std::string& what)
+{
+    const auto* tensor = asTensor(sinfo);
+    if (!tensor || !tensor->shape) {
+        RELAX_THROW(RuntimeError)
+            << "ShardPass: " << what << " has no static shape annotation";
+    }
+    std::vector<PrimExpr> shape = *tensor->shape;
+    RELAX_ICHECK(dim < shape.size())
+        << "ShardPass: " << what << " rank " << shape.size()
+        << " has no dim " << dim;
+    shape[dim] = intImm(dividedExtent(shape[dim], num_shards, what, dim));
+    return tensorSInfo(std::move(shape), tensor->dtype);
+}
+
+} // namespace
+
+Pass
+shardPass(int64_t num_shards)
+{
+    return {"Shard", [num_shards](IRModulePtr module) {
+        Function func = module->getFunction("decode_ragged");
+        if (!func || num_shards <= 1) return module;
+
+        // 1. Shard the KV pool parameters along the head axis. The
+        //    donatable_params attr names exactly the pool tensors.
+        std::unordered_set<std::string> pool_names;
+        if (auto it = func->attrs.find("donatable_params");
+            it != func->attrs.end()) {
+            const std::string& joined = it->second;
+            for (size_t pos = 0; pos < joined.size();) {
+                size_t next = joined.find(';', pos);
+                if (next == std::string::npos) next = joined.size();
+                pool_names.insert(joined.substr(pos, next - pos));
+                pos = next + 1;
+            }
+        }
+        for (const auto& param : func->params) {
+            if (!pool_names.count(param->name)) continue;
+            param->setStructInfo(dividedTensorSInfo(
+                param->structInfo(), 1, num_shards,
+                "kv pool " + param->name));
+        }
+
+        // 2. Walk the bindings: divide tagged weights, divide tp_dim
+        //    literals, and splice collectives after row/vocab matmuls.
+        const auto* seq = static_cast<const SeqExprNode*>(func->body.get());
+        int64_t tagged = 0;
+        for (const auto& block : seq->blocks) {
+            std::vector<Binding> rewritten;
+            rewritten.reserve(block->bindings.size());
+            for (const auto& binding : block->bindings) {
+                rewritten.push_back(binding);
+                if (binding.value->kind() != RxKind::kCall) continue;
+                auto* call = static_cast<CallNode*>(binding.value.get());
+
+                if (auto it = call->attrs.find("tp_dim");
+                    it != call->attrs.end()) {
+                    size_t dim = (size_t)std::get<int64_t>(it->second);
+                    if (isOpCall(binding.value, "relax.reshape")) {
+                        // args[1] is the literal target ShapeExpr.
+                        RELAX_ICHECK(call->args[1]->kind() ==
+                                     RxKind::kShapeExpr)
+                            << "ShardPass: tp_dim reshape without a "
+                               "shape literal";
+                        const auto* shape_expr =
+                            static_cast<const ShapeExprNode*>(
+                                call->args[1].get());
+                        std::vector<PrimExpr> values = shape_expr->values;
+                        values[dim] = intImm(dividedExtent(
+                            values[dim], num_shards,
+                            "reshape " + binding.var->name, dim));
+                        call->args[1] = makeShapeExpr(std::move(values));
+                    } else {
+                        // kv.append_ragged: the declared pool output.
+                        RELAX_ICHECK(call->sinfoArgs.size() == 1)
+                            << "ShardPass: tp_dim on a call without a "
+                               "single output annotation";
+                        call->sinfoArgs[0] = dividedTensorSInfo(
+                            call->sinfoArgs[0], dim, num_shards,
+                            "append " + binding.var->name);
+                    }
+                }
+
+                auto tp = call->attrs.find("tp");
+                if (tp == call->attrs.end()) continue;
+                ++tagged;
+                const std::string& tag = std::get<std::string>(tp->second);
+                RELAX_ICHECK(call->args.size() >= 2 &&
+                             call->args[1]->kind() == RxKind::kVar)
+                    << "ShardPass: tp-tagged matmul without a weight var";
+                Var weight =
+                    std::static_pointer_cast<VarNode>(call->args[1]);
+                size_t split_dim = tag == "row" ? 1 : 0;
+                weight->setStructInfo(dividedTensorSInfo(
+                    weight->structInfo(), split_dim, num_shards,
+                    "weight " + weight->name));
+                if (tag == "col") continue;
+
+                // row/vocab: the shard result is partial; splice in the
+                // collective that restores the full value. The original
+                // var rebinds to the collective so every downstream use
+                // (and the function result) sees the exchanged tensor.
+                StructInfo full = binding.var->structInfo();
+                Var part = makeVar(binding.var->name + "_part", full,
+                                   /*is_dataflow=*/true);
+                rewritten.back().var = part;
+                const char* ccl = tag == "row" ? "ccl.all_reduce"
+                                               : "ccl.all_gather";
+                Call exchange = callDPSLibrary(ccl, {part}, full);
+                rewritten.push_back({binding.var, exchange, false,
+                                     nullptr});
+            }
+            block->bindings = std::move(rewritten);
+        }
+        if (tagged == 0) {
+            RELAX_THROW(RuntimeError)
+                << "ShardPass: decode_ragged carries no tensor-parallel "
+                   "annotations (quantized weights are not shardable)";
+        }
+
+        // 3. Renormalize so every annotation reflects the sharded shapes,
+        //    then refresh the pieces normalize does not touch: the return
+        //    annotation and the function's callable signature.
+        module = normalizePass().run(std::move(module));
+        func = module->getFunction("decode_ragged");
+        const auto* body = static_cast<const SeqExprNode*>(func->body.get());
+        func->retSInfo = body->body->structInfo();
+        std::vector<StructInfo> param_infos;
+        param_infos.reserve(func->params.size());
+        for (const auto& p : func->params) {
+            param_infos.push_back(p->structInfo());
+        }
+        func->setStructInfo(
+            callableSInfo(std::move(param_infos), func->retSInfo));
+        return module;
+    }};
+}
+
+} // namespace passes
+} // namespace relax

@@ -72,11 +72,18 @@ draftPoolBytes(const SpeculationOptions& spec, const EngineOptions& opts)
 Engine::Engine(vm::ExecutablePtr exec,
                std::shared_ptr<device::SimDevice> dev, bool data_mode,
                frontend::LlamaConfig config, std::vector<NDArray> weights,
-               EngineOptions options)
+               EngineOptions options,
+               std::shared_ptr<device::DeviceGroup> group)
     : config_(std::move(config)), options_(options),
-      scheduler_(options.scheduler), sampler_(options.sampler),
-      weights_(std::move(weights)), draftSampler_(options.sampler)
+      group_(std::move(group)), scheduler_(options.scheduler),
+      sampler_(options.sampler), weights_(std::move(weights)),
+      draftSampler_(options.sampler)
 {
+    if (group_ && group_->size() <= 1) group_.reset();
+    if (group_) {
+        RELAX_ICHECK(dev == group_->devicePtr(0))
+            << "tensor-parallel engine must run on the group's device 0";
+    }
     // Memory-plan observability: the compiler's plan for the serving
     // functions is static, so its footprint is sampled once here (the
     // Table 2 "activation memory" figure is plan.total_bytes of the
@@ -94,9 +101,26 @@ Engine::Engine(vm::ExecutablePtr exec,
         metrics_.gauge("plan.inplace_rewrites")
             .sample((double)plan.inplaceWrites);
     }
-    machine_ = std::make_unique<vm::VirtualMachine>(std::move(exec),
-                                                    std::move(dev),
+    machine_ = std::make_unique<vm::VirtualMachine>(exec, std::move(dev),
                                                     data_mode);
+    if (group_) {
+        // Rank 0 is machine_; ranks 1..N-1 get their own VM on their own
+        // device, all sharing ONE ShardPass'd executable (the split is
+        // uniform, so one compiled program serves every shard) — which
+        // is also what invokeLockstep requires. Each rank holds its
+        // Megatron slice of the full weights; replicated tensors share
+        // storage by handle.
+        int n = group_->size();
+        for (int s = 1; s < n; ++s) {
+            shardMachines_.push_back(std::make_unique<vm::VirtualMachine>(
+                exec, group_->devicePtr(s), data_mode));
+        }
+        shardWeights_.reserve((size_t)n);
+        for (int s = 0; s < n; ++s) {
+            shardWeights_.push_back(
+                frontend::shardLlamaWeights(config_, weights_, s, n));
+        }
+    }
     int64_t budget = options_.kvBudgetBytes;
     if (budget <= 0) {
         // Auto budget: what the device has left once weights are resident,
@@ -124,8 +148,18 @@ Engine::Engine(vm::ExecutablePtr exec,
     }
     budget = std::max(budget,
                       config_.kvBytesPerToken() * options_.kvBlockTokens);
+    // The budget formula above is the tp=1 formula in LOGICAL full-model
+    // bytes regardless of sharding — the KV manager divides residency
+    // per shard internally, so admission decisions (and therefore the
+    // token streams) are identical at every tensorParallel.
+    std::vector<vm::VirtualMachine*> kv_shards;
+    if (group_) {
+        kv_shards.push_back(machine_.get());
+        for (auto& shard : shardMachines_) kv_shards.push_back(shard.get());
+    }
     kv_ = std::make_unique<KVCacheManager>(config_, *machine_, budget,
-                                           options_.kvBlockTokens);
+                                           options_.kvBlockTokens,
+                                           kv_shards);
     // One observability spine: the KV manager mirrors its event tallies
     // into the engine's registry, and the scheduler stamps lifecycle
     // instants with the device clock + TraceRecorder.
@@ -147,20 +181,35 @@ Engine::build(const frontend::LlamaConfig& config,
         // graph.
         copts.graphBucketTokens = options.kvBlockTokens;
     }
+    std::shared_ptr<device::DeviceGroup> group;
+    if (options.tensorParallel > 1) {
+        // ShardPass rewrites decode_ragged into the per-shard program;
+        // the engine runs it across an N-device group in lockstep.
+        copts.tensorParallel = options.tensorParallel;
+        group = std::make_shared<device::DeviceGroup>(
+            copts.device, (int)options.tensorParallel,
+            device::interconnectByName(options.interconnect));
+    }
     auto exec = frontend::compile(frontend::buildLlama(config), copts);
-    auto dev = std::make_shared<device::SimDevice>(copts.device);
+    auto dev = group ? group->devicePtr(0)
+                     : std::make_shared<device::SimDevice>(copts.device);
     auto weights = frontend::makeLlamaWeights(config, data_mode);
     auto engine = std::make_unique<Engine>(std::move(exec), std::move(dev),
                                            data_mode, config,
-                                           std::move(weights), options);
+                                           std::move(weights), options,
+                                           std::move(group));
     if (options.speculation.draftTokens > 0) {
         // The draft compiles under the same options (device, bounds,
         // bucket): its verify-free n=1 decode reuses the exact symbolic
-        // machinery, just over a smaller config.
+        // machinery, just over a smaller config. It is never sharded —
+        // it runs single-VM on the group's device 0, and any clock skew
+        // merges at the target's next collective barrier.
         const frontend::LlamaConfig& dconfig =
             options.speculation.draftConfig;
+        frontend::CompileOptions draft_copts = copts;
+        draft_copts.tensorParallel = 1;
         auto dexec =
-            frontend::compile(frontend::buildLlama(dconfig), copts);
+            frontend::compile(frontend::buildLlama(dconfig), draft_copts);
         engine->enableSpeculation(
             std::move(dexec),
             frontend::makeLlamaWeights(dconfig, data_mode,
@@ -375,11 +424,45 @@ Engine::invokeRaggedOn(vm::VirtualMachine& vm, KVCacheManager& kv,
     // host-marshalled inputs; cache data stays in the pool
     // (relayoutBytes stays 0 — any future host-side cache copy must be
     // added to that counter).
+    NDArray ids = packedIdsTensor(tokens, vm.dataMode());
+    NDArray lens = kv.lengthsView(order);
+    NDArray cu = cuFreshTensor(tokens);
+    NDArray table = kv.blockTableView(order, table_width);
+
+    if (&vm == machine_.get() && group_) {
+        // Tensor-parallel target call: every rank gets the SAME host
+        // metadata tensors (shared handles — there is one logical batch)
+        // but its own pool slice and weight slice; the lockstep driver
+        // prices the ccl.* sites as group collectives. Shard 0's result
+        // carries the full logits (the all_gather materializes them on
+        // every rank).
+        std::vector<vm::VirtualMachine*> shard_vms{machine_.get()};
+        for (auto& shard : shardMachines_) shard_vms.push_back(shard.get());
+        std::vector<std::vector<vm::Value>> shard_args(shard_vms.size());
+        for (size_t s = 0; s < shard_vms.size(); ++s) {
+            std::vector<vm::Value>& args = shard_args[s];
+            args.emplace_back(ids);
+            args.emplace_back(lens);
+            args.emplace_back(cu);
+            args.emplace_back(table);
+            for (const NDArray& pool : kv.poolTensors((int)s)) {
+                args.emplace_back(pool);
+            }
+            for (const NDArray& w : shardWeights_[s]) {
+                args.emplace_back(w);
+            }
+        }
+        std::vector<vm::Value> results = vm::VirtualMachine::invokeLockstep(
+            shard_vms, *group_, "decode_ragged", shard_args);
+        auto out = std::get<vm::TupleValuePtr>(results[0]);
+        return std::get<NDArray>(out->fields[0]);
+    }
+
     std::vector<vm::Value> args;
-    args.emplace_back(packedIdsTensor(tokens, vm.dataMode()));
-    args.emplace_back(kv.lengthsView(order));
-    args.emplace_back(cuFreshTensor(tokens));
-    args.emplace_back(kv.blockTableView(order, table_width));
+    args.emplace_back(std::move(ids));
+    args.emplace_back(std::move(lens));
+    args.emplace_back(std::move(cu));
+    args.emplace_back(std::move(table));
     for (const NDArray& pool : kv.poolTensors()) args.emplace_back(pool);
     args.reserve(args.size() + weights.size());
     for (const NDArray& w : weights) args.emplace_back(w);
@@ -728,6 +811,17 @@ Engine::step()
     metrics_.gauge("serve.running").sample((double)running_.size());
     metrics_.gauge("serve.decode_replay_hit_rate")
         .sample(stats_.decodeReplayHitRate());
+    // Per-device memory gauges, one lane per shard (device 0 alone on
+    // single-device engines, matching the trace pid layout).
+    for (int i = 0; i < tensorParallel(); ++i) {
+        device::SimDevice& dev =
+            group_ ? group_->device(i) : machine_->dev();
+        std::string prefix = "device." + std::to_string(i) + ".";
+        metrics_.gauge(prefix + "alloc_bytes")
+            .sample((double)dev.allocatedBytes());
+        metrics_.gauge(prefix + "peak_bytes")
+            .sample((double)dev.peakBytes());
+    }
     if (speculationEnabled()) {
         metrics_.gauge("serve.spec_acceptance_rate")
             .sample(stats_.specAcceptanceRate());

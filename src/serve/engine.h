@@ -59,6 +59,7 @@
 #include <memory>
 #include <vector>
 
+#include "device/interconnect.h"
 #include "frontend/compile.h"
 #include "frontend/llama.h"
 #include "serve/kv_cache.h"
@@ -114,6 +115,21 @@ struct EngineOptions
     int64_t kvBudgetBytes = 0;
     /** Cache positions per KV page (pool block size). */
     int64_t kvBlockTokens = 16;
+    /**
+     * Tensor-parallel shard count. 1 (the default) is the single-device
+     * engine, byte-identical to before the option existed. N > 1 makes
+     * Engine::build compile `decode_ragged` through ShardPass, stand up
+     * an N-device DeviceGroup joined by `interconnect`, shard the
+     * weights and KV pools Megatron-style and run every step's packed
+     * call in instruction lockstep with priced ring collectives (two
+     * all-reduces per layer plus a logits all-gather). Scheduling state
+     * — KV budget, admission, eviction — stays in logical full-model
+     * units, so the emitted token streams are identical to tp=1 and
+     * `decodeBatches == steps` still holds. DESIGN.md §10.
+     */
+    int64_t tensorParallel = 1;
+    /** Interconnect for the device group ("nvlink", "pcie_gen4"). */
+    std::string interconnect = "nvlink";
 };
 
 /** Aggregate engine statistics on the virtual clock (RunStats-style). */
@@ -197,12 +213,19 @@ class Engine
      * @param data_mode true: real tensors + logits sampling; false:
      *                  metadata-only timing mode
      * @param config    model config (cache geometry, vocab)
-     * @param weights   parameter tensors in builder order (data or
-     *                  metadata matching `data_mode`)
+     * @param weights   FULL-model parameter tensors in builder order
+     *                  (data or metadata matching `data_mode`); under
+     *                  tensor parallelism the engine slices them into
+     *                  per-shard sets itself
+     * @param group     tensor-parallel device group; null (default) is
+     *                  the single-device engine. When set, `exec` must
+     *                  be a ShardPass build for group->size() shards and
+     *                  `dev` must be the group's device 0.
      */
     Engine(vm::ExecutablePtr exec, std::shared_ptr<device::SimDevice> dev,
            bool data_mode, frontend::LlamaConfig config,
-           std::vector<NDArray> weights, EngineOptions options = {});
+           std::vector<NDArray> weights, EngineOptions options = {},
+           std::shared_ptr<device::DeviceGroup> group = nullptr);
 
     /**
      * Compiles `config` for `options.device` and builds a ready engine.
@@ -309,6 +332,10 @@ class Engine
     /** The draft model's VM (null until enableSpeculation()). */
     vm::VirtualMachine* draftMachine() { return draftMachine_.get(); }
     const frontend::LlamaConfig& config() const { return config_; }
+    /** The tensor-parallel device group (null for tp=1 engines). */
+    device::DeviceGroup* deviceGroup() { return group_.get(); }
+    /** Tensor-parallel shard count (1 for single-device engines). */
+    int tensorParallel() const { return group_ ? group_->size() : 1; }
 
   private:
     /** Per-row speculation state for one step: the proposed draft tokens
@@ -363,6 +390,12 @@ class Engine
     frontend::LlamaConfig config_;
     EngineOptions options_;
     std::unique_ptr<vm::VirtualMachine> machine_;
+    // Tensor parallelism: the device group, the shard VMs for ranks
+    // 1..N-1 (rank 0 is machine_; all share one executable) and the
+    // per-rank weight sets sliced from the full weights.
+    std::shared_ptr<device::DeviceGroup> group_;
+    std::vector<std::unique_ptr<vm::VirtualMachine>> shardMachines_;
+    std::vector<std::vector<NDArray>> shardWeights_;
     std::unique_ptr<KVCacheManager> kv_;
     Scheduler scheduler_;
     Sampler sampler_;

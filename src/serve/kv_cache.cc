@@ -15,28 +15,41 @@ namespace serve {
 
 KVCacheManager::KVCacheManager(const frontend::LlamaConfig& config,
                                vm::VirtualMachine& machine,
-                               int64_t budgetBytes, int64_t blockTokens)
-    : machine_(machine), blockTokens_(blockTokens),
+                               int64_t budgetBytes, int64_t blockTokens,
+                               std::vector<vm::VirtualMachine*> shards)
+    : machine_(machine), shards_(std::move(shards)),
+      blockTokens_(blockTokens),
       bytesPerBlock_(config.kvBytesPerToken() * blockTokens),
       budgetBytes_(budgetBytes),
       totalBlocks_(bytesPerBlock_ > 0 ? budgetBytes / bytesPerBlock_ : 0)
 {
     RELAX_ICHECK(blockTokens_ > 0) << "KV block size must be positive";
     RELAX_ICHECK(budgetBytes_ >= 0) << "negative KV budget";
+    if (shards_.empty()) shards_.push_back(&machine_);
+    int64_t n = (int64_t)shards_.size();
+    RELAX_ICHECK(config.numHeads % n == 0)
+        << "KV pool: " << config.numHeads << " heads not divisible by "
+        << n << " shards";
 
-    // The pool is resident for the manager's lifetime: one [p, h, block,
-    // d] tensor per layer per k/v, all backed by a single persistent
-    // device allocation (vLLM preallocates its page pool the same way).
-    poolStorage_ =
-        machine_.allocPersistentStorage(totalBlocks_ * bytesPerBlock_);
-    std::vector<int64_t> pool_shape{totalBlocks_, config.numHeads,
+    // The pool is resident for the manager's lifetime: one [p, h/N,
+    // block, d] tensor per layer per k/v on each shard's device, backed
+    // by one persistent allocation per device (vLLM preallocates its
+    // page pool the same way). Page-table state is LOGICAL: one page id
+    // names the same rows of every shard's pools.
+    std::vector<int64_t> pool_shape{totalBlocks_, config.numHeads / n,
                                     blockTokens_, config.headDim};
-    pools_.reserve(2 * (size_t)config.numLayers);
-    for (int64_t layer = 0; layer < 2 * config.numLayers; ++layer) {
-        pools_.push_back(machine_.dataMode()
-                             ? NDArray::zeros(pool_shape, DataType::f16())
-                             : NDArray::metaOnly(pool_shape,
-                                                 DataType::f16()));
+    poolStorages_.reserve(shards_.size());
+    pools_.resize(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        poolStorages_.push_back(shards_[s]->allocPersistentStorage(
+            totalBlocks_ * bytesPerBlock_ / n));
+        pools_[s].reserve(2 * (size_t)config.numLayers);
+        for (int64_t layer = 0; layer < 2 * config.numLayers; ++layer) {
+            pools_[s].push_back(
+                machine_.dataMode()
+                    ? NDArray::zeros(pool_shape, DataType::f16())
+                    : NDArray::metaOnly(pool_shape, DataType::f16()));
+        }
     }
     refCounts_.assign((size_t)totalBlocks_, 0);
     // LIFO stack ordered so the first acquisitions hand out pages 0, 1,
@@ -49,9 +62,11 @@ KVCacheManager::KVCacheManager(const frontend::LlamaConfig& config,
 
 KVCacheManager::~KVCacheManager()
 {
-    // Return the whole pool to the device so engine teardown leaves the
+    // Return the whole pool to each device so engine teardown leaves the
     // accounting balanced.
-    machine_.releasePersistentStorage(poolStorage_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        shards_[s]->releasePersistentStorage(poolStorages_[s]);
+    }
 }
 
 int64_t
@@ -89,20 +104,28 @@ KVCacheManager::copyPage(int64_t src, int64_t dst)
     if (cowBatchActive_) {
         ++cowBatchPages_;
     } else {
+        // Each shard copies its 1/N slice of the page on its own device.
         device::KernelCost cost;
-        cost.bytes = 2.0 * (double)bytesPerBlock_;
+        cost.bytes =
+            2.0 * (double)bytesPerBlock_ / (double)shards_.size();
         cost.flops = 0.0;
         cost.efficiency = machine_.dev().spec().genElemwiseEfficiency;
-        machine_.dev().launchKernel(cost, "kv.cow_copy_page");
+        for (vm::VirtualMachine* shard : shards_) {
+            shard->dev().launchKernel(cost, "kv.cow_copy_page");
+        }
     }
     ++cowCopies_;
     if (metrics_) metrics_->counter("kv.cow_copies").add();
     if (!machine_.dataMode()) return;
-    for (NDArray& pool : pools_) {
-        int64_t row = pool.numel() / std::max<int64_t>(totalBlocks_, 1);
-        auto& data = pool.data();
-        std::copy(data.begin() + src * row, data.begin() + (src + 1) * row,
-                  data.begin() + dst * row);
+    for (auto& shard_pools : pools_) {
+        for (NDArray& pool : shard_pools) {
+            int64_t row =
+                pool.numel() / std::max<int64_t>(totalBlocks_, 1);
+            auto& data = pool.data();
+            std::copy(data.begin() + src * row,
+                      data.begin() + (src + 1) * row,
+                      data.begin() + dst * row);
+        }
     }
 }
 
@@ -284,12 +307,16 @@ KVCacheManager::flushCowBatch()
     if (pages == 0) return 0;
     // All of the step's page copies land as one burst: the bytes add up
     // but the launch overhead is paid once, the way a batched
-    // cudaMemcpyAsync sweep behaves.
+    // cudaMemcpyAsync sweep behaves. Each shard bursts its 1/N slice on
+    // its own device.
     device::KernelCost cost;
-    cost.bytes = 2.0 * (double)bytesPerBlock_ * (double)pages;
+    cost.bytes = 2.0 * (double)bytesPerBlock_ * (double)pages /
+                 (double)shards_.size();
     cost.flops = 0.0;
     cost.efficiency = machine_.dev().spec().genElemwiseEfficiency;
-    machine_.dev().launchKernel(cost, "kv.cow_copy_burst");
+    for (vm::VirtualMachine* shard : shards_) {
+        shard->dev().launchKernel(cost, "kv.cow_copy_burst");
+    }
     return pages;
 }
 

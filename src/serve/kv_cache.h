@@ -61,10 +61,22 @@ class KVCacheManager
      *                    data mode decides real vs metadata-only pools)
      * @param budgetBytes hard cap on total reserved KV bytes
      * @param blockTokens cache positions per page
+     * @param shards      tensor-parallel shard VMs, one per device, in
+     *                    rank order. Empty (the default) is the
+     *                    single-device path: one pool on `machine`.
+     *                    Non-empty splits the head axis: shard s gets
+     *                    [p, h/N, block, d] pool tensors resident on ITS
+     *                    device (1/N of the logical bytes each). All
+     *                    page-table state — budget, page count,
+     *                    bytesPerBlock(), admission math — stays in
+     *                    LOGICAL full-model bytes, so scheduling
+     *                    decisions are bit-identical to tp=1; only the
+     *                    per-device residency and copy pricing divide.
      */
     KVCacheManager(const frontend::LlamaConfig& config,
                    vm::VirtualMachine& machine, int64_t budgetBytes,
-                   int64_t blockTokens = 16);
+                   int64_t blockTokens = 16,
+                   std::vector<vm::VirtualMachine*> shards = {});
 
     ~KVCacheManager();
 
@@ -248,11 +260,19 @@ class KVCacheManager
 
     /**
      * The persistent pool tensors in `decode_ragged` argument order
-     * (k_pool_0, v_pool_0, k_pool_1, ...), each [p, h, block, d]. Copies
-     * share storage with the manager's tensors, so in-place kernel
-     * writes land in the pool.
+     * (k_pool_0, v_pool_0, k_pool_1, ...), each [p, h, block, d] —
+     * [p, h/N, block, d] under tensor parallelism, where `shard` picks
+     * the device-local set. Copies share storage with the manager's
+     * tensors, so in-place kernel writes land in the pool.
      */
-    const std::vector<NDArray>& poolTensors() const { return pools_; }
+    const std::vector<NDArray>&
+    poolTensors(int shard = 0) const
+    {
+        return pools_.at((size_t)shard);
+    }
+
+    /** Tensor-parallel shard count backing the pool (1 = single device). */
+    int numShards() const { return (int)shards_.size(); }
 
     // --- sharing statistics -------------------------------------------------
 
@@ -318,6 +338,8 @@ class KVCacheManager
     void unregisterPage(int64_t page);
 
     vm::VirtualMachine& machine_;
+    /** Shard VMs in rank order; {&machine_} on the single-device path. */
+    std::vector<vm::VirtualMachine*> shards_;
     MetricsRegistry* metrics_ = nullptr; //!< engine-owned, optional
     int64_t blockTokens_;
     int64_t bytesPerBlock_;
@@ -332,10 +354,12 @@ class KVCacheManager
     int64_t cowBatchPages_ = 0;     //!< copies deferred in the open batch
     int64_t prefixHits_ = 0;
     int64_t prefixTokensMatched_ = 0;
-    std::vector<NDArray> pools_;      //!< [p, h, block, d] per layer per k/v
+    /** [shard][layer-k/v] pool tensors, [p, h/N, block, d] each. */
+    std::vector<std::vector<NDArray>> pools_;
     std::vector<int64_t> freePages_;  //!< LIFO of unreferenced page ids
     std::vector<int32_t> refCounts_;  //!< per-page reference counts
-    vm::StoragePtr poolStorage_;      //!< the resident pool allocation
+    /** The resident pool allocation on each shard's device. */
+    std::vector<vm::StoragePtr> poolStorages_;
     std::map<RequestId, Sequence> sequences_;
     /** chained hash → registered blocks under it (collision candidates) */
     std::map<uint64_t, std::vector<IndexEntry>> hashIndex_;

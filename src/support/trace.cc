@@ -222,25 +222,40 @@ TraceRecorder::writeChromeTrace(std::ostream& os) const
 {
     using namespace trace_lanes;
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-    // Lane map metadata: pid = subsystem, tid = track within it. The
-    // sort_index args keep Perfetto's lane order matching the stack
-    // (device above vm above engine).
-    struct Lane { int pid; int tid; const char* label; };
-    const Lane processes[] = {{kDevice, 0, "device"},
-                              {kVm, 0, "vm"},
-                              {kEngine, 0, "engine"}};
-    const Lane threads[] = {{kDevice, kKernels, "kernels"},
-                            {kDevice, kMemory, "memory"},
-                            {kVm, kFrames, "frames"},
-                            {kEngine, kSteps, "steps"},
-                            {kEngine, kRequests, "requests"},
-                            {kEngine, kKvPool, "kv-pool"},
-                            {kEngine, kSpeculation, "speculation"}};
+    // Lane map metadata: pid = subsystem, tid = track within it. Device
+    // pids are dynamic — device i of a group stamps pid i — so the
+    // process list covers every device pid seen in the events (always at
+    // least device 0, the single-device case).
+    int max_device_pid = kDevice;
+    for (const Event& event : events_) {
+        if (event.pid < kVm) {
+            max_device_pid = std::max(max_device_pid, event.pid);
+        }
+    }
     bool first = true;
     auto separator = [&]() {
         if (!first) os << ",\n";
         first = false;
     };
+    for (int pid = kDevice; pid <= max_device_pid; ++pid) {
+        std::string label = "device" + std::to_string(pid);
+        separator();
+        writeMetadata(os, pid, 0, "process_name", label.c_str(),
+                      /*thread=*/false);
+        separator();
+        writeMetadata(os, pid, kKernels, "thread_name", "kernels",
+                      /*thread=*/true);
+        separator();
+        writeMetadata(os, pid, kMemory, "thread_name", "memory",
+                      /*thread=*/true);
+    }
+    struct Lane { int pid; int tid; const char* label; };
+    const Lane processes[] = {{kVm, 0, "vm"}, {kEngine, 0, "engine"}};
+    const Lane threads[] = {{kVm, kFrames, "frames"},
+                            {kEngine, kSteps, "steps"},
+                            {kEngine, kRequests, "requests"},
+                            {kEngine, kKvPool, "kv-pool"},
+                            {kEngine, kSpeculation, "speculation"}};
     for (const Lane& lane : processes) {
         separator();
         writeMetadata(os, lane.pid, lane.tid, "process_name", lane.label,

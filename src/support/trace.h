@@ -41,10 +41,12 @@ namespace relax {
 
 /** The fixed pid/tid lane map of the trace (see docs/ARCHITECTURE.md). */
 namespace trace_lanes {
-// pids (one per subsystem clock consumer)
-constexpr int kDevice = 0; //!< SimDevice: kernels + memory
-constexpr int kVm = 1;     //!< VirtualMachine: frames + graph regions
-constexpr int kEngine = 2; //!< serve::Engine: steps + requests + KV pool
+// pids (one per subsystem clock consumer). Devices claim the low pids —
+// device i of a DeviceGroup stamps pid i (SimDevice::shareTrace), so the
+// non-device subsystems sit above the largest plausible group.
+constexpr int kDevice = 0;   //!< SimDevice i: kernels + memory (pid = i)
+constexpr int kVm = 100;     //!< VirtualMachine: frames + graph regions
+constexpr int kEngine = 101; //!< serve::Engine: steps + requests + KV pool
 // tids within kDevice
 constexpr int kKernels = 0;
 constexpr int kMemory = 1;

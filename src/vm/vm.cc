@@ -12,6 +12,7 @@
 #include <atomic>
 #include <sstream>
 
+#include "device/interconnect.h"
 #include "tir/analysis.h"
 #include "tir/interpreter.h"
 
@@ -238,6 +239,20 @@ struct Executor
     bool dataMode_;
     std::map<std::pair<std::string, size_t>, StoragePtr>& staticStorages_;
     std::map<int64_t, int>& freePool_;
+    std::string graphKeyspace_;
+
+    // Trace state for the currently-open execution-graph region (regions
+    // never nest): its span is emitted at kGraphEnd, inside the call's
+    // frame span in the vm lane.
+    double graphStartTs_ = 0.0;
+    bool graphReplay_ = false;
+    std::string graphSignature_;
+    int64_t openGraphId_ = -1;
+    /** The kRet value, once executed. */
+    Value result_;
+
+    /** Executes one instruction against the frame. */
+    void step(const Instr& instr, Frame& frame, const std::string& fn);
 
     void execMatchShape(const Instr& instr, Frame& frame,
                         const std::string& fn);
@@ -247,6 +262,138 @@ struct Executor
     void execKernelCall(const Instr& instr, Frame& frame);
     void execPackedCall(const Instr& instr, Frame& frame);
 };
+
+namespace {
+
+/** Device counters at frame entry, for the RunStats deltas. */
+struct CounterSnapshot
+{
+    double clockUs;
+    int64_t kernelLaunches;
+    int64_t totalAllocatedBytes;
+    int64_t graphCaptures;
+    int64_t graphReplays;
+};
+
+CounterSnapshot
+snapshotCounters(device::SimDevice& device)
+{
+    return {device.clockUs(), device.kernelLaunches(),
+            device.totalAllocatedBytes(), device.graphCaptures(),
+            device.graphReplays()};
+}
+
+const VMFunction&
+findFunction(const ExecutablePtr& exec, const std::string& name,
+             size_t num_args)
+{
+    auto it = exec->functions.find(name);
+    if (it == exec->functions.end()) {
+        RELAX_THROW(RuntimeError) << "no such function: " << name;
+    }
+    if ((int)num_args != it->second.numParams) {
+        RELAX_THROW(RuntimeError)
+            << name << ": expected " << it->second.numParams
+            << " arguments, got " << num_args;
+    }
+    return it->second;
+}
+
+/** Frame teardown shared by invoke() and invokeLockstep(): returns pool
+ *  allocations, computes the RunStats deltas and emits the frame span. */
+void
+finishFrame(Frame& frame, const std::string& name,
+            const CounterSnapshot& snap, device::SimDevice& device,
+            std::map<int64_t, int>& free_pool, RunStats& last,
+            GraphStats& graph)
+{
+    // Return this call's pool allocations (runtime allocator model).
+    for (int64_t bytes : frame.pooledBytes) free_pool[bytes] += 1;
+
+    last.latencyUs = device.clockUs() - snap.clockUs;
+    last.kernelLaunches = device.kernelLaunches() - snap.kernelLaunches;
+    last.bytesAllocated =
+        device.totalAllocatedBytes() - snap.totalAllocatedBytes;
+    last.graphCaptures = device.graphCaptures() - snap.graphCaptures;
+    last.graphReplays = device.graphReplays() - snap.graphReplays;
+    last.graphBegins = last.graphCaptures + last.graphReplays;
+    graph.begins += last.graphBegins;
+    graph.captures += last.graphCaptures;
+    graph.replays += last.graphReplays;
+    TraceRecorder& trace = device.trace();
+    if (trace.enabled()) {
+        trace.span(trace_lanes::kVm, trace_lanes::kFrames, name, "frame",
+                   snap.clockUs, last.latencyUs,
+                   {{"kernels", last.kernelLaunches},
+                    {"graph_begins", last.graphBegins},
+                    {"graph_replays", last.graphReplays}});
+    }
+}
+
+/**
+ * The lockstep collective rendezvous. Every shard has reached the same
+ * `ccl.*` call site with its DPS out tensor allocated; the group prices
+ * ONE ring collective (a barrier plus transfer time on every member) in
+ * place of the per-shard fallback kernels. In data mode the driver then
+ * materializes the semantics across the shards: all_reduce left-folds
+ * the partial sums in rank order (deterministic reassociation) and
+ * writes the total to every shard; all_gather concatenates the
+ * shard-local chunks along the last dim into every shard's out.
+ */
+void
+lockstepCollective(const Instr& instr, device::DeviceGroup& group,
+                   std::vector<Frame>& frames, bool data_mode)
+{
+    size_t n = frames.size();
+    std::vector<NDArray*> ins(n);
+    std::vector<NDArray*> outs(n);
+    for (size_t s = 0; s < n; ++s) {
+        ins[s] = &asTensorValue(frames[s].regs[instr.args[0]],
+                                instr.callee.c_str());
+        outs[s] = &asTensorValue(frames[s].regs[instr.args.back()],
+                                 instr.callee.c_str());
+    }
+    double payload = (double)outs[0]->sizeBytes();
+    bool reduce = instr.callee == "ccl.all_reduce";
+    RELAX_ICHECK(reduce || instr.callee == "ccl.all_gather")
+        << "unknown collective: " << instr.callee;
+    if (reduce) {
+        group.allReduce(payload);
+    } else {
+        group.allGather(payload);
+    }
+    if (!data_mode) return;
+    if (reduce) {
+        std::vector<double> sum = ins[0]->data();
+        for (size_t s = 1; s < n; ++s) {
+            const std::vector<double>& part = ins[s]->data();
+            for (size_t j = 0; j < sum.size(); ++j) sum[j] += part[j];
+        }
+        for (size_t s = 0; s < n; ++s) {
+            std::copy(sum.begin(), sum.end(), outs[s]->data().begin());
+        }
+    } else {
+        int64_t chunk = ins[0]->shape().back();
+        int64_t full = outs[0]->shape().back();
+        RELAX_ICHECK(chunk * (int64_t)n == full)
+            << "all_gather: chunks do not tile the gathered dim";
+        int64_t rows = outs[0]->numel() / full;
+        for (size_t s = 0; s < n; ++s) {
+            const std::vector<double>& src = ins[s]->data();
+            int64_t offset = (int64_t)s * chunk;
+            for (int64_t r = 0; r < rows; ++r) {
+                for (int64_t j = 0; j < chunk; ++j) {
+                    double value = src[r * chunk + j];
+                    for (size_t t = 0; t < n; ++t) {
+                        outs[t]->data()[r * full + offset + j] = value;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
 
 StoragePtr
 VirtualMachine::allocPersistentStorage(int64_t bytes)
@@ -273,160 +420,188 @@ Value
 VirtualMachine::invoke(const std::string& name,
                        const std::vector<Value>& args)
 {
-    Executor executor{exec_, device_, dataMode_, staticStorages_,
-                      freePool_};
-    auto it = exec_->functions.find(name);
-    if (it == exec_->functions.end()) {
-        RELAX_THROW(RuntimeError) << "no such function: " << name;
-    }
-    const VMFunction& func = it->second;
-    if ((int)args.size() != func.numParams) {
-        RELAX_THROW(RuntimeError)
-            << name << ": expected " << func.numParams << " arguments, got "
-            << args.size();
-    }
+    const VMFunction& func = findFunction(exec_, name, args.size());
+    Executor executor{exec_,      device_,   dataMode_,
+                      staticStorages_, freePool_, graphKeyspace_};
 
-    double start_clock = device_->clockUs();
-    int64_t start_launches = device_->kernelLaunches();
-    int64_t start_alloc = device_->totalAllocatedBytes();
-    int64_t start_captures = device_->graphCaptures();
-    int64_t start_replays = device_->graphReplays();
-
+    CounterSnapshot snap = snapshotCounters(*device_);
     Frame frame;
     frame.regs.resize(func.numRegs);
     for (size_t i = 0; i < args.size(); ++i) frame.regs[i] = args[i];
 
-    // Trace state for the currently-open execution-graph region (regions
-    // never nest): its span is emitted at kGraphEnd, inside this call's
-    // frame span in the vm lane.
-    TraceRecorder& trace = device_->trace();
-    double graph_start_ts = 0.0;
-    bool graph_replay = false;
-    std::string graph_signature;
-    int64_t open_graph_id = -1;
-
-    Value result;
     for (const Instr& instr : func.instrs) {
-        switch (instr.op) {
-          case Instr::Op::kMatchShape:
-            executor.execMatchShape(instr, frame, name);
-            break;
-          case Instr::Op::kAllocStorage:
-            executor.execAllocStorage(instr, frame, name);
-            break;
-          case Instr::Op::kAllocTensor:
-            executor.execAllocTensor(instr, frame);
-            break;
-          case Instr::Op::kKernelCall:
-            executor.execKernelCall(instr, frame);
-            break;
-          case Instr::Op::kPackedCall:
-            executor.execPackedCall(instr, frame);
-            break;
-          case Instr::Op::kGraphBegin: {
-            // Key the captured graph by the bucketed shape signature:
-            // each symbolic value is rounded up to its bucket ceiling,
-            // so every shape in a bucket maps to one graph (captured at
-            // the ceiling shape, launched padded/masked).
-            int64_t block = std::max<int64_t>(instr.bucketBlock, 1);
-            std::vector<std::pair<std::string, int64_t>> dims;
-            dims.reserve(frame.symbols.size());
-            for (const auto& [v, value] : frame.symbols) {
-                int64_t padded =
-                    block > 1 ? bucketCeiling(value, block) : value;
-                dims.emplace_back(v->name, padded);
-                if (padded != value) {
-                    frame.paddedSymbols[v] = padded;
-                }
-            }
-            // Name-sorted for a deterministic signature (symbolic names
-            // are unique within a function: b, n, m, ...).
-            std::sort(dims.begin(), dims.end());
-            std::ostringstream signature;
-            // The keyspace prefix keeps VMs running different
-            // executables on one device from replaying each other's
-            // graphs (graph ids restart per executable).
-            if (!graphKeyspace_.empty()) {
-                signature << graphKeyspace_ << ":";
-            }
-            for (const auto& [name, value] : dims) {
-                signature << name << "=" << value << ",";
-            }
-            graph_start_ts = device_->clockUs();
-            graph_replay =
-                device_->beginGraph(instr.graphId, signature.str());
-            graph_signature = signature.str();
-            open_graph_id = instr.graphId;
-            break;
-          }
-          case Instr::Op::kGraphEnd:
-            device_->endGraph();
-            frame.paddedSymbols.clear();
-            if (trace.enabled()) {
-                // Capture vs replay is THE flag downstream tools read:
-                // the Fig. 17 launch-overhead story is visible as
-                // replay-flagged regions whose kernels carry the
-                // graphReplayUs overhead instead of kernelLaunchUs.
-                trace.span(trace_lanes::kVm, trace_lanes::kFrames,
-                           graph_replay ? "graph(replay)"
-                                        : "graph(capture)",
-                           "graph", graph_start_ts,
-                           device_->clockUs() - graph_start_ts,
-                           {{"graph_id", open_graph_id},
-                            {"signature", graph_signature},
-                            {"replay", (int64_t)(graph_replay ? 1 : 0)}});
-            }
-            open_graph_id = -1;
-            break;
-          case Instr::Op::kLoadConst:
-            frame.regs[instr.dst] = instr.constant;
-            break;
-          case Instr::Op::kRebind:
-            frame.regs[instr.dst] = frame.regs[instr.args[0]];
-            break;
-          case Instr::Op::kMakeTuple: {
-            auto tuple = std::make_shared<TupleValue>();
-            for (RegIndex reg : instr.args) {
-                tuple->fields.push_back(frame.regs[reg]);
-            }
-            frame.regs[instr.dst] = tuple;
-            break;
-          }
-          case Instr::Op::kGetItem: {
-            auto tuple =
-                std::get<TupleValuePtr>(frame.regs[instr.args[0]]);
-            frame.regs[instr.dst] = tuple->fields.at(instr.index);
-            break;
-          }
-          case Instr::Op::kRet:
-            result = frame.regs[instr.args[0]];
-            break;
+        executor.step(instr, frame, name);
+    }
+
+    finishFrame(frame, name, snap, *device_, freePool_, lastStats_,
+                graphStats_);
+    return executor.result_;
+}
+
+std::vector<Value>
+VirtualMachine::invokeLockstep(const std::vector<VirtualMachine*>& shards,
+                               device::DeviceGroup& group,
+                               const std::string& name,
+                               const std::vector<std::vector<Value>>& args)
+{
+    RELAX_ICHECK(!shards.empty() && args.size() == shards.size())
+        << "lockstep: one argument list per shard";
+    RELAX_ICHECK((int)shards.size() == group.size())
+        << "lockstep: shard count must match the device group";
+    const ExecutablePtr& exec = shards[0]->exec_;
+    for (VirtualMachine* shard : shards) {
+        RELAX_ICHECK(shard->exec_ == exec)
+            << "lockstep shards must share one executable";
+    }
+    const VMFunction& func = findFunction(exec, name, args[0].size());
+    bool data_mode = shards[0]->dataMode_;
+
+    size_t n = shards.size();
+    std::vector<Executor> executors;
+    executors.reserve(n);
+    std::vector<Frame> frames(n);
+    std::vector<CounterSnapshot> snaps;
+    snaps.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+        VirtualMachine& shard = *shards[s];
+        executors.push_back(Executor{shard.exec_, shard.device_,
+                                     shard.dataMode_,
+                                     shard.staticStorages_,
+                                     shard.freePool_,
+                                     shard.graphKeyspace_});
+        findFunction(exec, name, args[s].size()); // arity per shard
+        frames[s].regs.resize(func.numRegs);
+        for (size_t i = 0; i < args[s].size(); ++i) {
+            frames[s].regs[i] = args[s][i];
+        }
+        snaps.push_back(snapshotCounters(*shard.device_));
+    }
+
+    // Instruction-outer, shard-inner: every shard executes instruction k
+    // before any shard executes k+1, so all shards reach each `ccl.*`
+    // site together — the rendezvous replaces the per-shard fallback
+    // kernel with one priced group collective.
+    for (const Instr& instr : func.instrs) {
+        if (instr.op == Instr::Op::kKernelCall && instr.isLibrary &&
+            instr.callee.rfind("ccl.", 0) == 0) {
+            lockstepCollective(instr, group, frames, data_mode);
+            continue;
+        }
+        for (size_t s = 0; s < n; ++s) {
+            executors[s].step(instr, frames[s], name);
         }
     }
 
-    // Return this call's pool allocations (runtime allocator model).
-    for (int64_t bytes : frame.pooledBytes) freePool_[bytes] += 1;
-
-    lastStats_.latencyUs = device_->clockUs() - start_clock;
-    lastStats_.kernelLaunches =
-        device_->kernelLaunches() - start_launches;
-    lastStats_.bytesAllocated =
-        device_->totalAllocatedBytes() - start_alloc;
-    lastStats_.graphCaptures = device_->graphCaptures() - start_captures;
-    lastStats_.graphReplays = device_->graphReplays() - start_replays;
-    lastStats_.graphBegins =
-        lastStats_.graphCaptures + lastStats_.graphReplays;
-    graphStats_.begins += lastStats_.graphBegins;
-    graphStats_.captures += lastStats_.graphCaptures;
-    graphStats_.replays += lastStats_.graphReplays;
-    if (trace.enabled()) {
-        trace.span(trace_lanes::kVm, trace_lanes::kFrames, name, "frame",
-                   start_clock, lastStats_.latencyUs,
-                   {{"kernels", lastStats_.kernelLaunches},
-                    {"graph_begins", lastStats_.graphBegins},
-                    {"graph_replays", lastStats_.graphReplays}});
+    std::vector<Value> results;
+    results.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+        VirtualMachine& shard = *shards[s];
+        finishFrame(frames[s], name, snaps[s], *shard.device_,
+                    shard.freePool_, shard.lastStats_, shard.graphStats_);
+        results.push_back(executors[s].result_);
     }
-    return result;
+    return results;
+}
+
+void
+Executor::step(const Instr& instr, Frame& frame, const std::string& fn)
+{
+    TraceRecorder& trace = device_->trace();
+    switch (instr.op) {
+      case Instr::Op::kMatchShape:
+        execMatchShape(instr, frame, fn);
+        break;
+      case Instr::Op::kAllocStorage:
+        execAllocStorage(instr, frame, fn);
+        break;
+      case Instr::Op::kAllocTensor:
+        execAllocTensor(instr, frame);
+        break;
+      case Instr::Op::kKernelCall:
+        execKernelCall(instr, frame);
+        break;
+      case Instr::Op::kPackedCall:
+        execPackedCall(instr, frame);
+        break;
+      case Instr::Op::kGraphBegin: {
+        // Key the captured graph by the bucketed shape signature:
+        // each symbolic value is rounded up to its bucket ceiling,
+        // so every shape in a bucket maps to one graph (captured at
+        // the ceiling shape, launched padded/masked).
+        int64_t block = std::max<int64_t>(instr.bucketBlock, 1);
+        std::vector<std::pair<std::string, int64_t>> dims;
+        dims.reserve(frame.symbols.size());
+        for (const auto& [v, value] : frame.symbols) {
+            int64_t padded =
+                block > 1 ? bucketCeiling(value, block) : value;
+            dims.emplace_back(v->name, padded);
+            if (padded != value) {
+                frame.paddedSymbols[v] = padded;
+            }
+        }
+        // Name-sorted for a deterministic signature (symbolic names
+        // are unique within a function: b, n, m, ...).
+        std::sort(dims.begin(), dims.end());
+        std::ostringstream signature;
+        // The keyspace prefix keeps VMs running different
+        // executables on one device from replaying each other's
+        // graphs (graph ids restart per executable).
+        if (!graphKeyspace_.empty()) {
+            signature << graphKeyspace_ << ":";
+        }
+        for (const auto& [name, value] : dims) {
+            signature << name << "=" << value << ",";
+        }
+        graphStartTs_ = device_->clockUs();
+        graphReplay_ =
+            device_->beginGraph(instr.graphId, signature.str());
+        graphSignature_ = signature.str();
+        openGraphId_ = instr.graphId;
+        break;
+      }
+      case Instr::Op::kGraphEnd:
+        device_->endGraph();
+        frame.paddedSymbols.clear();
+        if (trace.enabled()) {
+            // Capture vs replay is THE flag downstream tools read:
+            // the Fig. 17 launch-overhead story is visible as
+            // replay-flagged regions whose kernels carry the
+            // graphReplayUs overhead instead of kernelLaunchUs.
+            trace.span(trace_lanes::kVm, trace_lanes::kFrames,
+                       graphReplay_ ? "graph(replay)"
+                                    : "graph(capture)",
+                       "graph", graphStartTs_,
+                       device_->clockUs() - graphStartTs_,
+                       {{"graph_id", openGraphId_},
+                        {"signature", graphSignature_},
+                        {"replay", (int64_t)(graphReplay_ ? 1 : 0)}});
+        }
+        openGraphId_ = -1;
+        break;
+      case Instr::Op::kLoadConst:
+        frame.regs[instr.dst] = instr.constant;
+        break;
+      case Instr::Op::kRebind:
+        frame.regs[instr.dst] = frame.regs[instr.args[0]];
+        break;
+      case Instr::Op::kMakeTuple: {
+        auto tuple = std::make_shared<TupleValue>();
+        for (RegIndex reg : instr.args) {
+            tuple->fields.push_back(frame.regs[reg]);
+        }
+        frame.regs[instr.dst] = tuple;
+        break;
+      }
+      case Instr::Op::kGetItem: {
+        auto tuple =
+            std::get<TupleValuePtr>(frame.regs[instr.args[0]]);
+        frame.regs[instr.dst] = tuple->fields.at(instr.index);
+        break;
+      }
+      case Instr::Op::kRet:
+        result_ = frame.regs[instr.args[0]];
+        break;
+    }
 }
 
 void

@@ -20,6 +20,11 @@
 #include "vm/exec.h"
 
 namespace relax {
+
+namespace device {
+class DeviceGroup;
+} // namespace device
+
 namespace vm {
 
 /** Device-side storage chunk produced by alloc_storage. */
@@ -123,6 +128,26 @@ class VirtualMachine
 
     /** Invokes a compiled function. */
     Value invoke(const std::string& name, const std::vector<Value>& args);
+
+    /**
+     * Runs one compiled function across N shard VMs in instruction
+     * lockstep — the tensor-parallel execution mode. All shards must
+     * share one executable (ShardPass emits a single per-shard program);
+     * shard s runs on its own device with its own argument list, and
+     * every `ccl.*` library call becomes a rendezvous: instead of the
+     * single-VM fallback kernel, the group prices one ring collective
+     * (barrier + transfer on every member) and, in data mode, the
+     * driver materializes the collective's semantics across the shards
+     * (rank-order left-fold sum for all_reduce, last-dim concat for
+     * all_gather) so results are deterministic. Collectives do not
+     * count as kernel launches and are graph-capture-insensitive.
+     * Returns shard s's result in slot s; per-shard RunStats are
+     * updated exactly as for invoke().
+     */
+    static std::vector<Value>
+    invokeLockstep(const std::vector<VirtualMachine*>& shards,
+                   device::DeviceGroup& group, const std::string& name,
+                   const std::vector<std::vector<Value>>& args);
 
     /**
      * Allocates a persistent device storage chunk outside any compiled

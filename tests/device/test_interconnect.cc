@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Interconnect cost model and DeviceGroup semantics: the ring
+ * all-reduce/all-gather formulas, the clock-merge rule (a collective is
+ * a barrier plus priced transfer on every member), per-device trace
+ * lanes (pid = device index), and the interconnect registry.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "device/interconnect.h"
+
+namespace relax {
+namespace device {
+namespace {
+
+TEST(InterconnectTest, RingAllReduceCostFormula)
+{
+    InterconnectSpec link;
+    link.linkBandwidthGBs = 100.0; // 1e5 bytes per us
+    link.linkLatencyUs = 2.0;
+
+    // N=4, 1 MB payload: 2*(3/4)*1e6/1e5 = 15 us transfer + 6 hops * 2 us.
+    EXPECT_DOUBLE_EQ(link.allReduceUs(4, 1e6), 15.0 + 12.0);
+    // N=2: 2*(1/2)*1e6/1e5 = 10 us + 2 hops * 2 us.
+    EXPECT_DOUBLE_EQ(link.allReduceUs(2, 1e6), 10.0 + 4.0);
+    // A single device never pays for collectives.
+    EXPECT_DOUBLE_EQ(link.allReduceUs(1, 1e6), 0.0);
+    // Zero payload still pays hop latency (the latency floor).
+    EXPECT_DOUBLE_EQ(link.allReduceUs(4, 0.0), 12.0);
+}
+
+TEST(InterconnectTest, RingAllGatherCostFormula)
+{
+    InterconnectSpec link;
+    link.linkBandwidthGBs = 100.0;
+    link.linkLatencyUs = 2.0;
+
+    // N=4 gathering a full 1 MB: (3/4)*1e6/1e5 = 7.5 us + 3 hops * 2 us.
+    EXPECT_DOUBLE_EQ(link.allGatherUs(4, 1e6), 7.5 + 6.0);
+    EXPECT_DOUBLE_EQ(link.allGatherUs(1, 1e6), 0.0);
+}
+
+TEST(InterconnectTest, MoreBandwidthNeverCostsMore)
+{
+    InterconnectSpec fast = nvlink();
+    InterconnectSpec slow = pcieGen4();
+    for (int n : {2, 4, 8}) {
+        EXPECT_LT(fast.allReduceUs(n, 1 << 20),
+                  slow.allReduceUs(n, 1 << 20));
+    }
+}
+
+TEST(InterconnectTest, RegistryRoundTripsAndRejectsUnknown)
+{
+    EXPECT_EQ(interconnectByName("nvlink").name, "nvlink");
+    EXPECT_EQ(interconnectByName("pcie_gen4").name, "pcie_gen4");
+    EXPECT_DOUBLE_EQ(nvlink().linkBandwidthGBs,
+                     interconnectByName("nvlink").linkBandwidthGBs);
+    try {
+        interconnectByName("smoke_signals");
+        FAIL() << "expected RuntimeError";
+    } catch (const RuntimeError& e) {
+        EXPECT_NE(std::string(e.what()).find("unknown interconnect"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("nvlink"), std::string::npos);
+    }
+}
+
+TEST(DeviceGroupTest, CollectiveMergesClocksAndAddsLinkTime)
+{
+    DeviceSpec spec = rtx4090();
+    DeviceGroup group(spec, 4);
+    ASSERT_EQ(group.size(), 4);
+
+    // Skew the member clocks, then all-reduce: every clock must land on
+    // max(shard finish) + collective time (the clock-merge rule).
+    group.device(0).hostOverhead(10.0);
+    group.device(1).hostOverhead(40.0);
+    group.device(2).hostOverhead(25.0);
+    double payload = 1e6;
+    double latency = group.allReduce(payload);
+    EXPECT_DOUBLE_EQ(latency, group.link().allReduceUs(4, payload));
+    EXPECT_GT(latency, 0.0);
+    for (int i = 0; i < group.size(); ++i) {
+        EXPECT_DOUBLE_EQ(group.device(i).clockUs(), 40.0 + latency);
+    }
+    EXPECT_DOUBLE_EQ(group.clockUs(), 40.0 + latency);
+    EXPECT_EQ(group.collectiveCount(), 1);
+    EXPECT_DOUBLE_EQ(group.collectiveUs(), latency);
+    EXPECT_DOUBLE_EQ(group.collectiveBytes(), payload);
+}
+
+TEST(DeviceGroupTest, SingleMemberGroupCollectivesAreFree)
+{
+    DeviceGroup group(rtx4090(), 1);
+    group.device(0).hostOverhead(5.0);
+    EXPECT_DOUBLE_EQ(group.allReduce(1e9), 0.0);
+    EXPECT_DOUBLE_EQ(group.device(0).clockUs(), 5.0);
+    EXPECT_EQ(group.collectiveCount(), 1);
+    EXPECT_DOUBLE_EQ(group.collectiveUs(), 0.0);
+}
+
+TEST(DeviceGroupTest, MembersShareOneTraceWithPerDeviceLanes)
+{
+    DeviceGroup group(rtx4090(), 3);
+    group.device(0).trace().enable();
+    // Every member sees the shared recorder as enabled.
+    EXPECT_TRUE(group.device(2).trace().enabled());
+
+    KernelCost cost;
+    cost.flops = 1e9;
+    cost.bytes = 1e6;
+    group.device(2).launchKernel(cost, "shard_kernel");
+    group.device(0).launchKernel(cost, "shard_kernel");
+    group.allGather(1e6);
+
+    const auto& events = group.device(0).trace().events();
+    bool saw_pid2 = false, saw_pid0 = false;
+    int collective_spans = 0;
+    for (const auto& e : events) {
+        if (e.name == "shard_kernel" && e.pid == 2) saw_pid2 = true;
+        if (e.name == "shard_kernel" && e.pid == 0) saw_pid0 = true;
+        if (e.cat == "collective") ++collective_spans;
+    }
+    EXPECT_TRUE(saw_pid2);
+    EXPECT_TRUE(saw_pid0);
+    // One collective span per participating device lane.
+    EXPECT_EQ(collective_spans, 3);
+
+    // The export names each device pid it saw.
+    std::ostringstream os;
+    group.device(0).trace().writeChromeTrace(os);
+    EXPECT_NE(os.str().find("device0"), std::string::npos);
+    EXPECT_NE(os.str().find("device2"), std::string::npos);
+}
+
+TEST(DeviceGroupTest, IndependentWorkKeepsIndependentClocks)
+{
+    // No collective: member clocks advance independently (no hidden
+    // synchronization between shards outside ccl sites).
+    DeviceGroup group(rtx4090(), 2);
+    KernelCost cost;
+    cost.bytes = 1e6;
+    group.device(0).launchKernel(cost);
+    EXPECT_GT(group.device(0).clockUs(), 0.0);
+    EXPECT_DOUBLE_EQ(group.device(1).clockUs(), 0.0);
+}
+
+} // namespace
+} // namespace device
+} // namespace relax

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The data-driven device registry: deviceByName round-trips every
+ * preset (same spec the named factory returns, sane roofline
+ * parameters), and unknown names fail with an error that names the
+ * valid keys.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "device/device.h"
+
+namespace relax {
+namespace device {
+namespace {
+
+TEST(DeviceRegistryTest, RoundTripsEveryPreset)
+{
+    const std::map<std::string, DeviceSpec (*)()> factories = {
+        {"rtx4090", rtx4090},       {"radeon7900xtx", radeon7900xtx},
+        {"m2ultra", appleM2Ultra},  {"iphone14pro", iphone14Pro},
+        {"s23", samsungS23},        {"s24", samsungS24},
+        {"orangepi5", orangePi5},   {"steamdeck", steamDeck},
+        {"jetsonorin", jetsonOrin}, {"webgpu_m3max", webgpuM3Max},
+    };
+    std::vector<std::string> names = deviceNames();
+    ASSERT_EQ(names.size(), factories.size());
+    for (const std::string& key : names) {
+        ASSERT_TRUE(factories.count(key)) << "unexpected registry key "
+                                          << key;
+        DeviceSpec by_name = deviceByName(key);
+        DeviceSpec by_factory = factories.at(key)();
+        EXPECT_EQ(by_name.name, by_factory.name);
+        EXPECT_EQ(by_name.backend, by_factory.backend);
+        EXPECT_DOUBLE_EQ(by_name.memBandwidthGBs,
+                         by_factory.memBandwidthGBs);
+        EXPECT_DOUBLE_EQ(by_name.fp16Tflops, by_factory.fp16Tflops);
+        EXPECT_DOUBLE_EQ(by_name.fp32Tflops, by_factory.fp32Tflops);
+        EXPECT_DOUBLE_EQ(by_name.kernelLaunchUs,
+                         by_factory.kernelLaunchUs);
+        EXPECT_EQ(by_name.vramBytes, by_factory.vramBytes);
+        EXPECT_EQ(by_name.hasGemmLibrary, by_factory.hasGemmLibrary);
+        EXPECT_EQ(by_name.supportsExecutionGraphs,
+                  by_factory.supportsExecutionGraphs);
+
+        // Roofline parameters must be physically sensible rows.
+        EXPECT_GT(by_name.memBandwidthGBs, 0.0) << key;
+        EXPECT_GT(by_name.fp16Tflops, 0.0) << key;
+        EXPECT_GT(by_name.vramBytes, 0) << key;
+        EXPECT_GT(by_name.genGemmEfficiency, 0.0) << key;
+        EXPECT_LE(by_name.libGemmEfficiency, 1.0) << key;
+        EXPECT_FALSE(by_name.backend.empty()) << key;
+    }
+}
+
+TEST(DeviceRegistryTest, PresetNamesAreUnique)
+{
+    std::vector<std::string> names = deviceNames();
+    std::map<std::string, int> marketing;
+    for (const std::string& key : names) {
+        ++marketing[deviceByName(key).name];
+    }
+    for (const auto& [name, count] : marketing) {
+        EXPECT_EQ(count, 1) << "duplicate preset name " << name;
+    }
+}
+
+TEST(DeviceRegistryTest, UnknownNameErrorsListTheCatalog)
+{
+    try {
+        deviceByName("tpu_v9");
+        FAIL() << "expected RuntimeError";
+    } catch (const RuntimeError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("unknown device: tpu_v9"), std::string::npos)
+            << what;
+        // A clear error names the valid keys.
+        EXPECT_NE(what.find("rtx4090"), std::string::npos) << what;
+        EXPECT_NE(what.find("webgpu_m3max"), std::string::npos) << what;
+    }
+}
+
+} // namespace
+} // namespace device
+} // namespace relax

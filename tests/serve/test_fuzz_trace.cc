@@ -15,7 +15,10 @@
  * draft model proposing k tokens per row per step — alternating between
  * an identical draft (near-total acceptance: the all-accept + bonus
  * path) and a mismatched one (mostly rejections: the truncate-rollback
- * path) — and the token streams must STILL be identical. Structural
+ * path) — and the token streams must STILL be identical. A tensor-
+ * parallel axis (tp in {1, 2}) crosses both: every scenario also runs
+ * sharded across a two-device group with lockstep collectives, and
+ * sharding may not change a single token either. Structural
  * invariants ride along: decode calls == steps on every trace (mixed
  * prefill+decode steps never split into extra calls, and draft calls
  * are tallied separately), relayoutBytes == 0, and prompt-prefix
@@ -253,6 +256,16 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
         frontend::compile(frontend::buildLlama(config), replay_on);
     auto exec_off =
         frontend::compile(frontend::buildLlama(config), replay_off);
+    // Tensor-parallel variants: the same model sharded 2-ways (ShardPass
+    // + lockstep collectives). One executable serves both shards.
+    frontend::CompileOptions replay_on_tp = replay_on;
+    replay_on_tp.tensorParallel = 2;
+    frontend::CompileOptions replay_off_tp = replay_off;
+    replay_off_tp.tensorParallel = 2;
+    auto exec_on_tp =
+        frontend::compile(frontend::buildLlama(config), replay_on_tp);
+    auto exec_off_tp =
+        frontend::compile(frontend::buildLlama(config), replay_off_tp);
     auto weights = frontend::makeLlamaWeights(config, /*with_data=*/true);
     // Draft weights for the speculation axis. The draft reuses the same
     // tiny architecture (and compiled executable — graph keyspaces keep
@@ -271,6 +284,7 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
     int64_t ragged_steps = 0, ragged_decode_calls = 0;
     int64_t total_spec_proposed = 0, total_spec_accepted = 0;
     int64_t total_truncates = 0, total_draft_calls = 0;
+    int64_t total_collectives = 0;
     std::mt19937 seed_rng(0xF00D);
     const int64_t seed_count = fuzzSeedCount();
     for (int64_t round = 0; round < seed_count; ++round) {
@@ -300,10 +314,24 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
         engine_options.kvBlockTokens = scenario.kvBlockTokens;
         engine_options.kvBudgetBytes = scenario.kvBudgetBytes;
 
+        for (int64_t tp : {int64_t(1), int64_t(2)})
         for (int64_t spec_k : {int64_t(0), int64_t(2), int64_t(4)})
         for (bool with_replay : {true, false}) {
-            auto dev = std::make_shared<device::SimDevice>(
-                hostSpec(with_replay));
+            // tp=2 shards the target across a two-device group; the
+            // draft (when speculating) stays single-VM on shard 0, and
+            // the token streams must STILL match the tp=1 oracle —
+            // sharding is invisible to scheduling and sampling.
+            std::shared_ptr<device::DeviceGroup> group;
+            std::shared_ptr<device::SimDevice> dev;
+            if (tp == 2) {
+                group = std::make_shared<device::DeviceGroup>(
+                    hostSpec(with_replay), 2,
+                    device::interconnectByName("nvlink"));
+                dev = group->devicePtr(0);
+            } else {
+                dev = std::make_shared<device::SimDevice>(
+                    hostSpec(with_replay));
+            }
             // Tracing on for every seed: the token oracle below then
             // also pins the observation-only invariant (recording may
             // not change any token), and each trace must be well
@@ -312,9 +340,11 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
             EngineOptions variant_options = engine_options;
             variant_options.speculation.draftTokens = spec_k;
             variant_options.speculation.draftConfig = config;
-            Engine engine(with_replay ? exec_on : exec_off, dev,
-                          /*data_mode=*/true, config, weights,
-                          variant_options);
+            vm::ExecutablePtr exec =
+                tp == 2 ? (with_replay ? exec_on_tp : exec_off_tp)
+                        : (with_replay ? exec_on : exec_off);
+            Engine engine(exec, dev, /*data_mode=*/true, config, weights,
+                          variant_options, group);
             if (spec_k > 0) {
                 engine.enableSpeculation(with_replay ? exec_on : exec_off,
                                          round % 2 == 0
@@ -355,7 +385,8 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
             for (size_t i = 0; i < results.size(); ++i) {
                 EXPECT_EQ(results[i].outputTokens, expected[i])
                     << "seed=" << seed << " request=" << i
-                    << " replay=" << with_replay << " spec_k=" << spec_k
+                    << " replay=" << with_replay << " tp=" << tp
+                    << " spec_k=" << spec_k
                     << " draft=" << (round % 2 == 0 ? "same" : "alt")
                     << " policy=" << (int)scenario.policy;
             }
@@ -386,6 +417,16 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
                 << "seed=" << seed;
             ragged_steps += engine.stats().steps;
             ragged_decode_calls += engine.stats().decodeBatches;
+            if (tp == 2) {
+                // Every sharded packed call paid its collectives: two
+                // all_reduces per layer plus the logits all_gather.
+                EXPECT_EQ(group->collectiveCount(),
+                          engine.stats().steps *
+                              (2 * config.numLayers + 1))
+                    << "seed=" << seed << " replay=" << with_replay;
+                EXPECT_GT(group->collectiveUs(), 0.0) << "seed=" << seed;
+                total_collectives += group->collectiveCount();
+            }
 
             // Metrics cross-checks against ground truth: the registry
             // is updated at the event sites, the fields it mirrors are
@@ -470,6 +511,8 @@ TEST(FuzzTraceTest, BatchedEngineMatchesSequentialOracle)
     EXPECT_GT(total_prefix_tokens, 0);
     EXPECT_GT(ragged_decode_calls, 0);
     EXPECT_EQ(ragged_decode_calls, ragged_steps);
+    // The tp=2 axis really ran sharded (and paid for its collectives).
+    EXPECT_GT(total_collectives, 0);
     // The speculation axis must have exercised both regimes: drafts were
     // proposed, some were accepted (the identical-draft rounds), and
     // some were rejected hard enough to roll KV state back.
